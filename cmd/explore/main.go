@@ -1,0 +1,103 @@
+// Command explore runs systematic state-space exploration over a
+// repository program, saves failing schedules as replayable scenario
+// files, and replays saved scenarios (§2.2: "whenever an error is
+// detected during state-space exploration, a scenario leading to the
+// error state is saved. Scenarios can be executed and replayed").
+//
+// Usage:
+//
+//	explore -prog statmax -max 50000
+//	explore -prog inversion -bound 2 -save scenario.json
+//	explore -prog inversion -replay scenario.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mtbench/internal/core"
+	"mtbench/internal/explore"
+	"mtbench/internal/replay"
+	"mtbench/internal/repository"
+	"mtbench/internal/sched"
+)
+
+func main() {
+	prog := flag.String("prog", "statmax", "program to explore")
+	max := flag.Int("max", 50000, "maximum schedules")
+	bound := flag.Int("bound", -1, "preemption bound (-1 = unbounded)")
+	sleepSets := flag.Bool("sleepsets", false, "enable sleep-set pruning")
+	timeouts := flag.Bool("timeouts", false, "explore timer expirations too")
+	stopFirst := flag.Bool("first", true, "stop at first bug")
+	save := flag.String("save", "", "save the first failing scenario to this file")
+	replayPath := flag.String("replay", "", "replay a saved scenario instead of exploring")
+	flag.Parse()
+
+	if err := run(*prog, *max, *bound, *sleepSets, *timeouts, *stopFirst, *save, *replayPath); err != nil {
+		fmt.Fprintln(os.Stderr, "explore:", err)
+		os.Exit(1)
+	}
+}
+
+func run(progName string, max, bound int, sleepSets, timeouts, stopFirst bool, save, replayPath string) error {
+	prog, err := repository.Get(progName)
+	if err != nil {
+		return err
+	}
+	body := prog.BodyWith(nil)
+
+	if replayPath != "" {
+		f, err := os.Open(replayPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		s, err := replay.Load(f)
+		if err != nil {
+			return err
+		}
+		res := replay.ReplayControlled(s, sched.Config{Name: progName}, body)
+		fmt.Printf("replayed scenario (%d decisions): %v\n", len(s.Decisions), res)
+		return nil
+	}
+
+	opts := explore.Options{
+		MaxSchedules:    max,
+		SleepSets:       sleepSets,
+		ExploreTimeouts: timeouts,
+		StopAtFirstBug:  stopFirst,
+		Name:            progName,
+	}
+	if bound >= 0 {
+		opts.PreemptionBound = explore.Bound(bound)
+	}
+	res := explore.Explore(opts, body)
+	if res.Err != nil {
+		return res.Err
+	}
+	fmt.Printf("schedules executed: %d (exhausted=%v)\n", res.Schedules, res.Exhausted)
+	fmt.Printf("distinct outcomes: %d\n", len(res.Outcomes))
+	fmt.Printf("bugs found: %d\n", len(res.Bugs))
+	for _, b := range res.Bugs {
+		fmt.Printf("  schedule #%d: %v\n", b.Index, b.Result)
+	}
+	if save != "" && len(res.Bugs) > 0 {
+		s := &replay.Schedule{
+			Program:   progName,
+			Mode:      "controlled",
+			Strategy:  "explore-dfs",
+			Decisions: append([]core.ThreadID(nil), res.Bugs[0].Schedule...),
+		}
+		f, err := os.Create(save)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := s.Save(f); err != nil {
+			return err
+		}
+		fmt.Printf("saved failing scenario to %s (%d decisions)\n", save, len(s.Decisions))
+	}
+	return nil
+}

@@ -1,0 +1,209 @@
+// Command mtbench is the benchmark's push-button entry point: list the
+// program repository, run a single program under a chosen tool, or run
+// the prepared experiments (F1, E1..E10) and print their evaluation
+// report.
+//
+// Usage:
+//
+//	mtbench list
+//	mtbench show -prog account
+//	mtbench run -prog account -strategy noise -p 0.4 -runs 50
+//	mtbench experiments            # run everything (slow)
+//	mtbench experiment -id E1      # one experiment
+//	mtbench experiment -id E2 -csv # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mtbench/internal/experiment"
+	"mtbench/internal/noise"
+	"mtbench/internal/repository"
+	"mtbench/internal/sched"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "list":
+		err = list()
+	case "show":
+		err = show(os.Args[2:])
+	case "run":
+		err = run(os.Args[2:])
+	case "experiment":
+		err = runExperiment(os.Args[2:])
+	case "experiments":
+		err = runAll(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "mtbench: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mtbench:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `mtbench — benchmark and framework for multi-threaded testing tools
+
+commands:
+  list                         list the program repository
+  show -prog NAME              print a program's bug documentation
+  run  -prog NAME [flags]      run a program repeatedly under a tool
+  experiment -id ID [-csv]     run one prepared experiment (F1, E1..E10)
+  experiments [-csv]           run every prepared experiment
+`)
+}
+
+func list() error {
+	fmt.Printf("%-18s %-20s %-8s %s\n", "NAME", "KIND", "THREADS", "SYNOPSIS")
+	for _, p := range repository.All() {
+		fmt.Printf("%-18s %-20s %-8d %s\n", p.Name, p.Kind, p.Threads, p.Synopsis)
+	}
+	return nil
+}
+
+func show(args []string) error {
+	fs := flag.NewFlagSet("show", flag.ExitOnError)
+	name := fs.String("prog", "", "program name")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := repository.Get(*name)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s — %s\nkind: %s\nthreads: %d\ndefaults: %v\nbug vars: %v\n\n%s\n",
+		p.Name, p.Synopsis, p.Kind, p.Threads, p.Defaults, p.BugVars, p.Doc)
+	return nil
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	name := fs.String("prog", "account", "program name")
+	strategy := fs.String("strategy", "noise", "baseline | roundrobin | random | noise | pct")
+	p := fs.Float64("p", 0.4, "noise probability (strategy=noise)")
+	kind := fs.String("kind", "yield", "noise kind: yield | sleep | mixed")
+	runs := fs.Int("runs", 50, "number of seeded runs")
+	verbose := fs.Bool("v", false, "print each run's result")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	prog, err := repository.Get(*name)
+	if err != nil {
+		return err
+	}
+	body := prog.BodyWith(nil)
+
+	mk := func(seed int64) (sched.Strategy, error) {
+		switch *strategy {
+		case "baseline":
+			return sched.Nonpreemptive(), nil
+		case "roundrobin":
+			return sched.RoundRobin(), nil
+		case "random":
+			return sched.Random(seed), nil
+		case "pct":
+			return sched.PriorityRandom(seed, 3, 10000), nil
+		case "noise":
+			var k noise.Kind
+			switch *kind {
+			case "yield":
+				k = noise.KindYield
+			case "sleep":
+				k = noise.KindSleep
+			case "mixed":
+				k = noise.KindMixed
+			default:
+				return nil, fmt.Errorf("unknown noise kind %q", *kind)
+			}
+			return noise.NewStrategy(nil, noise.NewBernoulli(*p, k), seed), nil
+		default:
+			return nil, fmt.Errorf("unknown strategy %q", *strategy)
+		}
+	}
+
+	found := 0
+	verdicts := map[string]int{}
+	for seed := int64(0); seed < int64(*runs); seed++ {
+		st, err := mk(seed)
+		if err != nil {
+			return err
+		}
+		res := sched.Run(sched.Config{Strategy: st, Seed: seed, Name: prog.Name, MaxSteps: 1_000_000}, body)
+		verdicts[res.Verdict.String()]++
+		if res.Verdict.Bug() {
+			found++
+			if *verbose {
+				fmt.Printf("seed %d: %v\n", seed, res)
+			}
+		}
+	}
+	fmt.Printf("program %s under %s: %d/%d runs exposed the bug (%.1f%%)\n",
+		prog.Name, *strategy, found, *runs, 100*float64(found)/float64(*runs))
+	fmt.Printf("verdicts: %v\n", verdicts)
+	return nil
+}
+
+func renderTables(tables []*experiment.Table, csv bool) error {
+	for _, t := range tables {
+		if csv {
+			fmt.Printf("# %s: %s\n", t.ID, t.Title)
+			if err := t.CSV(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println()
+		} else if err := t.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runExperiment(args []string) error {
+	fs := flag.NewFlagSet("experiment", flag.ExitOnError)
+	id := fs.String("id", "", "experiment id (F1, E1..E10)")
+	csv := fs.Bool("csv", false, "CSV output")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	r, err := experiment.Get(*id)
+	if err != nil {
+		return err
+	}
+	tables, err := r.Run()
+	if err != nil {
+		return err
+	}
+	return renderTables(tables, *csv)
+}
+
+func runAll(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
+	csv := fs.Bool("csv", false, "CSV output")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	for _, r := range experiment.Runners() {
+		fmt.Fprintf(os.Stderr, "running %s (%s)...\n", r.ID, r.Title)
+		tables, err := r.Run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.ID, err)
+		}
+		if err := renderTables(tables, *csv); err != nil {
+			return err
+		}
+	}
+	return nil
+}

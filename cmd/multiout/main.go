@@ -1,0 +1,80 @@
+// Command multiout runs the benchmark's no-input, many-outcomes
+// program (§4, component 4) repeatedly under a chosen scheduling tool
+// and prints the outcome distribution — the measure on which "tools
+// such as noise makers can be compared".
+//
+// Usage:
+//
+//	multiout -runs 200 -tool noise -p 0.4
+//	multiout -runs 1 -tool baseline -v     # one run, print the raw outcome
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"mtbench/internal/multiout"
+	"mtbench/internal/noise"
+	"mtbench/internal/sched"
+)
+
+func main() {
+	runs := flag.Int("runs", 100, "number of runs")
+	tool := flag.String("tool", "noise", "baseline | dispatch | noise | random | pct")
+	p := flag.Float64("p", 0.4, "noise probability")
+	verbose := flag.Bool("v", false, "print every run's canonical outcome")
+	flag.Parse()
+
+	body := multiout.Body()
+	dist := multiout.Distribution{}
+	for seed := int64(0); seed < int64(*runs); seed++ {
+		var st sched.Strategy
+		switch *tool {
+		case "baseline":
+			st = sched.Nonpreemptive()
+		case "dispatch":
+			st = sched.RandomWhenBlocked(seed)
+		case "noise":
+			st = noise.NewStrategy(nil, noise.NewBernoulli(*p, noise.KindYield), seed)
+		case "random":
+			st = sched.Random(seed)
+		case "pct":
+			st = sched.PriorityRandom(seed, 3, 5000)
+		default:
+			fmt.Fprintf(os.Stderr, "multiout: unknown tool %q\n", *tool)
+			os.Exit(2)
+		}
+		res := sched.Run(sched.Config{Strategy: st, Seed: seed}, body)
+		dist.Add(res)
+		if *verbose {
+			fmt.Println(multiout.Canonical(res))
+		}
+	}
+
+	fmt.Printf("tool=%s runs=%d distinct=%d entropy=%.2f bits\n",
+		*tool, dist.Runs(), dist.Distinct(), dist.Entropy())
+
+	type kv struct {
+		outcome string
+		count   int
+	}
+	var sorted []kv
+	for o, c := range dist {
+		sorted = append(sorted, kv{o, c})
+	}
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].count != sorted[j].count {
+			return sorted[i].count > sorted[j].count
+		}
+		return sorted[i].outcome < sorted[j].outcome
+	})
+	for i, e := range sorted {
+		if i >= 15 {
+			fmt.Printf("... and %d more outcomes\n", len(sorted)-15)
+			break
+		}
+		fmt.Printf("%6.1f%%  %s\n", 100*float64(e.count)/float64(dist.Runs()), e.outcome)
+	}
+}

@@ -1,0 +1,143 @@
+// Command racecheck analyzes recorded traces offline: Eraser lockset,
+// happens-before, GoodLock deadlock potentials, and optional temporal
+// properties — the JPaX pipeline of §3 run "with the push of a
+// button" against the benchmark's trace artifacts.
+//
+// Usage:
+//
+//	racecheck trace.jsonl
+//	racecheck -detectors lockset,hb trace.mtbt
+//	racecheck -prop 'H(write(balance) -> O lock(*))' trace.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mtbench/internal/core"
+	"mtbench/internal/deadlock"
+	"mtbench/internal/ltl"
+	"mtbench/internal/race"
+	"mtbench/internal/trace"
+)
+
+func main() {
+	detectors := flag.String("detectors", "lockset,hb,hybrid", "comma-separated: lockset, hb, hb-noatomics, hybrid")
+	props := multiFlag{}
+	flag.Var(&props, "prop", "past-time LTL property (repeatable)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: racecheck [flags] trace-file")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), strings.Split(*detectors, ","), props); err != nil {
+		fmt.Fprintln(os.Stderr, "racecheck:", err)
+		os.Exit(1)
+	}
+}
+
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ";") }
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+func openTrace(path string) (trace.Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	// Sniff the codec by the magic bytes.
+	head := make([]byte, 4)
+	n, _ := f.ReadAt(head, 0)
+	if _, err := f.Seek(0, 0); err != nil {
+		return nil, err
+	}
+	if n == 4 && string(head) == "MTBT" {
+		return trace.NewBinaryReader(f)
+	}
+	return trace.NewJSONLReader(f)
+}
+
+func run(path string, detNames []string, props []string) error {
+	r, err := openTrace(path)
+	if err != nil {
+		return err
+	}
+	h := r.Header()
+	fmt.Printf("trace: program=%s mode=%s seed=%d strategy=%s\n", h.Program, h.Mode, h.Seed, h.Strategy)
+	if h.Bug != "" {
+		fmt.Printf("documented bug: %s\n", h.Bug)
+	}
+
+	var listeners core.MultiListener
+	var rds []race.Detector
+	for _, name := range detNames {
+		var d race.Detector
+		switch strings.TrimSpace(name) {
+		case "":
+			continue
+		case "lockset":
+			d = race.NewLockset()
+		case "hb":
+			d = race.NewHB(true)
+		case "hb-noatomics":
+			d = race.NewHB(false)
+		case "hybrid":
+			d = race.NewHybrid(true)
+		default:
+			return fmt.Errorf("unknown detector %q", name)
+		}
+		rds = append(rds, d)
+		listeners = append(listeners, d)
+	}
+	gl := deadlock.NewAnalyzer()
+	listeners = append(listeners, gl)
+
+	var monitors []*ltl.Monitor
+	for _, src := range props {
+		f, err := ltl.Parse(src)
+		if err != nil {
+			return err
+		}
+		m := ltl.NewMonitor(f)
+		monitors = append(monitors, m)
+		listeners = append(listeners, m)
+	}
+
+	records := 0
+	listeners = append(listeners, core.ListenerFunc(func(*core.Event) { records++ }))
+	if err := trace.Replay(r, listeners); err != nil {
+		return err
+	}
+	fmt.Printf("records: %d\n\n", records)
+
+	for _, d := range rds {
+		ws := d.Warnings()
+		fmt.Printf("%s: %d warnings on %v\n", d.Name(), len(ws), d.WarnedVars())
+		for _, w := range ws {
+			fmt.Printf("  %s\n", w)
+		}
+	}
+	pots := gl.Potentials()
+	fmt.Printf("lock-graph: %d deadlock potentials\n", len(pots))
+	for _, p := range pots {
+		fmt.Printf("  %s\n", p)
+	}
+	for _, m := range monitors {
+		fmt.Printf("property %s: %d violations\n", m.Property, len(m.Violations()))
+		for i, v := range m.Violations() {
+			if i >= 5 {
+				fmt.Printf("  ... and %d more\n", len(m.Violations())-5)
+				break
+			}
+			fmt.Printf("  at record %d: %s\n", v.Seq, v.Event.String())
+		}
+	}
+	return nil
+}

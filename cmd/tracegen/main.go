@@ -1,0 +1,135 @@
+// Command tracegen is the benchmark's trace-production script (§4:
+// "a script for producing any number of desirable traces in the above
+// format", with inputs deciding the format and the instrumented
+// points). It runs repository programs under seeded schedules and
+// writes annotated traces.
+//
+// Usage:
+//
+//	tracegen -prog account -seeds 10 -format binary -out traces/
+//	tracegen -prog philosophers -strategy random -format jsonl -out -   # stdout, one seed
+//	tracegen -prog account -only-sync -out traces/                      # restrict instrumented points
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"mtbench/internal/core"
+	"mtbench/internal/instrument"
+	"mtbench/internal/noise"
+	"mtbench/internal/repository"
+	"mtbench/internal/sched"
+	"mtbench/internal/trace"
+)
+
+func main() {
+	prog := flag.String("prog", "account", "program to trace")
+	seeds := flag.Int("seeds", 1, "number of traces (one per seed)")
+	strategy := flag.String("strategy", "noise", "baseline | random | noise")
+	p := flag.Float64("p", 0.4, "noise probability")
+	format := flag.String("format", "jsonl", "jsonl | binary")
+	out := flag.String("out", "-", "output directory, or - for stdout (single seed)")
+	onlySync := flag.Bool("only-sync", false, "record only synchronization and lifecycle events")
+	flag.Parse()
+
+	if err := run(*prog, *seeds, *strategy, *p, *format, *out, *onlySync); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(progName string, seeds int, strategy string, p float64, format, out string, onlySync bool) error {
+	prog, err := repository.Get(progName)
+	if err != nil {
+		return err
+	}
+	if out == "-" && seeds != 1 {
+		return fmt.Errorf("stdout output supports exactly one seed")
+	}
+
+	var plan *instrument.Plan
+	if onlySync {
+		plan = instrument.All().DisableOps(core.OpYield, core.OpSleep)
+	}
+
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		var w io.Writer
+		var closeFn func() error
+		if out == "-" {
+			w = os.Stdout
+			closeFn = func() error { return nil }
+		} else {
+			if err := os.MkdirAll(out, 0o755); err != nil {
+				return err
+			}
+			ext := "jsonl"
+			if format == "binary" {
+				ext = "mtbt"
+			}
+			path := filepath.Join(out, fmt.Sprintf("%s-%d.%s", progName, seed, ext))
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			w = f
+			closeFn = f.Close
+			fmt.Fprintf(os.Stderr, "writing %s\n", path)
+		}
+
+		var tw trace.Writer
+		switch format {
+		case "jsonl":
+			tw = trace.NewJSONLWriter(w)
+		case "binary":
+			tw = trace.NewBinaryWriter(w)
+		default:
+			return fmt.Errorf("unknown format %q", format)
+		}
+
+		var st sched.Strategy
+		switch strategy {
+		case "baseline":
+			st = sched.Nonpreemptive()
+		case "random":
+			st = sched.Random(seed)
+		case "noise":
+			st = noise.NewStrategy(nil, noise.NewBernoulli(p, noise.KindYield), seed)
+		default:
+			return fmt.Errorf("unknown strategy %q", strategy)
+		}
+
+		if err := tw.WriteHeader(trace.Header{
+			Program:  progName,
+			Mode:     "controlled",
+			Seed:     seed,
+			Strategy: strategy,
+			Bug:      prog.Synopsis,
+		}); err != nil {
+			return err
+		}
+		col := trace.NewCollector(tw, prog.Annotator())
+		res := sched.Run(sched.Config{
+			Strategy:  st,
+			Seed:      seed,
+			Plan:      plan,
+			MaxSteps:  1_000_000,
+			Listeners: []core.Listener{col},
+			Name:      progName,
+		}, prog.BodyWith(nil))
+		if err := col.Err(); err != nil {
+			return err
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+		if err := closeFn(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "seed %d: %s (%d events)\n", seed, res.Verdict, res.Events)
+	}
+	return nil
+}

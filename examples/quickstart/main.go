@@ -1,0 +1,63 @@
+// Quickstart: write a tiny concurrent program against the mtbench API,
+// watch the deterministic unit-test scheduler miss its bug, and watch
+// a noise maker find it — the paper's core story in thirty lines.
+package main
+
+import (
+	"fmt"
+
+	"mtbench"
+)
+
+// body is the canonical lost update: two unsynchronized increments.
+func body(t mtbench.T) {
+	counter := t.NewInt("counter", 0)
+	h1 := t.Go("alice", func(wt mtbench.T) {
+		v := counter.Load(wt)
+		counter.Store(wt, v+1)
+	})
+	h2 := t.Go("bob", func(wt mtbench.T) {
+		v := counter.Load(wt)
+		counter.Store(wt, v+1)
+	})
+	h1.Join(t)
+	h2.Join(t)
+	t.Assert(counter.Load(t) == 2, "lost update: counter=%d", counter.Load(t))
+}
+
+func main() {
+	// 1. The deterministic scheduler: the test "passes" forever.
+	pass := 0
+	for i := 0; i < 100; i++ {
+		if mtbench.RunControlled(mtbench.ControlledConfig{Strategy: mtbench.Nonpreemptive()}, body).Verdict == mtbench.VerdictPass {
+			pass++
+		}
+	}
+	fmt.Printf("deterministic scheduler: %d/100 runs passed (bug invisible)\n", pass)
+
+	// 2. A noise maker: forced context switches at instrumentation
+	//    points expose the interleaving the bug needs.
+	found := 0
+	var firstSeed int64 = -1
+	for seed := int64(0); seed < 100; seed++ {
+		st := mtbench.WithNoise(nil, mtbench.Bernoulli(0.4, mtbench.NoiseYield), seed)
+		res := mtbench.RunControlled(mtbench.ControlledConfig{Strategy: st, Seed: seed}, body)
+		if res.Verdict == mtbench.VerdictFail {
+			found++
+			if firstSeed < 0 {
+				firstSeed = seed
+			}
+		}
+	}
+	fmt.Printf("noise maker:             %d/100 runs failed (first at seed %d)\n", found, firstSeed)
+
+	// 3. Reproduce it deterministically: record the failing schedule
+	//    and replay it.
+	res, schedule := mtbench.RecordControlled(mtbench.ControlledConfig{
+		Strategy: mtbench.WithNoise(nil, mtbench.Bernoulli(0.4, mtbench.NoiseYield), firstSeed),
+		Seed:     firstSeed,
+	}, body)
+	replayed := mtbench.ReplayControlled(schedule, mtbench.ControlledConfig{}, body)
+	fmt.Printf("recorded verdict=%v, replayed verdict=%v (diverged=%v)\n",
+		res.Verdict, replayed.Verdict, replayed.Diverged)
+}

@@ -1,0 +1,223 @@
+package mtbench_test
+
+// Integration tests: cross-package flows exercised through the public
+// facade, the way a downstream user of the library would.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"mtbench"
+)
+
+// TestPublicAPIQuickstart is the README quickstart as a test: baseline
+// misses, noise finds, replay reproduces.
+func TestPublicAPIQuickstart(t *testing.T) {
+	body := func(ct mtbench.T) {
+		x := ct.NewInt("x", 0)
+		h1 := ct.Go("a", func(wt mtbench.T) {
+			v := x.Load(wt)
+			x.Store(wt, v+1)
+		})
+		h2 := ct.Go("b", func(wt mtbench.T) {
+			v := x.Load(wt)
+			x.Store(wt, v+1)
+		})
+		h1.Join(ct)
+		h2.Join(ct)
+		ct.Assert(x.Load(ct) == 2, "lost update")
+	}
+
+	if res := mtbench.RunControlled(mtbench.ControlledConfig{Strategy: mtbench.Nonpreemptive()}, body); res.Verdict != mtbench.VerdictPass {
+		t.Fatalf("baseline: %v", res)
+	}
+
+	var schedule *mtbench.Schedule
+	for seed := int64(0); seed < 200; seed++ {
+		st := mtbench.WithNoise(nil, mtbench.Bernoulli(0.4, mtbench.NoiseYield), seed)
+		res, s := mtbench.RecordControlled(mtbench.ControlledConfig{Strategy: st, Seed: seed}, body)
+		if res.Verdict == mtbench.VerdictFail {
+			schedule = s
+			break
+		}
+	}
+	if schedule == nil {
+		t.Fatal("noise never found the bug")
+	}
+	for i := 0; i < 3; i++ {
+		rep := mtbench.ReplayControlled(schedule, mtbench.ControlledConfig{}, body)
+		if rep.Verdict != mtbench.VerdictFail || rep.Diverged {
+			t.Fatalf("replay %d: %v", i, rep)
+		}
+	}
+}
+
+// TestFullToolStackOneRun attaches every online tool to a single run
+// and checks each produced its artifact — the mix-and-match promise.
+func TestFullToolStackOneRun(t *testing.T) {
+	prog, err := mtbench.GetProgram("account")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	w := mtbench.NewBinaryTraceWriter(&buf)
+	if err := w.WriteHeader(mtbench.TraceHeader{Program: "account", Mode: "controlled"}); err != nil {
+		t.Fatal(err)
+	}
+	col := mtbench.NewTraceCollector(w, prog.Annotator())
+	lockset := mtbench.NewLockset()
+	hb := mtbench.NewHB(true)
+	lockGraph := mtbench.NewLockGraph()
+	cov := mtbench.NewCoverage()
+	formula, err := mtbench.ParseLTL("H(write(balance) -> O lock(*))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := mtbench.NewLTLMonitor(formula)
+
+	res := mtbench.RunControlled(mtbench.ControlledConfig{
+		Strategy:  mtbench.RoundRobin(),
+		Listeners: []mtbench.Listener{col, lockset, hb, lockGraph, cov, mon},
+	}, prog.BodyWith(nil))
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	if res.Events == 0 {
+		t.Fatal("no events")
+	}
+	if len(lockset.WarnedVars()) == 0 || len(hb.WarnedVars()) == 0 {
+		t.Fatalf("detectors silent: lockset=%v hb=%v", lockset.WarnedVars(), hb.WarnedVars())
+	}
+	if cov.CoveredCount() == 0 {
+		t.Fatal("coverage empty")
+	}
+	if mon.Ok() {
+		t.Fatal("lock-discipline property not violated")
+	}
+	if buf.Len() == 0 {
+		t.Fatal("trace empty")
+	}
+
+	// And the trace replays offline into a fresh detector with the
+	// same verdict.
+	r, err := mtbench.NewBinaryTraceReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offline := mtbench.NewLockset()
+	if err := mtbench.ReplayTrace(r, offline); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(offline.WarnedVars(), ",") != strings.Join(lockset.WarnedVars(), ",") {
+		t.Fatalf("offline %v != online %v", offline.WarnedVars(), lockset.WarnedVars())
+	}
+}
+
+// TestNativeMirrorsControlled runs the same program on both runtimes
+// through the facade.
+func TestNativeMirrorsControlled(t *testing.T) {
+	prog, err := mtbench.GetProgram("boundedbuffer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := mtbench.RunControlled(mtbench.ControlledConfig{Strategy: mtbench.Random(1)}, prog.BodyWith(nil)); res.Verdict != mtbench.VerdictPass {
+		t.Fatalf("controlled: %v", res)
+	}
+	if res := mtbench.RunNative(mtbench.NativeConfig{Timeout: 10 * time.Second}, prog.BodyWith(nil)); res.Verdict != mtbench.VerdictPass {
+		t.Fatalf("native: %v", res)
+	}
+}
+
+// TestRepositoryMetadataThroughFacade spot-checks repository access.
+func TestRepositoryMetadataThroughFacade(t *testing.T) {
+	if len(mtbench.Programs()) < 20 {
+		t.Fatalf("programs = %d", len(mtbench.Programs()))
+	}
+	if len(mtbench.BuggyPrograms())+len(mtbench.CorrectPrograms()) != len(mtbench.Programs()) {
+		t.Fatal("buggy + correct != all")
+	}
+	prog, err := mtbench.GetProgram("account")
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := mtbench.AnalyzeProgram(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.SharedVars) == 0 {
+		t.Fatal("static analysis empty")
+	}
+}
+
+// TestExperimentRegistryThroughFacade runs the fastest experiment end
+// to end via the facade.
+func TestExperimentRegistryThroughFacade(t *testing.T) {
+	if len(mtbench.Experiments()) != 11 {
+		t.Fatalf("experiments = %d, want 11", len(mtbench.Experiments()))
+	}
+	r, err := mtbench.GetExperiment("E9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := mtbench.RenderTables(&buf, tables); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "E9") {
+		t.Fatalf("render:\n%s", buf.String())
+	}
+}
+
+// TestExplorationThroughFacade: the facade exposes exploration with
+// bounds.
+func TestExplorationThroughFacade(t *testing.T) {
+	prog, err := mtbench.GetProgram("statmax")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mtbench.Explore(mtbench.ExploreOptions{
+		MaxSchedules:    20000,
+		PreemptionBound: mtbench.PreemptionBound(1),
+		StopAtFirstBug:  true,
+	}, prog.BodyWith(mtbench.ProgramParams{"reporters": 2}))
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if len(res.Bugs) == 0 {
+		t.Fatal("exploration missed the statmax bug")
+	}
+}
+
+// TestCloningThroughFacade: the reserve test detects with enough
+// clones.
+func TestCloningThroughFacade(t *testing.T) {
+	test := mtbench.ReserveTest(3)
+	found := false
+	for seed := int64(0); seed < 50 && !found; seed++ {
+		st := mtbench.WithNoise(nil, mtbench.Bernoulli(0.3, mtbench.NoiseYield), seed)
+		res := mtbench.CloneControlled(mtbench.ControlledConfig{Strategy: st}, test, 8)
+		found = res.Verdict != mtbench.VerdictPass
+	}
+	if !found {
+		t.Fatal("cloning never detected the oversell")
+	}
+}
+
+// TestMultioutThroughFacade: outcome distribution via the facade.
+func TestMultioutThroughFacade(t *testing.T) {
+	dist := mtbench.OutcomeDistribution{}
+	for seed := int64(0); seed < 30; seed++ {
+		dist.Add(mtbench.RunControlled(mtbench.ControlledConfig{Strategy: mtbench.Random(seed)}, mtbench.MultioutBody()))
+	}
+	if dist.Distinct() < 2 {
+		t.Fatalf("distinct = %d", dist.Distinct())
+	}
+}

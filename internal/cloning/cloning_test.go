@@ -1,0 +1,71 @@
+package cloning
+
+import (
+	"testing"
+
+	"mtbench/internal/core"
+	"mtbench/internal/noise"
+	"mtbench/internal/sched"
+)
+
+// reserveTest is the canonical oversell load test (see Reserve).
+var reserveTest = Reserve(5)
+
+// TestSingleCloneNeverFails pins the black-box premise: one clone is a
+// passing sequential test.
+func TestSingleCloneNeverFails(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		res := Controlled(sched.Config{Strategy: sched.Random(seed)}, reserveTest, 1)
+		if res.Verdict != core.VerdictPass {
+			t.Fatalf("seed %d: single clone failed: %v", seed, res)
+		}
+	}
+}
+
+// TestDetectionRateRisesWithClones measures detection probability at
+// several clone counts; more clones must not detect less (the E6
+// shape).
+func TestDetectionRateRisesWithClones(t *testing.T) {
+	rate := func(clones int) float64 {
+		found := 0
+		const runs = 60
+		for seed := int64(0); seed < runs; seed++ {
+			st := noise.NewStrategy(nil, noise.NewBernoulli(0.3, noise.KindYield), seed)
+			res := Controlled(sched.Config{Strategy: st}, reserveTest, clones)
+			if res.Verdict.Bug() {
+				found++
+			}
+		}
+		return float64(found) / runs
+	}
+	r2, r8 := rate(2), rate(8)
+	if r8 == 0 {
+		t.Fatal("8 clones never detected the oversell bug")
+	}
+	if r8+0.05 < r2 {
+		t.Fatalf("detection fell with clones: 2->%.2f 8->%.2f", r2, r8)
+	}
+	t.Logf("detection rate: 2 clones=%.2f 8 clones=%.2f", r2, r8)
+}
+
+// TestCloneIndexDistinguishes checks clones can use their index for
+// per-clone inputs and oracles.
+func TestCloneIndexDistinguishes(t *testing.T) {
+	test := Test{
+		Name: "indexed",
+		Setup: func(t core.T) any {
+			return t.NewInt("sum", 0)
+		},
+		Body: func(t core.T, shared any, clone int) {
+			shared.(core.IntVar).Add(t, int64(clone))
+		},
+		Check: func(t core.T, shared any) {
+			got := shared.(core.IntVar).Load(t)
+			t.Assert(got == 0+1+2+3, "sum=%d", got)
+		},
+	}
+	res := Controlled(sched.Config{Strategy: sched.Random(1)}, test, 4)
+	if res.Verdict != core.VerdictPass {
+		t.Fatalf("indexed clones failed: %v", res)
+	}
+}

@@ -1,0 +1,123 @@
+package core
+
+import "time"
+
+// T is the thread context handed to every benchmark-program thread. All
+// concurrency operations take the calling thread's T explicitly (there
+// is no goroutine-local storage in Go), which also makes every
+// instrumented operation syntactically visible — the property the
+// paper's source-level instrumentor relies on.
+//
+// Both runtimes implement T: internal/sched gives a deterministic,
+// controlled scheduler (for replay and systematic exploration), and
+// internal/native runs on real goroutines (for ConTest-style noise
+// making against the live Go scheduler).
+type T interface {
+	// ID returns the virtual thread id (0 for the program body).
+	ID() ThreadID
+	// Name returns the thread's symbolic name.
+	Name() string
+
+	// Go spawns a new virtual thread running fn and returns a handle
+	// that can be joined. Spawn order determines thread ids.
+	Go(name string, fn func(t T)) Handle
+
+	// Yield is a pure scheduling point: it gives the scheduler (or the
+	// noise maker) an opportunity to switch threads.
+	Yield()
+	// Sleep suspends the thread for d. The controlled runtime uses
+	// virtual time, so sleeps are deterministic and free; the native
+	// runtime really sleeps.
+	Sleep(d time.Duration)
+
+	// Assert records a failing oracle when cond is false and aborts the
+	// run. Benchmark programs use Assert as their bug oracle.
+	Assert(cond bool, format string, args ...any)
+	// Failf unconditionally records a failing oracle and aborts the run.
+	Failf(format string, args ...any)
+	// Outcome appends a fragment to the run's outcome string. The
+	// multi-outcome benchmark program compares tools on the
+	// distribution of these strings.
+	Outcome(format string, args ...any)
+
+	// NewMutex creates a named mutex.
+	NewMutex(name string) Mutex
+	// NewRWMutex creates a named reader/writer mutex.
+	NewRWMutex(name string) RWMutex
+	// NewCond creates a named condition variable tied to mu.
+	NewCond(name string, mu Mutex) Cond
+	// NewInt creates a named shared integer variable. Individual
+	// accesses are indivisible (as in the JVM), so races on an IntVar
+	// are logical (lost updates, stale reads), not torn reads.
+	NewInt(name string, init int64) IntVar
+	// NewAtomicInt creates a shared integer whose accesses additionally
+	// carry release/acquire ordering, like a Java volatile. Programs
+	// use atomics to build user-level synchronization; race detectors
+	// differ in whether they understand it (§2.2 of the paper).
+	NewAtomicInt(name string, init int64) IntVar
+	// NewRef creates a named shared reference cell holding any value.
+	NewRef(name string) RefVar
+}
+
+// Handle allows waiting for a spawned thread.
+type Handle interface {
+	// Join blocks the calling thread until the spawned thread's body
+	// has returned.
+	Join(t T)
+	// TID returns the spawned thread's id.
+	TID() ThreadID
+}
+
+// Mutex is a non-reentrant mutual-exclusion lock.
+type Mutex interface {
+	Lock(t T)
+	Unlock(t T)
+	// TryLock acquires the lock if it is free and reports success.
+	TryLock(t T) bool
+	// OID returns the object's identity for event correlation.
+	OID() ObjectID
+}
+
+// RWMutex is a reader/writer lock: multiple readers or one writer.
+type RWMutex interface {
+	Lock(t T)
+	Unlock(t T)
+	RLock(t T)
+	RUnlock(t T)
+	OID() ObjectID
+}
+
+// Cond is a condition variable with Java monitor semantics: Wait
+// releases the mutex and suspends the thread; Signal wakes one waiter
+// (it is lost if nobody is waiting); Broadcast wakes all waiters. The
+// caller must hold the associated mutex for all three operations.
+type Cond interface {
+	Wait(t T)
+	Signal(t T)
+	Broadcast(t T)
+	OID() ObjectID
+}
+
+// IntVar is a shared integer variable. Load/Store/Add/CompareAndSwap
+// are each indivisible, but sequences of them are not — which is where
+// the benchmark's races and atomicity violations live.
+type IntVar interface {
+	Load(t T) int64
+	Store(t T, v int64)
+	// Add atomically adds delta and returns the new value.
+	Add(t T, delta int64) int64
+	// CompareAndSwap atomically replaces old with new and reports
+	// whether it did.
+	CompareAndSwap(t T, old, new int64) bool
+	OID() ObjectID
+	// IsAtomic reports whether the variable was created with
+	// NewAtomicInt, i.e. carries release/acquire ordering.
+	IsAtomic() bool
+}
+
+// RefVar is a shared reference cell.
+type RefVar interface {
+	Load(t T) any
+	Store(t T, v any)
+	OID() ObjectID
+}

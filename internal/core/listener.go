@@ -1,0 +1,63 @@
+package core
+
+// Listener observes the event stream of a run. Every dynamic
+// technology in the framework — noise statistics, race detection,
+// deadlock detection, replay recording, coverage, tracing — is a
+// Listener; this is the paper's "standard interface" through which a
+// researcher plugs one component into the stock pipeline.
+//
+// Events are delivered in a total order (the runtimes serialize
+// emission), and the *Event is only valid for the duration of the call:
+// listeners that retain events must copy them.
+type Listener interface {
+	OnEvent(ev *Event)
+}
+
+// RunObserver is an optional extension for listeners that need run
+// boundaries (e.g. per-run coverage snapshots, trace headers).
+type RunObserver interface {
+	RunStart(info RunInfo)
+	RunEnd(res *Result)
+}
+
+// RunInfo describes a run to observers before any event is emitted.
+type RunInfo struct {
+	Program string // program name, if known
+	Mode    string // "controlled" or "native"
+	Seed    int64  // scheduler/noise seed
+}
+
+// ListenerFunc adapts a function to the Listener interface.
+type ListenerFunc func(ev *Event)
+
+// OnEvent calls f(ev).
+func (f ListenerFunc) OnEvent(ev *Event) { f(ev) }
+
+// MultiListener fans one event stream out to several listeners in
+// order.
+type MultiListener []Listener
+
+// OnEvent delivers ev to each listener in order.
+func (m MultiListener) OnEvent(ev *Event) {
+	for _, l := range m {
+		l.OnEvent(ev)
+	}
+}
+
+// StartRun notifies every RunObserver in m.
+func (m MultiListener) StartRun(info RunInfo) {
+	for _, l := range m {
+		if ro, ok := l.(RunObserver); ok {
+			ro.RunStart(info)
+		}
+	}
+}
+
+// EndRun notifies every RunObserver in m.
+func (m MultiListener) EndRun(res *Result) {
+	for _, l := range m {
+		if ro, ok := l.(RunObserver); ok {
+			ro.RunEnd(res)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Package core defines the shared vocabulary of the mtbench framework:
+// the event model emitted by instrumented concurrency operations, the
+// thread-context API that benchmark programs are written against, and
+// the listener interface through which every testing technology (noise
+// makers, race detectors, replay, coverage, exploration, tracing)
+// observes executions.
+//
+// The package corresponds to the "open APIs" goal of Havelund, Stoller
+// and Ur (PADTAD 2003): a researcher writes one component against these
+// interfaces and composes it with the stock implementations of all the
+// others.
+package core
+
+import "fmt"
+
+// Op identifies the kind of concurrency-relevant operation an Event
+// describes. The set mirrors the instrumentation points the paper's
+// instrumentor exposes: shared-variable accesses, lock operations,
+// condition-variable operations, thread lifecycle, and scheduling hints.
+type Op uint8
+
+// Operation kinds. The numeric values are part of the binary trace
+// format and must not be reordered; add new kinds at the end.
+const (
+	OpInvalid Op = iota
+
+	// Thread lifecycle.
+	OpFork // parent spawned a thread; Value = child thread id
+	OpJoin // thread joined another; Value = joined thread id
+	OpEnd  // thread body returned
+
+	// Shared-variable accesses. Value carries the value read/written
+	// for integer variables.
+	OpRead
+	OpWrite
+
+	// Mutex operations. OpLock is emitted after the lock is acquired;
+	// OpBlock is emitted when an acquire attempt finds the lock held
+	// (used by synchronization-contention coverage).
+	OpLock
+	OpUnlock
+	OpBlock
+
+	// Reader/writer lock operations.
+	OpRLock
+	OpRUnlock
+
+	// Condition-variable operations.
+	OpWait      // thread started waiting (mutex released)
+	OpAwake     // thread woke from Wait (before reacquiring the mutex)
+	OpSignal    // Signal/notify
+	OpBroadcast // Broadcast/notifyAll
+
+	// Scheduling hints.
+	OpYield
+	OpSleep // Value = requested duration in nanoseconds
+
+	// Outcome reporting (used by the multi-outcome benchmark program).
+	OpOutcome
+
+	// Assertion failure observed; Value is unused, Name carries the
+	// message. Emitted before the run is torn down.
+	OpFail
+
+	numOps // sentinel; keep last
+)
+
+var opNames = [...]string{
+	OpInvalid:   "invalid",
+	OpFork:      "fork",
+	OpJoin:      "join",
+	OpEnd:       "end",
+	OpRead:      "read",
+	OpWrite:     "write",
+	OpLock:      "lock",
+	OpUnlock:    "unlock",
+	OpBlock:     "block",
+	OpRLock:     "rlock",
+	OpRUnlock:   "runlock",
+	OpWait:      "wait",
+	OpAwake:     "awake",
+	OpSignal:    "signal",
+	OpBroadcast: "broadcast",
+	OpYield:     "yield",
+	OpSleep:     "sleep",
+	OpOutcome:   "outcome",
+	OpFail:      "fail",
+}
+
+// String returns the lower-case mnemonic used in traces and reports.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// ParseOp is the inverse of Op.String. It reports an error for unknown
+// mnemonics so trace readers can reject corrupted input.
+func ParseOp(s string) (Op, error) {
+	for i, n := range opNames {
+		if n == s && Op(i) != OpInvalid {
+			return Op(i), nil
+		}
+	}
+	return OpInvalid, fmt.Errorf("core: unknown op %q", s)
+}
+
+// NumOps is the number of defined operation kinds, for sizing tables
+// indexed by Op.
+const NumOps = int(numOps)
+
+// IsAccess reports whether the op is a shared-variable access.
+func (o Op) IsAccess() bool { return o == OpRead || o == OpWrite }
+
+// IsSync reports whether the op is a synchronization operation
+// (lock, unlock, rlock, runlock, wait, awake, signal, broadcast).
+func (o Op) IsSync() bool {
+	switch o {
+	case OpLock, OpUnlock, OpBlock, OpRLock, OpRUnlock, OpWait, OpAwake, OpSignal, OpBroadcast:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Verdict classifies how a run ended.
+type Verdict uint8
+
+// Run verdicts.
+const (
+	VerdictPass      Verdict = iota // body completed, no oracle failed
+	VerdictFail                     // an Assert/Failf oracle failed
+	VerdictDeadlock                 // all live threads blocked on each other
+	VerdictStepLimit                // the step budget was exhausted (livelock suspect)
+	VerdictTimeout                  // native watchdog expired (deadlock suspect)
+	VerdictDiverged                 // replay could not follow the recorded schedule
+)
+
+var verdictNames = [...]string{"pass", "fail", "deadlock", "steplimit", "timeout", "diverged"}
+
+// String returns the verdict mnemonic.
+func (v Verdict) String() string {
+	if int(v) < len(verdictNames) {
+		return verdictNames[v]
+	}
+	return fmt.Sprintf("verdict(%d)", uint8(v))
+}
+
+// Bug reports whether the verdict counts as a detected bug
+// manifestation (anything but a clean pass; a step-limit hit counts
+// because the benchmark's livelock programs manifest that way).
+func (v Verdict) Bug() bool { return v != VerdictPass }
+
+// Failure describes a failed oracle.
+type Failure struct {
+	Msg    string
+	Thread ThreadID
+	Loc    Location
+}
+
+// Result is the outcome of one execution of a benchmark program under
+// either runtime.
+type Result struct {
+	Verdict Verdict
+	Failure *Failure // non-nil iff Verdict == VerdictFail
+
+	// DeadlockInfo describes the blocked threads and the wait-for
+	// cycle when Verdict is VerdictDeadlock or VerdictTimeout.
+	DeadlockInfo string
+
+	// Outcome is the concatenation of the fragments the program
+	// reported via T.Outcome, in emission order.
+	Outcome string
+
+	// FinishOrder lists thread names in completion order (threads that
+	// failed or were aborted are absent). The multi-outcome benchmark
+	// program compares tools on this order, per §4 of the paper.
+	FinishOrder []string
+
+	Steps   int64         // scheduling decisions taken (controlled mode)
+	Events  int64         // events emitted
+	Threads int           // threads created (including main)
+	Elapsed time.Duration // wall-clock duration of the run
+
+	// Schedule is the recorded sequence of scheduling decisions
+	// (controlled mode only) for replay; nil in native mode.
+	Schedule []ThreadID
+
+	// Diverged is set by the replay strategy when the recorded
+	// schedule could not be followed.
+	Diverged bool
+}
+
+// String summarizes the result in one line.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s steps=%d events=%d threads=%d", r.Verdict, r.Steps, r.Events, r.Threads)
+	if r.Failure != nil {
+		fmt.Fprintf(&b, " failure=%q@%s", r.Failure.Msg, r.Failure.Loc.Key())
+	}
+	if r.DeadlockInfo != "" {
+		fmt.Fprintf(&b, " deadlock=%q", r.DeadlockInfo)
+	}
+	if r.Outcome != "" {
+		fmt.Fprintf(&b, " outcome=%q", r.Outcome)
+	}
+	return b.String()
+}
+
+// failPanic is the panic payload used by both runtimes to unwind a
+// thread whose oracle failed.
+type failPanic struct{ f Failure }
+
+// abortPanic is the panic payload used to unwind threads when a run is
+// torn down (after a failure, deadlock, or step-limit hit).
+type abortPanic struct{}
+
+// FailNow panics with a failure payload; runtimes recover it in their
+// thread wrappers. It is exported for use by the runtime packages only.
+func FailNow(f Failure) {
+	panic(failPanic{f})
+}
+
+// AbortNow panics with the abort payload; runtimes recover it in their
+// thread wrappers. It is exported for use by the runtime packages only.
+func AbortNow() {
+	panic(abortPanic{})
+}
+
+// RecoverThread classifies a recovered panic value from a thread
+// wrapper: it returns the failure (if the thread failed an oracle),
+// aborted=true (if the run was torn down), or re-panics for foreign
+// panics after wrapping them in a Failure so harness bugs and program
+// panics (nil derefs etc.) still count as failed runs.
+func RecoverThread(rec any, tid ThreadID) (fail *Failure, aborted bool) {
+	switch p := rec.(type) {
+	case nil:
+		return nil, false
+	case failPanic:
+		return &p.f, false
+	case abortPanic:
+		return nil, true
+	default:
+		return &Failure{
+			Msg:    fmt.Sprintf("panic: %v", p),
+			Thread: tid,
+		}, false
+	}
+}

@@ -1,0 +1,90 @@
+package coverage
+
+import "sort"
+
+// This file answers §2.2's "new and interesting research question": use
+// coverage "to decide, given limited resources, how many times each
+// test should be executed". Concurrency tests must run repeatedly
+// because one passing run proves little; the allocator spends a run
+// budget where coverage is still growing.
+
+// History is the cumulative covered-task count of one test after each
+// of its runs so far (monotonically non-decreasing).
+type History []int
+
+// marginal estimates the coverage gain of the next run from the tail
+// of the history: the average of the last window deltas. Tests with no
+// history are maximally promising (optimism under uncertainty).
+func (h History) marginal() float64 {
+	if len(h) == 0 {
+		return 1e9 // never run: must try at least once
+	}
+	if len(h) == 1 {
+		return float64(h[0]) + 1 // one data point: assume similar gain
+	}
+	const window = 3
+	start := len(h) - window
+	if start < 1 {
+		start = 1
+	}
+	sum := 0.0
+	n := 0
+	for i := start; i < len(h); i++ {
+		sum += float64(h[i] - h[i-1])
+		n++
+	}
+	return sum / float64(n)
+}
+
+// Allocate distributes budget runs across tests proportionally to
+// their estimated marginal coverage gain, greedily with decay: each
+// simulated allocation halves the test's expected gain, modeling
+// saturation. Ties break by name so the allocation is deterministic.
+func Allocate(histories map[string]History, budget int) map[string]int {
+	names := make([]string, 0, len(histories))
+	for n := range histories {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	const freshSentinel = 1e8
+	gains := make(map[string]float64, len(names))
+	prior := 1.0 // post-first-run estimate for never-run tests
+	for _, n := range names {
+		g := histories[n].marginal()
+		// Saturated tests keep a small residual gain so a large budget
+		// still spreads across everything instead of piling onto the
+		// alphabetically first saturated test.
+		if g < 0.01 {
+			g = 0.01
+		}
+		gains[n] = g
+		if g < freshSentinel && g > prior {
+			prior = g
+		}
+	}
+
+	out := make(map[string]int, len(names))
+	for i := 0; i < budget; i++ {
+		best := ""
+		for _, n := range names {
+			if best == "" || gains[n] > gains[best] {
+				best = n
+			}
+		}
+		if best == "" {
+			break
+		}
+		out[best]++
+		if gains[best] >= freshSentinel {
+			// First run of a never-run test done; fall back to the
+			// best known marginal as its optimistic prior.
+			gains[best] = prior
+			continue
+		}
+		// Saturation: expected gain halves per allocated run, with a
+		// small floor so a large budget still spreads to everything.
+		gains[best] = gains[best]/2 + 0.001
+	}
+	return out
+}

@@ -1,0 +1,214 @@
+// Package coverage implements the concurrency coverage models of §2.2.
+// Statement coverage "is of very little utility in the multi-threading
+// domain"; the equivalent processes the paper proposes — and this
+// package measures — are contention-oriented:
+//
+//   - location coverage: which instrumented points executed at all
+//     (the sequential baseline, kept for comparison);
+//   - variable-contention coverage: "for all variables, a variable is
+//     covered if it has been touched by two threads" (the paper's own
+//     example model);
+//   - synchronization-contention coverage: a lock is covered when some
+//     acquisition actually blocked (ConTest's synchronization
+//     coverage);
+//   - access-pair coverage: consecutive accesses to one variable by
+//     two different threads, keyed by the two program points (a
+//     du-path-style interleaving model after Yang/Pollock).
+//
+// The paper notes every concurrency model suffers infeasible tasks and
+// prescribes static analysis to bound the universe; Universe carries
+// that bound (internal/staticinfo produces it), and reports show both
+// raw and feasibility-adjusted numbers.
+package coverage
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"mtbench/internal/core"
+)
+
+// Model names used in reports.
+const (
+	ModelLocation      = "location"
+	ModelVarContention = "var-contention"
+	ModelSyncBlocked   = "sync-contention"
+	ModelAccessPair    = "access-pair"
+)
+
+// Universe bounds the feasible task set per model, typically from
+// static analysis: only variables that can be shared can ever be
+// contended.
+type Universe struct {
+	// SharedVars are variables static analysis says more than one
+	// thread can touch (the feasible var-contention tasks).
+	SharedVars []string
+	// Locks are the lock objects that exist (feasible sync-contention
+	// tasks).
+	Locks []string
+}
+
+// Tracker accumulates coverage across any number of runs: attach it as
+// a listener to every run of a test campaign and read reports between
+// runs. It is safe for concurrent use.
+type Tracker struct {
+	mu sync.Mutex
+
+	locSeen   map[string]int64
+	varAccess map[string]map[core.ThreadID]bool
+	varHit    map[string]bool // contended (>=2 threads)
+	lockSeen  map[string]bool
+	lockHit   map[string]bool // blocked acquisition observed
+	pairSeen  map[string]bool
+	last      map[string]lastAccess // var -> previous access
+}
+
+type lastAccess struct {
+	thread core.ThreadID
+	locKey string
+}
+
+// NewTracker returns an empty coverage tracker.
+func NewTracker() *Tracker {
+	t := &Tracker{}
+	t.Reset()
+	return t
+}
+
+// Reset clears all accumulated coverage.
+func (t *Tracker) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.locSeen = map[string]int64{}
+	t.varAccess = map[string]map[core.ThreadID]bool{}
+	t.varHit = map[string]bool{}
+	t.lockSeen = map[string]bool{}
+	t.lockHit = map[string]bool{}
+	t.pairSeen = map[string]bool{}
+	t.last = map[string]lastAccess{}
+}
+
+// OnEvent implements core.Listener.
+func (t *Tracker) OnEvent(ev *core.Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	if ev.Loc.File != "" {
+		t.locSeen[ev.Loc.Key()]++
+	}
+
+	switch {
+	case ev.Op.IsAccess():
+		threads := t.varAccess[ev.Name]
+		if threads == nil {
+			threads = map[core.ThreadID]bool{}
+			t.varAccess[ev.Name] = threads
+		}
+		threads[ev.Thread] = true
+		if len(threads) >= 2 {
+			t.varHit[ev.Name] = true
+		}
+		if prev, ok := t.last[ev.Name]; ok && prev.thread != ev.Thread {
+			key := ev.Name + "|" + prev.locKey + "->" + ev.Loc.Key()
+			t.pairSeen[key] = true
+		}
+		t.last[ev.Name] = lastAccess{thread: ev.Thread, locKey: ev.Loc.Key()}
+
+	case ev.Op == core.OpLock && ev.Value == 1, ev.Op == core.OpRLock:
+		t.lockSeen[ev.Name] = true
+	case ev.Op == core.OpBlock:
+		t.lockSeen[ev.Name] = true
+		t.lockHit[ev.Name] = true
+	}
+}
+
+// ModelReport is the coverage of one model, optionally bounded by a
+// universe.
+type ModelReport struct {
+	Model   string
+	Covered int
+	// Total is the task universe: feasible tasks when a Universe was
+	// supplied, otherwise the tasks discovered dynamically.
+	Total   int
+	Percent float64
+}
+
+func report(model string, covered, total int) ModelReport {
+	pct := 0.0
+	if total > 0 {
+		pct = 100 * float64(covered) / float64(total)
+	}
+	return ModelReport{Model: model, Covered: covered, Total: total, Percent: pct}
+}
+
+// Report summarizes all models. A nil universe reports against the
+// dynamically discovered task sets.
+func (t *Tracker) Report(u *Universe) []ModelReport {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	var out []ModelReport
+	out = append(out, report(ModelLocation, len(t.locSeen), len(t.locSeen)))
+
+	if u != nil {
+		covered := 0
+		for _, v := range u.SharedVars {
+			if t.varHit[v] {
+				covered++
+			}
+		}
+		out = append(out, report(ModelVarContention, covered, len(u.SharedVars)))
+	} else {
+		out = append(out, report(ModelVarContention, len(t.varHit), len(t.varAccess)))
+	}
+
+	if u != nil {
+		covered := 0
+		for _, l := range u.Locks {
+			if t.lockHit[l] {
+				covered++
+			}
+		}
+		out = append(out, report(ModelSyncBlocked, covered, len(u.Locks)))
+	} else {
+		out = append(out, report(ModelSyncBlocked, len(t.lockHit), len(t.lockSeen)))
+	}
+
+	out = append(out, report(ModelAccessPair, len(t.pairSeen), len(t.pairSeen)))
+	return out
+}
+
+// CoveredCount returns the total covered tasks over the contention
+// models (the scalar used for growth curves; location coverage is
+// excluded because it saturates immediately).
+func (t *Tracker) CoveredCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.varHit) + len(t.lockHit) + len(t.pairSeen)
+}
+
+// ContendedVars returns the sorted variable-contention tasks covered so
+// far.
+func (t *Tracker) ContendedVars() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, 0, len(t.varHit))
+	for v := range t.varHit {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the (universe-less) report compactly.
+func (t *Tracker) String() string {
+	var s string
+	for i, r := range t.Report(nil) {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%s=%d/%d", r.Model, r.Covered, r.Total)
+	}
+	return s
+}

@@ -1,0 +1,182 @@
+package coverage
+
+import (
+	"testing"
+
+	"mtbench/internal/core"
+	"mtbench/internal/sched"
+)
+
+func find(reports []ModelReport, model string) ModelReport {
+	for _, r := range reports {
+		if r.Model == model {
+			return r
+		}
+	}
+	return ModelReport{}
+}
+
+// TestVarContentionModel checks the paper's example model directly:
+// a variable touched by two threads is covered; one touched by a
+// single thread is not.
+func TestVarContentionModel(t *testing.T) {
+	tr := NewTracker()
+	sched.Run(sched.Config{Listeners: []core.Listener{tr}}, func(ct core.T) {
+		shared := ct.NewInt("shared", 0)
+		local := ct.NewInt("local", 0)
+		local.Add(ct, 1)
+		h := ct.Go("w", func(wt core.T) { shared.Add(wt, 1) })
+		h.Join(ct)
+		shared.Add(ct, 1)
+	})
+	vars := tr.ContendedVars()
+	if len(vars) != 1 || vars[0] != "shared" {
+		t.Fatalf("contended vars = %v, want [shared]", vars)
+	}
+}
+
+// TestSyncContentionNeedsBlocking checks that merely using a lock does
+// not cover it; an acquisition must actually block.
+func TestSyncContentionNeedsBlocking(t *testing.T) {
+	tr := NewTracker()
+	// Uncontended: single thread locks and unlocks.
+	sched.Run(sched.Config{Listeners: []core.Listener{tr}}, func(ct core.T) {
+		mu := ct.NewMutex("mu")
+		mu.Lock(ct)
+		mu.Unlock(ct)
+	})
+	if r := find(tr.Report(nil), ModelSyncBlocked); r.Covered != 0 || r.Total != 1 {
+		t.Fatalf("uncontended lock: covered=%d total=%d, want 0/1", r.Covered, r.Total)
+	}
+
+	// Contended: RoundRobin interleaves two threads through the lock.
+	sched.Run(sched.Config{Strategy: sched.RoundRobin(), Listeners: []core.Listener{tr}}, func(ct core.T) {
+		mu := ct.NewMutex("mu")
+		h := ct.Go("w", func(wt core.T) {
+			for i := 0; i < 5; i++ {
+				mu.Lock(wt)
+				wt.Yield()
+				mu.Unlock(wt)
+			}
+		})
+		for i := 0; i < 5; i++ {
+			mu.Lock(ct)
+			ct.Yield()
+			mu.Unlock(ct)
+		}
+		h.Join(ct)
+	})
+	if r := find(tr.Report(nil), ModelSyncBlocked); r.Covered != 1 {
+		t.Fatalf("contended lock not covered: %+v", r)
+	}
+}
+
+// TestAccessPairNeedsThreadSwitch checks access pairs only count
+// across threads.
+func TestAccessPairNeedsThreadSwitch(t *testing.T) {
+	tr := NewTracker()
+	sched.Run(sched.Config{Listeners: []core.Listener{tr}}, func(ct core.T) {
+		x := ct.NewInt("x", 0)
+		x.Add(ct, 1)
+		x.Add(ct, 1) // same thread: no pair
+	})
+	if r := find(tr.Report(nil), ModelAccessPair); r.Covered != 0 {
+		t.Fatalf("same-thread pair counted: %+v", r)
+	}
+	sched.Run(sched.Config{Strategy: sched.RoundRobin(), Listeners: []core.Listener{tr}}, func(ct core.T) {
+		x := ct.NewInt("x", 0)
+		h := ct.Go("w", func(wt core.T) { x.Add(wt, 1) })
+		x.Add(ct, 1)
+		h.Join(ct)
+	})
+	if r := find(tr.Report(nil), ModelAccessPair); r.Covered == 0 {
+		t.Fatal("cross-thread pair not counted")
+	}
+}
+
+// TestUniverseFeasibility checks the static-analysis bound: coverage
+// percent is computed against feasible tasks only.
+func TestUniverseFeasibility(t *testing.T) {
+	tr := NewTracker()
+	sched.Run(sched.Config{Strategy: sched.RoundRobin(), Listeners: []core.Listener{tr}}, func(ct core.T) {
+		a := ct.NewInt("a", 0)
+		b := ct.NewInt("b", 0) // shared per static analysis, never contended here
+		_ = b
+		h := ct.Go("w", func(wt core.T) { a.Add(wt, 1) })
+		a.Add(ct, 1)
+		h.Join(ct)
+	})
+	u := &Universe{SharedVars: []string{"a", "b"}, Locks: nil}
+	r := find(tr.Report(u), ModelVarContention)
+	if r.Total != 2 || r.Covered != 1 {
+		t.Fatalf("universe report = %+v, want 1/2", r)
+	}
+	if r.Percent != 50 {
+		t.Fatalf("percent = %v, want 50", r.Percent)
+	}
+}
+
+// TestCumulativeGrowth checks coverage accumulates across runs and the
+// scalar growth counter is monotone.
+func TestCumulativeGrowth(t *testing.T) {
+	tr := NewTracker()
+	prev := 0
+	for seed := int64(0); seed < 10; seed++ {
+		sched.Run(sched.Config{Strategy: sched.Random(seed), Listeners: []core.Listener{tr}}, func(ct core.T) {
+			x := ct.NewInt("x", 0)
+			y := ct.NewInt("y", 0)
+			h := ct.Go("w", func(wt core.T) {
+				x.Add(wt, 1)
+				y.Add(wt, 1)
+			})
+			x.Add(ct, 1)
+			y.Add(ct, 1)
+			h.Join(ct)
+		})
+		cur := tr.CoveredCount()
+		if cur < prev {
+			t.Fatalf("coverage regressed: %d -> %d", prev, cur)
+		}
+		prev = cur
+	}
+	if prev == 0 {
+		t.Fatal("no coverage accumulated")
+	}
+}
+
+// TestAllocateBudget checks the allocator's three properties: never-run
+// tests get tried, growing tests get more than saturated ones, and the
+// full budget is spent.
+func TestAllocateBudget(t *testing.T) {
+	histories := map[string]History{
+		"growing":   {2, 6, 10, 14}, // +4 per run
+		"saturated": {9, 10, 10, 10},
+		"fresh":     {},
+	}
+	alloc := Allocate(histories, 20)
+	total := 0
+	for _, n := range alloc {
+		total += n
+	}
+	if total != 20 {
+		t.Fatalf("allocated %d runs, want 20", total)
+	}
+	if alloc["fresh"] == 0 {
+		t.Fatal("never-run test got no budget")
+	}
+	if alloc["growing"] <= alloc["saturated"] {
+		t.Fatalf("growing (%d) should outrank saturated (%d)", alloc["growing"], alloc["saturated"])
+	}
+}
+
+// TestAllocateDeterministic pins determinism (ties by name).
+func TestAllocateDeterministic(t *testing.T) {
+	h := map[string]History{"a": {1, 2}, "b": {1, 2}, "c": {1, 2}}
+	x := Allocate(h, 7)
+	y := Allocate(h, 7)
+	for k := range h {
+		if x[k] != y[k] {
+			t.Fatalf("allocation differs for %s: %d vs %d", k, x[k], y[k])
+		}
+	}
+}

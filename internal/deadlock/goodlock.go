@@ -1,0 +1,262 @@
+// Package deadlock implements deadlock-potential detection from
+// execution histories (§2.2: "tools exist which can examine traces for
+// evidence of deadlock potentials ... they look for cycles in lock
+// graphs", as in Visual Threads and JPaX's GoodLock algorithm).
+//
+// The Analyzer is a core.Listener: it builds the runtime lock graph —
+// an edge l1 -> l2 whenever a thread acquires l2 while holding l1 —
+// and reports cycles as deadlock potentials even when the observed run
+// completed. The GoodLock gate-lock refinement suppresses cycles whose
+// edges are all guarded by a common outer lock, and cycles formed by a
+// single thread, both of which cannot deadlock.
+//
+// Actual deadlocks (all threads blocked) are detected by the runtimes
+// themselves; this package finds the latent ones.
+package deadlock
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mtbench/internal/core"
+)
+
+// edgeInstance is one observed "acquired To while holding From", with
+// the context needed for the refinement.
+type edgeInstance struct {
+	thread core.ThreadID
+	gates  map[core.ObjectID]bool // all locks held at the acquisition
+	loc    core.Location
+}
+
+type edgeKey struct {
+	from, to core.ObjectID
+}
+
+// Potential is a reported deadlock potential: a cycle in the lock
+// graph realizable by distinct threads with disjoint gates.
+type Potential struct {
+	// Locks is the cycle, each entry holding while acquiring the next
+	// (the last acquires the first).
+	Locks []string
+	// Threads are the witnesses, one per edge.
+	Threads []core.ThreadID
+	// Sites are the acquisition sites, one per edge.
+	Sites []core.Location
+}
+
+// String renders the potential one-line.
+func (p Potential) String() string {
+	tids := make([]string, len(p.Threads))
+	for i, t := range p.Threads {
+		tids[i] = fmt.Sprintf("t%d", t)
+	}
+	return fmt.Sprintf("lock cycle [%s] by [%s]", strings.Join(p.Locks, " -> "), strings.Join(tids, ","))
+}
+
+// Analyzer builds the lock graph online or from a replayed trace.
+type Analyzer struct {
+	// MaxCycleLen bounds the cycle search (0 = 6). Real deadlocks
+	// involve short cycles; the bound keeps the search linear-ish.
+	MaxCycleLen int
+
+	held  map[core.ThreadID][]core.ObjectID
+	names map[core.ObjectID]string
+	edges map[edgeKey][]edgeInstance
+}
+
+// NewAnalyzer returns a fresh lock-graph analyzer.
+func NewAnalyzer() *Analyzer {
+	a := &Analyzer{}
+	a.Reset()
+	return a
+}
+
+// Reset clears all state.
+func (a *Analyzer) Reset() {
+	a.held = map[core.ThreadID][]core.ObjectID{}
+	a.names = map[core.ObjectID]string{}
+	a.edges = map[edgeKey][]edgeInstance{}
+}
+
+// RunStart implements core.RunObserver: held-lock tracking is per
+// execution; the lock graph accumulates across a campaign of runs of
+// the same program (object ids are creation-ordered and therefore
+// stable across its runs).
+func (a *Analyzer) RunStart(core.RunInfo) {
+	a.held = map[core.ThreadID][]core.ObjectID{}
+}
+
+// RunEnd implements core.RunObserver.
+func (a *Analyzer) RunEnd(*core.Result) {}
+
+// OnEvent implements core.Listener.
+func (a *Analyzer) OnEvent(ev *core.Event) {
+	switch ev.Op {
+	case core.OpLock, core.OpRLock:
+		if ev.Op == core.OpLock && ev.Value != 1 {
+			return // failed TryLock
+		}
+		a.names[ev.Obj] = ev.Name
+		held := a.held[ev.Thread]
+		if len(held) > 0 {
+			gates := make(map[core.ObjectID]bool, len(held))
+			for _, l := range held {
+				gates[l] = true
+			}
+			for _, l := range held {
+				if l == ev.Obj {
+					continue
+				}
+				k := edgeKey{from: l, to: ev.Obj}
+				a.edges[k] = append(a.edges[k], edgeInstance{
+					thread: ev.Thread,
+					gates:  gates,
+					loc:    ev.Loc,
+				})
+			}
+		}
+		a.held[ev.Thread] = append(held, ev.Obj)
+	case core.OpUnlock, core.OpRUnlock:
+		held := a.held[ev.Thread]
+		for i := len(held) - 1; i >= 0; i-- {
+			if held[i] == ev.Obj {
+				a.held[ev.Thread] = append(held[:i], held[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+// Potentials enumerates deadlock potentials: cycles in the lock graph
+// with an instance assignment using pairwise-distinct threads and
+// pairwise-disjoint gate sets (ignoring the cycle's own locks).
+func (a *Analyzer) Potentials() []Potential {
+	maxLen := a.MaxCycleLen
+	if maxLen <= 0 {
+		maxLen = 6
+	}
+	// Adjacency over locks.
+	adj := map[core.ObjectID][]core.ObjectID{}
+	for k := range a.edges {
+		adj[k.from] = append(adj[k.from], k.to)
+	}
+	for _, next := range adj {
+		sort.Slice(next, func(i, j int) bool { return next[i] < next[j] })
+	}
+	nodes := make([]core.ObjectID, 0, len(adj))
+	for n := range adj {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+
+	var out []Potential
+	seen := map[string]bool{}
+	var path []core.ObjectID
+	onPath := map[core.ObjectID]bool{}
+
+	var dfs func(start, cur core.ObjectID)
+	dfs = func(start, cur core.ObjectID) {
+		if len(path) > maxLen {
+			return
+		}
+		for _, nxt := range adj[cur] {
+			if nxt == start && len(path) >= 2 {
+				if p, ok := a.realizable(path); ok {
+					key := cycleKey(path)
+					if !seen[key] {
+						seen[key] = true
+						out = append(out, p)
+					}
+				}
+				continue
+			}
+			// Canonical form: only walk nodes greater than start so
+			// each cycle is found once, rooted at its minimum.
+			if nxt <= start || onPath[nxt] {
+				continue
+			}
+			path = append(path, nxt)
+			onPath[nxt] = true
+			dfs(start, nxt)
+			onPath[nxt] = false
+			path = path[:len(path)-1]
+		}
+	}
+	for _, n := range nodes {
+		path = append(path[:0], n)
+		onPath = map[core.ObjectID]bool{n: true}
+		dfs(n, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// realizable searches for an instance per edge of the cycle such that
+// threads are pairwise distinct and gate sets pairwise disjoint
+// (excluding the cycle's own locks) — the GoodLock validity test.
+func (a *Analyzer) realizable(cycle []core.ObjectID) (Potential, bool) {
+	n := len(cycle)
+	inCycle := map[core.ObjectID]bool{}
+	for _, l := range cycle {
+		inCycle[l] = true
+	}
+	chosen := make([]edgeInstance, n)
+
+	var pick func(i int) bool
+	pick = func(i int) bool {
+		if i == n {
+			return true
+		}
+		k := edgeKey{from: cycle[i], to: cycle[(i+1)%n]}
+		for _, inst := range a.edges[k] {
+			if !a.compatible(chosen[:i], inst, inCycle) {
+				continue
+			}
+			chosen[i] = inst
+			if pick(i + 1) {
+				return true
+			}
+		}
+		return false
+	}
+	if !pick(0) {
+		return Potential{}, false
+	}
+
+	p := Potential{}
+	for i, l := range cycle {
+		p.Locks = append(p.Locks, a.names[l])
+		p.Threads = append(p.Threads, chosen[i].thread)
+		p.Sites = append(p.Sites, chosen[i].loc)
+	}
+	return p, true
+}
+
+// compatible checks the candidate instance against the already-chosen
+// ones: distinct thread, and no shared gate lock outside the cycle.
+func (a *Analyzer) compatible(chosen []edgeInstance, cand edgeInstance, inCycle map[core.ObjectID]bool) bool {
+	for _, c := range chosen {
+		if c.thread == cand.thread {
+			return false
+		}
+		for g := range cand.gates {
+			if inCycle[g] {
+				continue
+			}
+			if c.gates[g] {
+				return false // common gate lock guards both edges
+			}
+		}
+	}
+	return true
+}
+
+func cycleKey(cycle []core.ObjectID) string {
+	parts := make([]string, len(cycle))
+	for i, l := range cycle {
+		parts[i] = fmt.Sprintf("%d", l)
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,186 @@
+package deadlock
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mtbench/internal/core"
+	"mtbench/internal/sched"
+)
+
+// analyze runs body under the deterministic baseline (which typically
+// does NOT deadlock) and returns the potentials found in the lock
+// graph — the point of GoodLock: find the latent cycle in a passing
+// run.
+func analyze(t *testing.T, body func(core.T)) []Potential {
+	t.Helper()
+	a := NewAnalyzer()
+	res := sched.Run(sched.Config{Strategy: sched.Nonpreemptive(), Listeners: []core.Listener{a}}, body)
+	if res.Verdict == core.VerdictDeadlock {
+		t.Fatalf("baseline run deadlocked; want a passing run with latent cycle: %v", res)
+	}
+	return a.Potentials()
+}
+
+func TestLockOrderInversionPotential(t *testing.T) {
+	pots := analyze(t, func(ct core.T) {
+		a := ct.NewMutex("A")
+		b := ct.NewMutex("B")
+		h1 := ct.Go("ab", func(wt core.T) {
+			a.Lock(wt)
+			b.Lock(wt)
+			b.Unlock(wt)
+			a.Unlock(wt)
+		})
+		h1.Join(ct)
+		h2 := ct.Go("ba", func(wt core.T) {
+			b.Lock(wt)
+			a.Lock(wt)
+			a.Unlock(wt)
+			b.Unlock(wt)
+		})
+		h2.Join(ct)
+	})
+	if len(pots) != 1 {
+		t.Fatalf("potentials = %v, want exactly one", pots)
+	}
+	s := pots[0].String()
+	if !strings.Contains(s, "A") || !strings.Contains(s, "B") {
+		t.Fatalf("cycle does not mention both locks: %s", s)
+	}
+}
+
+// TestGateLockSuppression is the GoodLock refinement: the same
+// inversion wrapped in a common gate lock G cannot deadlock and must
+// not be reported.
+func TestGateLockSuppression(t *testing.T) {
+	pots := analyze(t, func(ct core.T) {
+		g := ct.NewMutex("G")
+		a := ct.NewMutex("A")
+		b := ct.NewMutex("B")
+		h1 := ct.Go("ab", func(wt core.T) {
+			g.Lock(wt)
+			a.Lock(wt)
+			b.Lock(wt)
+			b.Unlock(wt)
+			a.Unlock(wt)
+			g.Unlock(wt)
+		})
+		h1.Join(ct)
+		h2 := ct.Go("ba", func(wt core.T) {
+			g.Lock(wt)
+			b.Lock(wt)
+			a.Lock(wt)
+			a.Unlock(wt)
+			b.Unlock(wt)
+			g.Unlock(wt)
+		})
+		h2.Join(ct)
+	})
+	if len(pots) != 0 {
+		t.Fatalf("gated inversion reported: %v", pots)
+	}
+}
+
+// TestSingleThreadNoPotential: one thread using both orders (at
+// different times) cannot deadlock with itself.
+func TestSingleThreadNoPotential(t *testing.T) {
+	pots := analyze(t, func(ct core.T) {
+		a := ct.NewMutex("A")
+		b := ct.NewMutex("B")
+		a.Lock(ct)
+		b.Lock(ct)
+		b.Unlock(ct)
+		a.Unlock(ct)
+		b.Lock(ct)
+		a.Lock(ct)
+		a.Unlock(ct)
+		b.Unlock(ct)
+	})
+	if len(pots) != 0 {
+		t.Fatalf("single-thread inversion reported: %v", pots)
+	}
+}
+
+// TestThreeLockCycle checks cycles longer than two.
+func TestThreeLockCycle(t *testing.T) {
+	pots := analyze(t, func(ct core.T) {
+		a := ct.NewMutex("A")
+		b := ct.NewMutex("B")
+		c := ct.NewMutex("C")
+		pairs := []struct {
+			first, second core.Mutex
+		}{{a, b}, {b, c}, {c, a}}
+		for _, p := range pairs {
+			p := p
+			h := ct.Go("w", func(wt core.T) {
+				p.first.Lock(wt)
+				p.second.Lock(wt)
+				p.second.Unlock(wt)
+				p.first.Unlock(wt)
+			})
+			h.Join(ct)
+		}
+	})
+	if len(pots) != 1 {
+		t.Fatalf("potentials = %v, want the single 3-cycle", pots)
+	}
+	if len(pots[0].Locks) != 3 {
+		t.Fatalf("cycle length = %d, want 3", len(pots[0].Locks))
+	}
+}
+
+// TestConsistentOrderNoPotential: everyone locking A then B is safe.
+func TestConsistentOrderNoPotential(t *testing.T) {
+	pots := analyze(t, func(ct core.T) {
+		a := ct.NewMutex("A")
+		b := ct.NewMutex("B")
+		for i := 0; i < 3; i++ {
+			h := ct.Go("w", func(wt core.T) {
+				a.Lock(wt)
+				b.Lock(wt)
+				b.Unlock(wt)
+				a.Unlock(wt)
+			})
+			h.Join(ct)
+		}
+	})
+	if len(pots) != 0 {
+		t.Fatalf("consistent order reported: %v", pots)
+	}
+}
+
+// TestTryLockFailureDoesNotPoisonGraph: a failed TryLock never holds
+// the lock and must not create edges.
+func TestTryLockFailureDoesNotPoisonGraph(t *testing.T) {
+	pots := analyze(t, func(ct core.T) {
+		a := ct.NewMutex("A")
+		b := ct.NewMutex("B")
+		h := ct.Go("holder", func(wt core.T) {
+			b.Lock(wt)
+			wt.Sleep(10 * time.Millisecond) // hold B across main's attempt
+			b.Unlock(wt)
+		})
+		// Block main in virtual time so the holder acquires B first.
+		ct.Sleep(1 * time.Millisecond)
+		a.Lock(ct)
+		if b.TryLock(ct) { // holder still sleeping with B held: must fail
+			ct.Failf("TryLock unexpectedly succeeded")
+		}
+		a.Unlock(ct)
+		h.Join(ct)
+		h2 := ct.Go("ba", func(wt core.T) {
+			b.Lock(wt)
+			a.Lock(wt)
+			a.Unlock(wt)
+			b.Unlock(wt)
+		})
+		h2.Join(ct)
+	})
+	// The only A->B evidence is the failed TryLock, which never held B,
+	// so no cycle may be reported despite the B->A edge.
+	if len(pots) != 0 {
+		t.Fatalf("failed trylock created cycle: %v", pots)
+	}
+}

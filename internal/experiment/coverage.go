@@ -1,0 +1,111 @@
+package experiment
+
+import (
+	"fmt"
+
+	"mtbench/internal/core"
+	"mtbench/internal/coverage"
+	"mtbench/internal/noise"
+	"mtbench/internal/repository"
+	"mtbench/internal/sched"
+	"mtbench/internal/staticinfo"
+)
+
+// E4 — coverage (§2.2: contention coverage models, their feasible-task
+// universes from static analysis, and using coverage "to decide, given
+// limited resources, how many times each test should be executed").
+
+// CoverageConfig parameterizes E4.
+type CoverageConfig struct {
+	Programs []string // default spread
+	Runs     int      // noisy runs per program
+	Budget   int      // runs to allocate in the budget table
+}
+
+// Coverage runs E4: coverage growth curves per program (against the
+// statically bounded universe) and the resulting budget allocation.
+func Coverage(cfg CoverageConfig) ([]*Table, error) {
+	if len(cfg.Programs) == 0 {
+		cfg.Programs = []string{"account", "boundedbuffer", "philosophersfixed", "lockedcounter"}
+	}
+	if cfg.Runs <= 0 {
+		cfg.Runs = 12
+	}
+	if cfg.Budget <= 0 {
+		cfg.Budget = 40
+	}
+
+	growth := &Table{
+		ID:      "E4",
+		Title:   "coverage growth over noisy runs (covered contention tasks)",
+		Columns: append([]string{"run"}, cfg.Programs...),
+	}
+	growth.Note("task count = contended vars + contended locks + cross-thread access pairs")
+
+	final := &Table{
+		ID:      "E4b",
+		Title:   "final coverage against the static feasible universe",
+		Columns: []string{"program", "model", "covered", "feasible", "percent"},
+	}
+
+	histories := map[string]coverage.History{}
+	trackers := map[string]*coverage.Tracker{}
+	curves := map[string][]int{}
+
+	for _, name := range cfg.Programs {
+		prog, err := repository.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		body := prog.BodyWith(nil)
+		tr := coverage.NewTracker()
+		trackers[name] = tr
+		for seed := int64(0); seed < int64(cfg.Runs); seed++ {
+			st := noise.NewStrategy(nil, noise.NewBernoulli(0.3, noise.KindYield), seed)
+			sched.Run(sched.Config{
+				Strategy:  st,
+				Listeners: []core.Listener{tr},
+				MaxSteps:  500_000,
+			}, body)
+			curves[name] = append(curves[name], tr.CoveredCount())
+		}
+		histories[name] = coverage.History(curves[name])
+	}
+
+	for i := 0; i < cfg.Runs; i++ {
+		row := []string{itoa(i + 1)}
+		for _, name := range cfg.Programs {
+			row = append(row, itoa(curves[name][i]))
+		}
+		growth.AddRow(row...)
+	}
+
+	for _, name := range cfg.Programs {
+		prog, _ := repository.Get(name)
+		var u *coverage.Universe
+		if info, err := staticinfo.ForProgram(prog); err == nil {
+			u = info.Universe()
+		}
+		for _, r := range trackers[name].Report(u) {
+			final.AddRow(name, r.Model, itoa(r.Covered), itoa(r.Total), fmt.Sprintf("%.1f%%", r.Percent))
+		}
+	}
+
+	alloc := coverage.Allocate(histories, cfg.Budget)
+	budget := &Table{
+		ID:      "E4c",
+		Title:   fmt.Sprintf("budget allocation for %d further runs", cfg.Budget),
+		Columns: []string{"program", "last_coverage", "allocated_runs"},
+	}
+	budget.Note("greedy marginal-gain allocation with saturation decay (§2.2's budget question)")
+	for _, name := range cfg.Programs {
+		h := histories[name]
+		last := 0
+		if len(h) > 0 {
+			last = h[len(h)-1]
+		}
+		budget.AddRow(name, itoa(last), itoa(alloc[name]))
+	}
+
+	return []*Table{growth, final, budget}, nil
+}

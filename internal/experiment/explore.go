@@ -1,0 +1,108 @@
+package experiment
+
+import (
+	"mtbench/internal/explore"
+	"mtbench/internal/repository"
+	"mtbench/internal/sched"
+)
+
+// E5 — systematic state-space exploration (§2.2), compared against
+// random search, with the preemption-bound and sleep-set ablations
+// DESIGN.md calls out.
+
+// ExploreConfig parameterizes E5.
+type ExploreConfig struct {
+	// Programs and their small parameterizations (exploration needs
+	// small instances; that is its nature).
+	Programs     []string
+	MaxSchedules int
+	RandomSeeds  int
+}
+
+// exploreParams shrinks each program to an explorable size.
+var exploreParams = map[string]repository.Params{
+	"account":      {"depositors": 2, "deposits": 1},
+	"statmax":      {"reporters": 2},
+	"inversion":    {},
+	"lostnotify":   {},
+	"philosophers": {"philosophers": 2, "rounds": 1},
+}
+
+// Explore runs E5: schedules to first bug for DFS variants versus
+// random search.
+func Explore(cfg ExploreConfig) ([]*Table, error) {
+	if len(cfg.Programs) == 0 {
+		cfg.Programs = []string{"account", "statmax", "inversion", "philosophers", "lostnotify"}
+	}
+	if cfg.MaxSchedules <= 0 {
+		cfg.MaxSchedules = 30000
+	}
+	if cfg.RandomSeeds <= 0 {
+		cfg.RandomSeeds = 30000
+	}
+
+	t := &Table{
+		ID:      "E5",
+		Title:   "systematic exploration vs random search (runs to first bug)",
+		Columns: []string{"program", "method", "first_bug", "schedules", "exhausted"},
+	}
+	t.Note("first_bug = 1-based index of the first erroneous schedule; '-' = not found within budget")
+	t.Note("random = fresh seeded random scheduler per run (the noise-testing extreme)")
+
+	methods := []struct {
+		name string
+		opts func() explore.Options
+	}{
+		{"dfs", func() explore.Options {
+			return explore.Options{MaxSchedules: cfg.MaxSchedules, StopAtFirstBug: true}
+		}},
+		{"dfs-bound1", func() explore.Options {
+			return explore.Options{MaxSchedules: cfg.MaxSchedules, StopAtFirstBug: true, PreemptionBound: explore.Bound(1)}
+		}},
+		{"dfs-bound2", func() explore.Options {
+			return explore.Options{MaxSchedules: cfg.MaxSchedules, StopAtFirstBug: true, PreemptionBound: explore.Bound(2)}
+		}},
+		{"dfs-sleepsets", func() explore.Options {
+			return explore.Options{MaxSchedules: cfg.MaxSchedules, StopAtFirstBug: true, SleepSets: true}
+		}},
+		{"dfs-timeouts", func() explore.Options {
+			return explore.Options{MaxSchedules: cfg.MaxSchedules, StopAtFirstBug: true, ExploreTimeouts: true, PreemptionBound: explore.Bound(2)}
+		}},
+	}
+
+	for _, name := range cfg.Programs {
+		prog, err := repository.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		body := prog.BodyWith(exploreParams[name])
+
+		for _, m := range methods {
+			res := explore.Explore(m.opts(), body)
+			if res.Err != nil {
+				return nil, res.Err
+			}
+			first := "-"
+			if idx := res.FirstBugIndex(); idx > 0 {
+				first = itoa(idx)
+			}
+			exhausted := "no"
+			if res.Exhausted {
+				exhausted = "yes"
+			}
+			t.AddRow(name, m.name, first, itoa(res.Schedules), exhausted)
+		}
+
+		// Random search baseline: independent seeds until first bug.
+		first := "-"
+		for seed := int64(0); seed < int64(cfg.RandomSeeds); seed++ {
+			res := sched.Run(sched.Config{Strategy: sched.Random(seed), MaxSteps: 200_000}, body)
+			if res.Verdict.Bug() {
+				first = itoa(int(seed) + 1)
+				break
+			}
+		}
+		t.AddRow(name, "random", first, first, "-")
+	}
+	return []*Table{t}, nil
+}

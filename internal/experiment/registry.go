@@ -1,0 +1,43 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner is a named prepared experiment with quick defaults.
+type Runner struct {
+	ID    string
+	Title string
+	Run   func() ([]*Table, error)
+}
+
+// Runners returns every prepared experiment, keyed and sorted by ID —
+// the CLI's and bench harness's dispatch table.
+func Runners() []Runner {
+	rs := []Runner{
+		{"F1", "technology pipeline (Figure 1 executed)", func() ([]*Table, error) { return Pipeline(PipelineConfig{}) }},
+		{"E1", "noise-maker comparison", func() ([]*Table, error) { return Noise(NoiseConfig{}) }},
+		{"E2", "race-detector comparison", func() ([]*Table, error) { return Race(RaceConfig{}) }},
+		{"E3", "replay success and overhead", func() ([]*Table, error) { return Replay(ReplayConfig{}) }},
+		{"E4", "coverage growth and budget", func() ([]*Table, error) { return Coverage(CoverageConfig{}) }},
+		{"E5", "systematic exploration vs random", func() ([]*Table, error) { return Explore(ExploreConfig{}) }},
+		{"E6", "cloning detection rates", func() ([]*Table, error) { return Cloning(CloningConfig{}) }},
+		{"E7", "multi-outcome distributions", func() ([]*Table, error) { return Multiout(MultioutConfig{}) }},
+		{"E8", "static analysis and probe pruning", func() ([]*Table, error) { return Static(StaticConfig{}) }},
+		{"E9", "trace codecs and annotations", func() ([]*Table, error) { return Trace(TraceConfig{}) }},
+		{"E10", "offline trace evaluation (JPaX)", func() ([]*Table, error) { return TraceEval(TraceEvalConfig{}) }},
+	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i].ID < rs[j].ID })
+	return rs
+}
+
+// Get returns the runner with the given ID.
+func Get(id string) (Runner, error) {
+	for _, r := range Runners() {
+		if r.ID == id {
+			return r, nil
+		}
+	}
+	return Runner{}, fmt.Errorf("experiment: unknown id %q", id)
+}

@@ -1,0 +1,127 @@
+package experiment
+
+import (
+	"time"
+
+	"mtbench/internal/core"
+	"mtbench/internal/native"
+	"mtbench/internal/replay"
+	"mtbench/internal/repository"
+	"mtbench/internal/sched"
+)
+
+// E3 — replay (§2.2: "partial replay algorithms can be compared on the
+// likelihood of performing replay and on their performance. The latter
+// is significant in the record phase overhead").
+
+// ReplayConfig parameterizes E3.
+type ReplayConfig struct {
+	Program string // default "account"
+	// ControlledTrials is the number of record+replay pairs in
+	// controlled mode.
+	ControlledTrials int
+	// NativeRecords and NativeReplays control the native matrix:
+	// records per variant, replays per record.
+	NativeRecords int
+	NativeReplays int
+}
+
+// Replay runs E3 and returns its table.
+func Replay(cfg ReplayConfig) ([]*Table, error) {
+	if cfg.Program == "" {
+		cfg.Program = "account"
+	}
+	if cfg.ControlledTrials <= 0 {
+		cfg.ControlledTrials = 30
+	}
+	if cfg.NativeRecords <= 0 {
+		cfg.NativeRecords = 4
+	}
+	if cfg.NativeReplays <= 0 {
+		cfg.NativeReplays = 3
+	}
+	prog, err := repository.Get(cfg.Program)
+	if err != nil {
+		return nil, err
+	}
+	body := prog.BodyWith(nil)
+
+	t := &Table{
+		ID:      "E3",
+		Title:   "replay: success probability and record overhead",
+		Columns: []string{"mode", "variant", "trials", "success", "rate", "record_overhead"},
+	}
+	t.Note("program %q; controlled replay follows the decision schedule, native replay gates the event order", cfg.Program)
+	t.Note("record_overhead = recording-run time / plain-run time")
+
+	// Controlled: record under random seeds, replay, compare outcome
+	// and verdict. Exactness is the controlled runtime's guarantee.
+	success := 0
+	var plain, recording time.Duration
+	for seed := int64(0); seed < int64(cfg.ControlledTrials); seed++ {
+		start := time.Now()
+		res := sched.Run(sched.Config{Strategy: sched.Random(seed)}, body)
+		plain += time.Since(start)
+
+		start = time.Now()
+		rec, s := replay.RecordControlled(sched.Config{Strategy: sched.Random(seed), Seed: seed}, body)
+		recording += time.Since(start)
+		_ = res
+
+		rep := replay.ReplayControlled(s, sched.Config{}, body)
+		if !rep.Diverged && rep.Verdict == rec.Verdict && rep.Outcome == rec.Outcome {
+			success++
+		}
+	}
+	overhead := "-"
+	if plain > 0 {
+		overhead = f2(float64(recording)/float64(plain)) + "x"
+	}
+	t.AddRow("controlled", "full-schedule", itoa(cfg.ControlledTrials), itoa(success),
+		pct(success, cfg.ControlledTrials), overhead)
+
+	// Native: record sync-only and full orders; replay each record
+	// several times; success = no divergence and identical outcome.
+	for _, variant := range []struct {
+		name     string
+		syncOnly bool
+	}{{"sync-only", true}, {"full-order", false}} {
+		trials, succ := 0, 0
+		var plainN, recN time.Duration
+		for r := 0; r < cfg.NativeRecords; r++ {
+			start := time.Now()
+			native.Run(native.Config{Timeout: 10 * time.Second}, body)
+			plainN += time.Since(start)
+
+			recorder := replay.NewRecorder(variant.syncOnly)
+			start = time.Now()
+			recRes := native.Run(native.Config{
+				Timeout:   10 * time.Second,
+				Listeners: []core.Listener{recorder},
+			}, body)
+			recN += time.Since(start)
+			s := recorder.Schedule(cfg.Program, int64(r))
+
+			for i := 0; i < cfg.NativeReplays; i++ {
+				trials++
+				enf := replay.NewEnforcer(s)
+				enf.Timeout = 2 * time.Second
+				repRes := native.Run(native.Config{
+					Timeout: 20 * time.Second,
+					Gate:    enf,
+				}, body)
+				div, _ := enf.Diverged()
+				if !div && repRes.Verdict == recRes.Verdict && repRes.Outcome == recRes.Outcome {
+					succ++
+				}
+			}
+		}
+		overhead := "-"
+		if plainN > 0 {
+			overhead = f2(float64(recN)/float64(plainN)) + "x"
+		}
+		t.AddRow("native", variant.name, itoa(trials), itoa(succ), pct(succ, trials), overhead)
+	}
+
+	return []*Table{t}, nil
+}

@@ -1,0 +1,92 @@
+package experiment
+
+import (
+	"mtbench/internal/core"
+	"mtbench/internal/repository"
+	"mtbench/internal/sched"
+	"mtbench/internal/staticinfo"
+)
+
+// E8 — static analysis feeding the instrumentor (§2.1/§3: statics find
+// defects directly, and tell the instrumentor which probes matter;
+// pruning thread-local probes cuts event volume and noise overhead).
+
+// StaticConfig parameterizes E8.
+type StaticConfig struct {
+	Programs []string // default: all
+}
+
+// Static runs E8: per program, the analysis results checked against
+// ground truth, and the event-stream reduction from the pruning plan.
+func Static(cfg StaticConfig) ([]*Table, error) {
+	names := cfg.Programs
+	if len(names) == 0 {
+		for _, p := range repository.All() {
+			names = append(names, p.Name)
+		}
+	}
+
+	t := &Table{
+		ID:      "E8",
+		Title:   "static analysis: warnings vs ground truth, probe pruning",
+		Columns: []string{"program", "vars", "shared", "local", "race_suspects", "hit", "cycles", "events_full", "events_pruned", "reduction"},
+	}
+	t.Note("hit = a documented bug variable appears among the race suspects")
+	t.Note("events counted on one contended (round-robin) run per plan")
+
+	sumFull, sumPruned := int64(0), int64(0)
+	for _, name := range names {
+		prog, err := repository.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		info, err := staticinfo.ForProgram(prog)
+		if err != nil {
+			return nil, err
+		}
+
+		bug := map[string]bool{}
+		for _, v := range prog.BugVars {
+			bug[v] = true
+		}
+		hit := "-"
+		for _, s := range info.RaceSuspects {
+			if bug[s] {
+				hit = "yes"
+				break
+			}
+		}
+
+		full := countEvents(prog, nil)
+		pruned := countEvents(prog, info)
+		sumFull += full
+		sumPruned += pruned
+		red := "-"
+		if full > 0 {
+			red = pct(int(full-pruned), int(full))
+		}
+		t.AddRow(name,
+			itoa(len(info.Vars)), itoa(len(info.SharedVars)), itoa(len(info.LocalVars)),
+			join(info.RaceSuspects), hit, itoa(len(info.DeadlockSuspects)),
+			i64(full), i64(pruned), red)
+	}
+	t.Note("total events: full=%d pruned=%d (%s saved)", sumFull, sumPruned,
+		pct(int(sumFull-sumPruned), int(sumFull)))
+	return []*Table{t}, nil
+}
+
+// countEvents runs the program once under contention and counts
+// emitted events, with or without the pruning plan.
+func countEvents(prog *repository.Program, info *staticinfo.Info) int64 {
+	var n int64
+	cfg := sched.Config{
+		Strategy:  sched.RoundRobin(),
+		MaxSteps:  500_000,
+		Listeners: []core.Listener{core.ListenerFunc(func(*core.Event) { n++ })},
+	}
+	if info != nil {
+		cfg.Plan = info.Plan()
+	}
+	sched.Run(cfg, prog.BodyWith(nil))
+	return n
+}

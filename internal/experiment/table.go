@@ -1,0 +1,131 @@
+// Package experiment is the benchmark's prepared experiment (§4,
+// component 2): "prepared scripts with which programs such as race
+// detection and noise can be evaluated as to how frequently they
+// uncover faults, and if they raise false alarms ... This script
+// produces a prepared evaluation report, which is easy to understand.
+// ... with the push of a button, it can be evaluated and compared to
+// alternative approaches."
+//
+// Each experiment function runs a tool matrix over the repository and
+// returns Tables; cmd/mtbench renders them as text or CSV. The
+// experiment IDs (E1..E10, F1) are indexed in DESIGN.md and their
+// measured results recorded in EXPERIMENTS.md.
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one evaluation report table.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row; the cell count must match the columns.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("experiment: table %s row has %d cells, want %d", t.ID, len(cells), len(t.Columns)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// Note appends a footnote.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// CSV writes the table as comma-separated values (quoted minimally).
+func (t *Table) CSV(w io.Writer) error {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	var b strings.Builder
+	cells := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		cells[i] = esc(c)
+	}
+	b.WriteString(strings.Join(cells, ","))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		for i, c := range row {
+			cells[i] = esc(c)
+		}
+		b.WriteString(strings.Join(cells, ","))
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderAll renders several tables as text.
+func RenderAll(w io.Writer, tables []*Table) error {
+	for _, t := range tables {
+		if err := t.Render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func pct(num, den int) string {
+	if den == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(num)/float64(den))
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+func itoa(v int) string { return fmt.Sprintf("%d", v) }
+
+func i64(v int64) string { return fmt.Sprintf("%d", v) }

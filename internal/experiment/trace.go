@@ -1,0 +1,107 @@
+package experiment
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"mtbench/internal/core"
+	"mtbench/internal/repository"
+	"mtbench/internal/sched"
+	"mtbench/internal/trace"
+)
+
+// E9 — trace artifacts (§4 component 1: annotated traces in a standard
+// format plus "a script for producing any number of desirable traces";
+// §2.2's off-line storage problem motivates the compact codec).
+
+// TraceConfig parameterizes E9.
+type TraceConfig struct {
+	Programs []string
+	Seeds    int
+}
+
+// Trace runs E9: per program, trace size in both codecs and the
+// bug-annotation fidelity.
+func Trace(cfg TraceConfig) ([]*Table, error) {
+	if len(cfg.Programs) == 0 {
+		cfg.Programs = []string{"account", "boundedbuffer", "workqueue"}
+	}
+	if cfg.Seeds <= 0 {
+		cfg.Seeds = 3
+	}
+
+	t := &Table{
+		ID:      "E9",
+		Title:   "trace production: codec sizes and annotations",
+		Columns: []string{"program", "records", "jsonl_bytes", "binary_bytes", "ratio", "bug_marked", "write_us"},
+	}
+	t.Note("one trace per seed, %d seeds per program, random schedules; sizes summed", cfg.Seeds)
+	t.Note("bug_marked = records on documented bug variables (the §4 annotation)")
+
+	for _, name := range cfg.Programs {
+		prog, err := repository.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		var records, bugMarked int
+		var jsonBytes, binBytes int
+		var writeTime time.Duration
+
+		for seed := int64(0); seed < int64(cfg.Seeds); seed++ {
+			var jb, bb bytes.Buffer
+			jw := trace.NewJSONLWriter(&jb)
+			bw := trace.NewBinaryWriter(&bb)
+			header := trace.Header{
+				Program: name, Mode: "controlled", Seed: seed,
+				Strategy: "random", Bug: prog.Synopsis,
+			}
+			if err := jw.WriteHeader(header); err != nil {
+				return nil, err
+			}
+			if err := bw.WriteHeader(header); err != nil {
+				return nil, err
+			}
+			ann := prog.Annotator()
+			colJ := trace.NewCollector(jw, ann)
+			colB := trace.NewCollector(bw, ann)
+			counter := core.ListenerFunc(func(ev *core.Event) {
+				records++
+				if _, bug := ann(ev); bug {
+					bugMarked++
+				}
+			})
+
+			start := time.Now()
+			sched.Run(sched.Config{
+				Strategy:  sched.Random(seed),
+				MaxSteps:  500_000,
+				Listeners: []core.Listener{colJ, colB, counter},
+			}, prog.BodyWith(nil))
+			writeTime += time.Since(start)
+
+			if err := jw.Flush(); err != nil {
+				return nil, err
+			}
+			if err := bw.Flush(); err != nil {
+				return nil, err
+			}
+			if colJ.Err() != nil || colB.Err() != nil {
+				return nil, fmt.Errorf("collector error: %v / %v", colJ.Err(), colB.Err())
+			}
+			jsonBytes += jb.Len()
+			binBytes += bb.Len()
+		}
+
+		ratio := "-"
+		if binBytes > 0 {
+			ratio = f2(float64(jsonBytes) / float64(binBytes))
+		}
+		usPerRecord := "-"
+		if records > 0 {
+			usPerRecord = f2(float64(writeTime.Microseconds()) / float64(records))
+		}
+		t.AddRow(name, itoa(records), itoa(jsonBytes), itoa(binBytes), ratio, itoa(bugMarked), usPerRecord)
+	}
+	return []*Table{t}, nil
+}

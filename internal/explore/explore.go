@@ -1,0 +1,349 @@
+// Package explore implements systematic state-space exploration (§2.2:
+// VeriSoft-style stateless search that "systematically explores the
+// state space ... by controlling and observing the execution of all
+// the components, and by reinitializing their executions"). Because the
+// controlled scheduler makes a run a pure function of its decision
+// sequence, exploration is a depth-first search over decision
+// sequences: each new schedule re-executes the program from the start,
+// following a recorded prefix and then deviating at the deepest
+// decision point with untried alternatives.
+//
+// Whenever an error is detected the offending schedule is saved as a
+// replayable scenario, exactly as the paper prescribes.
+//
+// Two optional prunings keep the search tractable:
+//
+//   - Preemption bounding (iterative context bounding): deviations
+//     that switch away from a runnable thread are limited to a budget.
+//     Most real concurrency bugs need very few preemptions, so small
+//     bounds find them in exponentially smaller trees. Unsound as a
+//     verification method; measured as a search strategy in E5.
+//   - Sleep sets: after exploring thread t at a node, siblings need
+//     not re-explore threads whose pending operations are independent
+//     of t's. Sound for terminating programs.
+package explore
+
+import (
+	"fmt"
+
+	"mtbench/internal/core"
+	"mtbench/internal/sched"
+)
+
+// Options configures an exploration.
+type Options struct {
+	// MaxSchedules bounds how many schedules are executed (0 = 10000).
+	MaxSchedules int
+	// MaxSteps bounds each run (0 = sched default).
+	MaxSteps int64
+	// PreemptionBound, when non-nil, limits preemptive switches per
+	// schedule (iterative context bounding). Bound(0) explores only
+	// non-preemptive schedules; nil explores without a bound.
+	PreemptionBound *int
+	// SleepSets enables sleep-set pruning.
+	SleepSets bool
+	// ExploreTimeouts includes "let virtual time pass" (sched.IdleID)
+	// among the choices at points where a thread sleeps on a timer,
+	// extending the search to timing bugs (sleep-as-synchronization,
+	// lost wakeups) at the cost of extra branching.
+	ExploreTimeouts bool
+	// StopAtFirstBug ends the search at the first non-pass verdict.
+	StopAtFirstBug bool
+	// Listeners are attached to every run (cumulative tools such as
+	// coverage trackers and race detectors work as-is).
+	Listeners []core.Listener
+	// Name labels runs for RunObserver listeners.
+	Name string
+}
+
+// Bug is one erroneous schedule found during exploration.
+type Bug struct {
+	// Schedule replays the bug through sched.FixedSchedule or the
+	// replay package.
+	Schedule []core.ThreadID
+	Result   *core.Result
+	// Index is the 1-based number of the schedule that exposed it.
+	Index int
+}
+
+// Result summarizes an exploration.
+type Result struct {
+	// Schedules is the number of executions performed.
+	Schedules int
+	// Exhausted is true when the decision tree was fully explored
+	// (within the configured bounds).
+	Exhausted bool
+	// Bugs are the distinct failures found (deduplicated by verdict
+	// and failure message/deadlock).
+	Bugs []Bug
+	// Outcomes histograms Result.Outcome strings over all schedules.
+	Outcomes map[string]int
+	// Err is set when the program behaved nondeterministically under
+	// replay, which invalidates the search.
+	Err error
+}
+
+// Bound is a convenience for Options.PreemptionBound.
+func Bound(n int) *int { return &n }
+
+// FirstBugIndex returns the schedule number of the first bug (0 if
+// none).
+func (r *Result) FirstBugIndex() int {
+	if len(r.Bugs) == 0 {
+		return 0
+	}
+	return r.Bugs[0].Index
+}
+
+// node is one decision point along the current DFS path.
+type node struct {
+	options []core.ThreadID // runnable threads, exploration order
+	curIdx  int             // index into options currently explored
+	current core.ThreadID   // thread that was running at this point
+	// preBefore is the number of preemptions used before this node.
+	preBefore int
+	// pendings snapshots each option's pending operation at this node
+	// (for sleep-set independence).
+	pendings map[core.ThreadID]sched.PendingOp
+	// sleep marks options that need not be (re-)explored here.
+	sleep map[core.ThreadID]bool
+}
+
+func (n *node) chosen() core.ThreadID { return n.options[n.curIdx] }
+
+// isPreemption reports whether this node's current choice switches
+// away from a runnable current thread.
+func (n *node) isPreemption() bool {
+	if n.current == core.NoThread {
+		return false
+	}
+	for _, o := range n.options {
+		if o == n.current {
+			return n.chosen() != n.current
+		}
+	}
+	return false
+}
+
+type explorer struct {
+	opts Options
+	path []*node
+	err  error
+}
+
+// dfsStrategy drives one run: replay the path's choices, extend the
+// frontier with fresh nodes.
+type dfsStrategy struct {
+	e     *explorer
+	depth int
+}
+
+// Name implements sched.Strategy.
+func (st *dfsStrategy) Name() string { return "explore-dfs" }
+
+// Pick implements sched.Strategy.
+func (st *dfsStrategy) Pick(c *sched.Choice) core.ThreadID {
+	e := st.e
+	d := st.depth
+	st.depth++
+
+	if d < len(e.path) {
+		n := e.path[d]
+		want := n.chosen()
+		if want == sched.IdleID {
+			if !c.CanIdle {
+				e.err = fmt.Errorf("explore: nondeterministic program: cannot idle at depth %d", d)
+				return core.NoThread
+			}
+			return want
+		}
+		if !runnableContains(c.Runnable, want) {
+			e.err = fmt.Errorf("explore: nondeterministic program: thread %d not runnable at depth %d", want, d)
+			return core.NoThread
+		}
+		return want
+	}
+
+	n := e.newNode(c, d)
+	e.path = append(e.path, n)
+	return n.chosen()
+}
+
+// newNode builds the frontier node for choice point c at depth d,
+// applying preemption bounding, sleep sets and the exploration order
+// (current thread first, so the first descent is the cheap
+// nonpreemptive schedule).
+func (e *explorer) newNode(c *sched.Choice, d int) *node {
+	n := &node{current: c.Current, sleep: map[core.ThreadID]bool{}}
+
+	// Inherit preemption count and sleep set from the parent.
+	if d > 0 {
+		parent := e.path[d-1]
+		n.preBefore = parent.preBefore
+		if parent.isPreemption() {
+			n.preBefore++
+		}
+		if e.opts.SleepSets {
+			chosenOp := parent.pendings[parent.chosen()]
+			for u := range parent.sleep {
+				if independent(parent.pendings[u], chosenOp) {
+					n.sleep[u] = true
+				}
+			}
+		}
+	}
+
+	// Option order: current first (if runnable), then ascending ids.
+	curRunnable := false
+	for _, id := range c.Runnable {
+		if id == c.Current {
+			curRunnable = true
+		}
+	}
+	if curRunnable {
+		n.options = append(n.options, c.Current)
+	}
+	for _, id := range c.Runnable {
+		if id != c.Current {
+			n.options = append(n.options, id)
+		}
+	}
+
+	// Preemption bound: out of budget means the only choices are
+	// non-preemptive ones (the current thread, or anything if the
+	// current thread cannot run).
+	if e.opts.PreemptionBound != nil && curRunnable && n.preBefore >= *e.opts.PreemptionBound {
+		n.options = n.options[:1]
+	} else if e.opts.ExploreTimeouts && c.CanIdle {
+		// Timing branch: let the pending timer(s) expire before anyone
+		// runs. Explored last; counts as a preemption when it delays a
+		// runnable current thread.
+		n.options = append(n.options, sched.IdleID)
+	}
+
+	// Snapshot pending operations for sleep-set computation.
+	if e.opts.SleepSets && c.PendingOf != nil {
+		n.pendings = make(map[core.ThreadID]sched.PendingOp, len(n.options))
+		for _, id := range n.options {
+			n.pendings[id] = c.PendingOf(id)
+		}
+	}
+
+	// Skip initial options that are in the inherited sleep set.
+	for n.curIdx < len(n.options)-1 && n.sleep[n.options[n.curIdx]] {
+		n.curIdx++
+	}
+	return n
+}
+
+// backtrack advances the deepest node with an untried, non-sleeping
+// alternative and truncates the path there; it reports false when the
+// tree is exhausted.
+func (e *explorer) backtrack() bool {
+	for len(e.path) > 0 {
+		n := e.path[len(e.path)-1]
+		if e.opts.SleepSets {
+			// The subtree under the current choice is done: siblings
+			// need not re-explore it unless dependent.
+			n.sleep[n.chosen()] = true
+		}
+		for n.curIdx+1 < len(n.options) {
+			n.curIdx++
+			if !n.sleep[n.options[n.curIdx]] {
+				return true
+			}
+		}
+		e.path = e.path[:len(e.path)-1]
+	}
+	return false
+}
+
+// independent reports whether two pending operations commute: they
+// touch different objects, or are both reads of the same variable.
+// Unknown operations and thread-lifecycle operations are conservatively
+// dependent.
+func independent(a, b sched.PendingOp) bool {
+	if a.Op == core.OpInvalid || b.Op == core.OpInvalid {
+		return false
+	}
+	if a.Op == core.OpFork || a.Op == core.OpJoin || b.Op == core.OpFork || b.Op == core.OpJoin {
+		return false
+	}
+	if a.Op == core.OpYield || a.Op == core.OpSleep || b.Op == core.OpYield || b.Op == core.OpSleep {
+		return true
+	}
+	if a.Name != b.Name {
+		return true
+	}
+	return a.Op == core.OpRead && b.Op == core.OpRead
+}
+
+func runnableContains(ids []core.ThreadID, id core.ThreadID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Explore runs the search over body and returns its summary.
+func Explore(opts Options, body func(core.T)) *Result {
+	if opts.MaxSchedules <= 0 {
+		opts.MaxSchedules = 10000
+	}
+	e := &explorer{opts: opts}
+	res := &Result{Outcomes: map[string]int{}}
+	seenBugs := map[string]bool{}
+
+	for res.Schedules < opts.MaxSchedules {
+		st := &dfsStrategy{e: e}
+		runRes := sched.Run(sched.Config{
+			Strategy:       st,
+			Listeners:      opts.Listeners,
+			MaxSteps:       opts.MaxSteps,
+			Name:           opts.Name,
+			RecordSchedule: true,
+		}, body)
+		res.Schedules++
+		res.Outcomes[runRes.Verdict.String()+":"+runRes.Outcome]++
+
+		if e.err != nil {
+			res.Err = e.err
+			return res
+		}
+
+		if runRes.Verdict.Bug() {
+			key := bugKey(runRes)
+			if !seenBugs[key] {
+				seenBugs[key] = true
+				res.Bugs = append(res.Bugs, Bug{
+					Schedule: append([]core.ThreadID(nil), runRes.Schedule...),
+					Result:   runRes,
+					Index:    res.Schedules,
+				})
+			}
+			if opts.StopAtFirstBug {
+				return res
+			}
+		}
+
+		if !e.backtrack() {
+			res.Exhausted = true
+			return res
+		}
+	}
+	return res
+}
+
+// bugKey deduplicates failures by their observable signature.
+func bugKey(r *core.Result) string {
+	switch {
+	case r.Failure != nil:
+		return "fail:" + r.Failure.Msg + "@" + r.Failure.Loc.Key()
+	case r.Verdict == core.VerdictDeadlock:
+		return "deadlock:" + r.DeadlockInfo
+	default:
+		return r.Verdict.String()
+	}
+}

@@ -1,0 +1,123 @@
+// Package instrument is the framework's instrumentor interface. In the
+// paper the instrumentor rewrites bytecode and exposes "a standard
+// interface that lets the user tell it what type of instructions to
+// instrument, which variables, and where"; here the probes are built
+// into the runtime API and a Plan plays that role: it decides, per
+// operation kind and per object, whether a probe fires (i.e. whether a
+// scheduling point is taken and an event emitted).
+//
+// Plans are how static-analysis results flow into the dynamic tools
+// (Figure 1 of the paper): internal/staticinfo produces a Plan that
+// skips probes on thread-local variables, cutting event volume and
+// noise-injection overhead without changing program semantics.
+package instrument
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"mtbench/internal/core"
+)
+
+// Plan selects which probes fire. The zero value (and a nil *Plan)
+// instruments everything. Plans are immutable after configuration and
+// safe for concurrent use by the native runtime.
+type Plan struct {
+	disabledOps  [core.NumOps]bool
+	disabledObjs map[string]bool
+	onlyObjs     map[string]bool // nil means "all objects"
+
+	skipped atomic.Int64 // probes suppressed (for E8 reporting)
+}
+
+// All returns a plan that instruments every probe.
+func All() *Plan { return &Plan{} }
+
+// DisableOps suppresses probes for the given operation kinds and
+// returns the plan for chaining.
+func (p *Plan) DisableOps(ops ...core.Op) *Plan {
+	for _, o := range ops {
+		if int(o) < core.NumOps {
+			p.disabledOps[o] = true
+		}
+	}
+	return p
+}
+
+// DisableObjects suppresses probes on the named objects.
+func (p *Plan) DisableObjects(names ...string) *Plan {
+	if p.disabledObjs == nil {
+		p.disabledObjs = make(map[string]bool, len(names))
+	}
+	for _, n := range names {
+		p.disabledObjs[n] = true
+	}
+	return p
+}
+
+// OnlyObjects restricts variable-access probes to the named objects;
+// probes on other objects are suppressed. Non-access probes (locks,
+// thread lifecycle, ...) are unaffected, since downstream tools need
+// them to interpret the access stream.
+func (p *Plan) OnlyObjects(names ...string) *Plan {
+	if p.onlyObjs == nil {
+		p.onlyObjs = make(map[string]bool, len(names))
+	}
+	for _, n := range names {
+		p.onlyObjs[n] = true
+	}
+	return p
+}
+
+// Enabled reports whether the probe for op on the named object fires.
+// A nil plan enables everything.
+func (p *Plan) Enabled(op core.Op, name string) bool {
+	if p == nil {
+		return true
+	}
+	if int(op) < core.NumOps && p.disabledOps[op] {
+		p.skipped.Add(1)
+		return false
+	}
+	if name != "" {
+		if p.disabledObjs != nil && p.disabledObjs[name] {
+			p.skipped.Add(1)
+			return false
+		}
+		if p.onlyObjs != nil && op.IsAccess() && !p.onlyObjs[name] {
+			p.skipped.Add(1)
+			return false
+		}
+	}
+	return true
+}
+
+// Skipped returns the number of probes this plan has suppressed so far.
+func (p *Plan) Skipped() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.skipped.Load()
+}
+
+// ResetCounters clears the suppression counter (between experiment
+// phases).
+func (p *Plan) ResetCounters() {
+	if p != nil {
+		p.skipped.Store(0)
+	}
+}
+
+// DisabledObjects returns the sorted list of objects the plan
+// suppresses, for reports.
+func (p *Plan) DisabledObjects() []string {
+	if p == nil || p.disabledObjs == nil {
+		return nil
+	}
+	out := make([]string, 0, len(p.disabledObjs))
+	for n := range p.disabledObjs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,76 @@
+package instrument
+
+import (
+	"testing"
+
+	"mtbench/internal/core"
+)
+
+func TestNilPlanEnablesEverything(t *testing.T) {
+	var p *Plan
+	if !p.Enabled(core.OpRead, "x") || !p.Enabled(core.OpLock, "mu") {
+		t.Fatal("nil plan suppressed a probe")
+	}
+	if p.Skipped() != 0 {
+		t.Fatal("nil plan counted skips")
+	}
+}
+
+func TestDisableOps(t *testing.T) {
+	p := All().DisableOps(core.OpYield, core.OpSleep)
+	if p.Enabled(core.OpYield, "") || p.Enabled(core.OpSleep, "") {
+		t.Fatal("disabled op enabled")
+	}
+	if !p.Enabled(core.OpRead, "x") {
+		t.Fatal("unrelated op disabled")
+	}
+	if p.Skipped() != 2 {
+		t.Fatalf("skipped = %d, want 2", p.Skipped())
+	}
+}
+
+func TestDisableObjects(t *testing.T) {
+	p := All().DisableObjects("noisy", "local")
+	if p.Enabled(core.OpRead, "noisy") || p.Enabled(core.OpWrite, "local") {
+		t.Fatal("disabled object enabled")
+	}
+	if !p.Enabled(core.OpRead, "other") {
+		t.Fatal("other object disabled")
+	}
+	got := p.DisabledObjects()
+	if len(got) != 2 || got[0] != "local" || got[1] != "noisy" {
+		t.Fatalf("disabled objects = %v", got)
+	}
+}
+
+// TestOnlyObjectsRestrictsAccessesOnly pins the pruning semantics:
+// OnlyObjects filters variable accesses but leaves sync and lifecycle
+// probes alone (downstream tools need lock events to interpret the
+// access stream).
+func TestOnlyObjectsRestrictsAccessesOnly(t *testing.T) {
+	p := All().OnlyObjects("shared")
+	if !p.Enabled(core.OpRead, "shared") || !p.Enabled(core.OpWrite, "shared") {
+		t.Fatal("listed object suppressed")
+	}
+	if p.Enabled(core.OpRead, "local") {
+		t.Fatal("unlisted access enabled")
+	}
+	if !p.Enabled(core.OpLock, "mu") || !p.Enabled(core.OpUnlock, "mu") {
+		t.Fatal("sync probe suppressed by OnlyObjects")
+	}
+	if !p.Enabled(core.OpFork, "w") {
+		t.Fatal("lifecycle probe suppressed by OnlyObjects")
+	}
+}
+
+func TestResetCounters(t *testing.T) {
+	p := All().DisableObjects("x")
+	p.Enabled(core.OpRead, "x")
+	if p.Skipped() != 1 {
+		t.Fatalf("skipped = %d", p.Skipped())
+	}
+	p.ResetCounters()
+	if p.Skipped() != 0 {
+		t.Fatal("reset did not clear")
+	}
+}

@@ -1,0 +1,238 @@
+// Package ltl is the trace-evaluation component modeled on Java
+// PathExplorer (§3 of the paper): it monitors event traces against
+// user-provided properties stated in past-time linear temporal logic.
+// A Monitor is a core.Listener, so properties run online against a
+// live execution or offline against a recorded trace via trace.Replay
+// — the same duality as the race and deadlock analyzers.
+//
+// Semantics are standard reflexive past-time LTL, evaluated
+// incrementally with O(|formula|) state per event:
+//
+//	P φ   — φ held at the previous event (false at the first)
+//	O φ   — φ held at some event so far (including this one)
+//	H φ   — φ held at every event so far (including this one)
+//	φ S ψ — ψ held at some past event and φ has held since then
+//
+// A property is violated at every event where it evaluates false; the
+// monitor records violations and keeps going (a trace can violate a
+// property many times).
+package ltl
+
+import (
+	"fmt"
+
+	"mtbench/internal/core"
+)
+
+// Formula is a past-time LTL formula. Build formulas with the
+// combinators in this package or parse them from the compact syntax
+// with Parse.
+type Formula struct {
+	kind nodeKind
+	a, b *Formula
+	name string
+	pred func(*core.Event) bool
+}
+
+type nodeKind uint8
+
+const (
+	kTrue nodeKind = iota
+	kAtom
+	kNot
+	kAnd
+	kOr
+	kImplies
+	kPrev
+	kOnce
+	kHist
+	kSince
+)
+
+// True is the formula that always holds.
+func True() *Formula { return &Formula{kind: kTrue} }
+
+// Atom holds at events satisfying pred; name is used for display.
+func Atom(name string, pred func(*core.Event) bool) *Formula {
+	return &Formula{kind: kAtom, name: name, pred: pred}
+}
+
+// On holds at events with the given op acting on the named object;
+// name "*" matches any object.
+func On(op core.Op, name string) *Formula {
+	label := fmt.Sprintf("%s(%s)", op, name)
+	return Atom(label, func(ev *core.Event) bool {
+		return ev.Op == op && (name == "*" || ev.Name == name)
+	})
+}
+
+// Not negates a formula.
+func Not(f *Formula) *Formula { return &Formula{kind: kNot, a: f} }
+
+// And conjoins two formulas.
+func And(a, b *Formula) *Formula { return &Formula{kind: kAnd, a: a, b: b} }
+
+// Or disjoins two formulas.
+func Or(a, b *Formula) *Formula { return &Formula{kind: kOr, a: a, b: b} }
+
+// Implies is material implication.
+func Implies(a, b *Formula) *Formula { return &Formula{kind: kImplies, a: a, b: b} }
+
+// Prev is the previous-event operator P.
+func Prev(f *Formula) *Formula { return &Formula{kind: kPrev, a: f} }
+
+// Once is the sometime-in-the-past operator O (reflexive).
+func Once(f *Formula) *Formula { return &Formula{kind: kOnce, a: f} }
+
+// Historically is the always-in-the-past operator H (reflexive).
+func Historically(f *Formula) *Formula { return &Formula{kind: kHist, a: f} }
+
+// Since is the binary since operator: a S b.
+func Since(a, b *Formula) *Formula { return &Formula{kind: kSince, a: a, b: b} }
+
+// String renders the formula in the Parse syntax.
+func (f *Formula) String() string {
+	switch f.kind {
+	case kTrue:
+		return "true"
+	case kAtom:
+		return f.name
+	case kNot:
+		return "!" + f.a.String()
+	case kAnd:
+		return "(" + f.a.String() + " & " + f.b.String() + ")"
+	case kOr:
+		return "(" + f.a.String() + " | " + f.b.String() + ")"
+	case kImplies:
+		return "(" + f.a.String() + " -> " + f.b.String() + ")"
+	case kPrev:
+		return "P " + f.a.String()
+	case kOnce:
+		return "O " + f.a.String()
+	case kHist:
+		return "H " + f.a.String()
+	case kSince:
+		return "(" + f.a.String() + " S " + f.b.String() + ")"
+	}
+	return "?"
+}
+
+// Violation records a property failure at one event.
+type Violation struct {
+	Seq    int64
+	Event  core.Event
+	Reason string
+}
+
+// Monitor evaluates one formula incrementally. It implements
+// core.Listener.
+type Monitor struct {
+	Property string
+
+	nodes []*Formula // post-order: children before parents
+	index map[*Formula]int
+	prev  []bool
+	cur   []bool
+	first bool
+
+	events     int64
+	violations []Violation
+}
+
+// NewMonitor compiles a formula into an incremental monitor.
+func NewMonitor(f *Formula) *Monitor {
+	m := &Monitor{Property: f.String(), index: map[*Formula]int{}, first: true}
+	m.flatten(f)
+	n := len(m.nodes)
+	m.prev = make([]bool, n)
+	m.cur = make([]bool, n)
+	// Initial "previous" values: H starts true (vacuous), the rest
+	// false; the first-event flag handles P/O/H/S initial semantics.
+	for i, node := range m.nodes {
+		if node.kind == kHist {
+			m.prev[i] = true
+		}
+	}
+	return m
+}
+
+func (m *Monitor) flatten(f *Formula) int {
+	if i, ok := m.index[f]; ok {
+		return i
+	}
+	if f.a != nil {
+		m.flatten(f.a)
+	}
+	if f.b != nil {
+		m.flatten(f.b)
+	}
+	i := len(m.nodes)
+	m.nodes = append(m.nodes, f)
+	m.index[f] = i
+	return i
+}
+
+// OnEvent implements core.Listener: evaluate all subformulas at this
+// event and record a violation if the root is false.
+func (m *Monitor) OnEvent(ev *core.Event) {
+	m.events++
+	for i, f := range m.nodes {
+		switch f.kind {
+		case kTrue:
+			m.cur[i] = true
+		case kAtom:
+			m.cur[i] = f.pred(ev)
+		case kNot:
+			m.cur[i] = !m.cur[m.index[f.a]]
+		case kAnd:
+			m.cur[i] = m.cur[m.index[f.a]] && m.cur[m.index[f.b]]
+		case kOr:
+			m.cur[i] = m.cur[m.index[f.a]] || m.cur[m.index[f.b]]
+		case kImplies:
+			m.cur[i] = !m.cur[m.index[f.a]] || m.cur[m.index[f.b]]
+		case kPrev:
+			if m.first {
+				m.cur[i] = false
+			} else {
+				m.cur[i] = m.prev[m.index[f.a]]
+			}
+		case kOnce:
+			m.cur[i] = m.cur[m.index[f.a]] || (!m.first && m.prev[i])
+		case kHist:
+			m.cur[i] = m.cur[m.index[f.a]] && (m.first || m.prev[i])
+		case kSince:
+			m.cur[i] = m.cur[m.index[f.b]] ||
+				(!m.first && m.cur[m.index[f.a]] && m.prev[i])
+		}
+	}
+	root := len(m.nodes) - 1
+	if !m.cur[root] {
+		m.violations = append(m.violations, Violation{
+			Seq:    ev.Seq,
+			Event:  *ev,
+			Reason: m.Property,
+		})
+	}
+	m.prev, m.cur = m.cur, m.prev
+	m.first = false
+}
+
+// Ok reports whether the property held at every event so far.
+func (m *Monitor) Ok() bool { return len(m.violations) == 0 }
+
+// Violations returns the recorded failures.
+func (m *Monitor) Violations() []Violation { return m.violations }
+
+// Events returns how many events were monitored.
+func (m *Monitor) Events() int64 { return m.events }
+
+// Reset clears monitor state for a fresh trace.
+func (m *Monitor) Reset() {
+	for i := range m.prev {
+		m.prev[i] = m.nodes[i].kind == kHist
+		m.cur[i] = false
+	}
+	m.first = true
+	m.events = 0
+	m.violations = nil
+}

@@ -1,0 +1,237 @@
+package ltl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"mtbench/internal/core"
+)
+
+// Parse builds a formula from the compact property syntax used by the
+// racecheck CLI:
+//
+//	expr    := impl ( 'S' impl )*            (left associative)
+//	impl    := or ( '->' impl )?             (right associative)
+//	or      := and ( '|' and )*
+//	and     := unary ( '&' unary )*
+//	unary   := ('!' | 'P' | 'O' | 'H') unary | primary
+//	primary := '(' expr ')' | 'true' | 'false' | atom
+//	atom    := op '(' object ')' | op
+//
+// where op is an event mnemonic (lock, unlock, read, write, wait,
+// signal, broadcast, fork, join, fail, ...) and object is an object
+// name or '*'. Examples:
+//
+//	H(unlock(mu) -> O lock(mu))
+//	H(write(balance) -> O lock(mu))
+//	H(awake(cv) -> O (signal(cv) | broadcast(cv)))
+func Parse(src string) (*Formula, error) {
+	p := &parser{toks: lex(src)}
+	f, err := p.parseExpr()
+	if err != nil {
+		return nil, fmt.Errorf("ltl: %w", err)
+	}
+	if !p.eof() {
+		return nil, fmt.Errorf("ltl: trailing input at %q", p.peek())
+	}
+	return f, nil
+}
+
+type parser struct {
+	toks []string
+	pos  int
+}
+
+func lex(src string) []string {
+	var toks []string
+	i := 0
+	for i < len(src) {
+		c := rune(src[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '(' || c == ')' || c == '!' || c == '&' || c == '|':
+			toks = append(toks, string(c))
+			i++
+		case c == '-':
+			if i+1 < len(src) && src[i+1] == '>' {
+				toks = append(toks, "->")
+				i += 2
+			} else {
+				toks = append(toks, "-")
+				i++
+			}
+		default:
+			j := i
+			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) ||
+				src[j] == '*' || src[j] == '_' || src[j] == '.') {
+				j++
+			}
+			if j == i {
+				toks = append(toks, string(c))
+				i++
+			} else {
+				toks = append(toks, src[i:j])
+				i = j
+			}
+		}
+	}
+	return toks
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.toks) }
+
+func (p *parser) peek() string {
+	if p.eof() {
+		return ""
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *parser) expect(tok string) error {
+	if p.peek() != tok {
+		return fmt.Errorf("expected %q, got %q", tok, p.peek())
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) parseExpr() (*Formula, error) {
+	f, err := p.parseImpl()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == "S" {
+		p.next()
+		rhs, err := p.parseImpl()
+		if err != nil {
+			return nil, err
+		}
+		f = Since(f, rhs)
+	}
+	return f, nil
+}
+
+func (p *parser) parseImpl() (*Formula, error) {
+	f, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek() == "->" {
+		p.next()
+		rhs, err := p.parseImpl()
+		if err != nil {
+			return nil, err
+		}
+		return Implies(f, rhs), nil
+	}
+	return f, nil
+}
+
+func (p *parser) parseOr() (*Formula, error) {
+	f, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == "|" {
+		p.next()
+		rhs, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		f = Or(f, rhs)
+	}
+	return f, nil
+}
+
+func (p *parser) parseAnd() (*Formula, error) {
+	f, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == "&" {
+		p.next()
+		rhs, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		f = And(f, rhs)
+	}
+	return f, nil
+}
+
+func (p *parser) parseUnary() (*Formula, error) {
+	switch p.peek() {
+	case "!":
+		p.next()
+		f, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Not(f), nil
+	case "P", "O", "H":
+		op := p.next()
+		f, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		switch op {
+		case "P":
+			return Prev(f), nil
+		case "O":
+			return Once(f), nil
+		default:
+			return Historically(f), nil
+		}
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (*Formula, error) {
+	switch tok := p.peek(); {
+	case tok == "(":
+		p.next()
+		f, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return f, nil
+	case tok == "true":
+		p.next()
+		return True(), nil
+	case tok == "false":
+		p.next()
+		return Not(True()), nil
+	case tok == "":
+		return nil, fmt.Errorf("unexpected end of property")
+	default:
+		return p.parseAtom()
+	}
+}
+
+func (p *parser) parseAtom() (*Formula, error) {
+	name := p.next()
+	op, err := core.ParseOp(strings.ToLower(name))
+	if err != nil {
+		return nil, fmt.Errorf("unknown event %q", name)
+	}
+	obj := "*"
+	if p.peek() == "(" {
+		p.next()
+		obj = p.next()
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+	}
+	return On(op, obj), nil
+}

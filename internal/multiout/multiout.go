@@ -1,0 +1,188 @@
+// Package multiout implements the benchmark's fourth component (§4):
+// "a specially prepared benchmark program that has no inputs and many
+// possible results. We create the program by having a 'main' that
+// starts many of our simpler documented sample programs in parallel,
+// each of which writes its result (with a number of possible outcomes)
+// into a variable. The benchmark program outputs these results as well
+// as the order in which the sample programs finished. Tools such as
+// noise makers can be compared as to the distribution of their
+// results."
+//
+// The samples are small assert-free computations whose results depend
+// on the interleaving; the canonical outcome string combines every
+// sample's result with the finish order, and Distribution summarizes a
+// campaign of runs (distinct outcomes, Shannon entropy). A noise maker
+// that induces a wider, flatter distribution explores more of the
+// interleaving space.
+package multiout
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"mtbench/internal/core"
+)
+
+// Sample is one no-input, several-outcomes computation.
+type Sample struct {
+	Name string
+	// Outcomes documents the possible results, for the record.
+	Outcomes string
+	// Run computes the sample's result; it must not Assert.
+	Run func(t core.T) int64
+}
+
+// Samples returns the fixed sample set the benchmark program runs.
+func Samples() []Sample {
+	return []Sample{
+		{
+			Name:     "inc",
+			Outcomes: "1 or 2 (lost update)",
+			Run: func(t core.T) int64 {
+				x := t.NewInt("inc.x", 0)
+				h1 := t.Go("inc.a", func(wt core.T) {
+					v := x.Load(wt)
+					x.Store(wt, v+1)
+				})
+				h2 := t.Go("inc.b", func(wt core.T) {
+					v := x.Load(wt)
+					x.Store(wt, v+1)
+				})
+				h1.Join(t)
+				h2.Join(t)
+				return x.Load(t)
+			},
+		},
+		{
+			Name:     "chain",
+			Outcomes: "1, 2, 4 or 5 (order of 2x+1 / 2x+2)",
+			Run: func(t core.T) int64 {
+				x := t.NewInt("chain.x", 0)
+				h1 := t.Go("chain.a", func(wt core.T) {
+					v := x.Load(wt)
+					x.Store(wt, v*2+1)
+				})
+				h2 := t.Go("chain.b", func(wt core.T) {
+					v := x.Load(wt)
+					x.Store(wt, v*2+2)
+				})
+				h1.Join(t)
+				h2.Join(t)
+				return x.Load(t)
+			},
+		},
+		{
+			Name:     "winner",
+			Outcomes: "1, 2 or 3 (first writer wins)",
+			Run: func(t core.T) int64 {
+				w := t.NewInt("winner.w", 0)
+				var hs []core.Handle
+				for i := 1; i <= 3; i++ {
+					val := int64(i)
+					hs = append(hs, t.Go(fmt.Sprintf("winner.%d", i), func(wt core.T) {
+						w.CompareAndSwap(wt, 0, val)
+					}))
+				}
+				for _, h := range hs {
+					h.Join(t)
+				}
+				return w.Load(t)
+			},
+		},
+		{
+			Name:     "maxskew",
+			Outcomes: "10, 20 or 30 (racy running maximum)",
+			Run: func(t core.T) int64 {
+				m := t.NewInt("maxskew.m", 0)
+				var hs []core.Handle
+				for i := 1; i <= 3; i++ {
+					val := int64(i * 10)
+					hs = append(hs, t.Go(fmt.Sprintf("maxskew.%d", i), func(wt core.T) {
+						if m.Load(wt) < val {
+							m.Store(wt, val)
+						}
+					}))
+				}
+				for _, h := range hs {
+					h.Join(t)
+				}
+				return m.Load(t)
+			},
+		},
+	}
+}
+
+// Body returns the benchmark program: every sample runs in its own
+// thread, reports "name=value" as an outcome fragment, and the finish
+// order is captured by the runtime.
+func Body() func(core.T) {
+	samples := Samples()
+	return func(t core.T) {
+		handles := make([]core.Handle, len(samples))
+		for i, s := range samples {
+			s := s
+			handles[i] = t.Go(s.Name, func(wt core.T) {
+				wt.Outcome("%s=%d", s.Name, s.Run(wt))
+			})
+		}
+		for _, h := range handles {
+			h.Join(t)
+		}
+	}
+}
+
+// Canonical builds the comparable outcome string from a run result:
+// sorted sample results plus the sample finish order.
+func Canonical(res *core.Result) string {
+	frags := strings.Split(res.Outcome, ";")
+	sort.Strings(frags)
+	names := map[string]bool{}
+	for _, s := range Samples() {
+		names[s.Name] = true
+	}
+	var order []string
+	for _, n := range res.FinishOrder {
+		if names[n] {
+			order = append(order, n)
+		}
+	}
+	return strings.Join(frags, ";") + "|" + strings.Join(order, ",")
+}
+
+// Distribution counts canonical outcomes over a campaign.
+type Distribution map[string]int
+
+// Add records one run.
+func (d Distribution) Add(res *core.Result) {
+	d[Canonical(res)]++
+}
+
+// Distinct returns the number of different outcomes observed.
+func (d Distribution) Distinct() int { return len(d) }
+
+// Runs returns the total number of recorded runs.
+func (d Distribution) Runs() int {
+	n := 0
+	for _, c := range d {
+		n += c
+	}
+	return n
+}
+
+// Entropy returns the Shannon entropy of the outcome distribution in
+// bits: the paper's tool-comparison metric made concrete. Higher means
+// the tool spread executions over more interleaving classes.
+func (d Distribution) Entropy() float64 {
+	total := float64(d.Runs())
+	if total == 0 {
+		return 0
+	}
+	h := 0.0
+	for _, c := range d {
+		p := float64(c) / total
+		h -= p * math.Log2(p)
+	}
+	return h
+}

@@ -1,0 +1,81 @@
+package multiout
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mtbench/internal/core"
+	"mtbench/internal/noise"
+	"mtbench/internal/sched"
+)
+
+func TestBodyReportsEverySample(t *testing.T) {
+	res := sched.Run(sched.Config{}, Body())
+	if res.Verdict != core.VerdictPass {
+		t.Fatalf("multiout run: %v", res)
+	}
+	for _, s := range Samples() {
+		if !strings.Contains(res.Outcome, s.Name+"=") {
+			t.Fatalf("outcome %q missing sample %s", res.Outcome, s.Name)
+		}
+	}
+	if len(res.FinishOrder) < len(Samples()) {
+		t.Fatalf("finish order %v too short", res.FinishOrder)
+	}
+}
+
+func TestCanonicalDeterministicPerSchedule(t *testing.T) {
+	run := func() string {
+		return Canonical(sched.Run(sched.Config{Strategy: sched.Random(7)}, Body()))
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed, different canonical outcome:\n%s\n%s", a, b)
+	}
+}
+
+// TestNoiseWidensDistribution is the component's reason to exist: a
+// noise maker must induce more distinct outcomes (higher entropy) than
+// the deterministic baseline, which always produces exactly one.
+func TestNoiseWidensDistribution(t *testing.T) {
+	const runs = 120
+
+	base := Distribution{}
+	for i := 0; i < runs; i++ {
+		base.Add(sched.Run(sched.Config{}, Body()))
+	}
+	if base.Distinct() != 1 {
+		t.Fatalf("deterministic baseline produced %d outcomes", base.Distinct())
+	}
+	if base.Entropy() != 0 {
+		t.Fatalf("baseline entropy = %v", base.Entropy())
+	}
+
+	noisy := Distribution{}
+	for seed := int64(0); seed < runs; seed++ {
+		st := noise.NewStrategy(nil, noise.NewBernoulli(0.4, noise.KindYield), seed)
+		noisy.Add(sched.Run(sched.Config{Strategy: st}, Body()))
+	}
+	if noisy.Distinct() < 5 {
+		t.Fatalf("noise produced only %d distinct outcomes", noisy.Distinct())
+	}
+	if noisy.Entropy() <= 1 {
+		t.Fatalf("noise entropy = %.2f, want > 1 bit", noisy.Entropy())
+	}
+	t.Logf("baseline: %d outcomes, noise: %d outcomes, %.2f bits",
+		base.Distinct(), noisy.Distinct(), noisy.Entropy())
+}
+
+func TestDistributionMath(t *testing.T) {
+	d := Distribution{"a": 2, "b": 2}
+	if d.Runs() != 4 || d.Distinct() != 2 {
+		t.Fatalf("runs=%d distinct=%d", d.Runs(), d.Distinct())
+	}
+	if math.Abs(d.Entropy()-1.0) > 1e-9 {
+		t.Fatalf("entropy = %v, want 1 bit", d.Entropy())
+	}
+	var empty Distribution = map[string]int{}
+	if empty.Entropy() != 0 {
+		t.Fatal("empty distribution entropy != 0")
+	}
+}

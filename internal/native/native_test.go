@@ -1,0 +1,344 @@
+package native
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mtbench/internal/core"
+	"mtbench/internal/instrument"
+	"mtbench/internal/noise"
+)
+
+func TestSequentialBody(t *testing.T) {
+	res := Run(Config{Timeout: 2 * time.Second}, func(ct core.T) {
+		v := ct.NewInt("x", 1)
+		v.Store(ct, 41)
+		ct.Assert(v.Add(ct, 1) == 42, "bad value")
+	})
+	if res.Verdict != core.VerdictPass {
+		t.Fatalf("verdict = %v (%v)", res.Verdict, res)
+	}
+}
+
+func TestForkJoinParallel(t *testing.T) {
+	res := Run(Config{Timeout: 5 * time.Second}, func(ct core.T) {
+		sum := ct.NewInt("sum", 0)
+		var hs []core.Handle
+		for i := 0; i < 8; i++ {
+			hs = append(hs, ct.Go("w", func(wt core.T) {
+				sum.Add(wt, 1)
+			}))
+		}
+		for _, h := range hs {
+			h.Join(ct)
+		}
+		ct.Assert(sum.Load(ct) == 8, "sum = %d", sum.Load(ct))
+	})
+	if res.Verdict != core.VerdictPass {
+		t.Fatalf("verdict = %v (%v)", res.Verdict, res)
+	}
+	if res.Threads != 9 {
+		t.Fatalf("threads = %d, want 9", res.Threads)
+	}
+}
+
+func TestMutexExclusion(t *testing.T) {
+	res := Run(Config{Timeout: 5 * time.Second, Noise: noise.NewBernoulli(0.2, noise.KindYield)}, func(ct core.T) {
+		mu := ct.NewMutex("mu")
+		inCS := ct.NewInt("inCS", 0)
+		var hs []core.Handle
+		for i := 0; i < 4; i++ {
+			hs = append(hs, ct.Go("w", func(wt core.T) {
+				for j := 0; j < 50; j++ {
+					mu.Lock(wt)
+					n := inCS.Add(wt, 1)
+					wt.Assert(n == 1, "mutual exclusion violated")
+					inCS.Add(wt, -1)
+					mu.Unlock(wt)
+				}
+			}))
+		}
+		for _, h := range hs {
+			h.Join(ct)
+		}
+	})
+	if res.Verdict != core.VerdictPass {
+		t.Fatalf("verdict = %v (%v)", res.Verdict, res)
+	}
+}
+
+func TestAssertFailureTearsDown(t *testing.T) {
+	start := time.Now()
+	res := Run(Config{Timeout: 10 * time.Second}, func(ct core.T) {
+		// A worker that would run forever without teardown.
+		ct.Go("spinner", func(wt core.T) {
+			x := wt.NewInt("x", 0)
+			for {
+				x.Add(wt, 1)
+			}
+		})
+		ct.Sleep(10 * time.Millisecond)
+		ct.Failf("oracle failed")
+	})
+	if res.Verdict != core.VerdictFail {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("teardown did not stop the spinner promptly")
+	}
+}
+
+func TestDeadlockTimesOut(t *testing.T) {
+	res := Run(Config{Timeout: 300 * time.Millisecond}, func(ct core.T) {
+		a := ct.NewMutex("A")
+		b := ct.NewMutex("B")
+		h1 := ct.Go("ab", func(wt core.T) {
+			a.Lock(wt)
+			wt.Sleep(50 * time.Millisecond)
+			b.Lock(wt)
+			b.Unlock(wt)
+			a.Unlock(wt)
+		})
+		h2 := ct.Go("ba", func(wt core.T) {
+			b.Lock(wt)
+			wt.Sleep(50 * time.Millisecond)
+			a.Lock(wt)
+			a.Unlock(wt)
+			b.Unlock(wt)
+		})
+		h1.Join(ct)
+		h2.Join(ct)
+	})
+	if res.Verdict != core.VerdictTimeout {
+		t.Fatalf("verdict = %v (%v)", res.Verdict, res)
+	}
+	if res.DeadlockInfo == "" {
+		t.Fatal("timeout without deadlock info")
+	}
+}
+
+func TestCondSignalSemantics(t *testing.T) {
+	res := Run(Config{Timeout: 5 * time.Second}, func(ct core.T) {
+		mu := ct.NewMutex("mu")
+		cv := ct.NewCond("cv", mu)
+		ready := ct.NewInt("ready", 0)
+		h := ct.Go("waiter", func(wt core.T) {
+			mu.Lock(wt)
+			for ready.Load(wt) == 0 {
+				cv.Wait(wt)
+			}
+			mu.Unlock(wt)
+		})
+		ct.Sleep(20 * time.Millisecond)
+		mu.Lock(ct)
+		ready.Store(ct, 1)
+		cv.Signal(ct)
+		mu.Unlock(ct)
+		h.Join(ct)
+	})
+	if res.Verdict != core.VerdictPass {
+		t.Fatalf("verdict = %v (%v)", res.Verdict, res)
+	}
+}
+
+func TestLostSignalTimesOut(t *testing.T) {
+	res := Run(Config{Timeout: 300 * time.Millisecond}, func(ct core.T) {
+		mu := ct.NewMutex("mu")
+		cv := ct.NewCond("cv", mu)
+		// Signal before anyone waits: lost.
+		mu.Lock(ct)
+		cv.Signal(ct)
+		mu.Unlock(ct)
+		h := ct.Go("waiter", func(wt core.T) {
+			mu.Lock(wt)
+			cv.Wait(wt)
+			mu.Unlock(wt)
+		})
+		h.Join(ct)
+	})
+	if res.Verdict != core.VerdictTimeout {
+		t.Fatalf("verdict = %v (%v)", res.Verdict, res)
+	}
+}
+
+func TestRWMutexWriterPreference(t *testing.T) {
+	res := Run(Config{Timeout: 5 * time.Second}, func(ct core.T) {
+		rw := ct.NewRWMutex("rw")
+		val := ct.NewInt("val", 0)
+		var hs []core.Handle
+		for i := 0; i < 3; i++ {
+			hs = append(hs, ct.Go("r", func(wt core.T) {
+				for j := 0; j < 20; j++ {
+					rw.RLock(wt)
+					_ = val.Load(wt)
+					rw.RUnlock(wt)
+				}
+			}))
+		}
+		hs = append(hs, ct.Go("w", func(wt core.T) {
+			for j := 0; j < 10; j++ {
+				rw.Lock(wt)
+				val.Add(wt, 1)
+				rw.Unlock(wt)
+			}
+		}))
+		for _, h := range hs {
+			h.Join(ct)
+		}
+		ct.Assert(val.Load(ct) == 10, "val = %d", val.Load(ct))
+	})
+	if res.Verdict != core.VerdictPass {
+		t.Fatalf("verdict = %v (%v)", res.Verdict, res)
+	}
+}
+
+// TestEventsTotalOrder checks that sequence numbers observed by a
+// listener are strictly increasing — the property offline tools need.
+func TestEventsTotalOrder(t *testing.T) {
+	var last atomic.Int64
+	var violations atomic.Int64
+	res := Run(Config{
+		Timeout: 5 * time.Second,
+		Listeners: []core.Listener{core.ListenerFunc(func(ev *core.Event) {
+			if prev := last.Swap(ev.Seq); ev.Seq != prev+1 {
+				violations.Add(1)
+			}
+		})},
+	}, func(ct core.T) {
+		x := ct.NewInt("x", 0)
+		var hs []core.Handle
+		for i := 0; i < 4; i++ {
+			hs = append(hs, ct.Go("w", func(wt core.T) {
+				for j := 0; j < 25; j++ {
+					x.Add(wt, 1)
+				}
+			}))
+		}
+		for _, h := range hs {
+			h.Join(ct)
+		}
+	})
+	if res.Verdict != core.VerdictPass {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+	if violations.Load() != 0 {
+		t.Fatalf("%d sequence violations", violations.Load())
+	}
+}
+
+// TestNativeLostUpdateWithNoise demonstrates the paper's core claim in
+// native mode: noise injection raises the probability of exposing the
+// load-store race under the real scheduler.
+func TestNativeLostUpdateWithNoise(t *testing.T) {
+	body := func(ct core.T) {
+		x := ct.NewInt("x", 0)
+		h1 := ct.Go("a", func(wt core.T) {
+			v := x.Load(wt)
+			x.Store(wt, v+1)
+		})
+		h2 := ct.Go("b", func(wt core.T) {
+			v := x.Load(wt)
+			x.Store(wt, v+1)
+		})
+		h1.Join(ct)
+		h2.Join(ct)
+		ct.Assert(x.Load(ct) == 2, "lost update")
+	}
+	found := 0
+	for seed := int64(0); seed < 40; seed++ {
+		res := Run(Config{
+			Timeout: 5 * time.Second,
+			Seed:    seed,
+			Noise:   noise.NewBernoulli(0.8, noise.KindSleep),
+		}, body)
+		if res.Verdict == core.VerdictFail {
+			found++
+		}
+	}
+	if found == 0 {
+		t.Fatal("noise never exposed the lost update in native mode")
+	}
+}
+
+func TestTimeScale(t *testing.T) {
+	start := time.Now()
+	res := Run(Config{Timeout: 5 * time.Second, TimeScale: 0.01}, func(ct core.T) {
+		ct.Sleep(2 * time.Second) // scaled to 20ms
+	})
+	if res.Verdict != core.VerdictPass {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("TimeScale not applied")
+	}
+}
+
+func TestOutcomeAccumulates(t *testing.T) {
+	res := Run(Config{Timeout: 2 * time.Second}, func(ct core.T) {
+		ct.Outcome("a=%d", 1)
+		ct.Outcome("b=%d", 2)
+	})
+	if res.Outcome != "a=1;b=2" {
+		t.Fatalf("outcome = %q", res.Outcome)
+	}
+}
+
+// TestNativePlanPruning checks instrumentation plans gate native
+// probes: pruned variables emit no events while semantics hold.
+func TestNativePlanPruning(t *testing.T) {
+	plan := instrument.All().OnlyObjects("shared")
+	var names []string
+	var mu sync.Mutex
+	res := Run(Config{
+		Timeout: 5 * time.Second,
+		Plan:    plan,
+		Listeners: []core.Listener{core.ListenerFunc(func(ev *core.Event) {
+			if ev.Op.IsAccess() {
+				mu.Lock()
+				names = append(names, ev.Name)
+				mu.Unlock()
+			}
+		})},
+	}, func(ct core.T) {
+		sh := ct.NewInt("shared", 0)
+		lo := ct.NewInt("local", 0)
+		h := ct.Go("w", func(wt core.T) {
+			sh.Add(wt, 1)
+		})
+		lo.Add(ct, 1)
+		h.Join(ct)
+		ct.Assert(sh.Load(ct) == 1 && lo.Load(ct) == 1, "values wrong")
+	})
+	if res.Verdict != core.VerdictPass {
+		t.Fatalf("run: %v", res)
+	}
+	for _, n := range names {
+		if n != "shared" {
+			t.Fatalf("pruned variable %q emitted an event", n)
+		}
+	}
+	if plan.Skipped() == 0 {
+		t.Fatal("no probes skipped")
+	}
+}
+
+// TestNativeFinishOrder checks completion order capture.
+func TestNativeFinishOrder(t *testing.T) {
+	res := Run(Config{Timeout: 5 * time.Second}, func(ct core.T) {
+		slow := ct.Go("slow", func(wt core.T) { wt.Sleep(50 * time.Millisecond) })
+		fast := ct.Go("fast", func(wt core.T) {})
+		fast.Join(ct)
+		slow.Join(ct)
+	})
+	if res.Verdict != core.VerdictPass {
+		t.Fatalf("run: %v", res)
+	}
+	if len(res.FinishOrder) != 3 {
+		t.Fatalf("finish order = %v", res.FinishOrder)
+	}
+	if res.FinishOrder[0] != "fast" {
+		t.Fatalf("fast did not finish first: %v", res.FinishOrder)
+	}
+}

@@ -1,0 +1,178 @@
+package noise
+
+import (
+	"math/rand"
+	"testing"
+
+	"mtbench/internal/core"
+	"mtbench/internal/sched"
+)
+
+func point(op core.Op, name, locKey string) *Point {
+	return &Point{Op: op, Name: name, Loc: core.Location{File: locKey, Line: 1}}
+}
+
+func TestNoneNeverPerturbs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	h := None()
+	for i := 0; i < 100; i++ {
+		if h.Decide(point(core.OpRead, "x", "f"), rng).Noisy() {
+			t.Fatal("None perturbed")
+		}
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	h := NewBernoulli(0.3, KindYield)
+	hits := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if h.Decide(point(core.OpRead, "x", "f"), rng).Noisy() {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if rate < 0.25 || rate > 0.35 {
+		t.Fatalf("rate = %.3f, want ~0.3", rate)
+	}
+}
+
+func TestBernoulliOpFilter(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	h := SyncNoise(1.0)
+	if !h.Decide(point(core.OpLock, "mu", "f"), rng).Noisy() {
+		t.Fatal("sync noise skipped a lock op")
+	}
+	if h.Decide(point(core.OpRead, "x", "f"), rng).Noisy() {
+		t.Fatal("sync noise perturbed a read")
+	}
+}
+
+func TestStatisticalDecays(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	h := NewStatistical(1.0, 0.5)
+	// First decision at a fresh location must fire (base prob 1.0).
+	if !h.Decide(point(core.OpRead, "x", "hot.go"), rng).Noisy() {
+		t.Fatal("fresh location not perturbed at base=1.0")
+	}
+	// After many hits the same location's rate must collapse.
+	hits := 0
+	for i := 0; i < 1000; i++ {
+		if h.Decide(point(core.OpRead, "x", "hot.go"), rng).Noisy() {
+			hits++
+		}
+	}
+	if hits > 30 {
+		t.Fatalf("hot location still perturbed %d/1000 times", hits)
+	}
+	// A fresh location still fires.
+	if !h.Decide(point(core.OpRead, "y", "cold.go"), rng).Noisy() {
+		t.Fatal("cold location not perturbed")
+	}
+}
+
+func TestCoverageDirectedPrefersRareTasks(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	h := NewCoverageDirected(1.0)
+	if !h.Decide(point(core.OpWrite, "v", "a.go"), rng).Noisy() {
+		t.Fatal("uncovered task not perturbed at base=1.0")
+	}
+	hot := 0
+	for i := 0; i < 500; i++ {
+		if h.Decide(point(core.OpWrite, "v", "a.go"), rng).Noisy() {
+			hot++
+		}
+	}
+	if hot > 60 {
+		t.Fatalf("covered task still perturbed %d/500 times", hot)
+	}
+}
+
+// TestStrategyFindsLostUpdate is the noise maker's reason to exist: the
+// nonpreemptive baseline never exposes the canonical lost update, and
+// the same baseline wrapped with Bernoulli noise does.
+func TestStrategyFindsLostUpdate(t *testing.T) {
+	body := func(ct core.T) {
+		x := ct.NewInt("x", 0)
+		h1 := ct.Go("a", func(wt core.T) {
+			v := x.Load(wt)
+			x.Store(wt, v+1)
+		})
+		h2 := ct.Go("b", func(wt core.T) {
+			v := x.Load(wt)
+			x.Store(wt, v+1)
+		})
+		h1.Join(ct)
+		h2.Join(ct)
+		ct.Assert(x.Load(ct) == 2, "lost update")
+	}
+
+	baselineFound := 0
+	noiseFound := 0
+	const tries = 60
+	for seed := int64(0); seed < tries; seed++ {
+		if res := sched.Run(sched.Config{Strategy: sched.Nonpreemptive()}, body); res.Verdict.Bug() {
+			baselineFound++
+		}
+		st := NewStrategy(nil, NewBernoulli(0.5, KindYield), seed)
+		if res := sched.Run(sched.Config{Strategy: st}, body); res.Verdict.Bug() {
+			noiseFound++
+		}
+	}
+	if baselineFound != 0 {
+		t.Fatalf("baseline found the bug %d times; it must be deterministic-blind", baselineFound)
+	}
+	if noiseFound == 0 {
+		t.Fatal("noise never found the lost update")
+	}
+}
+
+// TestStrategyDeterministicPerSeed checks that a noise strategy with a
+// fixed seed reproduces the same schedule (required for the statistics
+// scripts to be rerunnable).
+func TestStrategyDeterministicPerSeed(t *testing.T) {
+	body := func(ct core.T) {
+		x := ct.NewInt("x", 0)
+		h1 := ct.Go("a", func(wt core.T) {
+			v := x.Load(wt)
+			x.Store(wt, v+1)
+		})
+		h2 := ct.Go("b", func(wt core.T) {
+			v := x.Load(wt)
+			x.Store(wt, v+2)
+		})
+		h1.Join(ct)
+		h2.Join(ct)
+		ct.Outcome("x=%d", x.Load(ct))
+	}
+	run := func(seed int64) string {
+		st := NewStrategy(nil, NewBernoulli(0.5, KindYield), seed)
+		return sched.Run(sched.Config{Strategy: st}, body).Outcome
+	}
+	for seed := int64(0); seed < 10; seed++ {
+		if a, b := run(seed), run(seed); a != b {
+			t.Fatalf("seed %d not deterministic: %q vs %q", seed, a, b)
+		}
+	}
+}
+
+// TestStrategyStats checks perturbation accounting.
+func TestStrategyStats(t *testing.T) {
+	st := NewStrategy(nil, NewBernoulli(1.0, KindYield), 1)
+	sched.Run(sched.Config{Strategy: st}, func(ct core.T) {
+		x := ct.NewInt("x", 0)
+		h := ct.Go("w", func(wt core.T) { x.Add(wt, 1) })
+		for i := 0; i < 5; i++ {
+			x.Add(ct, 1)
+		}
+		h.Join(ct)
+	})
+	dec, per := st.Stats()
+	if dec == 0 || per == 0 {
+		t.Fatalf("stats not collected: decisions=%d perturbations=%d", dec, per)
+	}
+	if per > dec {
+		t.Fatalf("perturbations %d > decisions %d", per, dec)
+	}
+}

@@ -1,0 +1,216 @@
+package race
+
+import (
+	"mtbench/internal/core"
+	"mtbench/internal/vclock"
+)
+
+// hbShadow is the per-variable happens-before shadow state: the last
+// write/read clocks per thread plus the access sites needed for
+// two-sided warnings.
+type hbShadow struct {
+	writes   vclock.VC // writes[u] = clock of u's last write
+	reads    vclock.VC // reads[u]  = clock of u's last read
+	writeLoc map[core.ThreadID]core.Location
+	readLoc  map[core.ThreadID]core.Location
+}
+
+// HB is the vector-clock happens-before detector in the DJIT+ family:
+// it reports an access that is concurrent (unordered by the
+// happens-before relation induced by locks, fork/join and —
+// optionally — atomic variables) with a previous conflicting access.
+//
+// Unlike the lockset detector it only reports races the observed
+// execution actually exhibits, so it has no false positives with
+// respect to that execution; the price is sensitivity to the observed
+// interleaving.
+type HB struct {
+	// RespectAtomics makes atomic-variable accesses induce
+	// happens-before edges (release on write, acquire on read). With it
+	// off, the detector treats user-implemented synchronization as
+	// ordinary data — the configuration axis §2.2 discusses.
+	RespectAtomics bool
+
+	threads map[core.ThreadID]*vclock.VC
+	locks   map[core.ObjectID]*vclock.VC
+	atomics map[core.ObjectID]*vclock.VC
+	vars    map[core.ObjectID]*hbShadow
+	warns   warnStore
+	events  int64
+}
+
+// NewHB returns a happens-before detector; respectAtomics selects
+// whether atomic variables count as synchronization.
+func NewHB(respectAtomics bool) *HB {
+	d := &HB{RespectAtomics: respectAtomics}
+	d.Reset()
+	return d
+}
+
+// Name implements Detector.
+func (d *HB) Name() string {
+	if d.RespectAtomics {
+		return "hb"
+	}
+	return "hb-noatomics"
+}
+
+// Reset implements Detector.
+func (d *HB) Reset() {
+	d.RunStart(core.RunInfo{})
+	d.warns.reset()
+	d.events = 0
+}
+
+// RunStart implements core.RunObserver: clocks and shadow state are
+// per execution (thread and object ids restart every run), warnings
+// accumulate across the campaign.
+func (d *HB) RunStart(core.RunInfo) {
+	d.threads = map[core.ThreadID]*vclock.VC{}
+	d.locks = map[core.ObjectID]*vclock.VC{}
+	d.atomics = map[core.ObjectID]*vclock.VC{}
+	d.vars = map[core.ObjectID]*hbShadow{}
+}
+
+// RunEnd implements core.RunObserver.
+func (d *HB) RunEnd(*core.Result) {}
+
+// Warnings implements Detector.
+func (d *HB) Warnings() []Warning { return d.warns.list() }
+
+// WarnedVars implements Detector.
+func (d *HB) WarnedVars() []string { return d.warns.vars() }
+
+// Events returns the number of events processed.
+func (d *HB) Events() int64 { return d.events }
+
+// clock returns thread t's vector clock, initializing it to tick 1 of
+// its own component.
+func (d *HB) clock(t core.ThreadID) *vclock.VC {
+	c := d.threads[t]
+	if c == nil {
+		vc := vclock.New(int(t) + 1)
+		vc.Set(t, 1)
+		c = &vc
+		d.threads[t] = c
+	}
+	return c
+}
+
+func (d *HB) objClock(m map[core.ObjectID]*vclock.VC, o core.ObjectID) *vclock.VC {
+	c := m[o]
+	if c == nil {
+		vc := vclock.New(0)
+		c = &vc
+		m[o] = c
+	}
+	return c
+}
+
+// OnEvent implements core.Listener.
+func (d *HB) OnEvent(ev *core.Event) {
+	d.events++
+	t := ev.Thread
+	switch ev.Op {
+	case core.OpFork:
+		// Child inherits the parent's knowledge; parent ticks so
+		// subsequent parent work is concurrent with the child.
+		parent := d.clock(t)
+		child := d.clock(core.ThreadID(ev.Value))
+		child.Join(*parent)
+		parent.Tick(t)
+	case core.OpJoin:
+		// Joiner inherits the joined thread's final clock.
+		d.clock(t).Join(*d.clock(core.ThreadID(ev.Value)))
+	case core.OpLock, core.OpRLock:
+		if ev.Value == 1 || ev.Op == core.OpRLock {
+			d.clock(t).Join(*d.objClock(d.locks, ev.Obj)) // acquire
+		}
+	case core.OpUnlock, core.OpRUnlock:
+		// Release: publish the thread's clock into the lock, then tick.
+		ct := d.clock(t)
+		lc := d.objClock(d.locks, ev.Obj)
+		lc.Join(*ct)
+		ct.Tick(t)
+	case core.OpRead, core.OpWrite:
+		if d.RespectAtomics && ev.Flags.Atomic() {
+			d.atomicAccess(ev)
+			return
+		}
+		d.dataAccess(ev)
+	}
+}
+
+// atomicAccess gives a volatile-style variable release/acquire
+// semantics: writes publish, reads acquire.
+func (d *HB) atomicAccess(ev *core.Event) {
+	ct := d.clock(ev.Thread)
+	ac := d.objClock(d.atomics, ev.Obj)
+	if ev.Op == core.OpWrite {
+		ac.Join(*ct)
+		ct.Tick(ev.Thread)
+	} else {
+		ct.Join(*ac)
+	}
+}
+
+// dataAccess checks the access against the variable's shadow clocks and
+// records it.
+func (d *HB) dataAccess(ev *core.Event) {
+	t := ev.Thread
+	ct := d.clock(t)
+	sh := d.vars[ev.Obj]
+	if sh == nil {
+		sh = &hbShadow{
+			writeLoc: map[core.ThreadID]core.Location{},
+			readLoc:  map[core.ThreadID]core.Location{},
+		}
+		d.vars[ev.Obj] = sh
+	}
+
+	if ev.Op == core.OpWrite {
+		// A write must be ordered after every prior read and write.
+		if u, ok := d.findConcurrent(sh.writes, ct, t); ok {
+			d.warn(ev, "write-write", u, sh.writeLoc[u])
+		} else if u, ok := d.findConcurrent(sh.reads, ct, t); ok {
+			d.warn(ev, "read-write", u, sh.readLoc[u])
+		}
+		sh.writes.Set(t, ct.Get(t))
+		sh.writeLoc[t] = ev.Loc
+		return
+	}
+
+	// A read must be ordered after every prior write.
+	if u, ok := d.findConcurrent(sh.writes, ct, t); ok {
+		d.warn(ev, "read-write", u, sh.writeLoc[u])
+	}
+	sh.reads.Set(t, ct.Get(t))
+	sh.readLoc[t] = ev.Loc
+}
+
+// findConcurrent returns a thread u != t whose recorded access clock is
+// not happens-before ct.
+func (d *HB) findConcurrent(accesses vclock.VC, ct *vclock.VC, t core.ThreadID) (core.ThreadID, bool) {
+	for u := 0; u < accesses.Len(); u++ {
+		uid := core.ThreadID(u)
+		if uid == t {
+			continue
+		}
+		if c := accesses.Get(uid); c > 0 && c > ct.Get(uid) {
+			return uid, true
+		}
+	}
+	return core.NoThread, false
+}
+
+func (d *HB) warn(ev *core.Event, kind string, prior core.ThreadID, priorLoc core.Location) {
+	d.warns.add(Warning{
+		Detector: d.Name(),
+		Var:      ev.Name,
+		Obj:      ev.Obj,
+		Kind:     kind,
+		Prior:    priorLoc,
+		Access:   ev.Loc,
+		Threads:  [2]core.ThreadID{prior, ev.Thread},
+	})
+}

@@ -1,0 +1,163 @@
+// Package race implements the data-race detection technologies of
+// §2.2: the Eraser lockset algorithm, a DJIT+-style vector-clock
+// happens-before detector, and a hybrid of the two. Every detector is a
+// core.Listener, so the same implementation runs online (attached to a
+// run) and offline (fed a recorded trace via trace.Replay) — the
+// on-line/off-line duality the paper describes, with the trade-off
+// moved to where it belongs: overhead during the run versus trace
+// storage.
+//
+// The detectors differ exactly along the axis §2.2 highlights: "the
+// ability to detect user implemented synchronization is different".
+// The happens-before detector can be told to respect atomic
+// (Java-volatile-style) variables as synchronization; the lockset
+// detector cannot, and reports the corresponding false alarms.
+package race
+
+import (
+	"fmt"
+	"sort"
+
+	"mtbench/internal/core"
+)
+
+// Warning is one reported (potential) race.
+type Warning struct {
+	Detector string
+	Var      string
+	Obj      core.ObjectID
+	// Kind is "write-write" or "read-write" for happens-before
+	// detectors, "lockset-empty" for Eraser.
+	Kind string
+	// Prior and Access are the two conflicting program points (Prior
+	// may be zero when the earlier site is unknown).
+	Prior  core.Location
+	Access core.Location
+	// Threads are the two threads involved (second is the accessor).
+	Threads [2]core.ThreadID
+}
+
+// String renders the warning one-line.
+func (w Warning) String() string {
+	return fmt.Sprintf("[%s] %s race on %q: t%d@%s vs t%d@%s",
+		w.Detector, w.Kind, w.Var, w.Threads[0], w.Prior.Key(), w.Threads[1], w.Access.Key())
+}
+
+// Detector is a race detector usable online and offline.
+type Detector interface {
+	core.Listener
+	Name() string
+	// Warnings returns the deduplicated warnings so far.
+	Warnings() []Warning
+	// WarnedVars returns the sorted set of variable names warned about
+	// (the unit the benchmark's false-alarm accounting uses).
+	WarnedVars() []string
+	// Reset clears all state for a fresh run.
+	Reset()
+}
+
+// warnStore deduplicates warnings by (variable, access location).
+type warnStore struct {
+	warnings []Warning
+	seen     map[string]bool
+}
+
+func (s *warnStore) add(w Warning) {
+	key := w.Var + "|" + w.Access.Key() + "|" + w.Kind
+	if s.seen == nil {
+		s.seen = make(map[string]bool)
+	}
+	if s.seen[key] {
+		return
+	}
+	s.seen[key] = true
+	s.warnings = append(s.warnings, w)
+}
+
+func (s *warnStore) list() []Warning { return s.warnings }
+
+func (s *warnStore) vars() []string {
+	set := map[string]bool{}
+	for _, w := range s.warnings {
+		set[w.Var] = true
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (s *warnStore) reset() {
+	s.warnings = nil
+	s.seen = nil
+}
+
+// lockState derives each thread's held-lock sets from the sync event
+// stream; both detectors consume it. Reader/writer locks contribute to
+// held (protecting reads) and, when write-held, to heldWrite
+// (protecting writes) — Eraser's rwlock refinement.
+type lockState struct {
+	held      map[core.ThreadID]map[core.ObjectID]bool
+	heldWrite map[core.ThreadID]map[core.ObjectID]bool
+}
+
+func newLockState() *lockState {
+	return &lockState{
+		held:      map[core.ThreadID]map[core.ObjectID]bool{},
+		heldWrite: map[core.ThreadID]map[core.ObjectID]bool{},
+	}
+}
+
+func (ls *lockState) set(m map[core.ThreadID]map[core.ObjectID]bool, t core.ThreadID) map[core.ObjectID]bool {
+	s := m[t]
+	if s == nil {
+		s = map[core.ObjectID]bool{}
+		m[t] = s
+	}
+	return s
+}
+
+// apply updates the held sets from a sync event.
+func (ls *lockState) apply(ev *core.Event) {
+	switch ev.Op {
+	case core.OpLock:
+		if ev.Value == 1 { // acquired (0 = failed TryLock)
+			ls.set(ls.held, ev.Thread)[ev.Obj] = true
+			ls.set(ls.heldWrite, ev.Thread)[ev.Obj] = true
+		}
+	case core.OpUnlock:
+		delete(ls.set(ls.held, ev.Thread), ev.Obj)
+		delete(ls.set(ls.heldWrite, ev.Thread), ev.Obj)
+	case core.OpRLock:
+		ls.set(ls.held, ev.Thread)[ev.Obj] = true
+	case core.OpRUnlock:
+		delete(ls.set(ls.held, ev.Thread), ev.Obj)
+	}
+}
+
+// locksOf returns the set protecting an access: all held locks for a
+// read, write-held locks for a write.
+func (ls *lockState) locksOf(t core.ThreadID, write bool) map[core.ObjectID]bool {
+	if write {
+		return ls.set(ls.heldWrite, t)
+	}
+	return ls.set(ls.held, t)
+}
+
+func intersect(dst map[core.ObjectID]bool, other map[core.ObjectID]bool) {
+	for l := range dst {
+		if !other[l] {
+			delete(dst, l)
+		}
+	}
+}
+
+func copySet(s map[core.ObjectID]bool) map[core.ObjectID]bool {
+	out := make(map[core.ObjectID]bool, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}

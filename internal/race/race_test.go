@@ -1,0 +1,275 @@
+package race
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"mtbench/internal/core"
+	"mtbench/internal/sched"
+	"mtbench/internal/trace"
+)
+
+// runWith executes body under an interleaving-heavy controlled schedule
+// with the given detectors attached.
+func runWith(t *testing.T, body func(core.T), ds ...Detector) {
+	t.Helper()
+	ls := make([]core.Listener, len(ds))
+	for i, d := range ds {
+		ls[i] = d
+	}
+	res := sched.Run(sched.Config{Strategy: sched.RoundRobin(), Listeners: ls}, body)
+	if res.Verdict == core.VerdictDeadlock {
+		t.Fatalf("unexpected deadlock: %v", res)
+	}
+}
+
+// racyBody has an unsynchronized write-write conflict on "data".
+func racyBody(ct core.T) {
+	data := ct.NewInt("data", 0)
+	h := ct.Go("w", func(wt core.T) {
+		data.Store(wt, 1)
+	})
+	data.Store(ct, 2)
+	h.Join(ct)
+}
+
+// lockedBody is the same conflict correctly protected by a mutex.
+func lockedBody(ct core.T) {
+	data := ct.NewInt("data", 0)
+	mu := ct.NewMutex("mu")
+	h := ct.Go("w", func(wt core.T) {
+		mu.Lock(wt)
+		data.Store(wt, 1)
+		mu.Unlock(wt)
+	})
+	mu.Lock(ct)
+	data.Store(ct, 2)
+	mu.Unlock(ct)
+	h.Join(ct)
+}
+
+// adhocBody synchronizes hand-over via an atomic flag: t0 writes data,
+// then publishes flag=1; the reader spins on the flag before reading
+// data. Correct under release/acquire, invisible to lockset.
+func adhocBody(ct core.T) {
+	data := ct.NewInt("data", 0)
+	flag := ct.NewAtomicInt("flag", 0)
+	h := ct.Go("reader", func(wt core.T) {
+		for flag.Load(wt) == 0 {
+			wt.Yield()
+		}
+		_ = data.Load(wt)
+	})
+	data.Store(ct, 42)
+	flag.Store(ct, 1)
+	h.Join(ct)
+}
+
+func TestAllDetectorsFlagRace(t *testing.T) {
+	for _, mk := range []func() Detector{
+		func() Detector { return NewLockset() },
+		func() Detector { return NewHB(true) },
+		func() Detector { return NewHybrid(true) },
+	} {
+		d := mk()
+		runWith(t, racyBody, d)
+		if got := d.WarnedVars(); !reflect.DeepEqual(got, []string{"data"}) {
+			t.Errorf("%s warned %v, want [data]", d.Name(), got)
+		}
+	}
+}
+
+func TestNoDetectorFlagsLockedAccess(t *testing.T) {
+	for _, mk := range []func() Detector{
+		func() Detector { return NewLockset() },
+		func() Detector { return NewHB(true) },
+		func() Detector { return NewHybrid(true) },
+	} {
+		d := mk()
+		runWith(t, lockedBody, d)
+		if got := d.WarnedVars(); len(got) != 0 {
+			t.Errorf("%s warned %v on a correctly locked program", d.Name(), got)
+		}
+	}
+}
+
+// TestUserSyncSeparatesDetectors is the paper's §2.2 point in
+// miniature: lockset false-alarms on atomic-flag synchronization, the
+// atomics-aware happens-before detector does not, and the naive HB
+// variant behaves like lockset.
+func TestUserSyncSeparatesDetectors(t *testing.T) {
+	ls, hbAware, hbNaive, hy := NewLockset(), NewHB(true), NewHB(false), NewHybrid(true)
+	runWith(t, adhocBody, ls, hbAware, hbNaive, hy)
+
+	if got := ls.WarnedVars(); len(got) == 0 {
+		t.Error("lockset should false-alarm on ad-hoc sync (it cannot see it)")
+	}
+	if got := hbAware.WarnedVars(); len(got) != 0 {
+		t.Errorf("atomics-aware HB warned %v on correct ad-hoc sync", got)
+	}
+	if got := hbNaive.WarnedVars(); len(got) == 0 {
+		t.Error("atomics-blind HB should warn on ad-hoc sync")
+	}
+	if got := hy.WarnedVars(); len(got) != 0 {
+		t.Errorf("hybrid warned %v on correct ad-hoc sync", got)
+	}
+}
+
+func TestForkJoinOrdering(t *testing.T) {
+	body := func(ct core.T) {
+		data := ct.NewInt("data", 0)
+		data.Store(ct, 1) // before fork: ordered
+		h := ct.Go("w", func(wt core.T) {
+			data.Store(wt, 2)
+		})
+		h.Join(ct)
+		data.Store(ct, 3) // after join: ordered
+	}
+	hb := NewHB(true)
+	runWith(t, body, hb)
+	if got := hb.WarnedVars(); len(got) != 0 {
+		t.Fatalf("HB warned %v on fork/join-ordered accesses", got)
+	}
+}
+
+func TestReadSharedNoWarning(t *testing.T) {
+	body := func(ct core.T) {
+		data := ct.NewInt("data", 7)
+		var hs []core.Handle
+		for i := 0; i < 3; i++ {
+			hs = append(hs, ct.Go("r", func(wt core.T) {
+				_ = data.Load(wt)
+			}))
+		}
+		for _, h := range hs {
+			h.Join(ct)
+		}
+	}
+	for _, d := range []Detector{NewLockset(), NewHB(true), NewHybrid(true)} {
+		d.Reset()
+		runWith(t, body, d)
+		if got := d.WarnedVars(); len(got) != 0 {
+			t.Errorf("%s warned %v on read-only sharing", d.Name(), got)
+		}
+	}
+}
+
+// TestEraserInitPattern checks the init-then-share refinement: writes
+// by the creating thread before any sharing do not poison the lockset.
+func TestEraserInitPattern(t *testing.T) {
+	body := func(ct core.T) {
+		data := ct.NewInt("data", 0)
+		mu := ct.NewMutex("mu")
+		data.Store(ct, 1) // unlocked initialization, pre-sharing
+		data.Store(ct, 2)
+		h := ct.Go("w", func(wt core.T) {
+			mu.Lock(wt)
+			data.Store(wt, 3)
+			mu.Unlock(wt)
+		})
+		h.Join(ct)
+		mu.Lock(ct)
+		data.Store(ct, 4)
+		mu.Unlock(ct)
+	}
+	d := NewLockset()
+	runWith(t, body, d)
+	if got := d.WarnedVars(); len(got) != 0 {
+		t.Fatalf("lockset warned %v despite init-then-lock discipline", got)
+	}
+}
+
+// TestOfflineEqualsOnline runs the detectors online and offline over
+// the same execution and requires identical warnings — the property
+// that makes the benchmark's shipped traces usable for detector
+// research without rerunning programs.
+func TestOfflineEqualsOnline(t *testing.T) {
+	var buf bytes.Buffer
+	w := trace.NewJSONLWriter(&buf)
+	if err := w.WriteHeader(trace.Header{Program: "racy"}); err != nil {
+		t.Fatal(err)
+	}
+	col := trace.NewCollector(w, nil)
+	online := NewLockset()
+	onlineHB := NewHB(true)
+	runWith(t, racyBody, Detector(online), Detector(onlineHB))
+	// Re-run with the collector to produce the trace of an identical
+	// schedule (RoundRobin is deterministic).
+	sched.Run(sched.Config{Strategy: sched.RoundRobin(), Listeners: []core.Listener{col}}, racyBody)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := trace.NewJSONLReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offline := NewLockset()
+	offlineHB := NewHB(true)
+	if err := trace.Replay(r, core.MultiListener{offline, offlineHB}); err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(online.WarnedVars(), offline.WarnedVars()) {
+		t.Fatalf("lockset online %v != offline %v", online.WarnedVars(), offline.WarnedVars())
+	}
+	if !reflect.DeepEqual(onlineHB.WarnedVars(), offlineHB.WarnedVars()) {
+		t.Fatalf("hb online %v != offline %v", onlineHB.WarnedVars(), offlineHB.WarnedVars())
+	}
+}
+
+// TestWarningDedup checks one warning per (var, site, kind) however
+// often the race replays.
+func TestWarningDedup(t *testing.T) {
+	body := func(ct core.T) {
+		data := ct.NewInt("data", 0)
+		h := ct.Go("w", func(wt core.T) {
+			for i := 0; i < 10; i++ {
+				data.Store(wt, int64(i))
+			}
+		})
+		for i := 0; i < 10; i++ {
+			data.Store(ct, int64(i))
+		}
+		h.Join(ct)
+	}
+	d := NewHB(true)
+	runWith(t, body, d)
+	ws := d.Warnings()
+	if len(ws) == 0 {
+		t.Fatal("no warnings")
+	}
+	seen := map[string]bool{}
+	for _, w := range ws {
+		key := w.Var + w.Access.Key() + w.Kind
+		if seen[key] {
+			t.Fatalf("duplicate warning %v", w)
+		}
+		seen[key] = true
+	}
+}
+
+// TestRWLockSemantics checks that write access under only a read lock
+// is flagged by Eraser's rwlock refinement, while reads under RLock are
+// fine.
+func TestRWLockSemantics(t *testing.T) {
+	body := func(ct core.T) {
+		data := ct.NewInt("data", 0)
+		rw := ct.NewRWMutex("rw")
+		h := ct.Go("bad-writer", func(wt core.T) {
+			rw.RLock(wt) // read lock, then writes anyway: bug pattern
+			data.Store(wt, 1)
+			rw.RUnlock(wt)
+		})
+		rw.RLock(ct)
+		data.Store(ct, 2)
+		rw.RUnlock(ct)
+		h.Join(ct)
+	}
+	d := NewLockset()
+	runWith(t, body, d)
+	if got := d.WarnedVars(); len(got) == 0 {
+		t.Fatal("lockset missed write under read-lock")
+	}
+}

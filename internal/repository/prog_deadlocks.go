@@ -1,0 +1,230 @@
+package repository
+
+import (
+	"fmt"
+
+	"mtbench/internal/core"
+)
+
+// This file holds the deadlock and livelock programs: lock-order
+// inversions, dining philosophers (broken and fixed), the gate-lock
+// false-positive bait, and a TryLock retry livelock.
+
+// inversionBody is the minimal AB-BA deadlock.
+func inversionBody(t core.T, p Params) {
+	iters := p.Get("iters", 1)
+	a := t.NewMutex("lockA")
+	b := t.NewMutex("lockB")
+	h1 := t.Go("ab", func(wt core.T) {
+		for i := 0; i < iters; i++ {
+			a.Lock(wt)
+			b.Lock(wt)
+			b.Unlock(wt)
+			a.Unlock(wt)
+		}
+	})
+	h2 := t.Go("ba", func(wt core.T) {
+		for i := 0; i < iters; i++ {
+			b.Lock(wt)
+			a.Lock(wt)
+			a.Unlock(wt)
+			b.Unlock(wt)
+		}
+	})
+	h1.Join(t)
+	h2.Join(t)
+}
+
+var _ = register(&Program{
+	Name:     "inversion",
+	Synopsis: "two locks acquired in opposite orders (AB-BA deadlock)",
+	Kind:     KindDeadlock,
+	Doc: `Thread 1 locks A then B; thread 2 locks B then A. If each takes
+its first lock before the other takes its second, both block forever.
+The controlled runtime reports the wait-for cycle; natively the
+watchdog fires. A passing run still leaves the cycle in the lock graph,
+which the GoodLock analyzer reports as a potential.`,
+	Threads:  3,
+	Defaults: Params{"iters": 1},
+	Body:     inversionBody,
+})
+
+// philosophersBody: every philosopher picks the left fork first — the
+// classic symmetric deadlock.
+func philosophersBody(t core.T, p Params) {
+	n := p.Get("philosophers", 3)
+	rounds := p.Get("rounds", 1)
+	forks := make([]core.Mutex, n)
+	for i := range forks {
+		forks[i] = t.NewMutex(fmt.Sprintf("fork%d", i))
+	}
+	meals := t.NewInt("meals", 0)
+	handles := make([]core.Handle, n)
+	for i := range handles {
+		i := i
+		handles[i] = t.Go(fmt.Sprintf("phil%d", i), func(wt core.T) {
+			left, right := forks[i], forks[(i+1)%n]
+			for r := 0; r < rounds; r++ {
+				left.Lock(wt) // BUG: everyone grabs left first
+				right.Lock(wt)
+				meals.Add(wt, 1)
+				right.Unlock(wt)
+				left.Unlock(wt)
+			}
+		})
+	}
+	for _, h := range handles {
+		h.Join(t)
+	}
+	t.Assert(meals.Load(t) == int64(n*rounds), "meals=%d", meals.Load(t))
+}
+
+var _ = register(&Program{
+	Name:     "philosophers",
+	Synopsis: "dining philosophers, all left-handed (cyclic deadlock)",
+	Kind:     KindDeadlock,
+	Doc: `N philosophers each lock their left fork then their right. If
+every philosopher holds a left fork simultaneously the forks form a
+cycle and no right fork can ever be acquired. Rare under light
+scheduling (each philosopher usually eats quickly), increasingly likely
+under noise — the benchmark's standard target for noise-vs-probability
+curves — and found deterministically by exploration.`,
+	Threads:  4,
+	Defaults: Params{"philosophers": 3, "rounds": 1},
+	Body:     philosophersBody,
+})
+
+// philosophersOrderedBody is the CORRECT resource-ordering fix.
+func philosophersOrderedBody(t core.T, p Params) {
+	n := p.Get("philosophers", 3)
+	rounds := p.Get("rounds", 1)
+	forks := make([]core.Mutex, n)
+	for i := range forks {
+		forks[i] = t.NewMutex(fmt.Sprintf("fork%d", i))
+	}
+	meals := t.NewInt("meals", 0)
+	handles := make([]core.Handle, n)
+	for i := range handles {
+		i := i
+		handles[i] = t.Go(fmt.Sprintf("phil%d", i), func(wt core.T) {
+			lo, hi := i, (i+1)%n
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			first, second := forks[lo], forks[hi]
+			for r := 0; r < rounds; r++ {
+				first.Lock(wt) // global fork order: no cycle possible
+				second.Lock(wt)
+				meals.Add(wt, 1)
+				second.Unlock(wt)
+				first.Unlock(wt)
+			}
+		})
+	}
+	for _, h := range handles {
+		h.Join(t)
+	}
+	t.Assert(meals.Load(t) == int64(n*rounds), "meals=%d", meals.Load(t))
+}
+
+var _ = register(&Program{
+	Name:     "philosophersfixed",
+	Synopsis: "dining philosophers with global fork ordering (correct)",
+	Kind:     KindNone,
+	Doc: `The resource-ordering fix: forks are always acquired in index
+order, so the lock graph is acyclic and deadlock is impossible. Paired
+with "philosophers" to check that deadlock detectors separate the two
+(no potential may be reported here).`,
+	Threads:  4,
+	Defaults: Params{"philosophers": 3, "rounds": 1},
+	Body:     philosophersOrderedBody,
+})
+
+// gatedInversionBody is CORRECT: the AB-BA inversion exists but both
+// sides hold a common gate lock, so the interleaving that deadlocks is
+// impossible.
+func gatedInversionBody(t core.T, p Params) {
+	g := t.NewMutex("gate")
+	a := t.NewMutex("lockA")
+	b := t.NewMutex("lockB")
+	h1 := t.Go("ab", func(wt core.T) {
+		g.Lock(wt)
+		a.Lock(wt)
+		b.Lock(wt)
+		b.Unlock(wt)
+		a.Unlock(wt)
+		g.Unlock(wt)
+	})
+	h2 := t.Go("ba", func(wt core.T) {
+		g.Lock(wt)
+		b.Lock(wt)
+		a.Lock(wt)
+		a.Unlock(wt)
+		b.Unlock(wt)
+		g.Unlock(wt)
+	})
+	h1.Join(t)
+	h2.Join(t)
+}
+
+var _ = register(&Program{
+	Name:     "gatedinversion",
+	Synopsis: "AB-BA inversion guarded by a gate lock (correct)",
+	Kind:     KindNone,
+	Doc: `Both threads take the same outer gate lock before their
+inverted inner acquisitions, so at most one of them is ever inside and
+the cycle cannot close. A naive cycle detector reports a potential
+here; GoodLock's gate-lock refinement must stay silent. This program
+measures deadlock-detector false alarms.`,
+	Threads:  3,
+	Defaults: Params{},
+	Body:     gatedInversionBody,
+})
+
+// livelockBody: two polite threads TryLock each other's resource,
+// back off, and retry — under an adversarial alternation they starve
+// forever.
+func livelockBody(t core.T, p Params) {
+	retries := p.Get("retries", 100000)
+	a := t.NewMutex("resA")
+	b := t.NewMutex("resB")
+	done := t.NewInt("done", 0)
+	polite := func(first, second core.Mutex) func(core.T) {
+		return func(wt core.T) {
+			for i := 0; i < retries; i++ {
+				first.Lock(wt)
+				if second.TryLock(wt) {
+					done.Add(wt, 1)
+					second.Unlock(wt)
+					first.Unlock(wt)
+					return
+				}
+				first.Unlock(wt) // back off politely and retry
+				wt.Yield()
+			}
+			wt.Failf("starved after %d retries", retries)
+		}
+	}
+	h1 := t.Go("ab", polite(a, b))
+	h2 := t.Go("ba", polite(b, a))
+	h1.Join(t)
+	h2.Join(t)
+	t.Assert(done.Load(t) == 2, "done=%d", done.Load(t))
+}
+
+var _ = register(&Program{
+	Name:     "livelock",
+	Synopsis: "polite TryLock retry loop that can starve forever",
+	Kind:     KindLivelock,
+	Doc: `Each thread locks its own resource, tries the other's with
+TryLock, and backs off on failure. No thread ever blocks — so no
+deadlock — but under a schedule that keeps the two threads in
+lockstep, every TryLock fails and both spin forever. Manifests as the
+retry-budget oracle firing, or as a step-limit verdict under an
+adversarial controlled schedule. The deterministic baseline finishes
+instantly.`,
+	BugVars:  nil,
+	Threads:  3,
+	Defaults: Params{"retries": 100000},
+	Body:     livelockBody,
+})

@@ -1,0 +1,152 @@
+package repository
+
+import (
+	"fmt"
+
+	"mtbench/internal/core"
+)
+
+// This file holds the repository's larger, service-shaped programs —
+// the "larger programs ... with bugs from the field" tier of §4: a
+// work-queue service with a shutdown race and a reader/writer cache
+// with a lock-downgrade mistake.
+
+// workQueueBody is a miniature task service: a master enqueues units
+// of work, N workers drain the queue under a mutex/condvar, and a
+// shutdown protocol stops the workers when the work is done. The
+// shutdown has two field-typical mistakes (flag written outside the
+// lock, Signal instead of Broadcast), so workers can miss the shutdown
+// and block forever.
+func workQueueBody(t core.T, p Params) {
+	workers := p.Get("workers", 3)
+	tasks := p.Get("tasks", 6)
+
+	mu := t.NewMutex("qmu")
+	nonEmpty := t.NewCond("qcond", mu)
+	queued := t.NewInt("queued", 0) // tasks waiting
+	processed := t.NewInt("processed", 0)
+	stopping := t.NewInt("stopflag", 0)
+
+	var hs []core.Handle
+	for i := 0; i < workers; i++ {
+		hs = append(hs, t.Go(fmt.Sprintf("worker%d", i), func(wt core.T) {
+			mywork := wt.NewInt("mywork", 0) // per-worker, prunable
+			for {
+				mu.Lock(wt)
+				for queued.Load(wt) == 0 && stopping.Load(wt) == 0 {
+					nonEmpty.Wait(wt)
+				}
+				if queued.Load(wt) == 0 { // stopping and drained
+					mu.Unlock(wt)
+					return
+				}
+				queued.Add(wt, -1)
+				mu.Unlock(wt)
+				processed.Add(wt, 1) // do the "work" outside the lock
+				mywork.Add(wt, 1)
+			}
+		}))
+	}
+
+	// Master: enqueue all tasks.
+	for i := 0; i < tasks; i++ {
+		mu.Lock(t)
+		queued.Add(t, 1)
+		nonEmpty.Signal(t)
+		mu.Unlock(t)
+	}
+
+	// Shutdown. BUG 1: the flag is stored without holding the queue
+	// lock, so a worker can check the flag, see 0, and park in Wait
+	// just as the store happens — the subsequent wakeup is all that
+	// saves it. BUG 2: only Signal is used, so at most one parked
+	// worker hears about the shutdown; with several workers parked the
+	// rest sleep forever.
+	stopping.Store(t, 1)
+	mu.Lock(t)
+	nonEmpty.Signal(t)
+	mu.Unlock(t)
+
+	for _, h := range hs {
+		h.Join(t)
+	}
+	t.Assert(processed.Load(t) == int64(tasks),
+		"processed=%d want=%d", processed.Load(t), tasks)
+}
+
+var _ = register(&Program{
+	Name:     "workqueue",
+	Synopsis: "task service whose shutdown misses parked workers",
+	Kind:     KindNotify,
+	Doc: `A master feeds a mutex/condvar work queue drained by N workers,
+then shuts down by setting a stop flag and signalling once. Two field
+bugs compose: the stop flag is written outside the critical section
+(a race with the workers' predicate check), and shutdown uses Signal
+rather than Broadcast, waking at most one parked worker. Whenever two
+or more workers are parked at shutdown, the others never wake and the
+master's join blocks forever. Under light schedules workers rarely
+park simultaneously, so the service passes its tests — until it
+deadlocks in production. This is the repository's larger "from the
+field" specimen: realistic structure (service loop, drain-then-stop
+protocol, work outside the lock) with a bug that needs a specific
+thread configuration.`,
+	BugVars:  []string{"stopflag"},
+	Threads:  4,
+	Defaults: Params{"workers": 3, "tasks": 6},
+	Body:     workQueueBody,
+})
+
+// rwCacheBody is a read-mostly cache whose refresh path updates the
+// payload while holding only the read lock.
+func rwCacheBody(t core.T, p Params) {
+	readers := p.Get("readers", 2)
+	lookups := p.Get("lookups", 2)
+
+	rw := t.NewRWMutex("cachelock")
+	cacheVal := t.NewInt("cacheval", 0)
+	cacheVer := t.NewInt("cachever", 0)
+
+	var hs []core.Handle
+	for i := 0; i < readers; i++ {
+		hs = append(hs, t.Go(fmt.Sprintf("reader%d", i), func(wt core.T) {
+			for j := 0; j < lookups; j++ {
+				rw.RLock(wt)
+				v := cacheVal.Load(wt)
+				ver := cacheVer.Load(wt)
+				wt.Assert(v == ver*10,
+					"torn cache entry: val=%d ver=%d", v, ver)
+				rw.RUnlock(wt)
+			}
+		}))
+	}
+	hs = append(hs, t.Go("refresher", func(wt core.T) {
+		// BUG: refresh mutates the entry under the read lock — it
+		// should take the write lock. Concurrent readers can observe
+		// the version/value pair mid-update.
+		rw.RLock(wt)
+		cacheVer.Add(wt, 1)
+		wt.Yield() // the torn window
+		cacheVal.Store(wt, cacheVer.Load(wt)*10)
+		rw.RUnlock(wt)
+	}))
+	for _, h := range hs {
+		h.Join(t)
+	}
+}
+
+var _ = register(&Program{
+	Name:     "rwcache",
+	Synopsis: "cache refresh mutates the entry under a read lock",
+	Kind:     KindRace,
+	Doc: `Readers take the read lock and check the invariant
+value == version*10; the refresher bumps version and value in two steps
+— but under the read lock instead of the write lock, so readers run
+concurrently with the update and can observe the torn pair. Eraser's
+reader/writer refinement catches it statically in one contended run:
+the write to cachever holds no write-capable lock. The oracle catches
+it dynamically when a reader lands inside the window.`,
+	BugVars:  []string{"cacheval", "cachever"},
+	Threads:  4,
+	Defaults: Params{"readers": 2, "lookups": 2},
+	Body:     rwCacheBody,
+})

@@ -1,0 +1,267 @@
+package repository
+
+import (
+	"fmt"
+
+	"mtbench/internal/core"
+)
+
+// This file extends the repository with further classic patterns: a
+// TOCTOU overdraft, a condvar-based semaphore with the if/while bug, a
+// two-stage pipeline with a missed inter-stage signal, lazy
+// initialization through a reference cell, and a correct ticket lock
+// built from atomics (user-implemented synchronization bait).
+
+// bankWithdrawBody: check-balance-then-withdraw where the check and
+// the debit are separate critical sections — concurrent withdrawals
+// overdraft.
+func bankWithdrawBody(t core.T, p Params) {
+	withdrawers := p.Get("withdrawers", 2)
+	amount := int64(p.Get("amount", 60))
+	balance := t.NewInt("funds", 100)
+	mu := t.NewMutex("acctmu")
+	handles := make([]core.Handle, withdrawers)
+	for i := range handles {
+		handles[i] = t.Go("withdrawer", func(wt core.T) {
+			mu.Lock(wt)
+			enough := balance.Load(wt) >= amount
+			mu.Unlock(wt)
+			if enough { // BUG: decision is stale once the lock is gone
+				mu.Lock(wt)
+				balance.Store(wt, balance.Load(wt)-amount)
+				mu.Unlock(wt)
+			}
+		})
+	}
+	for _, h := range handles {
+		h.Join(t)
+	}
+	got := balance.Load(t)
+	t.Assert(got >= 0, "overdraft: balance=%d", got)
+}
+
+var _ = register(&Program{
+	Name:     "bankwithdraw",
+	Synopsis: "balance check and debit in separate critical sections (overdraft)",
+	Kind:     KindAtomicity,
+	Doc: `Each withdrawer checks funds >= amount under the lock, releases
+it, then debits under a second acquisition. Two withdrawers of 60 from
+100 can both pass the check and drive the balance to -20. Like
+"checkthenact" every access is individually locked — race detectors
+stay silent — but the business invariant needs the check and the act
+in one atomic step. A two-withdrawer, one-preemption bug that
+exploration finds in a handful of schedules.`,
+	BugVars:  []string{"funds"},
+	Threads:  3,
+	Defaults: Params{"withdrawers": 2, "amount": 60},
+	Body:     bankWithdrawBody,
+})
+
+// semaphoreBody: a counting semaphore built on a condition variable,
+// with the waiter re-checking via `if` — two waiters woken by two
+// releases can both pass a one-permit check window.
+func semaphoreBody(t core.T, p Params) {
+	acquirers := p.Get("acquirers", 2)
+	permits := t.NewInt("permits", 0)
+	mu := t.NewMutex("semmu")
+	cv := t.NewCond("semcv", mu)
+
+	handles := make([]core.Handle, acquirers)
+	for i := range handles {
+		handles[i] = t.Go("acquirer", func(wt core.T) {
+			mu.Lock(wt)
+			if permits.Load(wt) == 0 { // BUG: must be while
+				cv.Wait(wt)
+			}
+			v := permits.Add(wt, -1)
+			wt.Assert(v >= 0, "semaphore underflow: permits=%d", v)
+			mu.Unlock(wt)
+		})
+	}
+	// Release one permit, then broadcast (a sloppy implementation that
+	// wakes everyone on any release).
+	mu.Lock(t)
+	permits.Add(t, 1)
+	cv.Broadcast(t)
+	mu.Unlock(t)
+	// Second permit a little later.
+	mu.Lock(t)
+	permits.Add(t, 1)
+	cv.Broadcast(t)
+	mu.Unlock(t)
+	for _, h := range handles {
+		h.Join(t)
+	}
+}
+
+var _ = register(&Program{
+	Name:     "semaphore",
+	Synopsis: "condvar semaphore whose waiters re-check with if",
+	Kind:     KindNotify,
+	Doc: `A counting semaphore: acquirers wait while permits == 0,
+releases broadcast. The waiters re-check the permit count with "if"
+instead of "while", so when one release's broadcast wakes two parked
+acquirers, both decrement and the count underflows. Structurally the
+same defect class as "waitnotinloop" but in a reusable-synchronizer
+shape — the kind of code the paper expects students to write and test
+tools to vet.`,
+	BugVars:  []string{"permits"},
+	Threads:  3,
+	Defaults: Params{"acquirers": 2},
+	Body:     semaphoreBody,
+})
+
+// oneCondBody: a bounded buffer whose producers and consumers share a
+// single condition variable and wake with Signal. A "space free"
+// signal can land on a parked producer (or "item ready" on a parked
+// consumer), which re-checks its own predicate, parks again, and the
+// wakeup is consumed without informing the thread that needed it.
+func oneCondBody(t core.T, p Params) {
+	producers := p.Get("producers", 2)
+	consumers := p.Get("consumers", 2)
+	capacity := int64(p.Get("capacity", 1))
+
+	mu := t.NewMutex("bufmu")
+	cv := t.NewCond("onecv", mu) // BUG: one condvar for two predicates
+	count := t.NewInt("items", 0)
+	moved := t.NewInt("moved", 0)
+
+	var hs []core.Handle
+	for i := 0; i < producers; i++ {
+		hs = append(hs, t.Go(fmt.Sprintf("prod%d", i), func(wt core.T) {
+			mu.Lock(wt)
+			for count.Load(wt) >= capacity {
+				cv.Wait(wt)
+			}
+			count.Add(wt, 1)
+			cv.Signal(wt) // BUG: may wake another producer
+			mu.Unlock(wt)
+		}))
+	}
+	for i := 0; i < consumers; i++ {
+		hs = append(hs, t.Go(fmt.Sprintf("cons%d", i), func(wt core.T) {
+			mu.Lock(wt)
+			for count.Load(wt) == 0 {
+				cv.Wait(wt)
+			}
+			count.Add(wt, -1)
+			moved.Add(wt, 1)
+			cv.Signal(wt) // BUG: may wake another consumer
+			mu.Unlock(wt)
+		}))
+	}
+	for _, h := range hs {
+		h.Join(t)
+	}
+	t.Assert(moved.Load(t) == int64(producers), "moved=%d want=%d", moved.Load(t), producers)
+}
+
+var _ = register(&Program{
+	Name:     "onecond",
+	Synopsis: "producers and consumers share one condvar and Signal",
+	Kind:     KindNotify,
+	Doc: `A capacity-1 buffer with two producers and two consumers parked
+on a single condition variable. Signal wakes the FIFO head, which can
+be a same-class waiter: a producer's "item ready" can wake the other
+producer, which re-checks "buffer full", parks again, and the wakeup
+is consumed — the consumer that needed it sleeps forever and the run
+deadlocks. The textbook fixes are separate not-full/not-empty
+condition variables (see "boundedbuffer") or Broadcast. Whether the
+wrong-class wakeup happens depends entirely on who is parked when each
+Signal fires, making this a pure wakeup-ordering bug for dispatch
+randomness to find.`,
+	BugVars:  []string{"items"},
+	Threads:  5,
+	Defaults: Params{"producers": 2, "consumers": 2, "capacity": 1},
+	Body:     oneCondBody,
+})
+
+// lazyInitBody: a reference cell initialized lazily by whoever needs
+// it first, with a check-then-create window that loses one thread's
+// cache entry (and exposes readers to nil during publication).
+func lazyInitBody(t core.T, p Params) {
+	readers := p.Get("readers", 2)
+	cache := t.NewRef("cacheref")
+	inits := t.NewInt("inits", 0)
+	handles := make([]core.Handle, readers)
+	for i := range handles {
+		handles[i] = t.Go("user", func(wt core.T) {
+			if cache.Load(wt) == nil { // BUG: unsynchronized check
+				wt.Yield()
+				inits.Add(wt, 1) // expensive construction, duplicated
+				cache.Store(wt, fmt.Sprintf("resource-%d", wt.ID()))
+			}
+			got := cache.Load(wt)
+			wt.Assert(got != nil, "used nil resource")
+		})
+	}
+	for _, h := range handles {
+		h.Join(t)
+	}
+	n := inits.Load(t)
+	t.Assert(n == 1, "lazy init ran %d times", n)
+}
+
+var _ = register(&Program{
+	Name:     "lazyinit",
+	Synopsis: "unsynchronized lazy initialization constructs twice",
+	Kind:     KindRace,
+	Doc: `Every user checks the cache reference and constructs the
+resource if nil. Two users can both see nil and both construct — the
+oracle counts constructions. This is the read-check-write race on a
+reference cell (the "singleton without locking" idiom), exercising the
+RefVar access path of the detectors rather than the integer one.`,
+	BugVars:  []string{"cacheref", "inits"},
+	Threads:  3,
+	Defaults: Params{"readers": 2},
+	Body:     lazyInitBody,
+})
+
+// ticketLockBody is CORRECT: a ticket lock built from two atomic
+// counters protects a plain variable. Lockset detectors see no lock at
+// all; happens-before detectors that respect atomics see the
+// release/acquire chain through the serving counter.
+func ticketLockBody(t core.T, p Params) {
+	workers := p.Get("workers", 2)
+	iters := p.Get("iters", 2)
+	nextTicket := t.NewAtomicInt("nextticket", 0)
+	nowServing := t.NewAtomicInt("nowserving", 0)
+	counter := t.NewInt("guarded", 0)
+
+	handles := make([]core.Handle, workers)
+	for i := range handles {
+		handles[i] = t.Go("client", func(wt core.T) {
+			for j := 0; j < iters; j++ {
+				my := nextTicket.Add(wt, 1) - 1 // take a ticket
+				for nowServing.Load(wt) != my { // spin: acquire
+					wt.Yield()
+				}
+				v := counter.Load(wt) // critical section
+				counter.Store(wt, v+1)
+				nowServing.Add(wt, 1) // release
+			}
+		})
+	}
+	for _, h := range handles {
+		h.Join(t)
+	}
+	got := counter.Load(t)
+	t.Assert(got == int64(workers*iters), "ticket lock broken: %d", got)
+}
+
+var _ = register(&Program{
+	Name:     "ticketlock",
+	Synopsis: "correct ticket lock from atomics guarding a plain counter",
+	Kind:     KindNone,
+	Doc: `A ticket lock: take-a-number via one atomic counter, spin on a
+second until served, bump it to release. The guarded plain counter is
+perfectly protected — by user-implemented synchronization no lockset
+detector can see, so Eraser-style tools false-alarm on it, while
+happens-before detectors that model atomics as release/acquire stay
+silent. Together with "adhocsync" this measures §2.2's claim that "the
+ability to detect user implemented synchronization is different".`,
+	BenignVars: []string{"guarded"},
+	Threads:    3,
+	Defaults:   Params{"workers": 2, "iters": 2},
+	Body:       ticketLockBody,
+})

@@ -1,0 +1,216 @@
+package repository
+
+import (
+	"time"
+
+	"mtbench/internal/core"
+)
+
+// This file holds the condition-variable misuse programs: lost
+// notifications, signal-instead-of-broadcast, wait outside a loop, and
+// the correct bounded buffer they are all variations of.
+
+// lostNotifyBody: the consumer waits unconditionally for a wakeup; the
+// producer signals once after "briefly" preparing the work. Java-style
+// signals are not sticky, so if the signal fires before the consumer
+// parks, the wakeup is lost forever.
+func lostNotifyBody(t core.T, p Params) {
+	prepUs := p.Get("prepUs", 200)
+	mu := t.NewMutex("mu")
+	cv := t.NewCond("cv", mu)
+	served := t.NewInt("served", 0)
+	consumer := t.Go("consumer", func(wt core.T) {
+		mu.Lock(wt)
+		cv.Wait(wt) // BUG: waits without a predicate
+		served.Add(wt, 1)
+		mu.Unlock(wt)
+	})
+	// The producer "prepares" for a while — normally long enough for
+	// the consumer to park — and then signals exactly once.
+	t.Sleep(time.Duration(prepUs) * time.Microsecond)
+	mu.Lock(t)
+	cv.Signal(t)
+	mu.Unlock(t)
+	consumer.Join(t)
+	t.Assert(served.Load(t) == 1, "served=%d", served.Load(t))
+}
+
+var _ = register(&Program{
+	Name:     "lostnotify",
+	Synopsis: "signal raced ahead of an unconditional wait",
+	Kind:     KindNotify,
+	Doc: `The consumer parks on the condition variable with no predicate;
+the producer prepares for ~200µs and signals once. Whenever the
+producer's preparation finishes before the consumer has parked — a
+delayed consumer thread, an early timer — the signal finds no waiter,
+is dropped (Java semantics), and the consumer then parks forever.
+Manifests as deadlock. Exposing it requires timing freedom: noise that
+delays the consumer past the producer's timer (idle-noise in the
+controlled runtime, sleep injection natively), or exploration with
+timeout branching.`,
+	BugVars:  []string{"served"},
+	Threads:  2,
+	Defaults: Params{"prepUs": 200},
+	Body:     lostNotifyBody,
+})
+
+// signalNotBroadcastBody: two consumers, producer wakes only one per
+// item batch boundary — the second consumer starves.
+func signalNotBroadcastBody(t core.T, p Params) {
+	mu := t.NewMutex("mu")
+	cv := t.NewCond("cv", mu)
+	items := t.NewInt("items", 0)
+	consumed := t.NewInt("consumed", 0)
+	consumer := func(wt core.T) {
+		mu.Lock(wt)
+		for items.Load(wt) == 0 {
+			cv.Wait(wt)
+		}
+		items.Add(wt, -1)
+		consumed.Add(wt, 1)
+		mu.Unlock(wt)
+	}
+	c1 := t.Go("consumer1", consumer)
+	c2 := t.Go("consumer2", consumer)
+	mu.Lock(t)
+	items.Store(t, 2)
+	cv.Signal(t) // BUG: two items, one wakeup — should be Broadcast
+	mu.Unlock(t)
+	c1.Join(t)
+	c2.Join(t)
+	t.Assert(consumed.Load(t) == 2, "consumed=%d", consumed.Load(t))
+}
+
+var _ = register(&Program{
+	Name:     "signalnotall",
+	Synopsis: "Signal used where Broadcast is required; a waiter starves",
+	Kind:     KindNotify,
+	Doc: `The producer publishes two items but wakes only one of the two
+waiting consumers. The woken consumer takes one item and leaves; the
+other consumer is never signalled and waits forever although an item is
+available. Manifests as deadlock with one thread parked on the
+condition variable. Whether it manifests depends on both consumers
+reaching Wait before the producer signals, which is exactly what noise
+and exploration control.`,
+	BugVars:  []string{"items"},
+	Threads:  3,
+	Defaults: Params{},
+	Body:     signalNotBroadcastBody,
+})
+
+// waitNotInLoopBody: a consumer re-checks with `if` instead of `while`;
+// with two consumers racing for one item, the late one underflows.
+func waitNotInLoopBody(t core.T, p Params) {
+	mu := t.NewMutex("mu")
+	cv := t.NewCond("cv", mu)
+	items := t.NewInt("queue", 0)
+	consumer := func(wt core.T) {
+		mu.Lock(wt)
+		if items.Load(wt) == 0 { // BUG: must be a loop
+			cv.Wait(wt)
+		}
+		// After a wakeup the item may already be gone.
+		v := items.Add(wt, -1)
+		wt.Assert(v >= 0, "queue underflow: %d", v)
+		mu.Unlock(wt)
+	}
+	c1 := t.Go("consumer1", consumer)
+	c2 := t.Go("consumer2", consumer)
+	mu.Lock(t)
+	items.Store(t, 1)
+	cv.Broadcast(t) // everyone parked wakes; only one item exists
+	mu.Unlock(t)
+	mu.Lock(t)
+	items.Add(t, 1)
+	cv.Broadcast(t)
+	mu.Unlock(t)
+	c1.Join(t)
+	c2.Join(t)
+}
+
+var _ = register(&Program{
+	Name:     "waitnotinloop",
+	Synopsis: "condition re-checked with if instead of while",
+	Kind:     KindNotify,
+	Doc: `Both consumers wake from one Broadcast announcing a single item.
+The first consumer takes it; the second, having re-checked its
+predicate with "if" rather than "while", proceeds anyway and drives the
+queue negative. The bug needs both consumers to be parked before the
+broadcast — a timing window the baseline scheduler never produces.`,
+	BugVars:  []string{"queue"},
+	Threads:  3,
+	Defaults: Params{},
+	Body:     waitNotInLoopBody,
+})
+
+// boundedBufferBody is the CORRECT producer/consumer over a bounded
+// buffer: while-loop waits, broadcast on every transition.
+func boundedBufferBody(t core.T, p Params) {
+	producers := p.Get("producers", 2)
+	consumers := p.Get("consumers", 2)
+	perProducer := p.Get("items", 3)
+	capacity := int64(p.Get("capacity", 2))
+
+	mu := t.NewMutex("bufmu")
+	notFull := t.NewCond("notfull", mu)
+	notEmpty := t.NewCond("notempty", mu)
+	count := t.NewInt("bufcount", 0)
+	produced := t.NewInt("produced", 0)
+	consumed := t.NewInt("consumed", 0)
+
+	total := producers * perProducer
+	// Consumers share the total workload.
+	perConsumer := total / consumers
+
+	var handles []core.Handle
+	for i := 0; i < producers; i++ {
+		handles = append(handles, t.Go("producer", func(wt core.T) {
+			for j := 0; j < perProducer; j++ {
+				mu.Lock(wt)
+				for count.Load(wt) >= capacity {
+					notFull.Wait(wt)
+				}
+				count.Add(wt, 1)
+				produced.Add(wt, 1)
+				notEmpty.Broadcast(wt)
+				mu.Unlock(wt)
+			}
+		}))
+	}
+	for i := 0; i < consumers; i++ {
+		handles = append(handles, t.Go("consumer", func(wt core.T) {
+			taken := wt.NewInt("taken", 0) // per-consumer, prunable
+			for j := 0; j < perConsumer; j++ {
+				mu.Lock(wt)
+				for count.Load(wt) == 0 {
+					notEmpty.Wait(wt)
+				}
+				c := count.Add(wt, -1)
+				wt.Assert(c >= 0 && c <= capacity, "buffer bounds: %d", c)
+				consumed.Add(wt, 1)
+				notFull.Broadcast(wt)
+				mu.Unlock(wt)
+				taken.Add(wt, 1)
+			}
+		}))
+	}
+	for _, h := range handles {
+		h.Join(t)
+	}
+	t.Assert(produced.Load(t) == int64(total) && consumed.Load(t) == int64(total),
+		"produced=%d consumed=%d want=%d", produced.Load(t), consumed.Load(t), total)
+}
+
+var _ = register(&Program{
+	Name:     "boundedbuffer",
+	Synopsis: "correct bounded producer/consumer buffer",
+	Kind:     KindNone,
+	Doc: `A textbook-correct bounded buffer: predicates re-checked in
+while loops, broadcasts on every state transition, all state under one
+lock. Correct under every interleaving; heavy wait/notify traffic makes
+it the stress baseline for overheads and synchronization-contention
+coverage.`,
+	Threads:  5,
+	Defaults: Params{"producers": 2, "consumers": 2, "items": 3, "capacity": 2},
+	Body:     boundedBufferBody,
+})

@@ -1,0 +1,135 @@
+package repository
+
+import (
+	"time"
+
+	"mtbench/internal/core"
+)
+
+// This file holds the order-violation programs: sleep used as
+// synchronization, a forgotten join, and an unprotected barrier reuse.
+
+// sleepSyncBody: the main thread sleeps "long enough" for the worker
+// to initialize — until a scheduler disagrees about what long enough
+// means.
+func sleepSyncBody(t core.T, p Params) {
+	workMs := p.Get("workMs", 5)
+	sleepMs := p.Get("sleepMs", 10)
+	config := t.NewInt("config", 0)
+	t.Go("initializer", func(wt core.T) {
+		// Simulated startup work before publishing the config.
+		wt.Sleep(time.Duration(workMs) * time.Millisecond)
+		config.Store(wt, 1)
+	})
+	// BUG: sleeping is not synchronization. Usually 10ms > 5ms and the
+	// config is ready; a delayed initializer (noise, load, slow
+	// machine) breaks it.
+	t.Sleep(time.Duration(sleepMs) * time.Millisecond)
+	got := config.Load(t)
+	t.Assert(got == 1, "read config before initialization: %d", got)
+}
+
+var _ = register(&Program{
+	Name:     "sleepsync",
+	Synopsis: "sleep used as synchronization with an initializer",
+	Kind:     KindOrder,
+	Doc: `The main thread sleeps 10ms assuming the initializer (5ms of
+work) will have published the configuration by then. Any delay of the
+initializer — injected noise before its store, a loaded machine —
+breaks the assumption and main reads an uninitialized config. Noise
+makers that sleep (not just yield) are the tools that expose it; pure
+yield noise cannot stretch the initializer enough, which experiment E1
+shows. Also a true data race on config (no happens-before edge).`,
+	BugVars:  []string{"config"},
+	Threads:  2,
+	Defaults: Params{"workMs": 5, "sleepMs": 10},
+	Body:     sleepSyncBody,
+})
+
+// forgottenJoinBody: main uses the worker's result without joining.
+func forgottenJoinBody(t core.T, p Params) {
+	chunks := p.Get("chunks", 3)
+	result := t.NewInt("result", 0)
+	doneCount := t.NewInt("donecount", 0)
+	for i := 0; i < chunks; i++ {
+		t.Go("summer", func(wt core.T) {
+			result.Add(wt, 10)
+			doneCount.Add(wt, 1)
+		})
+	}
+	// BUG: no joins; main reads the result as soon as it gets to run.
+	got := result.Load(t)
+	t.Assert(got == int64(10*chunks), "read before workers finished: %d", got)
+}
+
+var _ = register(&Program{
+	Name:     "forgottenjoin",
+	Synopsis: "result consumed without joining the workers",
+	Kind:     KindOrder,
+	Doc: `Main forks workers that accumulate into a shared result and then
+reads it without joining. Under the run-to-block baseline main keeps
+the processor and reads 0 immediately — this is one of the few bugs the
+deterministic scheduler finds on its own — while a friendlier schedule
+can mask it. Race detectors flag result (no fork/join ordering to the
+reads).`,
+	BugVars:  []string{"result", "donecount"},
+	Threads:  4,
+	Defaults: Params{"chunks": 3},
+	Body:     forgottenJoinBody,
+})
+
+// barrierBody: a hand-rolled two-phase barrier whose reuse lacks a
+// generation count, letting fast threads lap slow ones.
+func barrierBody(t core.T, p Params) {
+	parties := p.Get("parties", 2)
+	rounds := p.Get("rounds", 2)
+	mu := t.NewMutex("barriermu")
+	cv := t.NewCond("barriercv", mu)
+	arrived := t.NewInt("arrived", 0)
+	phase := t.NewInt("phase", 0)
+
+	handles := make([]core.Handle, parties)
+	for i := range handles {
+		handles[i] = t.Go("party", func(wt core.T) {
+			for r := 0; r < rounds; r++ {
+				mu.Lock(wt)
+				n := arrived.Add(wt, 1)
+				if n == int64(parties) {
+					arrived.Store(wt, 0)
+					phase.Add(wt, 1)
+					cv.Broadcast(wt)
+				} else {
+					// BUG: waits for "arrived == 0" instead of a
+					// generation counter; a thread that re-enters the
+					// barrier before this one wakes can re-increment
+					// arrived and strand it.
+					for arrived.Load(wt) != 0 {
+						cv.Wait(wt)
+					}
+				}
+				mu.Unlock(wt)
+				wt.Assert(phase.Load(wt) >= int64(r), "barrier phase regressed")
+			}
+		})
+	}
+	for _, h := range handles {
+		h.Join(t)
+	}
+	t.Assert(phase.Load(t) == int64(rounds), "phases=%d want=%d", phase.Load(t), rounds)
+}
+
+var _ = register(&Program{
+	Name:     "barrier",
+	Synopsis: "reusable barrier without a generation counter",
+	Kind:     KindNotify,
+	Doc: `A cyclic barrier that resets its arrival counter but tracks no
+generation: a waiter checks "arrived == 0" to detect the phase flip.
+A fast thread can start the next round and re-increment arrived before
+a slow waiter re-checks, so the slow waiter sees arrived != 0 and waits
+for a broadcast that already happened — deadlock on reuse. The classic
+reason java.util.concurrent.CyclicBarrier carries a generation object.`,
+	BugVars:  []string{"arrived", "phase"},
+	Threads:  3,
+	Defaults: Params{"parties": 2, "rounds": 2},
+	Body:     barrierBody,
+})

@@ -1,0 +1,344 @@
+package repository
+
+import "mtbench/internal/core"
+
+// This file holds the race and atomicity-violation programs: the
+// load-store races, check-then-act windows, invariant-splitting
+// transfers, broken double-checked locking, and the wrong-lock
+// variants that Eraser-style detectors were built for.
+
+// accountBody is the canonical bank-account lost update: deposits are
+// unsynchronized load-then-store sequences, so concurrent deposits can
+// overwrite each other and the final balance comes up short.
+func accountBody(t core.T, p Params) {
+	depositors := p.Get("depositors", 3)
+	deposits := p.Get("deposits", 2)
+	balance := t.NewInt("balance", 0)
+	handles := make([]core.Handle, depositors)
+	for i := range handles {
+		handles[i] = t.Go("depositor", func(wt core.T) {
+			// Per-depositor bookkeeping: thread-local by construction,
+			// so static analysis can prune its probes (E8).
+			tally := wt.NewInt("tally", 0)
+			for d := 0; d < deposits; d++ {
+				v := balance.Load(wt) // read
+				balance.Store(wt, v+10)
+				tally.Add(wt, 10)
+			}
+		})
+	}
+	for _, h := range handles {
+		h.Join(t)
+	}
+	want := int64(depositors * deposits * 10)
+	got := balance.Load(t)
+	t.Assert(got == want, "lost update: balance=%d want=%d", got, want)
+}
+
+var _ = register(&Program{
+	Name:     "account",
+	Synopsis: "bank account with unsynchronized deposits (lost update)",
+	Kind:     KindRace,
+	Doc: `Each depositor runs balance = balance + 10 as separate load and
+store operations with no lock. If a thread is preempted between its
+load and its store, deposits made in between are overwritten and the
+final balance is short. Manifests as an assertion failure on the final
+balance. The deterministic unit-test scheduler never preempts inside
+the window, so the test always passes without noise.`,
+	BugVars:  []string{"balance"},
+	Threads:  4,
+	Defaults: Params{"depositors": 3, "deposits": 2},
+	Body:     accountBody,
+})
+
+// counterWrongLockBody protects one counter with two different locks:
+// each thread is locally disciplined, globally unprotected.
+func counterWrongLockBody(t core.T, p Params) {
+	iters := p.Get("iters", 3)
+	count := t.NewInt("count", 0)
+	muA := t.NewMutex("muA")
+	muB := t.NewMutex("muB")
+	h1 := t.Go("incA", func(wt core.T) {
+		for i := 0; i < iters; i++ {
+			muA.Lock(wt)
+			v := count.Load(wt)
+			count.Store(wt, v+1)
+			muA.Unlock(wt)
+		}
+	})
+	h2 := t.Go("incB", func(wt core.T) {
+		for i := 0; i < iters; i++ {
+			muB.Lock(wt)
+			v := count.Load(wt)
+			count.Store(wt, v+1)
+			muB.Unlock(wt)
+		}
+	})
+	h1.Join(t)
+	h2.Join(t)
+	got := count.Load(t)
+	t.Assert(got == int64(2*iters), "wrong-lock race: count=%d want=%d", got, 2*iters)
+}
+
+var _ = register(&Program{
+	Name:     "wronglock",
+	Synopsis: "two threads protect one counter with different locks",
+	Kind:     KindRace,
+	Doc: `Thread A always holds muA while updating count; thread B always
+holds muB. Each thread looks disciplined in isolation, but the two
+critical sections do not exclude each other, so increments are lost.
+This is the textbook case where the Eraser lockset goes empty (the
+intersection of {muA} and {muB}) while naive inspection sees locks
+everywhere.`,
+	BugVars:  []string{"count"},
+	Threads:  3,
+	Defaults: Params{"iters": 3},
+	Body:     counterWrongLockBody,
+})
+
+// checkThenActBody: the capacity check and the insertion are not
+// atomic, so two threads can both pass the check and overflow.
+func checkThenActBody(t core.T, p Params) {
+	adders := p.Get("adders", 3)
+	capacity := int64(p.Get("capacity", 2))
+	size := t.NewInt("size", 0)
+	mu := t.NewMutex("mu")
+	handles := make([]core.Handle, adders)
+	for i := range handles {
+		handles[i] = t.Go("adder", func(wt core.T) {
+			mu.Lock(wt)
+			full := size.Load(wt) >= capacity
+			mu.Unlock(wt)
+			// BUG: decision used after the lock is released.
+			if !full {
+				mu.Lock(wt)
+				size.Store(wt, size.Load(wt)+1)
+				mu.Unlock(wt)
+			}
+		})
+	}
+	for _, h := range handles {
+		h.Join(t)
+	}
+	got := size.Load(t)
+	t.Assert(got <= capacity, "overflow: size=%d capacity=%d", got, capacity)
+}
+
+var _ = register(&Program{
+	Name:     "checkthenact",
+	Synopsis: "capacity check and insert in separate critical sections",
+	Kind:     KindAtomicity,
+	Doc: `Each adder checks size < capacity under the lock, releases it,
+and then inserts under a second lock acquisition. Between the check and
+the act other adders may fill the container, so more than capacity
+elements are inserted. Every individual access is lock-protected —
+lockset detectors stay silent — making this the canonical atomicity
+violation that only interleaving-based tools (noise, exploration)
+expose.`,
+	BugVars:  []string{"size"},
+	Threads:  4,
+	Defaults: Params{"adders": 3, "capacity": 2},
+	Body:     checkThenActBody,
+})
+
+// transferBody splits the invariant a+b == total across two locks and
+// updates the halves in separate critical sections.
+func transferBody(t core.T, p Params) {
+	transfers := p.Get("transfers", 2)
+	a := t.NewInt("acctA", 100)
+	b := t.NewInt("acctB", 100)
+	mu := t.NewMutex("mu")
+	mover := t.Go("mover", func(wt core.T) {
+		for i := 0; i < transfers; i++ {
+			mu.Lock(wt)
+			a.Store(wt, a.Load(wt)-10)
+			mu.Unlock(wt)
+			// BUG: the invariant is broken between the two sections.
+			mu.Lock(wt)
+			b.Store(wt, b.Load(wt)+10)
+			mu.Unlock(wt)
+		}
+	})
+	auditor := t.Go("auditor", func(wt core.T) {
+		mu.Lock(wt)
+		sum := a.Load(wt) + b.Load(wt)
+		mu.Unlock(wt)
+		wt.Assert(sum == 200, "invariant broken: a+b=%d", sum)
+	})
+	mover.Join(t)
+	auditor.Join(t)
+}
+
+var _ = register(&Program{
+	Name:     "transfer",
+	Synopsis: "two-account transfer with a non-atomic invariant window",
+	Kind:     KindAtomicity,
+	Doc: `The mover debits account A and credits account B in two separate
+critical sections; the auditor observes the invariant a+b == 200 under
+the same lock. If the auditor runs between the debit and the credit it
+sees the money in flight. All accesses are consistently locked (no data
+race), yet the program is wrong — the paper's point that race freedom
+is not atomicity.`,
+	BugVars:  []string{"acctA", "acctB"},
+	Threads:  3,
+	Defaults: Params{"transfers": 2},
+	Body:     transferBody,
+})
+
+// dclBody models broken double-checked locking: the fast-path read of
+// the initialized flag is unsynchronized, and the writer publishes the
+// flag before the payload.
+func dclBody(t core.T, p Params) {
+	readers := p.Get("readers", 2)
+	value := t.NewInt("value", 0)          // the lazily built object
+	initialized := t.NewInt("initflag", 0) // BUG: plain, not atomic
+	mu := t.NewMutex("initmu")
+
+	handles := make([]core.Handle, readers)
+	for i := range handles {
+		handles[i] = t.Go("reader", func(wt core.T) {
+			if initialized.Load(wt) == 0 { // unsynchronized fast path
+				mu.Lock(wt)
+				if initialized.Load(wt) == 0 {
+					// BUG: flag published before the payload is built.
+					initialized.Store(wt, 1)
+					wt.Yield() // widen the construction window
+					value.Store(wt, 42)
+				}
+				mu.Unlock(wt)
+			}
+			got := value.Load(wt)
+			wt.Assert(got == 42, "observed uninitialized singleton: value=%d", got)
+		})
+	}
+	for _, h := range handles {
+		h.Join(t)
+	}
+}
+
+var _ = register(&Program{
+	Name:     "dcl",
+	Synopsis: "double-checked locking publishing the flag before the payload",
+	Kind:     KindOrder,
+	Doc: `The classic broken singleton: the initializing thread sets the
+"initialized" flag before finishing construction, and readers check the
+flag without synchronization. A reader that sees the flag set while
+construction is still in progress uses a half-built object. Manifests
+as an assertion on the observed payload. The happens-before race
+detector also flags the unsynchronized flag/value accesses.`,
+	BugVars:  []string{"initflag", "value"},
+	Threads:  3,
+	Defaults: Params{"readers": 2},
+	Body:     dclBody,
+})
+
+// adhocSyncBody is CORRECT: it hands data across threads via an atomic
+// flag with release/acquire meaning. It exists to measure false
+// alarms: lockset tools cannot see this synchronization.
+func adhocSyncBody(t core.T, p Params) {
+	data := t.NewInt("payload", 0)
+	ready := t.NewAtomicInt("readyflag", 0)
+	consumer := t.Go("consumer", func(wt core.T) {
+		for ready.Load(wt) == 0 {
+			wt.Yield()
+		}
+		got := data.Load(wt)
+		wt.Assert(got == 7, "handoff broken: payload=%d", got)
+	})
+	data.Store(t, 7)
+	ready.Store(t, 1) // release: publishes the payload
+	consumer.Join(t)
+}
+
+var _ = register(&Program{
+	Name:     "adhocsync",
+	Synopsis: "correct atomic-flag handoff (lockset false-alarm bait)",
+	Kind:     KindNone,
+	Doc: `The producer writes the payload and then sets an atomic flag;
+the consumer spins on the flag before reading the payload. Under
+release/acquire semantics this is correct and the assertion never
+fails. Lockset detectors, which only understand locks, report the
+payload as a race — the benchmark counts that as a false alarm, the
+measurement §2.2 asks for ("detecting such synchronization ... will
+alleviate much of the problem of false alarms").`,
+	BenignVars: []string{"payload"},
+	Threads:    2,
+	Defaults:   Params{},
+	Body:       adhocSyncBody,
+})
+
+// lockedCounterBody is CORRECT: the fully locked counter baseline.
+func lockedCounterBody(t core.T, p Params) {
+	workers := p.Get("workers", 3)
+	iters := p.Get("iters", 3)
+	count := t.NewInt("count", 0)
+	mu := t.NewMutex("mu")
+	handles := make([]core.Handle, workers)
+	for i := range handles {
+		handles[i] = t.Go("inc", func(wt core.T) {
+			localops := wt.NewInt("localops", 0) // per-thread, prunable
+			for j := 0; j < iters; j++ {
+				mu.Lock(wt)
+				v := count.Load(wt)
+				count.Store(wt, v+1)
+				mu.Unlock(wt)
+				localops.Add(wt, 1)
+			}
+		})
+	}
+	for _, h := range handles {
+		h.Join(t)
+	}
+	got := count.Load(t)
+	t.Assert(got == int64(workers*iters), "locked counter wrong: %d", got)
+}
+
+var _ = register(&Program{
+	Name:     "lockedcounter",
+	Synopsis: "correct lock-protected counter (no-bug baseline)",
+	Kind:     KindNone,
+	Doc: `A counter incremented by several threads, every access under one
+mutex. Correct under every interleaving: the baseline for false-alarm
+rates (any warning here is false) and for noise-maker overhead
+measurements on healthy code.`,
+	Threads:  4,
+	Defaults: Params{"workers": 3, "iters": 3},
+	Body:     lockedCounterBody,
+})
+
+// statMaxBody races on a "maximum seen" cell: read-compare-write
+// without a lock can go backwards.
+func statMaxBody(t core.T, p Params) {
+	reporters := p.Get("reporters", 3)
+	maxSeen := t.NewInt("maxseen", 0)
+	handles := make([]core.Handle, reporters)
+	for i := range handles {
+		val := int64((i + 1) * 10)
+		handles[i] = t.Go("reporter", func(wt core.T) {
+			if maxSeen.Load(wt) < val { // read
+				maxSeen.Store(wt, val) // write: may overwrite a larger max
+			}
+		})
+	}
+	for _, h := range handles {
+		h.Join(t)
+	}
+	got := maxSeen.Load(t)
+	want := int64(reporters * 10)
+	t.Assert(got == want, "max regressed: maxseen=%d want=%d", got, want)
+}
+
+var _ = register(&Program{
+	Name:     "statmax",
+	Synopsis: "unsynchronized running-maximum update",
+	Kind:     KindRace,
+	Doc: `Reporters update a shared maximum with an unsynchronized
+compare-then-store. A reporter holding a small value can pass the
+comparison, get delayed, and then overwrite a larger maximum written in
+between — the statistic goes backwards. A one-preemption bug used by
+the exploration experiment as an easy target.`,
+	BugVars:  []string{"maxseen"},
+	Threads:  4,
+	Defaults: Params{"reporters": 3},
+	Body:     statMaxBody,
+})

@@ -1,0 +1,141 @@
+package sched
+
+import (
+	"fmt"
+	"time"
+
+	"mtbench/internal/core"
+)
+
+// tc is the controlled runtime's implementation of core.T. One tc wraps
+// one virtual thread; all operations route through the thread's
+// scheduler.
+type tc struct {
+	th *thread
+}
+
+var _ core.T = (*tc)(nil)
+
+func (c *tc) ID() core.ThreadID { return c.th.id }
+func (c *tc) Name() string      { return c.th.name }
+
+// loc resolves the benchmark program's call site: 2 frames above the
+// core helper (program -> tc method -> CallerLocation).
+func progLoc() core.Location { return core.CallerLocation(2) }
+
+func (c *tc) Go(name string, fn func(t core.T)) core.Handle {
+	th, s := c.th, c.th.sc
+	loc := progLoc()
+	th.prePoint(core.OpFork, name, loc)
+	child := s.spawn(name, func(t core.T) { fn(t) })
+	s.emit(th, core.OpFork, core.NoObject, name, int64(child.id), 0, loc)
+	return &handle{child: child}
+}
+
+func (c *tc) Yield() {
+	th, s := c.th, c.th.sc
+	loc := progLoc()
+	th.prePoint(core.OpYield, "", loc)
+	s.emit(th, core.OpYield, core.NoObject, "", 0, 0, loc)
+}
+
+func (c *tc) Sleep(d time.Duration) {
+	th, s := c.th, c.th.sc
+	loc := progLoc()
+	th.prePoint(core.OpSleep, "", loc)
+	s.emit(th, core.OpSleep, core.NoObject, "", int64(d), 0, loc)
+	if d <= 0 {
+		return
+	}
+	th.wakeAt = s.now() + int64(d)
+	th.state = tSleeping
+	th.park()
+}
+
+func (c *tc) Assert(cond bool, format string, args ...any) {
+	if cond {
+		return
+	}
+	c.fail(core.CallerLocation(1), format, args...)
+}
+
+func (c *tc) Failf(format string, args ...any) {
+	c.fail(core.CallerLocation(1), format, args...)
+}
+
+func (c *tc) fail(loc core.Location, format string, args ...any) {
+	th, s := c.th, c.th.sc
+	msg := fmt.Sprintf(format, args...)
+	s.emit(th, core.OpFail, core.NoObject, msg, 0, 0, loc)
+	core.FailNow(core.Failure{Msg: msg, Thread: th.id, Loc: loc})
+}
+
+func (c *tc) Outcome(format string, args ...any) {
+	th, s := c.th, c.th.sc
+	loc := progLoc()
+	frag := fmt.Sprintf(format, args...)
+	s.outcome = append(s.outcome, frag)
+	s.emit(th, core.OpOutcome, core.NoObject, frag, 0, 0, loc)
+}
+
+func (c *tc) NewMutex(name string) core.Mutex {
+	s := c.th.sc
+	s.objSeq++
+	return &mutex{id: s.objSeq, name: name, sc: s, holder: core.NoThread}
+}
+
+func (c *tc) NewRWMutex(name string) core.RWMutex {
+	s := c.th.sc
+	s.objSeq++
+	return &rwmutex{id: s.objSeq, name: name, sc: s, writer: core.NoThread}
+}
+
+func (c *tc) NewCond(name string, mu core.Mutex) core.Cond {
+	s := c.th.sc
+	m, ok := mu.(*mutex)
+	if !ok {
+		panic("sched: NewCond requires a mutex created by this runtime")
+	}
+	s.objSeq++
+	return &cond{id: s.objSeq, name: name, sc: s, mu: m}
+}
+
+func (c *tc) NewInt(name string, init int64) core.IntVar {
+	s := c.th.sc
+	s.objSeq++
+	return &intvar{id: s.objSeq, name: name, sc: s, val: init}
+}
+
+func (c *tc) NewAtomicInt(name string, init int64) core.IntVar {
+	s := c.th.sc
+	s.objSeq++
+	return &intvar{id: s.objSeq, name: name, sc: s, val: init, atomic: true}
+}
+
+func (c *tc) NewRef(name string) core.RefVar {
+	s := c.th.sc
+	s.objSeq++
+	return &refvar{id: s.objSeq, name: name, sc: s}
+}
+
+// handle implements core.Handle for controlled threads.
+type handle struct {
+	child *thread
+}
+
+func (h *handle) TID() core.ThreadID { return h.child.id }
+
+func (h *handle) Join(t core.T) {
+	c := t.(*tc)
+	th, s := c.th, c.th.sc
+	loc := progLoc()
+	th.prePoint(core.OpJoin, h.child.name, loc)
+	for h.child.state != tDone {
+		th.blockOn(blockReason{
+			kind:  blockJoin,
+			name:  h.child.name,
+			ready: func() bool { return h.child.state == tDone },
+		})
+	}
+	s.emit(th, core.OpJoin, core.NoObject, h.child.name, int64(h.child.id), 0, loc)
+}

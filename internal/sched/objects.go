@@ -1,0 +1,373 @@
+package sched
+
+import (
+	"mtbench/internal/core"
+)
+
+// curThread asserts that t belongs to this runtime and returns its
+// thread. Sharing objects across runs (or runtimes) is a harness bug
+// worth failing loudly on.
+func (s *scheduler) curThread(t core.T) *thread {
+	c, ok := t.(*tc)
+	if !ok || c.th.sc != s {
+		panic("sched: object used with a T from a different runtime/run")
+	}
+	return c.th
+}
+
+// mutex is the controlled runtime's non-reentrant lock.
+type mutex struct {
+	id     core.ObjectID
+	name   string
+	sc     *scheduler
+	holder core.ThreadID
+}
+
+func (m *mutex) OID() core.ObjectID { return m.id }
+
+func (m *mutex) Lock(t core.T) {
+	th := m.sc.curThread(t)
+	loc := progLoc()
+	th.prePoint(core.OpLock, m.name, loc)
+	if m.holder == th.id {
+		th.sc.emit(th, core.OpFail, m.id, "recursive lock of "+m.name, 0, 0, loc)
+		core.FailNow(core.Failure{Msg: "recursive lock of " + m.name, Thread: th.id, Loc: loc})
+	}
+	if m.holder != core.NoThread {
+		m.sc.emit(th, core.OpBlock, m.id, m.name, 0, 0, loc)
+		for m.holder != core.NoThread {
+			th.blockOn(blockReason{
+				kind:   blockLock,
+				obj:    m.id,
+				name:   m.name,
+				ready:  func() bool { return m.holder == core.NoThread },
+				holder: func() core.ThreadID { return m.holder },
+			})
+		}
+	}
+	m.holder = th.id
+	th.locksHeld = append(th.locksHeld, m.id)
+	m.sc.emit(th, core.OpLock, m.id, m.name, 1, 0, loc)
+}
+
+func (m *mutex) TryLock(t core.T) bool {
+	th := m.sc.curThread(t)
+	loc := progLoc()
+	th.prePoint(core.OpLock, m.name, loc)
+	if m.holder != core.NoThread {
+		m.sc.emit(th, core.OpLock, m.id, m.name, 0, 0, loc)
+		return false
+	}
+	m.holder = th.id
+	th.locksHeld = append(th.locksHeld, m.id)
+	m.sc.emit(th, core.OpLock, m.id, m.name, 1, 0, loc)
+	return true
+}
+
+func (m *mutex) Unlock(t core.T) {
+	th := m.sc.curThread(t)
+	loc := progLoc()
+	th.prePoint(core.OpUnlock, m.name, loc)
+	if m.holder != th.id {
+		msg := "unlock of mutex " + m.name + " not held by caller"
+		m.sc.emit(th, core.OpFail, m.id, msg, 0, 0, loc)
+		core.FailNow(core.Failure{Msg: msg, Thread: th.id, Loc: loc})
+	}
+	m.unlockInternal(th, loc)
+}
+
+// unlockInternal releases the mutex and emits the unlock event; Wait
+// reuses it.
+func (m *mutex) unlockInternal(th *thread, loc core.Location) {
+	m.holder = core.NoThread
+	removeLock(th, m.id)
+	m.sc.emit(th, core.OpUnlock, m.id, m.name, 0, 0, loc)
+}
+
+// lockInternal reacquires the mutex without a scheduling point's
+// prePoint (Wait's wakeup path).
+func (m *mutex) lockInternal(th *thread, loc core.Location) {
+	for m.holder != core.NoThread {
+		th.blockOn(blockReason{
+			kind:   blockLock,
+			obj:    m.id,
+			name:   m.name,
+			ready:  func() bool { return m.holder == core.NoThread },
+			holder: func() core.ThreadID { return m.holder },
+		})
+	}
+	m.holder = th.id
+	th.locksHeld = append(th.locksHeld, m.id)
+	m.sc.emit(th, core.OpLock, m.id, m.name, 1, 0, loc)
+}
+
+func removeLock(th *thread, id core.ObjectID) {
+	for i := len(th.locksHeld) - 1; i >= 0; i-- {
+		if th.locksHeld[i] == id {
+			th.locksHeld = append(th.locksHeld[:i], th.locksHeld[i+1:]...)
+			return
+		}
+	}
+}
+
+// rwmutex is the controlled reader/writer lock.
+type rwmutex struct {
+	id      core.ObjectID
+	name    string
+	sc      *scheduler
+	writer  core.ThreadID
+	readers map[core.ThreadID]int
+}
+
+func (w *rwmutex) OID() core.ObjectID { return w.id }
+
+func (w *rwmutex) nreaders() int {
+	n := 0
+	for _, c := range w.readers {
+		n += c
+	}
+	return n
+}
+
+func (w *rwmutex) Lock(t core.T) {
+	th := w.sc.curThread(t)
+	loc := progLoc()
+	th.prePoint(core.OpLock, w.name, loc)
+	if w.writer != core.NoThread || w.nreaders() > 0 {
+		w.sc.emit(th, core.OpBlock, w.id, w.name, 0, 0, loc)
+		for w.writer != core.NoThread || w.nreaders() > 0 {
+			th.blockOn(blockReason{
+				kind:  blockRW,
+				obj:   w.id,
+				name:  w.name,
+				ready: func() bool { return w.writer == core.NoThread && w.nreaders() == 0 },
+				holder: func() core.ThreadID {
+					if w.writer != core.NoThread {
+						return w.writer
+					}
+					if len(w.readers) == 1 {
+						for r := range w.readers {
+							return r
+						}
+					}
+					return core.NoThread
+				},
+			})
+		}
+	}
+	w.writer = th.id
+	th.locksHeld = append(th.locksHeld, w.id)
+	w.sc.emit(th, core.OpLock, w.id, w.name, 1, 0, loc)
+}
+
+func (w *rwmutex) Unlock(t core.T) {
+	th := w.sc.curThread(t)
+	loc := progLoc()
+	th.prePoint(core.OpUnlock, w.name, loc)
+	if w.writer != th.id {
+		msg := "unlock of rwmutex " + w.name + " not write-held by caller"
+		w.sc.emit(th, core.OpFail, w.id, msg, 0, 0, loc)
+		core.FailNow(core.Failure{Msg: msg, Thread: th.id, Loc: loc})
+	}
+	w.writer = core.NoThread
+	removeLock(th, w.id)
+	w.sc.emit(th, core.OpUnlock, w.id, w.name, 0, 0, loc)
+}
+
+func (w *rwmutex) RLock(t core.T) {
+	th := w.sc.curThread(t)
+	loc := progLoc()
+	th.prePoint(core.OpRLock, w.name, loc)
+	if w.writer != core.NoThread {
+		w.sc.emit(th, core.OpBlock, w.id, w.name, 0, 0, loc)
+		for w.writer != core.NoThread {
+			th.blockOn(blockReason{
+				kind:   blockRW,
+				obj:    w.id,
+				name:   w.name,
+				ready:  func() bool { return w.writer == core.NoThread },
+				holder: func() core.ThreadID { return w.writer },
+			})
+		}
+	}
+	if w.readers == nil {
+		w.readers = make(map[core.ThreadID]int)
+	}
+	w.readers[th.id]++
+	w.sc.emit(th, core.OpRLock, w.id, w.name, 1, 0, loc)
+}
+
+func (w *rwmutex) RUnlock(t core.T) {
+	th := w.sc.curThread(t)
+	loc := progLoc()
+	th.prePoint(core.OpRUnlock, w.name, loc)
+	if w.readers[th.id] == 0 {
+		msg := "runlock of rwmutex " + w.name + " not read-held by caller"
+		w.sc.emit(th, core.OpFail, w.id, msg, 0, 0, loc)
+		core.FailNow(core.Failure{Msg: msg, Thread: th.id, Loc: loc})
+	}
+	w.readers[th.id]--
+	if w.readers[th.id] == 0 {
+		delete(w.readers, th.id)
+	}
+	w.sc.emit(th, core.OpRUnlock, w.id, w.name, 0, 0, loc)
+}
+
+// cond is the controlled condition variable with Java monitor
+// semantics.
+type cond struct {
+	id   core.ObjectID
+	name string
+	sc   *scheduler
+	mu   *mutex
+	// waiters holds parked threads in FIFO arrival order; Signal moves
+	// the head to eligible.
+	waiters  []*thread
+	eligible map[core.ThreadID]bool
+}
+
+func (c *cond) OID() core.ObjectID { return c.id }
+
+func (c *cond) checkHeld(th *thread, op string, loc core.Location) {
+	if c.mu.holder != th.id {
+		msg := op + " on cond " + c.name + " without holding mutex " + c.mu.name
+		c.sc.emit(th, core.OpFail, c.id, msg, 0, 0, loc)
+		core.FailNow(core.Failure{Msg: msg, Thread: th.id, Loc: loc})
+	}
+}
+
+func (c *cond) Wait(t core.T) {
+	th := c.sc.curThread(t)
+	loc := progLoc()
+	th.prePoint(core.OpWait, c.name, loc)
+	c.checkHeld(th, "wait", loc)
+	c.sc.emit(th, core.OpWait, c.id, c.name, 0, 0, loc)
+	c.mu.unlockInternal(th, loc)
+	if c.eligible == nil {
+		c.eligible = make(map[core.ThreadID]bool)
+	}
+	c.waiters = append(c.waiters, th)
+	for !c.eligible[th.id] {
+		th.blockOn(blockReason{
+			kind:  blockCond,
+			obj:   c.id,
+			name:  c.name,
+			ready: func() bool { return c.eligible[th.id] },
+		})
+	}
+	delete(c.eligible, th.id)
+	c.sc.emit(th, core.OpAwake, c.id, c.name, 0, 0, loc)
+	c.mu.lockInternal(th, loc)
+}
+
+func (c *cond) Signal(t core.T) {
+	th := c.sc.curThread(t)
+	loc := progLoc()
+	th.prePoint(core.OpSignal, c.name, loc)
+	c.checkHeld(th, "signal", loc)
+	c.sc.emit(th, core.OpSignal, c.id, c.name, int64(len(c.waiters)), 0, loc)
+	if len(c.waiters) > 0 {
+		w := c.waiters[0]
+		c.waiters = c.waiters[1:]
+		c.eligible[w.id] = true
+	}
+}
+
+func (c *cond) Broadcast(t core.T) {
+	th := c.sc.curThread(t)
+	loc := progLoc()
+	th.prePoint(core.OpBroadcast, c.name, loc)
+	c.checkHeld(th, "broadcast", loc)
+	c.sc.emit(th, core.OpBroadcast, c.id, c.name, int64(len(c.waiters)), 0, loc)
+	for _, w := range c.waiters {
+		c.eligible[w.id] = true
+	}
+	c.waiters = nil
+}
+
+// intvar is the controlled shared integer. Every access is a scheduling
+// point; the value itself needs no protection because only one thread
+// runs at a time.
+type intvar struct {
+	id     core.ObjectID
+	name   string
+	sc     *scheduler
+	val    int64
+	atomic bool
+}
+
+func (v *intvar) OID() core.ObjectID { return v.id }
+func (v *intvar) IsAtomic() bool     { return v.atomic }
+
+func (v *intvar) flags() core.Flags {
+	if v.atomic {
+		return core.FlagAtomic
+	}
+	return 0
+}
+
+func (v *intvar) Load(t core.T) int64 {
+	th := v.sc.curThread(t)
+	loc := progLoc()
+	th.prePoint(core.OpRead, v.name, loc)
+	val := v.val
+	v.sc.emit(th, core.OpRead, v.id, v.name, val, v.flags(), loc)
+	return val
+}
+
+func (v *intvar) Store(t core.T, val int64) {
+	th := v.sc.curThread(t)
+	loc := progLoc()
+	th.prePoint(core.OpWrite, v.name, loc)
+	v.val = val
+	v.sc.emit(th, core.OpWrite, v.id, v.name, val, v.flags(), loc)
+}
+
+func (v *intvar) Add(t core.T, delta int64) int64 {
+	th := v.sc.curThread(t)
+	loc := progLoc()
+	th.prePoint(core.OpWrite, v.name, loc)
+	v.val += delta
+	v.sc.emit(th, core.OpWrite, v.id, v.name, v.val, v.flags(), loc)
+	return v.val
+}
+
+func (v *intvar) CompareAndSwap(t core.T, old, new int64) bool {
+	th := v.sc.curThread(t)
+	loc := progLoc()
+	th.prePoint(core.OpWrite, v.name, loc)
+	if v.val != old {
+		v.sc.emit(th, core.OpRead, v.id, v.name, v.val, v.flags(), loc)
+		return false
+	}
+	v.val = new
+	v.sc.emit(th, core.OpWrite, v.id, v.name, new, v.flags(), loc)
+	return true
+}
+
+// refvar is the controlled shared reference cell.
+type refvar struct {
+	id   core.ObjectID
+	name string
+	sc   *scheduler
+	val  any
+}
+
+func (v *refvar) OID() core.ObjectID { return v.id }
+
+func (v *refvar) Load(t core.T) any {
+	th := v.sc.curThread(t)
+	loc := progLoc()
+	th.prePoint(core.OpRead, v.name, loc)
+	val := v.val
+	v.sc.emit(th, core.OpRead, v.id, v.name, 0, 0, loc)
+	return val
+}
+
+func (v *refvar) Store(t core.T, val any) {
+	th := v.sc.curThread(t)
+	loc := progLoc()
+	th.prePoint(core.OpWrite, v.name, loc)
+	v.val = val
+	v.sc.emit(th, core.OpWrite, v.id, v.name, 0, 0, loc)
+}

@@ -1,0 +1,567 @@
+// Package sched is the controlled runtime: a deterministic cooperative
+// scheduler that runs benchmark programs as virtual threads and takes a
+// scheduling decision at every instrumented operation. A pluggable
+// Strategy makes those decisions, which is how random testing, noise
+// making, replay and systematic state-space exploration all share one
+// substrate (§2.2 of the paper: replay and VeriSoft-style exploration
+// both need to "force interleavings").
+//
+// Exactly one virtual thread runs at a time; the driver (the goroutine
+// that called Run) and the virtual threads hand control back and forth
+// over channels. Because only the running thread touches shared state,
+// the scheduler, the program's emulated variables, and all listeners
+// execute race-free without locking, and a run is a pure function of
+// (program, strategy decisions) — the property replay and exploration
+// depend on.
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"mtbench/internal/core"
+	"mtbench/internal/instrument"
+)
+
+// DefaultMaxSteps bounds a run's scheduling decisions when
+// Config.MaxSteps is zero; it converts livelocks and runaway loops into
+// VerdictStepLimit results.
+const DefaultMaxSteps = 2_000_000
+
+// DefaultTimeQuantum is the virtual time that passes per scheduling
+// step. Sleep durations are measured against this clock, so a
+// Sleep(1ms) parks the thread for 1000 steps of other threads' work by
+// default — long enough that sleep-based synchronization usually works,
+// short enough that an adversarial strategy can outrun it.
+const DefaultTimeQuantum = time.Microsecond
+
+// Config configures a controlled run.
+type Config struct {
+	// Strategy picks the next thread at each scheduling point.
+	// Nil defaults to Nonpreemptive(), the deterministic scheduler that
+	// §1 of the paper blames for unit tests never hitting concurrency
+	// bugs.
+	Strategy Strategy
+	// Listeners observe the event stream.
+	Listeners []core.Listener
+	// Plan gates which probes fire; nil instruments everything.
+	Plan *instrument.Plan
+	// MaxSteps bounds scheduling decisions (0 = DefaultMaxSteps).
+	MaxSteps int64
+	// TimeQuantum is the virtual time per step (0 = DefaultTimeQuantum).
+	TimeQuantum time.Duration
+	// Name labels the run for RunObserver listeners.
+	Name string
+	// Seed is reported to RunObserver listeners (the scheduler itself
+	// is deterministic; randomness lives in strategies).
+	Seed int64
+	// RecordSchedule captures the per-step decisions in the Result for
+	// replay. Exploration and replay set it; bulk statistics runs leave
+	// it off to save allocation.
+	RecordSchedule bool
+}
+
+// Run executes body as thread 0 under the configured strategy and
+// returns the run's result. It never panics on program misbehaviour:
+// assertion failures, deadlocks, step-limit hits and stray panics all
+// become verdicts.
+func Run(cfg Config, body func(t core.T)) *core.Result {
+	s := newScheduler(cfg)
+	return s.run(body)
+}
+
+type tstate uint8
+
+const (
+	tReady tstate = iota
+	tRunning
+	tBlocked
+	tSleeping
+	tDone
+)
+
+// blockKind says what a blocked thread is waiting for, for deadlock
+// reporting.
+type blockKind uint8
+
+const (
+	blockNone blockKind = iota
+	blockLock
+	blockRW
+	blockCond
+	blockJoin
+)
+
+type blockReason struct {
+	kind blockKind
+	obj  core.ObjectID
+	name string
+	// ready reports whether the thread could make progress now. The
+	// driver evaluates it when building the runnable set; the blocked
+	// operation re-checks its own guard after being resumed.
+	ready func() bool
+	// holder, for lock blocks, names the current holder for wait-for
+	// cycle construction (NoThread when unknown or multiple, e.g.
+	// readers).
+	holder func() core.ThreadID
+}
+
+type resumeMsg struct{ abort bool }
+
+type thread struct {
+	id    core.ThreadID
+	name  string
+	state tstate
+	block blockReason
+	// wakeAt is the virtual deadline for sleeping threads.
+	wakeAt int64
+	// ready resumes the thread; every resume is answered by exactly one
+	// park on the scheduler's parked channel.
+	ready chan resumeMsg
+	// locksHeld is the ordered multiset of mutexes the thread holds;
+	// listeners and deadlock reporting read it.
+	locksHeld []core.ObjectID
+	// pending describes the operation the thread will perform next if
+	// picked; noise heuristics read it through Choice.
+	pending PendingOp
+	body    func(core.T)
+	sc      *scheduler
+}
+
+// PendingOp describes the operation a thread is about to perform at a
+// scheduling point.
+type PendingOp struct {
+	Op   core.Op
+	Name string
+	Loc  core.Location
+}
+
+type scheduler struct {
+	cfg       Config
+	listeners core.MultiListener
+	plan      *instrument.Plan
+	strategy  Strategy
+
+	threads []*thread
+	parked  chan *thread
+	cur     *thread
+
+	seq     int64
+	steps   int64
+	objSeq  core.ObjectID
+	nowNs   int64 // virtual clock
+	quantum int64
+
+	failure      *core.Failure
+	deadlockInfo string
+	stepLimitHit bool
+	diverged     bool
+
+	outcome     []string
+	finishOrder []string
+
+	schedule  []core.ThreadID
+	lastEvent core.Event
+	hasEvent  bool
+
+	evScratch core.Event
+}
+
+func newScheduler(cfg Config) *scheduler {
+	if cfg.Strategy == nil {
+		cfg.Strategy = Nonpreemptive()
+	}
+	if cfg.MaxSteps <= 0 {
+		cfg.MaxSteps = DefaultMaxSteps
+	}
+	if cfg.TimeQuantum <= 0 {
+		cfg.TimeQuantum = DefaultTimeQuantum
+	}
+	return &scheduler{
+		cfg:       cfg,
+		listeners: core.MultiListener(cfg.Listeners),
+		plan:      cfg.Plan,
+		strategy:  cfg.Strategy,
+		parked:    make(chan *thread),
+		quantum:   int64(cfg.TimeQuantum),
+	}
+}
+
+func (s *scheduler) run(body func(t core.T)) *core.Result {
+	start := time.Now()
+	s.listeners.StartRun(core.RunInfo{Program: s.cfg.Name, Mode: "controlled", Seed: s.cfg.Seed})
+
+	s.spawn("main", body)
+	s.drive()
+	s.abortAll()
+
+	res := &core.Result{
+		Verdict:      core.VerdictPass,
+		Failure:      s.failure,
+		DeadlockInfo: s.deadlockInfo,
+		Outcome:      strings.Join(s.outcome, ";"),
+		FinishOrder:  s.finishOrder,
+		Steps:        s.steps,
+		Events:       s.seq,
+		Threads:      len(s.threads),
+		Elapsed:      time.Since(start),
+		Schedule:     s.schedule,
+		Diverged:     s.diverged,
+	}
+	switch {
+	case s.failure != nil:
+		res.Verdict = core.VerdictFail
+	case s.deadlockInfo != "":
+		res.Verdict = core.VerdictDeadlock
+	case s.diverged:
+		res.Verdict = core.VerdictDiverged
+	case s.stepLimitHit:
+		res.Verdict = core.VerdictStepLimit
+	}
+	s.listeners.EndRun(res)
+	return res
+}
+
+// drive is the scheduling loop: pick a runnable thread, resume it, wait
+// for it to park, repeat until all threads are done or the run dies.
+func (s *scheduler) drive() {
+	for {
+		if s.failure != nil {
+			return
+		}
+		runnable := s.runnable()
+		if len(runnable) == 0 {
+			if s.advanceTime() {
+				continue
+			}
+			if s.liveCount() == 0 {
+				return // clean completion
+			}
+			s.deadlockInfo = s.describeDeadlock()
+			return
+		}
+		if s.steps >= s.cfg.MaxSteps {
+			s.stepLimitHit = true
+			return
+		}
+
+		choice := Choice{
+			Step:     s.steps,
+			Runnable: runnable,
+			Current:  core.NoThread,
+		}
+		if s.cur != nil {
+			choice.Current = s.cur.id
+			choice.Pending = s.cur.pending
+		}
+		if s.hasEvent {
+			choice.LastEvent = &s.lastEvent
+		}
+		choice.PendingOf = s.pendingOf
+		choice.CanIdle = s.hasFutureSleeper()
+		pick := s.strategy.Pick(&choice)
+		if pick == core.NoThread {
+			s.diverged = true
+			return
+		}
+		s.steps++
+		if s.cfg.RecordSchedule {
+			s.schedule = append(s.schedule, pick)
+		}
+		if pick == IdleID {
+			if !choice.CanIdle || !s.advanceTime() {
+				panic(fmt.Sprintf("sched: strategy %s idled with no sleeper", s.strategy.Name()))
+			}
+			continue
+		}
+		next := s.threadByID(pick)
+		if next == nil || !contains(runnable, pick) {
+			// A strategy bug: fail loudly rather than silently skewing
+			// statistics.
+			panic(fmt.Sprintf("sched: strategy %s picked non-runnable thread %d (runnable %v)",
+				s.strategy.Name(), pick, runnable))
+		}
+		s.resume(next)
+	}
+}
+
+// resume hands control to th and waits for it (or, after a spawn, the
+// same thread) to park again.
+func (s *scheduler) resume(th *thread) {
+	s.cur = th
+	th.state = tRunning
+	th.ready <- resumeMsg{}
+	<-s.parked
+}
+
+// runnable returns the ids of threads that can run now, in id order:
+// ready threads, blocked threads whose guard is satisfied, and sleeping
+// threads whose deadline passed.
+func (s *scheduler) runnable() []core.ThreadID {
+	var out []core.ThreadID
+	for _, th := range s.threads {
+		switch th.state {
+		case tReady:
+			out = append(out, th.id)
+		case tBlocked:
+			if th.block.ready == nil || th.block.ready() {
+				out = append(out, th.id)
+			}
+		case tSleeping:
+			if th.wakeAt <= s.now() {
+				out = append(out, th.id)
+			}
+		}
+	}
+	return out
+}
+
+// hasFutureSleeper reports whether some thread sleeps on a deadline
+// the clock has not reached (i.e. idling would change state).
+func (s *scheduler) hasFutureSleeper() bool {
+	for _, th := range s.threads {
+		if th.state == tSleeping && th.wakeAt > s.now() {
+			return true
+		}
+	}
+	return false
+}
+
+// advanceTime warps the virtual clock to the earliest sleeping thread's
+// deadline and reports whether any thread became runnable.
+func (s *scheduler) advanceTime() bool {
+	var min int64 = -1
+	now := s.now()
+	for _, th := range s.threads {
+		if th.state == tSleeping && th.wakeAt > now && (min < 0 || th.wakeAt < min) {
+			min = th.wakeAt
+		}
+	}
+	if min < 0 {
+		return false
+	}
+	s.nowNs += min - now
+	return true
+}
+
+func (s *scheduler) liveCount() int {
+	n := 0
+	for _, th := range s.threads {
+		if th.state != tDone {
+			n++
+		}
+	}
+	return n
+}
+
+func (s *scheduler) threadByID(id core.ThreadID) *thread {
+	if int(id) < 0 || int(id) >= len(s.threads) {
+		return nil
+	}
+	return s.threads[id]
+}
+
+// pendingOf reports a thread's published pending operation.
+func (s *scheduler) pendingOf(id core.ThreadID) PendingOp {
+	th := s.threadByID(id)
+	if th == nil {
+		return PendingOp{}
+	}
+	return th.pending
+}
+
+// describeDeadlock builds the human-readable wait-for description used
+// in VerdictDeadlock results: every live thread with what it waits for,
+// plus the lock cycle if one exists.
+func (s *scheduler) describeDeadlock() string {
+	var parts []string
+	waitsFor := make(map[core.ThreadID]core.ThreadID)
+	for _, th := range s.threads {
+		if th.state == tDone {
+			continue
+		}
+		switch th.state {
+		case tSleeping:
+			parts = append(parts, fmt.Sprintf("t%d(%s) sleeping", th.id, th.name))
+		case tBlocked:
+			kind := map[blockKind]string{
+				blockLock: "lock", blockRW: "rwlock", blockCond: "cond", blockJoin: "join",
+			}[th.block.kind]
+			parts = append(parts, fmt.Sprintf("t%d(%s) blocked on %s %q", th.id, th.name, kind, th.block.name))
+			if th.block.holder != nil {
+				if h := th.block.holder(); h != core.NoThread {
+					waitsFor[th.id] = h
+				}
+			}
+		default:
+			parts = append(parts, fmt.Sprintf("t%d(%s) %v", th.id, th.name, th.state))
+		}
+	}
+	sort.Strings(parts)
+	desc := strings.Join(parts, "; ")
+	if cyc := findCycle(waitsFor); len(cyc) > 0 {
+		ids := make([]string, len(cyc))
+		for i, id := range cyc {
+			ids[i] = fmt.Sprintf("t%d", id)
+		}
+		desc += " [cycle: " + strings.Join(ids, "->") + "]"
+	}
+	return desc
+}
+
+// findCycle finds a cycle in the wait-for map, returning the thread ids
+// along it (empty if none).
+func findCycle(waitsFor map[core.ThreadID]core.ThreadID) []core.ThreadID {
+	for start := range waitsFor {
+		seen := map[core.ThreadID]int{}
+		var path []core.ThreadID
+		cur := start
+		for {
+			if i, ok := seen[cur]; ok {
+				return append(path[i:], cur)
+			}
+			next, ok := waitsFor[cur]
+			if !ok {
+				break
+			}
+			seen[cur] = len(path)
+			path = append(path, cur)
+			cur = next
+		}
+	}
+	return nil
+}
+
+// abortAll unwinds every live thread so no goroutines outlive the run.
+func (s *scheduler) abortAll() {
+	for _, th := range s.threads {
+		if th.state == tDone {
+			continue
+		}
+		th.ready <- resumeMsg{abort: true}
+		<-s.parked
+	}
+}
+
+// spawn creates a virtual thread. The new thread does not run until the
+// driver picks it.
+func (s *scheduler) spawn(name string, body func(core.T)) *thread {
+	th := &thread{
+		id:    core.ThreadID(len(s.threads)),
+		name:  name,
+		state: tReady,
+		ready: make(chan resumeMsg),
+		body:  body,
+		sc:    s,
+	}
+	s.threads = append(s.threads, th)
+	go th.main()
+	return th
+}
+
+// main is the virtual thread's goroutine body.
+func (th *thread) main() {
+	defer func() {
+		fail, aborted := core.RecoverThread(recover(), th.id)
+		s := th.sc
+		if fail != nil && s.failure == nil {
+			s.failure = fail
+		}
+		if fail == nil && !aborted {
+			s.finishOrder = append(s.finishOrder, th.name)
+			s.emit(th, core.OpEnd, core.NoObject, "", 0, 0, core.Location{})
+		}
+		th.state = tDone
+		s.parked <- th
+	}()
+	msg := <-th.ready
+	if msg.abort {
+		core.AbortNow()
+	}
+	th.state = tRunning
+	th.body(&tc{th: th})
+}
+
+// park gives control back to the driver and waits to be picked again.
+// The caller must have set th.state (and th.block for blocked parks).
+func (th *thread) park() {
+	s := th.sc
+	s.parked <- th
+	msg := <-th.ready
+	if msg.abort {
+		core.AbortNow()
+	}
+	th.state = tRunning
+	th.block = blockReason{}
+}
+
+// point is a scheduling point: the running thread offers the strategy a
+// chance to run someone else before its next operation.
+func (th *thread) point() {
+	th.state = tReady
+	th.park()
+}
+
+// blockOn parks the thread until reason.ready() holds. The caller must
+// re-check its guard afterwards in a loop: the driver guarantees the
+// guard held when it picked the thread, and since nothing ran in
+// between it still holds, but the loop keeps the invariant local.
+func (th *thread) blockOn(reason blockReason) {
+	th.state = tBlocked
+	th.block = reason
+	th.park()
+}
+
+// emit delivers an event to the listeners. Only the running thread
+// calls it, so no locking is needed. It returns false if the plan
+// suppressed the probe.
+func (s *scheduler) emit(th *thread, op core.Op, obj core.ObjectID, name string, value int64, flags core.Flags, loc core.Location) bool {
+	if !s.plan.Enabled(op, name) {
+		return false
+	}
+	s.seq++
+	s.evScratch = core.Event{
+		Seq:    s.seq,
+		Thread: th.id,
+		Op:     op,
+		Obj:    obj,
+		Name:   name,
+		Value:  value,
+		Flags:  flags,
+		Loc:    loc,
+	}
+	s.lastEvent = s.evScratch
+	s.hasEvent = true
+	s.listeners.OnEvent(&s.evScratch)
+	return true
+}
+
+// prePoint takes the scheduling point that precedes an instrumented
+// operation, unless the plan suppressed the probe. The pending
+// operation is published so strategies (noise heuristics in
+// particular) can key their decision on what the thread is about to
+// do.
+func (th *thread) prePoint(op core.Op, name string, loc core.Location) {
+	if !th.sc.plan.Enabled(op, name) {
+		return
+	}
+	th.pending = PendingOp{Op: op, Name: name, Loc: loc}
+	th.point()
+}
+
+func contains(ids []core.ThreadID, id core.ThreadID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Now returns the scheduler's virtual clock; the clock also advances
+// one quantum per scheduling step.
+func (s *scheduler) now() int64 {
+	return s.nowNs + s.steps*s.quantum
+}

@@ -1,0 +1,246 @@
+package sched
+
+import (
+	"math/rand"
+
+	"mtbench/internal/core"
+)
+
+// IdleID is the pseudo-thread a Strategy may return from Pick when
+// Choice.CanIdle is set: instead of running anyone, the scheduler
+// advances virtual time to the next sleeper's deadline. This models a
+// real scheduler's freedom to let timers expire while runnable threads
+// wait — the freedom that exposes sleep-as-synchronization and
+// lost-wakeup timing bugs.
+const IdleID core.ThreadID = -2
+
+// Choice describes one scheduling decision point for a Strategy.
+type Choice struct {
+	// Step is the zero-based index of this decision in the run.
+	Step int64
+	// Runnable is the set of threads that can run, sorted by id; it is
+	// never empty and must not be mutated.
+	Runnable []core.ThreadID
+	// Current is the thread that was running before this point
+	// (NoThread at the start of the run). It may be absent from
+	// Runnable if it blocked or finished.
+	Current core.ThreadID
+	// LastEvent is the most recently emitted event, or nil before the
+	// first event. Noise heuristics use it to bias decisions by
+	// operation kind or program location.
+	LastEvent *core.Event
+	// Pending describes the operation Current is about to perform, if
+	// Current stopped at a pre-operation scheduling point (zero
+	// otherwise). This is the information a ConTest-style noise
+	// heuristic keys on.
+	Pending PendingOp
+	// PendingOf reports the pending operation of any runnable thread
+	// (zero for threads that have not executed yet). The exploration
+	// engine uses it for independence-based pruning.
+	PendingOf func(core.ThreadID) PendingOp
+	// CanIdle reports that at least one thread sleeps on a future
+	// virtual deadline, so Pick may return IdleID to warp time there.
+	CanIdle bool
+}
+
+// CurrentRunnable reports whether the previously running thread can
+// continue.
+func (c *Choice) CurrentRunnable() bool {
+	return c.Current != core.NoThread && contains(c.Runnable, c.Current)
+}
+
+// Strategy decides which thread runs at each scheduling point. A
+// Strategy must be deterministic given its own construction (seed), so
+// runs are reproducible; it may keep per-run state, but then a fresh
+// instance must be used per run (the exploration engine does this).
+//
+// Pick must return a member of c.Runnable, or core.NoThread to declare
+// divergence (used by replay when the recorded schedule cannot be
+// followed).
+type Strategy interface {
+	Name() string
+	Pick(c *Choice) core.ThreadID
+}
+
+// nonpreemptive models the scheduler the paper's §1 blames for unit
+// tests never exposing concurrency bugs: it keeps running the current
+// thread until it blocks or finishes, then picks the lowest-id runnable
+// thread. It is the deterministic baseline in the noise experiments.
+type nonpreemptive struct{}
+
+// Nonpreemptive returns the run-to-block deterministic baseline
+// strategy.
+func Nonpreemptive() Strategy { return nonpreemptive{} }
+
+func (nonpreemptive) Name() string { return "nonpreemptive" }
+
+func (nonpreemptive) Pick(c *Choice) core.ThreadID {
+	if c.CurrentRunnable() {
+		return c.Current
+	}
+	return c.Runnable[0]
+}
+
+// roundRobin rotates through runnable threads, switching at every
+// scheduling point: maximal systematic interleaving without randomness.
+type roundRobin struct{}
+
+// RoundRobin returns the switch-every-point rotation strategy.
+func RoundRobin() Strategy { return roundRobin{} }
+
+func (roundRobin) Name() string { return "roundrobin" }
+
+func (roundRobin) Pick(c *Choice) core.ThreadID {
+	for _, id := range c.Runnable {
+		if id > c.Current {
+			return id
+		}
+	}
+	return c.Runnable[0]
+}
+
+// randomWhenBlocked runs the current thread until it blocks, then
+// dispatches a uniformly random runnable thread. This models a real
+// non-preemptive-ish OS scheduler: no forced preemption, but arbitrary
+// dispatch order. It is the base the noise strategies wrap — noise
+// tools in the field inject delays over exactly this kind of
+// nondeterministic dispatcher, and some bug classes (wakeup-order
+// bugs) depend on dispatch alone.
+type randomWhenBlocked struct {
+	rng *rand.Rand
+}
+
+// RandomWhenBlocked returns the run-to-block, random-dispatch strategy.
+func RandomWhenBlocked(seed int64) Strategy {
+	return &randomWhenBlocked{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (*randomWhenBlocked) Name() string { return "randomdispatch" }
+
+func (r *randomWhenBlocked) Pick(c *Choice) core.ThreadID {
+	if c.CurrentRunnable() {
+		return c.Current
+	}
+	return c.Runnable[r.rng.Intn(len(c.Runnable))]
+}
+
+// random picks uniformly among runnable threads at every point — the
+// "simulates the behaviour of other possible schedulers" extreme.
+type random struct {
+	rng *rand.Rand
+}
+
+// Random returns a seeded uniformly random strategy. Distinct seeds
+// explore distinct interleavings; the same seed reproduces the run.
+func Random(seed int64) Strategy {
+	return &random{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (*random) Name() string { return "random" }
+
+func (r *random) Pick(c *Choice) core.ThreadID {
+	return c.Runnable[r.rng.Intn(len(c.Runnable))]
+}
+
+// priorityRandom implements a PCT-like (probabilistic concurrency
+// testing) strategy: threads get random priorities at spawn; the
+// highest-priority runnable thread runs, and at d-1 randomly
+// pre-chosen steps the running thread's priority is demoted below all
+// others. With small switch budgets it provably hits bugs of low
+// "depth" with useful probability; it is included as an extension
+// strategy beyond the paper's random noise.
+type priorityRandom struct {
+	rng     *rand.Rand
+	prio    map[core.ThreadID]int64
+	changes map[int64]bool
+	next    int64
+}
+
+// PriorityRandom returns a PCT-like strategy with the given number of
+// priority change points scattered over horizon steps.
+func PriorityRandom(seed int64, changePoints int, horizon int64) Strategy {
+	rng := rand.New(rand.NewSource(seed))
+	changes := make(map[int64]bool, changePoints)
+	if horizon <= 0 {
+		horizon = 10_000
+	}
+	for i := 0; i < changePoints; i++ {
+		changes[rng.Int63n(horizon)] = true
+	}
+	return &priorityRandom{rng: rng, prio: map[core.ThreadID]int64{}, changes: changes}
+}
+
+func (*priorityRandom) Name() string { return "pct" }
+
+func (p *priorityRandom) Pick(c *Choice) core.ThreadID {
+	for _, id := range c.Runnable {
+		if _, ok := p.prio[id]; !ok {
+			// Fresh threads get a random high priority band.
+			p.prio[id] = 1_000_000 + p.rng.Int63n(1_000_000)
+		}
+	}
+	if p.changes[c.Step] && c.Current != core.NoThread {
+		p.next++
+		p.prio[c.Current] = p.next // demote below everything seen so far
+	}
+	best := c.Runnable[0]
+	for _, id := range c.Runnable[1:] {
+		if p.prio[id] > p.prio[best] {
+			best = id
+		}
+	}
+	return best
+}
+
+// FixedSchedule replays an explicit decision list and then falls back
+// to fallback (used by the exploration engine to force a prefix). It
+// returns divergence if a recorded decision is not runnable.
+type FixedSchedule struct {
+	Decisions []core.ThreadID
+	Fallback  Strategy
+	pos       int
+}
+
+// Name implements Strategy.
+func (f *FixedSchedule) Name() string { return "fixed" }
+
+// Pick implements Strategy.
+func (f *FixedSchedule) Pick(c *Choice) core.ThreadID {
+	if f.pos < len(f.Decisions) {
+		want := f.Decisions[f.pos]
+		f.pos++
+		if want == IdleID {
+			if !c.CanIdle {
+				return core.NoThread
+			}
+			return IdleID
+		}
+		if !contains(c.Runnable, want) {
+			return core.NoThread
+		}
+		return want
+	}
+	if f.Fallback == nil {
+		f.Fallback = Nonpreemptive()
+	}
+	return f.Fallback.Pick(c)
+}
+
+// ListenerStrategy wraps a strategy and reports every decision to a
+// hook — test instrumentation for strategy behaviour.
+type ListenerStrategy struct {
+	Strategy Strategy
+	Hook     func(c *Choice, picked core.ThreadID)
+}
+
+// Name implements Strategy.
+func (l *ListenerStrategy) Name() string { return "listener:" + l.Strategy.Name() }
+
+// Pick implements Strategy.
+func (l *ListenerStrategy) Pick(c *Choice) core.ThreadID {
+	picked := l.Strategy.Pick(c)
+	if l.Hook != nil {
+		l.Hook(c, picked)
+	}
+	return picked
+}

@@ -1,0 +1,578 @@
+// Package staticinfo is the framework's static-analysis component
+// (§2.1): a source-level analysis of benchmark program bodies that
+// plays both roles the paper assigns to statics —
+//
+//  1. finding defects directly: variables written without a common
+//     lock (race suspects) and static lock-order cycles (deadlock
+//     suspects); and
+//  2. producing information for the dynamic tools: which variables can
+//     be shared between threads (escape analysis), which feeds the
+//     instrumentor a pruning plan (skip thread-local probes, §3) and
+//     the coverage models their feasible-task universe (§2.2).
+//
+// The analysis parses the repository sources with go/ast and is
+// deliberately syntactic: intraprocedural, no aliasing, loops
+// approximated by multiplicity, branches merged. It over-approximates
+// sharing for anything it cannot resolve (dynamically named objects,
+// closures passed through factories), which keeps the instrumentation
+// plan safe: a probe is only pruned when the variable is provably
+// confined to one thread context.
+package staticinfo
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// VarKind classifies a created object.
+type VarKind string
+
+// Object kinds.
+const (
+	KindInt    VarKind = "int"
+	KindAtomic VarKind = "atomic"
+	KindRef    VarKind = "ref"
+	KindMutex  VarKind = "mutex"
+	KindRW     VarKind = "rwmutex"
+	KindCond   VarKind = "cond"
+)
+
+// Access is one syntactic variable access.
+type Access struct {
+	Var     string
+	Write   bool
+	Context int      // thread context id (0 = program main)
+	Locks   []string // locks syntactically open at the access
+	// PostJoin marks accesses after a Join in the same context: they
+	// are fork/join-ordered with the joined threads, so the race
+	// heuristic does not require a lock for them.
+	PostJoin bool
+	Line     int
+}
+
+// Info is the analysis result for one program body.
+type Info struct {
+	Func string // analyzed function name
+
+	// Vars maps object name to kind for every statically resolved
+	// creation.
+	Vars map[string]VarKind
+	// SharedVars are data variables that may be touched by more than
+	// one thread; LocalVars are provably single-context.
+	SharedVars []string
+	LocalVars  []string
+	// Locks are the lock-like objects created.
+	Locks []string
+	// Accesses are all resolved variable accesses.
+	Accesses []Access
+	// RaceSuspects are shared variables with a write and no common
+	// lock across all accesses.
+	RaceSuspects []string
+	// LockEdges are the static lock-order edges (held -> acquired).
+	LockEdges [][2]string
+	// DeadlockSuspects are cycles in the static lock graph.
+	DeadlockSuspects [][]string
+	// Unresolved counts receivers the analysis could not map to a
+	// creation (the over-approximation trigger).
+	Unresolved int
+}
+
+// AnalyzeDir parses every .go file in dir and analyzes each top-level
+// function named *Body with a (T, Params)-shaped signature, returning
+// results keyed by function name.
+func AnalyzeDir(dir string) (map[string]*Info, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, nil, 0)
+	if err != nil {
+		return nil, fmt.Errorf("staticinfo: %w", err)
+	}
+	out := map[string]*Info{}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Recv != nil || !strings.HasSuffix(fd.Name.Name, "Body") {
+					continue
+				}
+				if fd.Type.Params == nil || len(fd.Type.Params.List) == 0 {
+					continue
+				}
+				info := analyzeFunc(fset, fd)
+				out[fd.Name.Name] = info
+			}
+		}
+	}
+	return out, nil
+}
+
+// analysis is the walker state for one body function.
+type analysis struct {
+	fset *token.FileSet
+	info *Info
+
+	// tParams are identifiers known to be thread contexts (the body's
+	// T parameter and every closure's).
+	tParams map[string]bool
+	// vars maps local identifier -> object name.
+	vars map[string]string
+	// createdIn maps object name -> context of creation. Objects
+	// created inside a (possibly multi-instance) thread body are
+	// per-instance, so accesses confined to the creating context are
+	// thread-local even when many instances exist.
+	createdIn map[string]int
+	// funcLits remembers literals bound to identifiers so that
+	// t.Go("x", consumer) can be resolved.
+	funcLits map[string]*ast.FuncLit
+
+	nextCtx int
+	// multiCtx marks contexts spawned inside loops (many instances).
+	multiCtx map[int]bool
+	// joinSeen marks contexts that have executed a Join.
+	joinSeen map[int]bool
+}
+
+func analyzeFunc(fset *token.FileSet, fd *ast.FuncDecl) *Info {
+	a := &analysis{
+		fset: fset,
+		info: &Info{
+			Func: fd.Name.Name,
+			Vars: map[string]VarKind{},
+		},
+		tParams:   map[string]bool{},
+		vars:      map[string]string{},
+		funcLits:  map[string]*ast.FuncLit{},
+		createdIn: map[string]int{},
+		multiCtx:  map[int]bool{},
+		joinSeen:  map[int]bool{},
+	}
+	if names := fd.Type.Params.List[0].Names; len(names) > 0 {
+		a.tParams[names[0].Name] = true
+	}
+	a.walkBody(fd.Body, 0, 0, &[]string{})
+	a.finish()
+	return a.info
+}
+
+// creationKind maps a method name to the created object kind.
+func creationKind(method string) (VarKind, bool) {
+	switch method {
+	case "NewInt":
+		return KindInt, true
+	case "NewAtomicInt":
+		return KindAtomic, true
+	case "NewRef":
+		return KindRef, true
+	case "NewMutex":
+		return KindMutex, true
+	case "NewRWMutex":
+		return KindRW, true
+	case "NewCond":
+		return KindCond, true
+	}
+	return "", false
+}
+
+// walkBody traverses statements in source order, tracking the open
+// lock stack (shared, mutated in order) and the thread context.
+func (a *analysis) walkBody(n ast.Node, ctx, loopDepth int, open *[]string) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(node ast.Node) bool {
+		switch x := node.(type) {
+		case *ast.ForStmt:
+			a.walkParts(ctx, loopDepth, open, x.Init, x.Cond, x.Post)
+			a.walkBody(x.Body, ctx, loopDepth+1, open)
+			return false
+		case *ast.RangeStmt:
+			a.walkParts(ctx, loopDepth, open, x.X)
+			a.walkBody(x.Body, ctx, loopDepth+1, open)
+			return false
+		case *ast.AssignStmt:
+			a.assign(x, ctx, loopDepth, open)
+			return false
+		case *ast.CallExpr:
+			a.call(x, ctx, loopDepth, open)
+			return false
+		case *ast.FuncLit:
+			// A literal not consumed by Go/assignment (e.g. an
+			// argument to a helper): analyze in the same context,
+			// conservatively.
+			a.walkBody(x.Body, ctx, loopDepth, open)
+			return false
+		}
+		return true
+	})
+}
+
+func (a *analysis) walkParts(ctx, loopDepth int, open *[]string, parts ...ast.Node) {
+	for _, p := range parts {
+		if p != nil {
+			a.walkBody(p, ctx, loopDepth, open)
+		}
+	}
+}
+
+// assign handles object creations and func-literal bindings; other
+// assignments are walked for nested calls.
+func (a *analysis) assign(st *ast.AssignStmt, ctx, loopDepth int, open *[]string) {
+	for i, rhs := range st.Rhs {
+		var lhsIdent string
+		if i < len(st.Lhs) {
+			if id, ok := st.Lhs[i].(*ast.Ident); ok {
+				lhsIdent = id.Name
+			}
+		}
+		switch r := rhs.(type) {
+		case *ast.FuncLit:
+			if lhsIdent != "" {
+				a.funcLits[lhsIdent] = r
+				continue
+			}
+			a.walkBody(r.Body, ctx, loopDepth, open)
+		case *ast.CallExpr:
+			if name, kind, ok := a.creation(r); ok {
+				a.info.Vars[name] = kind
+				a.createdIn[name] = ctx
+				if lhsIdent != "" {
+					a.vars[lhsIdent] = name
+				}
+				continue
+			}
+			a.call(r, ctx, loopDepth, open)
+		default:
+			a.walkBody(rhs, ctx, loopDepth, open)
+		}
+	}
+}
+
+// creation matches <t>.New*(name, ...) with a literal name.
+func (a *analysis) creation(call *ast.CallExpr) (string, VarKind, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	recv, ok := sel.X.(*ast.Ident)
+	if !ok || !a.tParams[recv.Name] {
+		return "", "", false
+	}
+	kind, ok := creationKind(sel.Sel.Name)
+	if !ok {
+		return "", "", false
+	}
+	if len(call.Args) == 0 {
+		return "", "", false
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		a.info.Unresolved++ // dynamically named object
+		return "", "", false
+	}
+	name, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", "", false
+	}
+	return name, kind, true
+}
+
+// call dispatches the interesting method calls: Go (new context),
+// lock operations, and variable accesses.
+func (a *analysis) call(call *ast.CallExpr, ctx, loopDepth int, open *[]string) {
+	// Walk arguments that are calls themselves (e.g. x.Load nested in
+	// Assert or arithmetic), except the ones handled specially below.
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		for _, arg := range call.Args {
+			a.walkBody(arg, ctx, loopDepth, open)
+		}
+		return
+	}
+	method := sel.Sel.Name
+
+	// Thread spawn: <t>.Go(name, fn)
+	if method == "Go" {
+		if recv, ok := sel.X.(*ast.Ident); ok && a.tParams[recv.Name] && len(call.Args) == 2 {
+			a.spawn(call.Args[1], loopDepth, open)
+			return
+		}
+	}
+
+	recvName, known := a.resolveRecv(sel.X)
+
+	switch method {
+	case "Lock", "RLock":
+		if known && a.isLock(recvName) {
+			for _, held := range *open {
+				if held != recvName {
+					a.info.LockEdges = append(a.info.LockEdges, [2]string{held, recvName})
+				}
+			}
+			*open = append(*open, recvName)
+		} else if !known {
+			a.info.Unresolved++
+		}
+		return
+	case "Unlock", "RUnlock":
+		if known && a.isLock(recvName) {
+			for i := len(*open) - 1; i >= 0; i-- {
+				if (*open)[i] == recvName {
+					*open = append((*open)[:i], (*open)[i+1:]...)
+					break
+				}
+			}
+		}
+		return
+	case "TryLock":
+		// Conservative: may or may not hold; do not track.
+		return
+	case "Load":
+		a.access(recvName, known, false, ctx, open, call)
+		return
+	case "Store", "Add", "CompareAndSwap":
+		a.access(recvName, known, true, ctx, open, call)
+		for _, arg := range call.Args {
+			a.walkBody(arg, ctx, loopDepth, open)
+		}
+		return
+	case "Join":
+		a.joinSeen[ctx] = true
+		return
+	case "Wait", "Signal", "Broadcast", "Yield", "Sleep", "Assert", "Failf", "Outcome":
+		for _, arg := range call.Args {
+			a.walkBody(arg, ctx, loopDepth, open)
+		}
+		return
+	}
+	for _, arg := range call.Args {
+		a.walkBody(arg, ctx, loopDepth, open)
+	}
+}
+
+// spawn analyzes a thread body in a fresh context. Literals bound to
+// identifiers are looked up; unresolvable bodies count as unresolved.
+func (a *analysis) spawn(fn ast.Expr, loopDepth int, open *[]string) {
+	var lit *ast.FuncLit
+	switch f := fn.(type) {
+	case *ast.FuncLit:
+		lit = f
+	case *ast.Ident:
+		lit = a.funcLits[f.Name]
+	case *ast.CallExpr:
+		// Factory call returning a closure: walk the factory's
+		// arguments but give up on the body.
+		a.info.Unresolved++
+		return
+	}
+	if lit == nil {
+		a.info.Unresolved++
+		return
+	}
+	ctx := a.newContext(loopDepth > 0)
+	if params := lit.Type.Params; params != nil && len(params.List) > 0 {
+		if names := params.List[0].Names; len(names) > 0 {
+			a.tParams[names[0].Name] = true
+		}
+	}
+	// Threads start with no locks held.
+	fresh := []string{}
+	a.walkBody(lit.Body, ctx, 0, &fresh)
+}
+
+func (a *analysis) newContext(multi bool) int {
+	a.nextCtx++
+	a.multiCtx[a.nextCtx] = multi
+	return a.nextCtx
+}
+
+// resolveRecv maps a receiver expression to an object name.
+func (a *analysis) resolveRecv(x ast.Expr) (string, bool) {
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	name, ok := a.vars[id.Name]
+	return name, ok
+}
+
+func (a *analysis) isLock(name string) bool {
+	k := a.info.Vars[name]
+	return k == KindMutex || k == KindRW
+}
+
+func (a *analysis) isData(name string) bool {
+	k := a.info.Vars[name]
+	return k == KindInt || k == KindAtomic || k == KindRef
+}
+
+// access records a resolved data access.
+func (a *analysis) access(name string, known, write bool, ctx int, open *[]string, call *ast.CallExpr) {
+	if !known || !a.isData(name) {
+		if !known {
+			a.info.Unresolved++
+		}
+		return
+	}
+	locks := make([]string, len(*open))
+	copy(locks, *open)
+	a.info.Accesses = append(a.info.Accesses, Access{
+		Var:      name,
+		Write:    write,
+		Context:  ctx,
+		Locks:    locks,
+		PostJoin: a.joinSeen[ctx],
+		Line:     a.fset.Position(call.Pos()).Line,
+	})
+}
+
+// finish derives the summary sets from the collected accesses.
+func (a *analysis) finish() {
+	info := a.info
+	ctxsOf := map[string]map[int]bool{}
+	for _, acc := range info.Accesses {
+		set := ctxsOf[acc.Var]
+		if set == nil {
+			set = map[int]bool{}
+			ctxsOf[acc.Var] = set
+		}
+		set[acc.Context] = true
+	}
+
+	for name, kind := range info.Vars {
+		switch kind {
+		case KindMutex, KindRW:
+			info.Locks = append(info.Locks, name)
+		case KindInt, KindAtomic, KindRef:
+			ctxs := ctxsOf[name]
+			created := a.createdIn[name]
+			shared := len(ctxs) > 1
+			if !shared {
+				// Single access context: the object is shared only if
+				// that context is multi-instance AND the object was
+				// created outside it (one object, many threads).
+				// Objects created inside a multi-instance body are
+				// per-instance and stay thread-local.
+				for c := range ctxs {
+					if a.multiCtx[c] && c != created {
+						shared = true
+					}
+				}
+			}
+			if info.Unresolved > 0 && len(ctxs) > 0 {
+				// Unresolved receivers or thread bodies may hide more
+				// accesses: over-approximate to shared.
+				shared = true
+			}
+			if shared {
+				info.SharedVars = append(info.SharedVars, name)
+			} else {
+				info.LocalVars = append(info.LocalVars, name)
+			}
+		}
+	}
+	sort.Strings(info.Locks)
+	sort.Strings(info.SharedVars)
+	sort.Strings(info.LocalVars)
+
+	// Race suspects: shared, written, and no lock common to every
+	// access (atomics excluded: release/acquire is their protection).
+	sharedSet := map[string]bool{}
+	for _, v := range info.SharedVars {
+		sharedSet[v] = true
+	}
+	byVar := map[string][]Access{}
+	for _, acc := range info.Accesses {
+		byVar[acc.Var] = append(byVar[acc.Var], acc)
+	}
+	for v, accs := range byVar {
+		if !sharedSet[v] || info.Vars[v] == KindAtomic {
+			continue
+		}
+		hasWrite := false
+		considered := 0
+		var common map[string]bool
+		for _, acc := range accs {
+			if acc.PostJoin {
+				continue // ordered by fork/join, needs no lock
+			}
+			considered++
+			if acc.Write {
+				hasWrite = true
+			}
+			set := map[string]bool{}
+			for _, l := range acc.Locks {
+				set[l] = true
+			}
+			if common == nil {
+				common = set
+			} else {
+				for l := range common {
+					if !set[l] {
+						delete(common, l)
+					}
+				}
+			}
+		}
+		if hasWrite && considered > 1 && len(common) == 0 {
+			info.RaceSuspects = append(info.RaceSuspects, v)
+		}
+	}
+	sort.Strings(info.RaceSuspects)
+
+	info.DeadlockSuspects = lockCycles(info.LockEdges)
+}
+
+// lockCycles finds simple cycles in the static lock graph.
+func lockCycles(edges [][2]string) [][]string {
+	adj := map[string][]string{}
+	seenEdge := map[string]bool{}
+	for _, e := range edges {
+		key := e[0] + "->" + e[1]
+		if seenEdge[key] {
+			continue
+		}
+		seenEdge[key] = true
+		adj[e[0]] = append(adj[e[0]], e[1])
+	}
+	nodes := make([]string, 0, len(adj))
+	for n := range adj {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	for _, next := range adj {
+		sort.Strings(next)
+	}
+
+	var out [][]string
+	var path []string
+	onPath := map[string]bool{}
+	var dfs func(start, cur string)
+	dfs = func(start, cur string) {
+		for _, nxt := range adj[cur] {
+			if nxt == start && len(path) >= 2 {
+				cycle := make([]string, len(path))
+				copy(cycle, path)
+				out = append(out, cycle)
+				continue
+			}
+			if nxt <= start || onPath[nxt] {
+				continue
+			}
+			path = append(path, nxt)
+			onPath[nxt] = true
+			dfs(start, nxt)
+			onPath[nxt] = false
+			path = path[:len(path)-1]
+		}
+	}
+	for _, n := range nodes {
+		path = append(path[:0], n)
+		onPath = map[string]bool{n: true}
+		dfs(n, n)
+	}
+	return out
+}

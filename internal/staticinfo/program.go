@@ -1,0 +1,76 @@
+package staticinfo
+
+import (
+	"fmt"
+	"sync"
+
+	"mtbench/internal/coverage"
+	"mtbench/internal/instrument"
+	"mtbench/internal/repository"
+)
+
+// This file joins analysis results to repository programs and derives
+// the artifacts the dynamic tools consume: instrumentation-pruning
+// plans (§3: "if the instrumentor is told some information by the
+// static analyzer ... this can be used to decide on a subset of the
+// points to be instrumented") and coverage universes (§2.2: statics
+// decide which contention tasks are feasible).
+
+var (
+	cacheMu sync.Mutex
+	cached  map[string]*Info
+)
+
+// analyzeRepository runs (and caches) the analysis over the repository
+// sources.
+func analyzeRepository() (map[string]*Info, error) {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if cached != nil {
+		return cached, nil
+	}
+	dir := repository.SourceDir()
+	if dir == "" {
+		return nil, fmt.Errorf("staticinfo: repository source dir unknown")
+	}
+	infos, err := AnalyzeDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	cached = infos
+	return infos, nil
+}
+
+// ForProgram returns the static analysis of a repository program's
+// body.
+func ForProgram(p *repository.Program) (*Info, error) {
+	infos, err := analyzeRepository()
+	if err != nil {
+		return nil, err
+	}
+	fn := p.BodyFuncName()
+	info, ok := infos[fn]
+	if !ok {
+		return nil, fmt.Errorf("staticinfo: no analysis for %s (func %q)", p.Name, fn)
+	}
+	return info, nil
+}
+
+// Plan derives the instrumentation-pruning plan: access probes fire
+// only on variables the analysis could not prove thread-local. Sync
+// and lifecycle probes are untouched (downstream tools need them).
+func (info *Info) Plan() *instrument.Plan {
+	if len(info.SharedVars) == 0 {
+		// Nothing provably shared (analysis gave up): instrument all.
+		return instrument.All()
+	}
+	return instrument.All().OnlyObjects(info.SharedVars...)
+}
+
+// Universe derives the feasible-task universe for coverage models.
+func (info *Info) Universe() *coverage.Universe {
+	return &coverage.Universe{
+		SharedVars: append([]string(nil), info.SharedVars...),
+		Locks:      append([]string(nil), info.Locks...),
+	}
+}

@@ -1,0 +1,249 @@
+package staticinfo
+
+import (
+	"reflect"
+	"testing"
+
+	"mtbench/internal/core"
+	"mtbench/internal/repository"
+	"mtbench/internal/sched"
+)
+
+func analyzeAll(t *testing.T) map[string]*Info {
+	t.Helper()
+	infos, err := AnalyzeDir(repository.SourceDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) == 0 {
+		t.Fatal("no body functions analyzed")
+	}
+	return infos
+}
+
+func TestEveryProgramAnalyzed(t *testing.T) {
+	for _, p := range repository.All() {
+		if _, err := ForProgram(p); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+// TestAccountAnalysis pins the analysis on the canonical program:
+// balance is shared and a race suspect.
+func TestAccountAnalysis(t *testing.T) {
+	p, err := repository.Get("account")
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := ForProgram(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(info.SharedVars, []string{"balance"}) {
+		t.Fatalf("shared = %v, want [balance]", info.SharedVars)
+	}
+	if !reflect.DeepEqual(info.RaceSuspects, []string{"balance"}) {
+		t.Fatalf("race suspects = %v, want [balance]", info.RaceSuspects)
+	}
+	if len(info.DeadlockSuspects) != 0 {
+		t.Fatalf("deadlock suspects = %v", info.DeadlockSuspects)
+	}
+}
+
+// TestLockedCounterNotSuspect: consistent locking means no race
+// suspect even though the variable is shared.
+func TestLockedCounterNotSuspect(t *testing.T) {
+	p, err := repository.Get("lockedcounter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := ForProgram(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(info.SharedVars, "count") {
+		t.Fatalf("count not shared: %v", info.SharedVars)
+	}
+	if contains(info.RaceSuspects, "count") {
+		t.Fatalf("count wrongly suspected: %v", info.RaceSuspects)
+	}
+}
+
+// TestWrongLockSuspect: two different locks do not protect.
+func TestWrongLockSuspect(t *testing.T) {
+	p, err := repository.Get("wronglock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := ForProgram(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(info.RaceSuspects, "count") {
+		t.Fatalf("wronglock count not suspected: %+v", info.RaceSuspects)
+	}
+}
+
+// TestInversionStaticCycle: the AB-BA order shows up as a static lock
+// cycle; the consistently ordered variant shows none.
+func TestInversionStaticCycle(t *testing.T) {
+	inv, err := repository.Get("inversion")
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := ForProgram(inv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.DeadlockSuspects) == 0 {
+		t.Fatalf("no static cycle found for inversion (edges %v)", info.LockEdges)
+	}
+
+	fixed, err := repository.Get("gatedinversion")
+	if err != nil {
+		t.Fatal(err)
+	}
+	finfo, err := ForProgram(fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The syntactic analysis sees the same inner cycle; it cannot
+	// reason about gates. That is documented over-approximation: the
+	// static report includes it, the GoodLock dynamic refinement
+	// removes it. Just pin that analysis ran and found the locks.
+	if len(finfo.Locks) != 3 {
+		t.Fatalf("gatedinversion locks = %v", finfo.Locks)
+	}
+}
+
+// TestAtomicNotSuspect: the correct adhocsync handoff must not have
+// its atomic flag suspected (payload remains, correctly, a static
+// suspect — statics cannot prove the protocol).
+func TestAtomicNotSuspect(t *testing.T) {
+	p, err := repository.Get("adhocsync")
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := ForProgram(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if contains(info.RaceSuspects, "readyflag") {
+		t.Fatalf("atomic flag suspected: %v", info.RaceSuspects)
+	}
+}
+
+// TestPlanPrunesThreadLocal builds a tiny two-variable program source
+// behaviorally: run a program with a pruning plan from analysis and
+// check local-variable probes are suppressed while shared ones fire.
+func TestPlanPrunesThreadLocal(t *testing.T) {
+	// transfer has acctA/acctB shared; use a synthetic check instead
+	// on lockedcounter (count shared) — plus prove a local var would
+	// be pruned using checkthenact? All repository vars in small
+	// programs are shared; craft the check directly on the Plan API.
+	info := &Info{
+		Vars:       map[string]VarKind{"shared": KindInt, "local": KindInt},
+		SharedVars: []string{"shared"},
+		LocalVars:  []string{"local"},
+	}
+	plan := info.Plan()
+	var names []string
+	res := sched.Run(sched.Config{
+		Plan: plan,
+		Listeners: []core.Listener{core.ListenerFunc(func(ev *core.Event) {
+			if ev.Op.IsAccess() {
+				names = append(names, ev.Name)
+			}
+		})},
+	}, func(ct core.T) {
+		sh := ct.NewInt("shared", 0)
+		lo := ct.NewInt("local", 0)
+		lo.Add(ct, 1)
+		sh.Add(ct, 1)
+		lo.Add(ct, 1)
+	})
+	if res.Verdict != core.VerdictPass {
+		t.Fatalf("run: %v", res)
+	}
+	if !reflect.DeepEqual(names, []string{"shared"}) {
+		t.Fatalf("access events = %v, want [shared] only", names)
+	}
+	if plan.Skipped() == 0 {
+		t.Fatal("plan did not count skipped probes")
+	}
+}
+
+// TestUniverseFromAnalysis: coverage universe carries shared vars and
+// locks.
+func TestUniverseFromAnalysis(t *testing.T) {
+	p, err := repository.Get("lockedcounter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := ForProgram(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := info.Universe()
+	if !contains(u.SharedVars, "count") || !contains(u.Locks, "mu") {
+		t.Fatalf("universe = %+v", u)
+	}
+}
+
+// TestSharedVsGroundTruth checks the escape analysis against dynamic
+// ground truth for every program: a variable the analysis calls
+// thread-local must never be touched by two threads at run time
+// (soundness of pruning); variables it calls shared should mostly be
+// truly shared (precision, spot-checked loosely).
+func TestSharedVsGroundTruth(t *testing.T) {
+	for _, p := range repository.All() {
+		p := p
+		info, err := ForProgram(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(info.LocalVars) == 0 {
+			continue
+		}
+		local := map[string]bool{}
+		for _, v := range info.LocalVars {
+			local[v] = true
+		}
+		// Per-thread objects share a name across instances, so the
+		// ground truth is per ObjectID: no single object may be
+		// touched by two threads.
+		touched := map[core.ObjectID]map[core.ThreadID]bool{}
+		objName := map[core.ObjectID]string{}
+		sched.Run(sched.Config{
+			Strategy: sched.RoundRobin(),
+			Listeners: []core.Listener{core.ListenerFunc(func(ev *core.Event) {
+				if !ev.Op.IsAccess() || !local[ev.Name] {
+					return
+				}
+				set := touched[ev.Obj]
+				if set == nil {
+					set = map[core.ThreadID]bool{}
+					touched[ev.Obj] = set
+				}
+				set[ev.Thread] = true
+				objName[ev.Obj] = ev.Name
+			})},
+		}, p.BodyWith(nil))
+		for obj, set := range touched {
+			if len(set) > 1 {
+				t.Errorf("%s: analysis called %q thread-local but %d threads touched object %d",
+					p.Name, objName[obj], len(set), obj)
+			}
+		}
+	}
+}
+
+func contains(s []string, x string) bool {
+	for _, v := range s {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,185 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"mtbench/internal/core"
+)
+
+// Writer serializes a trace. Both codecs implement it.
+type Writer interface {
+	WriteHeader(h Header) error
+	WriteRecord(r Record) error
+	// Flush completes the trace; the writer is unusable afterwards.
+	Flush() error
+}
+
+// Reader deserializes a trace.
+type Reader interface {
+	Header() Header
+	// Next returns the next record, or io.EOF at the end.
+	Next() (Record, error)
+}
+
+// jsonlWriter writes the line-oriented JSON codec: one JSON object per
+// line, header first.
+type jsonlWriter struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLWriter returns a Writer emitting the JSONL codec to w.
+func NewJSONLWriter(w io.Writer) Writer {
+	bw := bufio.NewWriter(w)
+	return &jsonlWriter{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+func (w *jsonlWriter) WriteHeader(h Header) error {
+	if w.err != nil {
+		return w.err
+	}
+	h.Version = FormatVersion
+	w.err = w.enc.Encode(h)
+	return w.err
+}
+
+func (w *jsonlWriter) WriteRecord(r Record) error {
+	if w.err != nil {
+		return w.err
+	}
+	w.err = w.enc.Encode(r)
+	return w.err
+}
+
+func (w *jsonlWriter) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.bw.Flush()
+}
+
+// jsonlReader reads the JSONL codec.
+type jsonlReader struct {
+	sc     *bufio.Scanner
+	header Header
+}
+
+// NewJSONLReader returns a Reader over the JSONL codec; it consumes the
+// header eagerly.
+func NewJSONLReader(r io.Reader) (Reader, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("trace: empty trace")
+	}
+	var h Header
+	if err := json.Unmarshal(sc.Bytes(), &h); err != nil {
+		return nil, fmt.Errorf("trace: bad header: %w", err)
+	}
+	if h.Version != FormatVersion {
+		return nil, fmt.Errorf("trace: version %d, want %d", h.Version, FormatVersion)
+	}
+	return &jsonlReader{sc: sc, header: h}, nil
+}
+
+func (r *jsonlReader) Header() Header { return r.header }
+
+func (r *jsonlReader) Next() (Record, error) {
+	if !r.sc.Scan() {
+		if err := r.sc.Err(); err != nil {
+			return Record{}, err
+		}
+		return Record{}, io.EOF
+	}
+	var rec Record
+	if err := json.Unmarshal(r.sc.Bytes(), &rec); err != nil {
+		return Record{}, fmt.Errorf("trace: bad record: %w", err)
+	}
+	return rec, nil
+}
+
+// Collector is a core.Listener that annotates and writes every event to
+// a trace writer. It is the bridge between the instrumentation layer
+// and the trace artifacts the benchmark ships.
+type Collector struct {
+	W        Writer
+	Annotate Annotator // nil = DefaultWhy, no bug marks
+	err      error
+}
+
+// NewCollector returns a listener that writes each event through w,
+// annotated by ann (which may be nil).
+func NewCollector(w Writer, ann Annotator) *Collector {
+	return &Collector{W: w, Annotate: ann}
+}
+
+// OnEvent implements core.Listener.
+func (c *Collector) OnEvent(ev *core.Event) {
+	if c.err != nil {
+		return
+	}
+	rec := FromEvent(ev)
+	if c.Annotate != nil {
+		rec.Why, rec.Bug = c.Annotate(ev)
+	}
+	if rec.Why == "" {
+		rec.Why = DefaultWhy(ev)
+	}
+	c.err = c.W.WriteRecord(rec)
+}
+
+// Err returns the first write error, if any.
+func (c *Collector) Err() error { return c.err }
+
+// ReadAll drains a reader into a slice (convenience for tests and small
+// traces; offline tools stream instead).
+func ReadAll(r Reader) ([]Record, error) {
+	var out []Record
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}
+
+// Replay feeds every record of a trace, as reconstructed events, to the
+// listener — this is how offline tools reuse online detectors. Run
+// boundaries matter: per-run listener state (detector shadow memory)
+// is reset through the RunStart notification, exactly as in a live
+// run.
+func Replay(r Reader, l core.Listener) error {
+	h := r.Header()
+	info := core.RunInfo{Program: h.Program, Mode: h.Mode, Seed: h.Seed}
+	switch x := l.(type) {
+	case core.MultiListener:
+		x.StartRun(info)
+	case core.RunObserver:
+		x.RunStart(info)
+	}
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		ev, err := rec.Event()
+		if err != nil {
+			return err
+		}
+		l.OnEvent(&ev)
+	}
+}

@@ -1,0 +1,25 @@
+package trace
+
+import (
+	"fmt"
+
+	"mtbench/internal/core"
+)
+
+// parseOpByte converts the mnemonic to the wire byte (the core.Op
+// value, which the Op documentation freezes for this purpose).
+func parseOpByte(name string) (byte, error) {
+	op, err := core.ParseOp(name)
+	if err != nil {
+		return 0, err
+	}
+	return byte(op), nil
+}
+
+// opByteName converts the wire byte back to the mnemonic.
+func opByteName(b byte) (string, error) {
+	if b == 0 || int(b) >= core.NumOps {
+		return "", fmt.Errorf("trace: bad op byte %d", b)
+	}
+	return core.Op(b).String(), nil
+}

@@ -1,0 +1,118 @@
+// Package trace implements the benchmark's standard trace format
+// (component 1 of §4): every record carries "information about the
+// location in the program from which it was called, what was
+// instrumented, which variable was touched, thread name, if it is a
+// read or write, and if this location is involved in a bug", plus the
+// "why it was recorded" annotation §2.2 asks for.
+//
+// Two codecs share the record model: a line-oriented JSON form (easy to
+// inspect and postprocess) and a compact binary form with string
+// interning (for the "huge traces" problem §2.2 attributes to off-line
+// race detection). Offline tools read either and reconstruct the event
+// stream.
+package trace
+
+import (
+	"fmt"
+
+	"mtbench/internal/core"
+)
+
+// FormatVersion identifies the trace record layout. Readers reject
+// traces from other versions.
+const FormatVersion = 1
+
+// Header opens every trace and identifies its origin.
+type Header struct {
+	Version  int    `json:"version"`
+	Program  string `json:"program"`
+	Mode     string `json:"mode"` // "controlled" or "native"
+	Seed     int64  `json:"seed"`
+	Strategy string `json:"strategy,omitempty"`
+	Noise    string `json:"noise,omitempty"`
+	// Bug documents the program's known defect so trace consumers can
+	// compute real-bug/false-alarm ratios without the program sources.
+	Bug string `json:"bug,omitempty"`
+}
+
+// Record is one trace line. It is a flattened core.Event plus the
+// paper-mandated annotations.
+type Record struct {
+	Seq    int64  `json:"seq"`
+	Thread int32  `json:"t"`
+	Op     string `json:"op"`
+	Obj    int64  `json:"obj,omitempty"`
+	Name   string `json:"name,omitempty"`
+	Value  int64  `json:"val,omitempty"`
+	Atomic bool   `json:"atomic,omitempty"`
+	File   string `json:"file,omitempty"`
+	Line   int    `json:"line,omitempty"`
+	Fn     string `json:"fn,omitempty"`
+
+	// Why records the reason the instrumentor kept this record
+	// ("shared-access", "sync", "lifecycle", "sched", "oracle").
+	Why string `json:"why,omitempty"`
+	// Bug marks records involved in the program's documented bug.
+	Bug bool `json:"bug,omitempty"`
+}
+
+// FromEvent flattens ev into a record (without annotations).
+func FromEvent(ev *core.Event) Record {
+	return Record{
+		Seq:    ev.Seq,
+		Thread: int32(ev.Thread),
+		Op:     ev.Op.String(),
+		Obj:    int64(ev.Obj),
+		Name:   ev.Name,
+		Value:  ev.Value,
+		Atomic: ev.Flags.Atomic(),
+		File:   ev.Loc.File,
+		Line:   ev.Loc.Line,
+		Fn:     ev.Loc.Fn,
+	}
+}
+
+// Event reconstructs the core event a record was flattened from, so
+// offline tools reuse the online listener implementations unchanged.
+func (r *Record) Event() (core.Event, error) {
+	op, err := core.ParseOp(r.Op)
+	if err != nil {
+		return core.Event{}, fmt.Errorf("trace: record %d: %w", r.Seq, err)
+	}
+	var flags core.Flags
+	if r.Atomic {
+		flags |= core.FlagAtomic
+	}
+	return core.Event{
+		Seq:    r.Seq,
+		Thread: core.ThreadID(r.Thread),
+		Op:     op,
+		Obj:    core.ObjectID(r.Obj),
+		Name:   r.Name,
+		Value:  r.Value,
+		Flags:  flags,
+		Loc:    core.Location{File: r.File, Line: r.Line, Fn: r.Fn},
+	}, nil
+}
+
+// Annotator decides the Why/Bug annotations for an event. The
+// repository builds annotators from each program's documented bug
+// metadata.
+type Annotator func(ev *core.Event) (why string, bug bool)
+
+// DefaultWhy classifies an event for the Why annotation when no
+// program-specific reason applies.
+func DefaultWhy(ev *core.Event) string {
+	switch {
+	case ev.Op.IsAccess():
+		return "shared-access"
+	case ev.Op.IsSync():
+		return "sync"
+	case ev.Op == core.OpFork || ev.Op == core.OpJoin || ev.Op == core.OpEnd:
+		return "lifecycle"
+	case ev.Op == core.OpFail:
+		return "oracle"
+	default:
+		return "sched"
+	}
+}

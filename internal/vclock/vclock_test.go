@@ -1,0 +1,141 @@
+package vclock
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mtbench/internal/core"
+)
+
+func fromSlice(vals []int64) VC {
+	v := New(len(vals))
+	for i, x := range vals {
+		if x < 0 {
+			x = -x
+		}
+		v.Set(core.ThreadID(i), x%1000)
+	}
+	return v
+}
+
+func TestBasics(t *testing.T) {
+	var v VC
+	if v.Get(3) != 0 {
+		t.Fatal("zero clock has nonzero component")
+	}
+	if v.Tick(2) != 1 || v.Get(2) != 1 {
+		t.Fatal("tick")
+	}
+	v.Set(5, 9)
+	if v.Get(5) != 9 || v.Len() != 6 {
+		t.Fatalf("set/grow: %v", v)
+	}
+	if v.String() != "<0,0,1,0,0,9>" {
+		t.Fatalf("string = %s", v.String())
+	}
+}
+
+func TestLEQAndConcurrent(t *testing.T) {
+	a := fromSlice([]int64{1, 2})
+	b := fromSlice([]int64{1, 3})
+	if !a.LEQ(b) || b.LEQ(a) {
+		t.Fatal("leq ordering")
+	}
+	c := fromSlice([]int64{2, 1})
+	if !a.Concurrent(c) || !c.Concurrent(a) {
+		t.Fatal("concurrency not symmetric")
+	}
+	if a.Concurrent(a.Copy()) {
+		t.Fatal("clock concurrent with itself")
+	}
+}
+
+// Property: Join is the least upper bound — both operands are LEQ the
+// join, and joining is idempotent and commutative.
+func TestJoinIsLUB(t *testing.T) {
+	f := func(xs, ys []int64) bool {
+		a, b := fromSlice(xs), fromSlice(ys)
+		j := a.Copy()
+		j.Join(b)
+		if !a.LEQ(j) || !b.LEQ(j) {
+			return false
+		}
+		// commutative
+		j2 := b.Copy()
+		j2.Join(a)
+		if !j.LEQ(j2) || !j2.LEQ(j) {
+			return false
+		}
+		// idempotent
+		j3 := j.Copy()
+		j3.Join(j)
+		return j.LEQ(j3) && j3.LEQ(j)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: LEQ is a partial order (reflexive, antisymmetric up to
+// equality, transitive).
+func TestLEQPartialOrder(t *testing.T) {
+	f := func(xs, ys, zs []int64) bool {
+		a, b, c := fromSlice(xs), fromSlice(ys), fromSlice(zs)
+		if !a.LEQ(a) {
+			return false
+		}
+		if a.LEQ(b) && b.LEQ(c) && !a.LEQ(c) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Tick strictly increases the clock in exactly one
+// component.
+func TestTickMonotone(t *testing.T) {
+	f := func(xs []int64, tid uint8) bool {
+		a := fromSlice(xs)
+		before := a.Copy()
+		id := core.ThreadID(tid % 16)
+		a.Tick(id)
+		if !before.LEQ(a) || a.LEQ(before) {
+			return false
+		}
+		return a.Get(id) == before.Get(id)+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCopyIsIndependent(t *testing.T) {
+	a := fromSlice([]int64{1, 2, 3})
+	b := a.Copy()
+	b.Tick(0)
+	if a.Get(0) != 1 {
+		t.Fatal("copy aliases original")
+	}
+}
+
+func TestEpoch(t *testing.T) {
+	var e Epoch
+	if !e.Zero() {
+		t.Fatal("zero epoch not zero")
+	}
+	e = Epoch{T: 2, C: 5}
+	v := fromSlice([]int64{0, 0, 5})
+	if !e.HB(v) {
+		t.Fatal("epoch should be HB clock with equal component")
+	}
+	v.Set(2, 4)
+	if e.HB(v) {
+		t.Fatal("epoch ahead of clock reported HB")
+	}
+	if e.String() != "5@t2" {
+		t.Fatalf("epoch string = %s", e.String())
+	}
+}
