@@ -7,6 +7,7 @@
 // Usage:
 //
 //	explore -prog statmax -max 50000
+//	explore -prog philosophers -workers 8 -first=false
 //	explore -prog inversion -bound 2 -save scenario.json
 //	explore -prog inversion -replay scenario.json
 package main
@@ -30,17 +31,18 @@ func main() {
 	sleepSets := flag.Bool("sleepsets", false, "enable sleep-set pruning")
 	timeouts := flag.Bool("timeouts", false, "explore timer expirations too")
 	stopFirst := flag.Bool("first", true, "stop at first bug")
+	workers := flag.Int("workers", 0, "parallel search workers (0 = all cores, 1 = deterministic serial)")
 	save := flag.String("save", "", "save the first failing scenario to this file")
 	replayPath := flag.String("replay", "", "replay a saved scenario instead of exploring")
 	flag.Parse()
 
-	if err := run(*prog, *max, *bound, *sleepSets, *timeouts, *stopFirst, *save, *replayPath); err != nil {
+	if err := run(*prog, *max, *bound, *workers, *sleepSets, *timeouts, *stopFirst, *save, *replayPath); err != nil {
 		fmt.Fprintln(os.Stderr, "explore:", err)
 		os.Exit(1)
 	}
 }
 
-func run(progName string, max, bound int, sleepSets, timeouts, stopFirst bool, save, replayPath string) error {
+func run(progName string, max, bound, workers int, sleepSets, timeouts, stopFirst bool, save, replayPath string) error {
 	prog, err := repository.Get(progName)
 	if err != nil {
 		return err
@@ -67,6 +69,7 @@ func run(progName string, max, bound int, sleepSets, timeouts, stopFirst bool, s
 		SleepSets:       sleepSets,
 		ExploreTimeouts: timeouts,
 		StopAtFirstBug:  stopFirst,
+		Workers:         workers,
 		Name:            progName,
 	}
 	if bound >= 0 {

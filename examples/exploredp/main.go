@@ -2,6 +2,12 @@
 // the deadlock — then prove the resource-ordering fix deadlock-free by
 // exhausting its (bounded) schedule space. Random testing can only
 // ever say "not found"; exploration draws the distinction.
+//
+// The search runs sharded across all cores (ExploreOptions.Workers).
+// No schedule is ever executed twice; with sleep sets enabled (as
+// here) the shard boundaries prune a little less than serial order,
+// so the exhaustion proof may cost some extra schedules — but never
+// soundness.
 package main
 
 import (
@@ -21,6 +27,7 @@ func explore(progName string) {
 		MaxSchedules:   200000,
 		StopAtFirstBug: true,
 		SleepSets:      true,
+		Workers:        0, // 0 = one search worker per core
 		Name:           progName,
 	}, body)
 	if res.Err != nil {

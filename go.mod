@@ -1,0 +1,3 @@
+module mtbench
+
+go 1.22

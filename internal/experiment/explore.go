@@ -17,6 +17,11 @@ type ExploreConfig struct {
 	Programs     []string
 	MaxSchedules int
 	RandomSeeds  int
+	// Workers is the exploration worker-pool size (0 = 1). The table
+	// reports schedules-to-first-bug, which is only deterministic for
+	// a single worker, so E5 defaults to serial; raise it to measure
+	// wall-clock speedups on large instances instead.
+	Workers int
 }
 
 // exploreParams shrinks each program to an explorable size.
@@ -40,6 +45,9 @@ func Explore(cfg ExploreConfig) ([]*Table, error) {
 	if cfg.RandomSeeds <= 0 {
 		cfg.RandomSeeds = 30000
 	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
 
 	t := &Table{
 		ID:      "E5",
@@ -54,19 +62,19 @@ func Explore(cfg ExploreConfig) ([]*Table, error) {
 		opts func() explore.Options
 	}{
 		{"dfs", func() explore.Options {
-			return explore.Options{MaxSchedules: cfg.MaxSchedules, StopAtFirstBug: true}
+			return explore.Options{MaxSchedules: cfg.MaxSchedules, StopAtFirstBug: true, Workers: cfg.Workers}
 		}},
 		{"dfs-bound1", func() explore.Options {
-			return explore.Options{MaxSchedules: cfg.MaxSchedules, StopAtFirstBug: true, PreemptionBound: explore.Bound(1)}
+			return explore.Options{MaxSchedules: cfg.MaxSchedules, StopAtFirstBug: true, Workers: cfg.Workers, PreemptionBound: explore.Bound(1)}
 		}},
 		{"dfs-bound2", func() explore.Options {
-			return explore.Options{MaxSchedules: cfg.MaxSchedules, StopAtFirstBug: true, PreemptionBound: explore.Bound(2)}
+			return explore.Options{MaxSchedules: cfg.MaxSchedules, StopAtFirstBug: true, Workers: cfg.Workers, PreemptionBound: explore.Bound(2)}
 		}},
 		{"dfs-sleepsets", func() explore.Options {
-			return explore.Options{MaxSchedules: cfg.MaxSchedules, StopAtFirstBug: true, SleepSets: true}
+			return explore.Options{MaxSchedules: cfg.MaxSchedules, StopAtFirstBug: true, Workers: cfg.Workers, SleepSets: true}
 		}},
 		{"dfs-timeouts", func() explore.Options {
-			return explore.Options{MaxSchedules: cfg.MaxSchedules, StopAtFirstBug: true, ExploreTimeouts: true, PreemptionBound: explore.Bound(2)}
+			return explore.Options{MaxSchedules: cfg.MaxSchedules, StopAtFirstBug: true, Workers: cfg.Workers, ExploreTimeouts: true, PreemptionBound: explore.Bound(2)}
 		}},
 	}
 
@@ -83,7 +91,7 @@ func Explore(cfg ExploreConfig) ([]*Table, error) {
 				return nil, res.Err
 			}
 			first := "-"
-			if idx := res.FirstBugIndex(); idx > 0 {
+			if idx := res.FirstBugIndex(); idx >= 1 {
 				first = itoa(idx)
 			}
 			exhausted := "no"

@@ -21,10 +21,18 @@
 //   - Sleep sets: after exploring thread t at a node, siblings need
 //     not re-explore threads whose pending operations are independent
 //     of t's. Sound for terminating programs.
+//
+// The search is sharded across a worker pool (Options.Workers): the
+// decision tree is partitioned into schedule-prefix work items, each
+// worker replays its prefix and explores the subtree below it with the
+// full per-worker DFS machinery (preemption bounds and sleep sets
+// included), and a merge layer aggregates outcomes and deduplicates
+// bugs under global budgets. See parallel.go.
 package explore
 
 import (
 	"fmt"
+	"slices"
 
 	"mtbench/internal/core"
 	"mtbench/internal/sched"
@@ -33,6 +41,7 @@ import (
 // Options configures an exploration.
 type Options struct {
 	// MaxSchedules bounds how many schedules are executed (0 = 10000).
+	// With Workers > 1 it is a global budget shared by all workers.
 	MaxSchedules int
 	// MaxSteps bounds each run (0 = sched default).
 	MaxSteps int64
@@ -48,9 +57,22 @@ type Options struct {
 	// lost wakeups) at the cost of extra branching.
 	ExploreTimeouts bool
 	// StopAtFirstBug ends the search at the first non-pass verdict.
+	// With Workers > 1 the stop is global: in-flight schedules on other
+	// workers finish and are counted, then the search winds down.
 	StopAtFirstBug bool
+	// Workers is the number of parallel search workers (0 =
+	// runtime.NumCPU()). Workers == 1 is the exact serial DFS: schedule
+	// order, bug indices and outcome counts are deterministic. With
+	// more workers the same decision tree is partitioned across
+	// goroutines: every schedule is still executed exactly once (sleep
+	// sets prune slightly less across shard boundaries), the
+	// deduplicated bug set is the same, but schedule numbering depends
+	// on worker interleaving.
+	Workers int
 	// Listeners are attached to every run (cumulative tools such as
-	// coverage trackers and race detectors work as-is).
+	// coverage trackers and race detectors work as-is). With Workers >
+	// 1, runs execute concurrently, so listeners must be safe for
+	// concurrent use.
 	Listeners []core.Listener
 	// Name labels runs for RunObserver listeners.
 	Name string
@@ -74,7 +96,7 @@ type Result struct {
 	// (within the configured bounds).
 	Exhausted bool
 	// Bugs are the distinct failures found (deduplicated by verdict
-	// and failure message/deadlock).
+	// and failure message/deadlock), ordered by Index.
 	Bugs []Bug
 	// Outcomes histograms Result.Outcome strings over all schedules.
 	Outcomes map[string]int
@@ -86,11 +108,12 @@ type Result struct {
 // Bound is a convenience for Options.PreemptionBound.
 func Bound(n int) *int { return &n }
 
-// FirstBugIndex returns the schedule number of the first bug (0 if
-// none).
+// FirstBugIndex returns the schedule number of the first bug, or -1
+// when no bug was found. (Schedule numbers are 1-based, so -1 is
+// unambiguous.)
 func (r *Result) FirstBugIndex() int {
 	if len(r.Bugs) == 0 {
-		return 0
+		return -1
 	}
 	return r.Bugs[0].Index
 }
@@ -117,25 +140,38 @@ func (n *node) isPreemption() bool {
 	if n.current == core.NoThread {
 		return false
 	}
-	for _, o := range n.options {
-		if o == n.current {
-			return n.chosen() != n.current
-		}
+	if slices.Contains(n.options, n.current) {
+		return n.chosen() != n.current
 	}
 	return false
 }
 
+// explorer owns one shard of the decision tree: the subtree hanging
+// under prefix. Decisions 0..len(prefix)-1 are replayed literally on
+// every run and are not backtrack points — their sibling alternatives
+// belong to other work items (or were already explored by the donor).
 type explorer struct {
 	opts Options
-	path []*node
-	err  error
+	// prefix is the inherited schedule this explorer's subtree hangs
+	// under (empty for the root shard).
+	prefix []core.ThreadID
+	// rootSleep seeds the sleep set of the first fresh node, inherited
+	// from the donor's branch node exactly as a child node inherits
+	// from its parent in the serial DFS.
+	rootSleep map[core.ThreadID]bool
+	path      []*node
+	err       error
 }
 
-// dfsStrategy drives one run: replay the path's choices, extend the
-// frontier with fresh nodes.
+// dfsStrategy drives one run: replay the prefix and the path's
+// choices, extend the frontier with fresh nodes.
 type dfsStrategy struct {
 	e     *explorer
 	depth int
+	// prefixPre counts preemptions taken along the replayed prefix, so
+	// the subtree's context-bound accounting matches a serial descent
+	// through the same decisions.
+	prefixPre int
 }
 
 // Name implements sched.Strategy.
@@ -147,8 +183,26 @@ func (st *dfsStrategy) Pick(c *sched.Choice) core.ThreadID {
 	d := st.depth
 	st.depth++
 
-	if d < len(e.path) {
-		n := e.path[d]
+	if d < len(e.prefix) {
+		want := e.prefix[d]
+		if want == sched.IdleID {
+			if !c.CanIdle {
+				e.err = fmt.Errorf("explore: nondeterministic program: cannot idle at depth %d", d)
+				return core.NoThread
+			}
+		} else if !slices.Contains(c.Runnable, want) {
+			e.err = fmt.Errorf("explore: nondeterministic program: thread %d not runnable at depth %d", want, d)
+			return core.NoThread
+		}
+		if c.Current != core.NoThread && want != c.Current && slices.Contains(c.Runnable, c.Current) {
+			st.prefixPre++
+		}
+		return want
+	}
+
+	pd := d - len(e.prefix)
+	if pd < len(e.path) {
+		n := e.path[pd]
 		want := n.chosen()
 		if want == sched.IdleID {
 			if !c.CanIdle {
@@ -157,28 +211,31 @@ func (st *dfsStrategy) Pick(c *sched.Choice) core.ThreadID {
 			}
 			return want
 		}
-		if !runnableContains(c.Runnable, want) {
+		if !slices.Contains(c.Runnable, want) {
 			e.err = fmt.Errorf("explore: nondeterministic program: thread %d not runnable at depth %d", want, d)
 			return core.NoThread
 		}
 		return want
 	}
 
-	n := e.newNode(c, d)
+	n := e.newNode(c, pd, st.prefixPre)
 	e.path = append(e.path, n)
 	return n.chosen()
 }
 
-// newNode builds the frontier node for choice point c at depth d,
+// newNode builds the frontier node for choice point c at path index pd,
 // applying preemption bounding, sleep sets and the exploration order
 // (current thread first, so the first descent is the cheap
-// nonpreemptive schedule).
-func (e *explorer) newNode(c *sched.Choice, d int) *node {
+// nonpreemptive schedule). prefixPre is the preemption count
+// accumulated along the replayed prefix, charged to the subtree's
+// first fresh node.
+func (e *explorer) newNode(c *sched.Choice, pd int, prefixPre int) *node {
 	n := &node{current: c.Current, sleep: map[core.ThreadID]bool{}}
 
-	// Inherit preemption count and sleep set from the parent.
-	if d > 0 {
-		parent := e.path[d-1]
+	// Inherit preemption count and sleep set from the parent node, or
+	// from the donated work item at the subtree root.
+	if pd > 0 {
+		parent := e.path[pd-1]
 		n.preBefore = parent.preBefore
 		if parent.isPreemption() {
 			n.preBefore++
@@ -191,15 +248,17 @@ func (e *explorer) newNode(c *sched.Choice, d int) *node {
 				}
 			}
 		}
+	} else {
+		n.preBefore = prefixPre
+		if e.opts.SleepSets {
+			for u := range e.rootSleep {
+				n.sleep[u] = true
+			}
+		}
 	}
 
 	// Option order: current first (if runnable), then ascending ids.
-	curRunnable := false
-	for _, id := range c.Runnable {
-		if id == c.Current {
-			curRunnable = true
-		}
-	}
+	curRunnable := slices.Contains(c.Runnable, c.Current)
 	if curRunnable {
 		n.options = append(n.options, c.Current)
 	}
@@ -238,7 +297,7 @@ func (e *explorer) newNode(c *sched.Choice, d int) *node {
 
 // backtrack advances the deepest node with an untried, non-sleeping
 // alternative and truncates the path there; it reports false when the
-// tree is exhausted.
+// shard's subtree is exhausted.
 func (e *explorer) backtrack() bool {
 	for len(e.path) > 0 {
 		n := e.path[len(e.path)-1]
@@ -256,6 +315,53 @@ func (e *explorer) backtrack() bool {
 		e.path = e.path[:len(e.path)-1]
 	}
 	return false
+}
+
+// split carves the shallowest untried, non-sleeping alternative off
+// the current DFS path and packages it as a standalone work item for
+// another worker. The option is removed from the local node so every
+// schedule is still explored exactly once. Splitting shallow donates
+// the largest subtrees, which keeps work-stealing traffic low.
+//
+// The donated item inherits the branch node's sleep set filtered by
+// independence against the donated option's pending operation —
+// exactly the inheritance a child node would receive in newNode. The
+// donor's sleeps accumulated after the donation are lost to the
+// donated shard, so parallel sleep-set search may execute more
+// schedules than serial, but never fewer behaviours: a smaller sleep
+// set only prunes less.
+func (e *explorer) split() (*workItem, bool) {
+	for d, n := range e.path {
+		for j := n.curIdx + 1; j < len(n.options); j++ {
+			opt := n.options[j]
+			if n.sleep[opt] {
+				continue
+			}
+			n.options = slices.Delete(n.options, j, j+1)
+
+			prefix := make([]core.ThreadID, 0, len(e.prefix)+d+1)
+			prefix = append(prefix, e.prefix...)
+			for i := 0; i < d; i++ {
+				prefix = append(prefix, e.path[i].chosen())
+			}
+			prefix = append(prefix, opt)
+
+			item := &workItem{prefix: prefix}
+			if e.opts.SleepSets && n.pendings != nil {
+				chosenOp := n.pendings[opt]
+				for u := range n.sleep {
+					if independent(n.pendings[u], chosenOp) {
+						if item.sleep == nil {
+							item.sleep = make(map[core.ThreadID]bool)
+						}
+						item.sleep[u] = true
+					}
+				}
+			}
+			return item, true
+		}
+	}
+	return nil, false
 }
 
 // independent reports whether two pending operations commute: they
@@ -278,62 +384,14 @@ func independent(a, b sched.PendingOp) bool {
 	return a.Op == core.OpRead && b.Op == core.OpRead
 }
 
-func runnableContains(ids []core.ThreadID, id core.ThreadID) bool {
-	for _, x := range ids {
-		if x == id {
-			return true
-		}
-	}
-	return false
-}
-
-// Explore runs the search over body and returns its summary.
+// Explore runs the search over body and returns its summary. The
+// search is serial for Options.Workers == 1 and sharded across a
+// worker pool otherwise; see parallel.go for the coordinator.
 func Explore(opts Options, body func(core.T)) *Result {
 	if opts.MaxSchedules <= 0 {
 		opts.MaxSchedules = 10000
 	}
-	e := &explorer{opts: opts}
-	res := &Result{Outcomes: map[string]int{}}
-	seenBugs := map[string]bool{}
-
-	for res.Schedules < opts.MaxSchedules {
-		st := &dfsStrategy{e: e}
-		runRes := sched.Run(sched.Config{
-			Strategy:       st,
-			Listeners:      opts.Listeners,
-			MaxSteps:       opts.MaxSteps,
-			Name:           opts.Name,
-			RecordSchedule: true,
-		}, body)
-		res.Schedules++
-		res.Outcomes[runRes.Verdict.String()+":"+runRes.Outcome]++
-
-		if e.err != nil {
-			res.Err = e.err
-			return res
-		}
-
-		if runRes.Verdict.Bug() {
-			key := bugKey(runRes)
-			if !seenBugs[key] {
-				seenBugs[key] = true
-				res.Bugs = append(res.Bugs, Bug{
-					Schedule: append([]core.ThreadID(nil), runRes.Schedule...),
-					Result:   runRes,
-					Index:    res.Schedules,
-				})
-			}
-			if opts.StopAtFirstBug {
-				return res
-			}
-		}
-
-		if !e.backtrack() {
-			res.Exhausted = true
-			return res
-		}
-	}
-	return res
+	return newCoordinator(opts, body).run()
 }
 
 // bugKey deduplicates failures by their observable signature.

@@ -1,0 +1,248 @@
+// Parallel sharded exploration: a coordinator partitions the DFS
+// decision tree into schedule-prefix work items, a pool of workers
+// replays each prefix and explores its subtree with the serial DFS
+// machinery, and a merge layer aggregates outcomes, deduplicates bugs
+// and enforces the global budgets (MaxSchedules, StopAtFirstBug).
+//
+// The design is work-sharing rather than static partitioning: the
+// search starts as one shard (the whole tree), and a worker donates
+// the shallowest untried branch of its path whenever other workers are
+// starving. Donation removes the branch from the donor, so the shards
+// partition the tree — every schedule is executed exactly once, by
+// exactly one worker. Replaying a donated prefix costs one program
+// execution, the same price the stateless search already pays for
+// every schedule, so sharding adds no asymptotic overhead.
+//
+// With Workers == 1 there is never a starving worker, so no donation
+// happens and the exploration order — schedule numbering, bug indices,
+// outcome counts — is byte-identical to the serial engine.
+package explore
+
+import (
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"mtbench/internal/core"
+	"mtbench/internal/sched"
+)
+
+// workItem is one shard of the decision tree: the subtree below a
+// schedule prefix, plus the sleep set the subtree root inherits from
+// the donor's branch node.
+type workItem struct {
+	prefix []core.ThreadID
+	sleep  map[core.ThreadID]bool
+}
+
+// coordinator owns the work queue, the global budgets and the merged
+// result of a sharded exploration.
+type coordinator struct {
+	opts    Options
+	body    func(core.T)
+	workers int
+
+	// mu guards the queue/idle/closed scheduling state; cond signals
+	// queue pushes and shutdown.
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*workItem
+	idle   int
+	closed bool
+
+	// starving counts workers currently waiting for an item; the fast
+	// path of needWork reads it without the lock.
+	starving atomic.Int32
+
+	// reserved hands out schedule budget slots; executed counts runs
+	// actually performed (Result.Schedules and Bug.Index). truncated
+	// records that the budget cut the search short.
+	reserved  atomic.Int64
+	executed  atomic.Int64
+	truncated atomic.Bool
+	stopping  atomic.Bool
+
+	// resMu guards the merged results.
+	resMu    sync.Mutex
+	seenBugs map[string]bool
+	bugs     []Bug
+	outcomes map[string]int
+	err      error
+}
+
+func newCoordinator(opts Options, body func(core.T)) *coordinator {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	c := &coordinator{
+		opts:     opts,
+		body:     body,
+		workers:  workers,
+		seenBugs: map[string]bool{},
+		outcomes: map[string]int{},
+	}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// run executes the sharded search to completion and merges the result.
+func (c *coordinator) run() *Result {
+	c.push(&workItem{}) // the root shard: the whole tree
+	var wg sync.WaitGroup
+	for i := 0; i < c.workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				item := c.take()
+				if item == nil {
+					return
+				}
+				c.exploreItem(item)
+			}
+		}()
+	}
+	wg.Wait()
+
+	res := &Result{
+		Schedules: int(c.executed.Load()),
+		Bugs:      c.bugs,
+		Outcomes:  c.outcomes,
+		Err:       c.err,
+	}
+	// The tree was fully explored iff no budget truncation and no
+	// early stop (first bug, replay divergence) occurred.
+	res.Exhausted = c.err == nil && !c.truncated.Load() && !c.stopping.Load()
+	slices.SortFunc(res.Bugs, func(a, b Bug) int { return a.Index - b.Index })
+	return res
+}
+
+// exploreItem runs the DFS over one shard, donating branches to
+// starving workers and observing the global budgets.
+func (c *coordinator) exploreItem(item *workItem) {
+	e := &explorer{opts: c.opts, prefix: item.prefix, rootSleep: item.sleep}
+	for {
+		if c.stopping.Load() {
+			return
+		}
+		if c.reserved.Add(1) > int64(c.opts.MaxSchedules) {
+			c.truncated.Store(true)
+			return
+		}
+		st := &dfsStrategy{e: e}
+		runRes := sched.Run(sched.Config{
+			Strategy:       st,
+			Listeners:      c.opts.Listeners,
+			MaxSteps:       c.opts.MaxSteps,
+			Name:           c.opts.Name,
+			RecordSchedule: true,
+		}, c.body)
+		c.record(runRes, int(c.executed.Add(1)), e.err)
+		if c.stopping.Load() {
+			return
+		}
+		for c.needWork() {
+			donated, ok := e.split()
+			if !ok {
+				break
+			}
+			c.push(donated)
+		}
+		if !e.backtrack() {
+			return // shard exhausted
+		}
+	}
+}
+
+// record merges one run into the global result and triggers the
+// global stop on errors and (with StopAtFirstBug) on the first bug.
+func (c *coordinator) record(runRes *core.Result, index int, runErr error) {
+	stopFirst := false
+	c.resMu.Lock()
+	c.outcomes[runRes.Verdict.String()+":"+runRes.Outcome]++
+	switch {
+	case runErr != nil:
+		if c.err == nil {
+			c.err = runErr
+		}
+	case runRes.Verdict.Bug():
+		key := bugKey(runRes)
+		if !c.seenBugs[key] {
+			c.seenBugs[key] = true
+			c.bugs = append(c.bugs, Bug{
+				Schedule: append([]core.ThreadID(nil), runRes.Schedule...),
+				Result:   runRes,
+				Index:    index,
+			})
+		}
+		stopFirst = c.opts.StopAtFirstBug
+	}
+	c.resMu.Unlock()
+	if runErr != nil || stopFirst {
+		c.stop()
+	}
+}
+
+// stop winds the search down: workers finish their in-flight schedule
+// and exit, waiters wake and exit.
+func (c *coordinator) stop() {
+	c.stopping.Store(true)
+	c.mu.Lock()
+	c.closed = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// push enqueues a shard and wakes one waiter.
+func (c *coordinator) push(item *workItem) {
+	c.mu.Lock()
+	c.queue = append(c.queue, item)
+	c.cond.Signal()
+	c.mu.Unlock()
+}
+
+// take dequeues a shard (LIFO, to keep the global order depth-first
+// and the queue small) or returns nil when the search is over: stopped,
+// or every worker idle with an empty queue (tree exhausted).
+func (c *coordinator) take() *workItem {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.idle++
+	c.starving.Add(1)
+	defer func() {
+		c.idle--
+		c.starving.Add(-1)
+	}()
+	for {
+		if c.closed {
+			return nil
+		}
+		if n := len(c.queue); n > 0 {
+			item := c.queue[n-1]
+			c.queue = c.queue[:n-1]
+			return item
+		}
+		if c.idle == c.workers {
+			c.closed = true
+			c.cond.Broadcast()
+			return nil
+		}
+		c.cond.Wait()
+	}
+}
+
+// needWork reports whether donation would help: some worker is waiting
+// and the queue cannot feed them all. The starving fast path keeps the
+// serial (Workers == 1) engine lock-free here — a single worker can
+// never be starving while it is running.
+func (c *coordinator) needWork() bool {
+	want := int(c.starving.Load())
+	if want == 0 {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return !c.closed && len(c.queue) < want
+}

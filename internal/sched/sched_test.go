@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"slices"
 	"testing"
 	"time"
 
@@ -484,7 +485,7 @@ func TestRandomDispatchRunsToBlock(t *testing.T) {
 		Strategy: RandomWhenBlocked(7),
 		Hook: func(c *Choice, picked core.ThreadID) {
 			points++
-			if last != core.NoThread && picked != last && contains(c.Runnable, last) {
+			if last != core.NoThread && picked != last && slices.Contains(c.Runnable, last) {
 				switches++ // preemption: switched away from a runnable current
 			}
 			last = picked

@@ -17,6 +17,7 @@ package sched
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 	"time"
@@ -277,7 +278,7 @@ func (s *scheduler) drive() {
 			continue
 		}
 		next := s.threadByID(pick)
-		if next == nil || !contains(runnable, pick) {
+		if next == nil || !slices.Contains(runnable, pick) {
 			// A strategy bug: fail loudly rather than silently skewing
 			// statistics.
 			panic(fmt.Sprintf("sched: strategy %s picked non-runnable thread %d (runnable %v)",
@@ -412,15 +413,23 @@ func (s *scheduler) describeDeadlock() string {
 }
 
 // findCycle finds a cycle in the wait-for map, returning the thread ids
-// along it (empty if none).
+// along it (empty if none). The result is canonical — starts are probed
+// in ascending id order and the cycle is rotated to begin at its
+// smallest id — so identical deadlocks always produce identical
+// descriptions. Bug deduplication (explore.bugKey) depends on this.
 func findCycle(waitsFor map[core.ThreadID]core.ThreadID) []core.ThreadID {
-	for start := range waitsFor {
+	starts := make([]core.ThreadID, 0, len(waitsFor))
+	for id := range waitsFor {
+		starts = append(starts, id)
+	}
+	slices.Sort(starts)
+	for _, start := range starts {
 		seen := map[core.ThreadID]int{}
 		var path []core.ThreadID
 		cur := start
 		for {
 			if i, ok := seen[cur]; ok {
-				return append(path[i:], cur)
+				return canonicalCycle(path[i:])
 			}
 			next, ok := waitsFor[cur]
 			if !ok {
@@ -432,6 +441,21 @@ func findCycle(waitsFor map[core.ThreadID]core.ThreadID) []core.ThreadID {
 		}
 	}
 	return nil
+}
+
+// canonicalCycle rotates an open cycle to start at its smallest thread
+// id and closes it by repeating that id at the end.
+func canonicalCycle(cyc []core.ThreadID) []core.ThreadID {
+	min := 0
+	for i, id := range cyc {
+		if id < cyc[min] {
+			min = i
+		}
+	}
+	out := make([]core.ThreadID, 0, len(cyc)+1)
+	out = append(out, cyc[min:]...)
+	out = append(out, cyc[:min]...)
+	return append(out, out[0])
 }
 
 // abortAll unwinds every live thread so no goroutines outlive the run.
@@ -549,15 +573,6 @@ func (th *thread) prePoint(op core.Op, name string, loc core.Location) {
 	}
 	th.pending = PendingOp{Op: op, Name: name, Loc: loc}
 	th.point()
-}
-
-func contains(ids []core.ThreadID, id core.ThreadID) bool {
-	for _, x := range ids {
-		if x == id {
-			return true
-		}
-	}
-	return false
 }
 
 // Now returns the scheduler's virtual clock; the clock also advances

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"math/rand"
+	"slices"
 
 	"mtbench/internal/core"
 )
@@ -46,7 +47,7 @@ type Choice struct {
 // CurrentRunnable reports whether the previously running thread can
 // continue.
 func (c *Choice) CurrentRunnable() bool {
-	return c.Current != core.NoThread && contains(c.Runnable, c.Current)
+	return c.Current != core.NoThread && slices.Contains(c.Runnable, c.Current)
 }
 
 // Strategy decides which thread runs at each scheduling point. A
@@ -215,7 +216,7 @@ func (f *FixedSchedule) Pick(c *Choice) core.ThreadID {
 			}
 			return IdleID
 		}
-		if !contains(c.Runnable, want) {
+		if !slices.Contains(c.Runnable, want) {
 			return core.NoThread
 		}
 		return want

@@ -235,14 +235,22 @@ var (
 
 // Systematic exploration.
 type (
-	// ExploreOptions configures the stateless DFS search.
+	// ExploreOptions configures the stateless DFS search. Workers
+	// shards the decision tree across a pool of search goroutines
+	// (0 = one per core; 1 = the deterministic serial engine);
+	// MaxSchedules and StopAtFirstBug are global budgets across the
+	// pool.
 	ExploreOptions = explore.Options
 	// ExploreResult summarizes a search.
 	ExploreResult = explore.Result
+	// ExploreBug is one erroneous schedule found during exploration,
+	// replayable through FixedSchedule or the replay package.
+	ExploreBug = explore.Bug
 )
 
 var (
-	// Explore runs systematic state-space exploration.
+	// Explore runs systematic state-space exploration, sharded over
+	// ExploreOptions.Workers parallel workers.
 	Explore = explore.Explore
 	// PreemptionBound builds the Options.PreemptionBound value.
 	PreemptionBound = explore.Bound
