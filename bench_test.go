@@ -1,7 +1,7 @@
 package mtbench_test
 
 // The benchmark harness: one testing.B benchmark per experiment in
-// DESIGN.md's index (F1, E1..E10), each invoking the prepared
+// DESIGN.md's index (F1, E1..E11), each invoking the prepared
 // experiment with a bench-sized configuration, plus microbenchmarks
 // for the substrate costs the paper's overhead comparisons rest on
 // (scheduling points, native probes, detector events, trace codecs).
@@ -106,6 +106,12 @@ func BenchmarkE9Trace(b *testing.B) {
 func BenchmarkE10TraceEval(b *testing.B) {
 	runExperiment(b, func() ([]*experiment.Table, error) {
 		return experiment.TraceEval(experiment.TraceEvalConfig{Seeds: 4})
+	})
+}
+
+func BenchmarkE11Fuzz(b *testing.B) {
+	runExperiment(b, func() ([]*experiment.Table, error) {
+		return experiment.Fuzz(experiment.FuzzConfig{Budget: 800})
 	})
 }
 

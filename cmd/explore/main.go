@@ -50,12 +50,7 @@ func run(progName string, max, bound, workers int, sleepSets, timeouts, stopFirs
 	body := prog.BodyWith(nil)
 
 	if replayPath != "" {
-		f, err := os.Open(replayPath)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		s, err := replay.Load(f)
+		s, err := replay.LoadFile(replayPath)
 		if err != nil {
 			return err
 		}
@@ -92,12 +87,7 @@ func run(progName string, max, bound, workers int, sleepSets, timeouts, stopFirs
 			Strategy:  "explore-dfs",
 			Decisions: append([]core.ThreadID(nil), res.Bugs[0].Schedule...),
 		}
-		f, err := os.Create(save)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if err := s.Save(f); err != nil {
+		if err := s.SaveFile(save); err != nil {
 			return err
 		}
 		fmt.Printf("saved failing scenario to %s (%d decisions)\n", save, len(s.Decisions))

@@ -1,0 +1,111 @@
+// Command fuzz runs coverage-guided schedule fuzzing over a repository
+// program: mutate interesting decision logs, execute them under the
+// controlled scheduler, keep what covers new concurrency tasks, and
+// save failing schedules as replayable scenario files — the same
+// record-everything discipline as cmd/explore, with a greybox search
+// in place of the exhaustive one.
+//
+// Usage:
+//
+//	fuzz -prog account -runs 2000 -seed 1
+//	fuzz -prog abastack -runs 5000 -workers 4 -first=false
+//	fuzz -prog philosophers -pbound 2 -save scenario.json
+//	fuzz -prog philosophers -replay scenario.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"mtbench/internal/core"
+	"mtbench/internal/fuzz"
+	"mtbench/internal/replay"
+	"mtbench/internal/repository"
+	"mtbench/internal/sched"
+)
+
+func main() {
+	prog := flag.String("prog", "account", "program to fuzz")
+	runs := flag.Int("runs", 2000, "run budget")
+	workers := flag.Int("workers", 1, "parallel fuzz workers (1 = deterministic)")
+	seed := flag.Int64("seed", 0, "master seed (fixed seed + 1 worker reproduces the campaign)")
+	pbound := flag.Int("pbound", -1, "preemption bound for the bounding mutator (-1 = draw 0..2 per mutation)")
+	stopFirst := flag.Bool("first", true, "stop at first bug")
+	save := flag.String("save", "", "save the first failing scenario to this file")
+	replayPath := flag.String("replay", "", "replay a saved scenario instead of fuzzing")
+	flag.Parse()
+
+	if err := run(*prog, *runs, *workers, *pbound, *seed, *stopFirst, *save, *replayPath); err != nil {
+		fmt.Fprintln(os.Stderr, "fuzz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(progName string, runs, workers, pbound int, seed int64, stopFirst bool, save, replayPath string) error {
+	prog, err := repository.Get(progName)
+	if err != nil {
+		return err
+	}
+	body := prog.BodyWith(nil)
+
+	if replayPath != "" {
+		s, err := replay.LoadFile(replayPath)
+		if err != nil {
+			return err
+		}
+		res := replay.ReplayControlled(s, sched.Config{Name: progName}, body)
+		fmt.Printf("replayed scenario (%d decisions): %v\n", len(s.Decisions), res)
+		return nil
+	}
+
+	opts := fuzz.Options{
+		MaxRuns:        runs,
+		Seed:           seed,
+		Workers:        workers,
+		StopAtFirstBug: stopFirst,
+		Name:           progName,
+	}
+	if pbound >= 0 {
+		opts.PreemptionBound = fuzz.Bound(pbound)
+	}
+	res := fuzz.Fuzz(opts, body)
+
+	fmt.Printf("runs executed: %d (corpus=%d, coverage tasks=%d, coverage-adding runs=%d, repaired decisions=%d)\n",
+		res.Runs, res.CorpusSize, res.Coverage, res.CoverageRuns, res.Repairs)
+	ops := make([]string, 0, len(res.Ops))
+	for op := range res.Ops {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	fmt.Print("runs by operator:")
+	for _, op := range ops {
+		fmt.Printf(" %s=%d", op, res.Ops[op])
+	}
+	fmt.Println()
+	fmt.Printf("bugs found: %d\n", len(res.Bugs))
+	for _, b := range res.Bugs {
+		fmt.Printf("  run #%d: %v\n", b.Index, b.Result)
+	}
+	// A first-bug hunt that found nothing exits non-zero, so campaign
+	// scripts (and CI's fuzz smoke) detect a dead search, not just a
+	// crashed one.
+	if stopFirst && len(res.Bugs) == 0 {
+		return fmt.Errorf("no bug found within %d runs", res.Runs)
+	}
+	if save != "" && len(res.Bugs) > 0 {
+		s := &replay.Schedule{
+			Program:   progName,
+			Mode:      "controlled",
+			Seed:      seed,
+			Strategy:  "fuzz-guided",
+			Decisions: append([]core.ThreadID(nil), res.Bugs[0].Schedule...),
+		}
+		if err := s.SaveFile(save); err != nil {
+			return err
+		}
+		fmt.Printf("saved failing scenario to %s (%d decisions)\n", save, len(s.Decisions))
+	}
+	return nil
+}

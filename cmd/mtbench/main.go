@@ -8,9 +8,10 @@
 //	mtbench list
 //	mtbench show -prog account
 //	mtbench run -prog account -strategy noise -p 0.4 -runs 50
-//	mtbench experiments            # run everything (slow)
-//	mtbench experiment -id E1      # one experiment
-//	mtbench experiment -id E2 -csv # machine-readable output
+//	mtbench experiments             # run everything (slow)
+//	mtbench experiment -id E1       # one experiment
+//	mtbench experiment -id E2 -csv  # machine-readable output (CSV)
+//	mtbench experiment -id E11 -json # machine-readable output (JSON)
 package main
 
 import (
@@ -58,11 +59,11 @@ func usage() {
 	fmt.Fprint(os.Stderr, `mtbench — benchmark and framework for multi-threaded testing tools
 
 commands:
-  list                         list the program repository
-  show -prog NAME              print a program's bug documentation
-  run  -prog NAME [flags]      run a program repeatedly under a tool
-  experiment -id ID [-csv]     run one prepared experiment (F1, E1..E10)
-  experiments [-csv]           run every prepared experiment
+  list                            list the program repository
+  show -prog NAME                 print a program's bug documentation
+  run  -prog NAME [flags]         run a program repeatedly under a tool
+  experiment -id ID [-csv|-json]  run one prepared experiment (F1, E1..E11)
+  experiments [-csv|-json]        run every prepared experiment
 `)
 }
 
@@ -156,7 +157,12 @@ func run(args []string) error {
 	return nil
 }
 
-func renderTables(tables []*experiment.Table, csv bool) error {
+func renderTables(tables []*experiment.Table, csv, json bool) error {
+	if json {
+		// One JSON array per invocation, so collectors parse a single
+		// document even when an experiment returns several tables.
+		return experiment.JSONAll(os.Stdout, tables)
+	}
 	for _, t := range tables {
 		if csv {
 			fmt.Printf("# %s: %s\n", t.ID, t.Title)
@@ -173,8 +179,9 @@ func renderTables(tables []*experiment.Table, csv bool) error {
 
 func runExperiment(args []string) error {
 	fs := flag.NewFlagSet("experiment", flag.ExitOnError)
-	id := fs.String("id", "", "experiment id (F1, E1..E10)")
+	id := fs.String("id", "", "experiment id (F1, E1..E11)")
 	csv := fs.Bool("csv", false, "CSV output")
+	json := fs.Bool("json", false, "JSON output (one array of tables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -186,24 +193,35 @@ func runExperiment(args []string) error {
 	if err != nil {
 		return err
 	}
-	return renderTables(tables, *csv)
+	return renderTables(tables, *csv, *json)
 }
 
 func runAll(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
 	csv := fs.Bool("csv", false, "CSV output")
+	json := fs.Bool("json", false, "JSON output (one array with every experiment's tables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// JSON aggregates across experiments so stdout stays one parseable
+	// document; text and CSV stream per experiment as before.
+	var all []*experiment.Table
 	for _, r := range experiment.Runners() {
 		fmt.Fprintf(os.Stderr, "running %s (%s)...\n", r.ID, r.Title)
 		tables, err := r.Run()
 		if err != nil {
 			return fmt.Errorf("%s: %w", r.ID, err)
 		}
-		if err := renderTables(tables, *csv); err != nil {
+		if *json {
+			all = append(all, tables...)
+			continue
+		}
+		if err := renderTables(tables, *csv, false); err != nil {
 			return err
 		}
+	}
+	if *json {
+		return experiment.JSONAll(os.Stdout, all)
 	}
 	return nil
 }

@@ -1,0 +1,72 @@
+// Fuzzhunt: hunt a bug with coverage-guided schedule fuzzing and
+// replay the catch — the E11 story told through the public API.
+//
+// The target is "abastack", the lock-free stack whose ABA window needs
+// a precisely placed preemption: blind random scheduling needs on the
+// order of a thousand attempts to land it, while the fuzzer's corpus
+// and thread-aware mutators get there in a fraction of the budget.
+// The found schedule is then replayed deterministically — the paper's
+// save-a-scenario discipline — and the campaign is compared against
+// the same budget spent on fresh random runs.
+package main
+
+import (
+	"fmt"
+
+	"mtbench"
+)
+
+const budget = 3000
+
+func main() {
+	prog, err := mtbench.GetProgram("abastack")
+	if err != nil {
+		panic(err)
+	}
+	body := prog.BodyWith(nil)
+	fmt.Printf("target: %s — %s\n\n", prog.Name, prog.Synopsis)
+
+	// 1. The fuzzing campaign: corpus + mutators + coverage feedback.
+	res := mtbench.Fuzz(mtbench.FuzzOptions{
+		MaxRuns:        budget,
+		Seed:           0,
+		StopAtFirstBug: true,
+		Name:           prog.Name,
+	}, body)
+	fmt.Printf("fuzz: %d runs, %d coverage tasks, corpus %d, %d coverage-adding runs\n",
+		res.Runs, res.Coverage, res.CorpusSize, res.CoverageRuns)
+	if len(res.Bugs) == 0 {
+		fmt.Println("fuzz: no bug found — raise the budget")
+		return
+	}
+	bug := res.Bugs[0]
+	fmt.Printf("fuzz: bug at run #%d: %v\n\n", bug.Index, bug.Result)
+
+	// 2. Replay the catch: the schedule is the complete scenario.
+	rep := mtbench.RunControlled(mtbench.ControlledConfig{
+		Strategy: &mtbench.FixedSchedule{Decisions: bug.Schedule},
+	}, body)
+	fmt.Printf("replay: %v\n", rep)
+	if rep.Verdict != bug.Result.Verdict {
+		panic("replay did not reproduce the bug")
+	}
+
+	// 3. The blind baseline: the same budget on fresh random schedules.
+	randomFirst := -1
+	for seed := int64(0); seed < budget; seed++ {
+		r := mtbench.RunControlled(mtbench.ControlledConfig{
+			Strategy: mtbench.Random(seed),
+			Seed:     seed,
+			MaxSteps: 200_000,
+		}, body)
+		if r.Verdict != mtbench.VerdictPass {
+			randomFirst = int(seed) + 1
+			break
+		}
+	}
+	if randomFirst < 0 {
+		fmt.Printf("random: nothing in %d runs — fuzzing needed %d\n", budget, bug.Index)
+	} else {
+		fmt.Printf("random: first bug at run #%d — fuzzing needed %d\n", randomFirst, bug.Index)
+	}
+}

@@ -156,8 +156,8 @@ func TestRepositoryMetadataThroughFacade(t *testing.T) {
 // TestExperimentRegistryThroughFacade runs the fastest experiment end
 // to end via the facade.
 func TestExperimentRegistryThroughFacade(t *testing.T) {
-	if len(mtbench.Experiments()) != 11 {
-		t.Fatalf("experiments = %d, want 11", len(mtbench.Experiments()))
+	if len(mtbench.Experiments()) != 12 {
+		t.Fatalf("experiments = %d, want 12", len(mtbench.Experiments()))
 	}
 	r, err := mtbench.GetExperiment("E9")
 	if err != nil {

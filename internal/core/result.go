@@ -90,6 +90,22 @@ func (r *Result) String() string {
 	return b.String()
 }
 
+// BugSignature is the canonical deduplication key for a buggy result:
+// failures key on their message and program location, deadlocks on the
+// canonical wait-for description, and anything else on the verdict
+// alone. Exploration and fuzzing both deduplicate their bug sets with
+// it, so "the same bug found twice" counts once everywhere.
+func BugSignature(r *Result) string {
+	switch {
+	case r.Failure != nil:
+		return "fail:" + r.Failure.Msg + "@" + r.Failure.Loc.Key()
+	case r.Verdict == VerdictDeadlock:
+		return "deadlock:" + r.DeadlockInfo
+	default:
+		return r.Verdict.String()
+	}
+}
+
 // failPanic is the panic payload used by both runtimes to unwind a
 // thread whose oracle failed.
 type failPanic struct{ f Failure }

@@ -188,6 +188,29 @@ func (t *Tracker) CoveredCount() int {
 	return len(t.varHit) + len(t.lockHit) + len(t.pairSeen)
 }
 
+// Tasks returns the covered contention-model tasks as stable,
+// model-prefixed keys ("var:", "lock:", "pair:"), sorted. This is the
+// coverage signature consumers compare across runs — the schedule
+// fuzzer keys its corpus on the new tasks a candidate contributes.
+// Location coverage is excluded for the same reason CoveredCount
+// excludes it: it saturates on the first run.
+func (t *Tracker) Tasks() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, 0, len(t.varHit)+len(t.lockHit)+len(t.pairSeen))
+	for v := range t.varHit {
+		out = append(out, "var:"+v)
+	}
+	for l := range t.lockHit {
+		out = append(out, "lock:"+l)
+	}
+	for p := range t.pairSeen {
+		out = append(out, "pair:"+p)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // ContendedVars returns the sorted variable-contention tasks covered so
 // far.
 func (t *Tracker) ContendedVars() []string {

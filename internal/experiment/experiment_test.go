@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"bytes"
+	"encoding/json"
 	"strconv"
 	"strings"
 	"testing"
@@ -53,6 +54,77 @@ func TestTableRendering(t *testing.T) {
 	}
 	if !strings.Contains(csv.String(), `"hello,world"`) {
 		t.Fatalf("csv render:\n%s", csv.String())
+	}
+}
+
+// TestTableJSON pins the machine-readable serialization external
+// campaign tooling depends on: stable field names, rows as arrays,
+// empty tables still valid.
+func TestTableJSON(t *testing.T) {
+	tbl := &Table{ID: "X", Title: "demo", Columns: []string{"a", "b"}}
+	tbl.AddRow("1", "two")
+	tbl.Note("a note")
+	var buf bytes.Buffer
+	if err := tbl.JSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		ID      string     `json:"id"`
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+		Notes   []string   `json:"notes"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if got.ID != "X" || got.Title != "demo" || len(got.Rows) != 1 || got.Rows[0][1] != "two" || len(got.Notes) != 1 {
+		t.Fatalf("round trip mangled the table: %+v", got)
+	}
+
+	buf.Reset()
+	empty := &Table{ID: "Y", Title: "empty", Columns: []string{"a"}}
+	if err := JSONAll(&buf, []*Table{empty, tbl}); err != nil {
+		t.Fatal(err)
+	}
+	var arr []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &arr); err != nil {
+		t.Fatalf("invalid JSON array: %v\n%s", err, buf.String())
+	}
+	if len(arr) != 2 {
+		t.Fatalf("array length = %d, want 2", len(arr))
+	}
+	if rows, ok := arr[0]["rows"].([]any); !ok || rows == nil {
+		t.Fatalf("empty table serialized rows as %T, want empty array", arr[0]["rows"])
+	}
+}
+
+// TestFuzzShape pins E11's acceptance property on a fast subset: under
+// one shared budget, schedule fuzzing finds every bug noise finds —
+// including on the scenario-diversity programs the stock tools were
+// not tuned on.
+func TestFuzzShape(t *testing.T) {
+	programs := []string{"account", "statmax", "semleak", "rwupgrade", "waitholdinglock", "abastack"}
+	tables, err := Fuzz(FuzzConfig{Programs: programs, Budget: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := tables[0]
+	get := func(prog, method, col string) string {
+		return cell(t, tbl, func(r []string) bool { return r[0] == prog && r[1] == method }, col)
+	}
+	for _, prog := range programs {
+		fuzzBugs := atoiCell(t, get(prog, "fuzz", "bugs"))
+		noiseBugs := atoiCell(t, get(prog, "noise", "bugs"))
+		if fuzzBugs < noiseBugs {
+			t.Errorf("%s: fuzz found %d bugs, noise found %d under the same budget", prog, fuzzBugs, noiseBugs)
+		}
+		if fuzzBugs == 0 {
+			t.Errorf("%s: fuzz found nothing", prog)
+		}
+		if got := get(prog, "fuzz", "first_bug"); got == "-" {
+			t.Errorf("%s: fuzz never hit its first bug", prog)
+		}
 	}
 }
 
@@ -302,8 +374,8 @@ func TestPipelineShape(t *testing.T) {
 
 // TestRegistryDispatch checks Runners/Get plumbing.
 func TestRegistryDispatch(t *testing.T) {
-	if len(Runners()) != 11 {
-		t.Fatalf("runners = %d, want 11", len(Runners()))
+	if len(Runners()) != 12 {
+		t.Fatalf("runners = %d, want 12", len(Runners()))
 	}
 	if _, err := Get("E1"); err != nil {
 		t.Fatal(err)

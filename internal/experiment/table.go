@@ -7,12 +7,13 @@
 // alternative approaches."
 //
 // Each experiment function runs a tool matrix over the repository and
-// returns Tables; cmd/mtbench renders them as text or CSV. The
-// experiment IDs (E1..E10, F1) are indexed in DESIGN.md and their
+// returns Tables; cmd/mtbench renders them as text, CSV or JSON. The
+// experiment IDs (E1..E11, F1) are indexed in DESIGN.md and their
 // measured results recorded in EXPERIMENTS.md.
 package experiment
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -105,6 +106,42 @@ func (t *Table) CSV(w io.Writer) error {
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// JSON writes the table as a single JSON object ({id, title, columns,
+// rows, notes}) — the machine-readable serialization external campaign
+// tooling collects instead of parsing rendered text.
+func (t *Table) JSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(t.jsonForm())
+}
+
+// JSONAll writes several tables as one JSON array.
+func JSONAll(w io.Writer, tables []*Table) error {
+	forms := make([]tableJSON, len(tables))
+	for i, t := range tables {
+		forms[i] = t.jsonForm()
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(forms)
+}
+
+// tableJSON fixes the serialized field names independently of the Go
+// struct, so renaming fields cannot silently break collectors.
+type tableJSON struct {
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
+}
+
+func (t *Table) jsonForm() tableJSON {
+	rows := t.Rows
+	if rows == nil {
+		rows = [][]string{}
+	}
+	return tableJSON{ID: t.ID, Title: t.Title, Columns: t.Columns, Rows: rows, Notes: t.Notes}
 }
 
 // RenderAll renders several tables as text.

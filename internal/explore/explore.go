@@ -393,15 +393,3 @@ func Explore(opts Options, body func(core.T)) *Result {
 	}
 	return newCoordinator(opts, body).run()
 }
-
-// bugKey deduplicates failures by their observable signature.
-func bugKey(r *core.Result) string {
-	switch {
-	case r.Failure != nil:
-		return "fail:" + r.Failure.Msg + "@" + r.Failure.Loc.Key()
-	case r.Verdict == core.VerdictDeadlock:
-		return "deadlock:" + r.DeadlockInfo
-	default:
-		return r.Verdict.String()
-	}
-}

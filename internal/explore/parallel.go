@@ -168,7 +168,8 @@ func (c *coordinator) record(runRes *core.Result, index int, runErr error) {
 			c.err = runErr
 		}
 	case runRes.Verdict.Bug():
-		key := bugKey(runRes)
+		// Deduplicate by observable signature (shared with the fuzzer).
+		key := core.BugSignature(runRes)
 		if !c.seenBugs[key] {
 			c.seenBugs[key] = true
 			c.bugs = append(c.bugs, Bug{

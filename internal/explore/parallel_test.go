@@ -5,6 +5,7 @@ import (
 	"sort"
 	"testing"
 
+	"mtbench/internal/core"
 	"mtbench/internal/repository"
 )
 
@@ -87,7 +88,7 @@ func TestSerialGolden(t *testing.T) {
 func bugKeys(res *Result) []string {
 	keys := make([]string, 0, len(res.Bugs))
 	for _, b := range res.Bugs {
-		keys = append(keys, bugKey(b.Result))
+		keys = append(keys, core.BugSignature(b.Result))
 	}
 	sort.Strings(keys)
 	return keys
@@ -241,9 +242,9 @@ func TestWorkersDeterministicSerial(t *testing.T) {
 			t.Fatalf("%s: bug counts differ: %d vs %d", name, len(a.Bugs), len(b.Bugs))
 		}
 		for i := range a.Bugs {
-			if a.Bugs[i].Index != b.Bugs[i].Index || bugKey(a.Bugs[i].Result) != bugKey(b.Bugs[i].Result) {
+			if a.Bugs[i].Index != b.Bugs[i].Index || core.BugSignature(a.Bugs[i].Result) != core.BugSignature(b.Bugs[i].Result) {
 				t.Errorf("%s: bug %d differs: #%d %q vs #%d %q", name, i,
-					a.Bugs[i].Index, bugKey(a.Bugs[i].Result), b.Bugs[i].Index, bugKey(b.Bugs[i].Result))
+					a.Bugs[i].Index, core.BugSignature(a.Bugs[i].Result), b.Bugs[i].Index, core.BugSignature(b.Bugs[i].Result))
 			}
 		}
 	}

@@ -1,0 +1,36 @@
+package fuzz
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// benchmarkFuzz measures raw fuzzing throughput — schedules per second
+// — at a given worker count. The workload is a fixed MaxRuns budget
+// over a repository buggy program with no StopAtFirstBug, so every
+// iteration executes the same number of runs regardless of where bugs
+// fall. Run with
+//
+//	go test -bench=Fuzz -benchtime=5x ./internal/fuzz/
+func benchmarkFuzz(b *testing.B, program string, workers, budget int) {
+	body := bodyOf(b, program)
+	total := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := Fuzz(Options{MaxRuns: budget, Seed: int64(i), Workers: workers}, body)
+		total += res.Runs
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "schedules/sec")
+}
+
+func BenchmarkFuzz(b *testing.B) {
+	for _, program := range []string{"account", "abastack"} {
+		for _, workers := range []int{1, 2, 4, runtime.NumCPU()} {
+			b.Run(fmt.Sprintf("%s/workers=%d", program, workers), func(b *testing.B) {
+				benchmarkFuzz(b, program, workers, 2000)
+			})
+		}
+	}
+}

@@ -1,0 +1,255 @@
+// The fuzzing coordinator: corpus seeding, the parallel worker pool,
+// and the merge layer. The budget and merge idioms mirror
+// internal/explore/parallel.go — MaxRuns is reserved run-by-run from a
+// shared counter so the global budget never overruns, StopAtFirstBug
+// winds every worker down after its in-flight run, and bugs
+// deduplicate globally by core.BugSignature.
+//
+// Unlike exploration there is no work queue: fuzzing's shared state is
+// the corpus plus the cumulative coverage set, and every worker runs
+// the same pick → mutate → execute → merge loop against them. Each
+// worker owns a seeded rng derived from (Options.Seed, worker index),
+// so a single worker is fully deterministic and N workers differ only
+// in how their deterministic streams interleave on the shared corpus.
+package fuzz
+
+import (
+	"math/rand"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"mtbench/internal/core"
+	"mtbench/internal/coverage"
+	"mtbench/internal/sched"
+)
+
+type coordinator struct {
+	opts Options
+	body func(core.T)
+
+	// global accumulates coverage over every run; its ContendedVars
+	// feed the variable-bias mutator's targets. Tracker is safe for
+	// concurrent use.
+	global *coverage.Tracker
+
+	// mu guards the corpus, the covered-task set and the campaign
+	// statistics.
+	mu           sync.Mutex
+	corp         *corpus
+	covered      map[string]bool
+	coverageRuns int
+	repairs      int64
+	ops          map[string]int
+
+	// reserved hands out run-budget slots; executed counts runs
+	// actually performed (Result.Runs and Bug.Index).
+	reserved atomic.Int64
+	executed atomic.Int64
+	stopping atomic.Bool
+
+	// resMu guards the merged bug set.
+	resMu    sync.Mutex
+	seenBugs map[string]bool
+	bugs     []Bug
+}
+
+func newCoordinator(opts Options, body func(core.T)) *coordinator {
+	return &coordinator{
+		opts:     opts,
+		body:     body,
+		global:   coverage.NewTracker(),
+		corp:     newCorpus(opts.MaxCorpus),
+		covered:  map[string]bool{},
+		ops:      map[string]int{},
+		seenBugs: map[string]bool{},
+	}
+}
+
+// mix derives a stream seed from the master seed and a stream index
+// (splitmix64 finalizer), so workers and phases get decorrelated but
+// reproducible rngs.
+func mix(seed, stream int64) int64 {
+	z := uint64(seed) + uint64(stream)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// run executes the campaign: seed the corpus, run the worker pool to
+// budget exhaustion (or global stop), merge.
+func (c *coordinator) run() *Result {
+	c.seedCorpus()
+	var wg sync.WaitGroup
+	for w := 0; w < c.opts.Workers; w++ {
+		rng := rand.New(rand.NewSource(mix(c.opts.Seed, int64(w)+1)))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.fuzzLoop(rng)
+		}()
+	}
+	wg.Wait()
+
+	c.mu.Lock()
+	res := &Result{
+		Runs:         int(c.executed.Load()),
+		CorpusSize:   len(c.corp.entries),
+		Coverage:     len(c.covered),
+		CoverageRuns: c.coverageRuns,
+		Repairs:      c.repairs,
+		Ops:          c.ops,
+	}
+	c.mu.Unlock()
+	c.resMu.Lock()
+	res.Bugs = c.bugs
+	c.resMu.Unlock()
+	slices.SortFunc(res.Bugs, func(a, b Bug) int { return a.Index - b.Index })
+	return res
+}
+
+// seedCorpus primes the search before any mutation: the nonpreemptive
+// baseline schedule (always corpus entry 0) plus a few seeded random
+// walks, all charged against MaxRuns and merged like any other run.
+func (c *coordinator) seedCorpus() {
+	for i := 0; i < seedRuns; i++ {
+		if c.stopping.Load() || c.reserved.Add(1) > int64(c.opts.MaxRuns) {
+			return
+		}
+		g := &guided{rng: rand.New(rand.NewSource(mix(c.opts.Seed, -int64(i)-1)))}
+		var st sched.Strategy = g
+		if i == 0 {
+			st = sched.Nonpreemptive()
+			g = nil
+		}
+		c.executeAndMerge(st, g, "seed")
+	}
+}
+
+// fuzzLoop is one worker: reserve budget, pick a base and an operator,
+// mutate, execute, merge — until the budget or a global stop ends the
+// campaign.
+func (c *coordinator) fuzzLoop(rng *rand.Rand) {
+	for {
+		if c.stopping.Load() {
+			return
+		}
+		if c.reserved.Add(1) > int64(c.opts.MaxRuns) {
+			return
+		}
+
+		c.mu.Lock()
+		base := c.corp.pick(rng)
+		donor := c.corp.pick(rng)
+		targets := c.targetsLocked()
+		c.mu.Unlock()
+		if base == nil {
+			return // seeding found nothing to build on (empty budget)
+		}
+
+		m := mutators[rng.Intn(len(mutators))]
+		candidate := m.fn(rng, base, donor, &c.opts)
+		g := &guided{
+			decisions: candidate,
+			rng:       rand.New(rand.NewSource(rng.Int63())),
+			targets:   targets,
+		}
+		c.executeAndMerge(g, g, m.name)
+	}
+}
+
+// targetsLocked snapshots the contended-variable set for hot-position
+// tracking. Caller holds c.mu (the snapshot itself reads the tracker,
+// which has its own lock).
+func (c *coordinator) targetsLocked() map[string]bool {
+	vars := c.global.ContendedVars()
+	if len(vars) == 0 {
+		return nil
+	}
+	m := make(map[string]bool, len(vars))
+	for _, v := range vars {
+		m[v] = true
+	}
+	return m
+}
+
+// executeAndMerge performs one controlled run under st and merges its
+// coverage, corpus and bug contributions. g carries the guided
+// strategy's repair count and hot positions (nil for the baseline
+// seed).
+func (c *coordinator) executeAndMerge(st sched.Strategy, g *guided, op string) {
+	perRun := coverage.NewTracker()
+	listeners := make([]core.Listener, 0, len(c.opts.Listeners)+2)
+	listeners = append(listeners, c.global, perRun)
+	listeners = append(listeners, c.opts.Listeners...)
+
+	res := sched.Run(sched.Config{
+		Strategy:       st,
+		Listeners:      listeners,
+		MaxSteps:       c.opts.MaxSteps,
+		Name:           c.opts.Name,
+		Seed:           c.opts.Seed,
+		RecordSchedule: true,
+	}, c.body)
+	index := int(c.executed.Add(1))
+
+	// The run's coverage signature: contention-model tasks plus the
+	// observed outcome class, so outcome diversity also counts as
+	// progress (the multi-outcome benchmark's lesson).
+	tasks := append(perRun.Tasks(), "outcome:"+res.Verdict.String()+":"+res.Outcome)
+
+	newBug := c.recordBug(res, index)
+
+	c.mu.Lock()
+	c.ops[op]++
+	if g != nil {
+		c.repairs += g.repairs
+	}
+	gain := 0
+	for _, task := range tasks {
+		if !c.covered[task] {
+			c.covered[task] = true
+			gain++
+		}
+	}
+	if gain > 0 {
+		c.coverageRuns++
+	}
+	if gain > 0 || newBug {
+		e := &entry{
+			schedule: slices.Clone(res.Schedule),
+			gain:     gain,
+			bug:      newBug,
+		}
+		if g != nil {
+			e.hot = g.hot
+		}
+		c.corp.add(e)
+	}
+	c.mu.Unlock()
+}
+
+// recordBug merges a buggy result into the global deduplicated bug set
+// and triggers the global stop under StopAtFirstBug. It reports
+// whether the bug signature was new.
+func (c *coordinator) recordBug(res *core.Result, index int) bool {
+	if !res.Verdict.Bug() {
+		return false
+	}
+	key := core.BugSignature(res)
+	c.resMu.Lock()
+	fresh := !c.seenBugs[key]
+	if fresh {
+		c.seenBugs[key] = true
+		c.bugs = append(c.bugs, Bug{
+			Schedule: slices.Clone(res.Schedule),
+			Result:   res,
+			Index:    index,
+		})
+	}
+	c.resMu.Unlock()
+	if c.opts.StopAtFirstBug {
+		c.stopping.Store(true)
+	}
+	return fresh
+}

@@ -20,6 +20,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"sync"
 	"time"
 
@@ -67,6 +68,30 @@ func Load(r io.Reader) (*Schedule, error) {
 		return nil, fmt.Errorf("replay: schedule version %d unsupported", s.Version)
 	}
 	return &s, nil
+}
+
+// SaveFile writes the schedule to a scenario file (the CLI tools'
+// shared save path).
+func (s *Schedule) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a scenario file written by SaveFile.
+func LoadFile(path string) (*Schedule, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
 }
 
 // RecordControlled runs body under cfg with schedule recording on and

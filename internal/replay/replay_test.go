@@ -2,11 +2,13 @@ package replay
 
 import (
 	"bytes"
+	"slices"
 	"testing"
 	"time"
 
 	"mtbench/internal/core"
 	"mtbench/internal/native"
+	"mtbench/internal/repository"
 	"mtbench/internal/sched"
 )
 
@@ -66,6 +68,45 @@ func TestControlledReplayExact(t *testing.T) {
 			t.Fatalf("seed %d: replay %q/%v != recorded %q/%v",
 				seed, rep.Outcome, rep.Verdict, res.Outcome, res.Verdict)
 		}
+	}
+}
+
+// TestControlledReplayAllPrograms is the whole-repository round trip:
+// every benchmark program, recorded under adversarial random
+// scheduling, replays to the identical observable result — verdict,
+// outcome, failure signature, finish order and step count. This is the
+// substrate guarantee exploration and fuzzing stand on, checked on
+// every program instead of a hand-picked few.
+func TestControlledReplayAllPrograms(t *testing.T) {
+	for _, p := range repository.All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			body := p.BodyWith(nil)
+			for seed := int64(0); seed < 3; seed++ {
+				cfg := sched.Config{
+					Strategy: sched.Random(seed),
+					Seed:     seed,
+					Name:     p.Name,
+					MaxSteps: 300_000,
+				}
+				res, s := RecordControlled(cfg, body)
+				rep := ReplayControlled(s, sched.Config{Name: p.Name, MaxSteps: 300_000}, body)
+				if rep.Diverged {
+					t.Fatalf("seed %d: replay diverged after %d decisions", seed, len(s.Decisions))
+				}
+				if rep.Verdict != res.Verdict || rep.Outcome != res.Outcome || rep.Steps != res.Steps {
+					t.Fatalf("seed %d: replay %v/%q/%d != recorded %v/%q/%d",
+						seed, rep.Verdict, rep.Outcome, rep.Steps, res.Verdict, res.Outcome, res.Steps)
+				}
+				if core.BugSignature(rep) != core.BugSignature(res) {
+					t.Fatalf("seed %d: replay signature %q != recorded %q",
+						seed, core.BugSignature(rep), core.BugSignature(res))
+				}
+				if !slices.Equal(rep.FinishOrder, res.FinishOrder) {
+					t.Fatalf("seed %d: finish order %v != %v", seed, rep.FinishOrder, res.FinishOrder)
+				}
+			}
+		})
 	}
 }
 

@@ -1,0 +1,266 @@
+package repository
+
+import "mtbench/internal/core"
+
+// This file extends the repository with four further field-typical
+// specimens added for scenario diversity (the fuzzing experiment E11
+// compares tools on targets none of them were tuned on): a lock-free
+// stack with an ABA window, a semaphore whose unlocked release fast
+// path loses a wakeup, a reader-lock upgrade acting on a stale check,
+// and a wait that holds an unrelated lock across the park.
+
+// abaStackBody is a two-node Treiber stack built from CAS on shared
+// integers: top holds a node handle (1 or 2; 0 = empty), nextN holds
+// node N's successor. Pop reads top and the node's next pointer, then
+// CASes top — the classic ABA window: if, between the reads and the
+// CAS, another thread pops that node (and more) and pushes it back,
+// the CAS still succeeds but installs a stale successor.
+func abaStackBody(t core.T, p Params) {
+	top := t.NewInt("top", 1)
+	next1 := t.NewInt("next1", 2)
+	next2 := t.NewInt("next2", 0)
+	// Per-node push/pop ledger: a correct stack never pops a node more
+	// often than it was pushed.
+	pushes1 := t.NewInt("pushes1", 1)
+	pushes2 := t.NewInt("pushes2", 1)
+	pops1 := t.NewInt("pops1", 0)
+	pops2 := t.NewInt("pops2", 0)
+
+	nextOf := func(wt core.T, n int64) core.IntVar {
+		if n == 1 {
+			return next1
+		}
+		return next2
+	}
+	countPop := func(wt core.T, n int64) {
+		if n == 1 {
+			pops1.Add(wt, 1)
+		} else {
+			pops2.Add(wt, 1)
+		}
+	}
+	pop := func(wt core.T) int64 {
+		for {
+			old := top.Load(wt)
+			if old == 0 {
+				return 0
+			}
+			nxt := nextOf(wt, old).Load(wt)
+			// BUG window: old may be popped and re-pushed here; the CAS
+			// below cannot tell.
+			if top.CompareAndSwap(wt, old, nxt) {
+				countPop(wt, old)
+				return old
+			}
+		}
+	}
+	push := func(wt core.T, n int64) {
+		for {
+			old := top.Load(wt)
+			nextOf(wt, n).Store(wt, old)
+			if top.CompareAndSwap(wt, old, n) {
+				if n == 1 {
+					pushes1.Add(wt, 1)
+				} else {
+					pushes2.Add(wt, 1)
+				}
+				return
+			}
+		}
+	}
+
+	slow := t.Go("slowpop", func(wt core.T) {
+		pop(wt)
+	})
+	churn := t.Go("churn", func(wt core.T) {
+		first := pop(wt)
+		pop(wt)
+		if first != 0 {
+			push(wt, first) // same handle back on top: the "A" of ABA
+		}
+	})
+	slow.Join(t)
+	churn.Join(t)
+	// Drain whatever is left and check the ledger.
+	for pop(t) != 0 {
+	}
+	t.Assert(pops1.Load(t) <= pushes1.Load(t) && pops2.Load(t) <= pushes2.Load(t),
+		"ABA double-pop: node1 %d/%d node2 %d/%d pops/pushes",
+		pops1.Load(t), pushes1.Load(t), pops2.Load(t), pushes2.Load(t))
+}
+
+var _ = register(&Program{
+	Name:     "abastack",
+	Synopsis: "lock-free two-node stack with an ABA pop window",
+	Kind:     KindAtomicity,
+	Doc: `A Treiber stack over CAS: pop reads the top handle and its next
+pointer, then CASes top from the old handle to the stale next. If the
+churn thread pops that node and the one below it and pushes the first
+back while the slow popper is parked inside the window, the CAS
+succeeds — same handle on top — but installs a successor that was
+already popped. The drain then pops that node a second time and the
+per-node push/pop ledger catches it. Sequentially (and under the
+run-to-block baseline) every CAS is immediate and the stack is
+correct; only a preemption inside the read-read-CAS window exposes
+the bug, and no lock is involved anywhere for a lockset detector to
+reason about.`,
+	BugVars:  []string{"top", "next1", "next2"},
+	Threads:  3,
+	Defaults: Params{},
+	Body:     abaStackBody,
+})
+
+// semLeakBody is a one-permit semaphore whose release skips the
+// condvar entirely when it observes no waiters — but observes them
+// without the lock, racing the acquirer's check-then-park sequence.
+func semLeakBody(t core.T, p Params) {
+	permits := t.NewInt("permits", 0) // main holds the permit initially
+	waiters := t.NewInt("semwaiters", 0)
+	mu := t.NewMutex("semmu")
+	cv := t.NewCond("semcv", mu)
+
+	worker := t.Go("acquirer", func(wt core.T) {
+		mu.Lock(wt)
+		for permits.Load(wt) == 0 {
+			waiters.Add(wt, 1)
+			cv.Wait(wt)
+			waiters.Add(wt, -1)
+		}
+		permits.Add(wt, -1)
+		mu.Unlock(wt)
+	})
+
+	// Release the permit. BUG: the no-waiter fast path reads the waiter
+	// count without the lock, so it can run between the acquirer's
+	// predicate check and its park — the permit is published, the
+	// signal is skipped, and the acquirer sleeps on an available
+	// permit forever.
+	permits.Add(t, 1)
+	if waiters.Load(t) > 0 {
+		mu.Lock(t)
+		cv.Signal(t)
+		mu.Unlock(t)
+	}
+	worker.Join(t)
+	t.Assert(permits.Load(t) == 0, "permit leaked: %d", permits.Load(t))
+}
+
+var _ = register(&Program{
+	Name:     "semleak",
+	Synopsis: "semaphore release skips the signal on an unlocked waiter check",
+	Kind:     KindNotify,
+	Doc: `The acquirer checks permits under the lock, registers as a waiter
+and parks; Wait releases the mutex atomically. The releaser, to "avoid
+an unnecessary lock acquisition", increments the permit count and reads
+the waiter count without the mutex. Interleaved between the acquirer's
+failed predicate check and its registration, the releaser sees zero
+waiters, skips the signal, and returns — leaving one available permit
+and one waiter parked forever. Manifests as deadlock at main's join.
+Under the run-to-block baseline main releases before the acquirer ever
+runs, so the fast path is correct and the test passes.`,
+	BugVars:  []string{"semwaiters", "permits"},
+	Threads:  2,
+	Defaults: Params{},
+	Body:     semLeakBody,
+})
+
+// rwUpgradeBody: readers decide under the read lock that a shared
+// resource needs (re)building, release, and re-acquire the write lock
+// to build it — without re-validating the decision after the upgrade.
+func rwUpgradeBody(t core.T, p Params) {
+	upgraders := p.Get("upgraders", 2)
+	rw := t.NewRWMutex("cfglock")
+	built := t.NewInt("cfgbuilt", 0)
+	builds := t.NewInt("cfgbuilds", 0)
+
+	handles := make([]core.Handle, upgraders)
+	for i := range handles {
+		handles[i] = t.Go("upgrader", func(wt core.T) {
+			rw.RLock(wt)
+			needs := built.Load(wt) == 0
+			rw.RUnlock(wt)
+			// BUG: the decision is stale once the read lock is gone; a
+			// correct upgrade re-checks under the write lock.
+			if needs {
+				rw.Lock(wt)
+				builds.Add(wt, 1)
+				built.Store(wt, 1)
+				rw.Unlock(wt)
+			}
+		})
+	}
+	for _, h := range handles {
+		h.Join(t)
+	}
+	t.Assert(builds.Load(t) == 1, "resource built %d times", builds.Load(t))
+}
+
+var _ = register(&Program{
+	Name:     "rwupgrade",
+	Synopsis: "read-lock check acted on after upgrading to the write lock",
+	Kind:     KindAtomicity,
+	Doc: `Each upgrader checks "not built yet" under the read lock, drops
+it, and re-acquires the write lock to build — the classic lock-upgrade
+atomicity violation. Because read locks are shared, two upgraders can
+both pass the check before either takes the write lock; both then
+build, serialized but duplicated, and the build counter hits 2. Every
+access is lock-protected (no data race, lockset detectors stay silent)
+and the baseline scheduler runs each upgrader to completion in turn,
+so only an interleaving tool exposes the duplicated build.`,
+	BugVars:  []string{"cfgbuilt", "cfgbuilds"},
+	Threads:  3,
+	Defaults: Params{"upgraders": 2},
+	Body:     rwUpgradeBody,
+})
+
+// waitHoldingLockBody: a consumer parks on a condition variable while
+// holding a second, unrelated lock that the producer needs on its way
+// to the signal. Wait releases only the condvar's own mutex.
+func waitHoldingLockBody(t core.T, p Params) {
+	mu := t.NewMutex("cvmu")
+	cv := t.NewCond("readycv", mu)
+	reg := t.NewMutex("regmu") // the "registry" lock both sides touch
+	ready := t.NewInt("ready", 0)
+	consumed := t.NewInt("consumed", 0)
+
+	consumer := t.Go("consumer", func(wt core.T) {
+		reg.Lock(wt) // BUG: held across the park below
+		mu.Lock(wt)
+		for ready.Load(wt) == 0 {
+			cv.Wait(wt) // releases mu, NOT reg
+		}
+		consumed.Add(wt, 1)
+		mu.Unlock(wt)
+		reg.Unlock(wt)
+	})
+
+	// Producer path: update the registry, then publish and signal.
+	reg.Lock(t)
+	reg.Unlock(t)
+	mu.Lock(t)
+	ready.Store(t, 1)
+	cv.Signal(t)
+	mu.Unlock(t)
+	consumer.Join(t)
+	t.Assert(consumed.Load(t) == 1, "consumed=%d", consumed.Load(t))
+}
+
+var _ = register(&Program{
+	Name:     "waitholdinglock",
+	Synopsis: "condvar wait parks while holding an unrelated lock",
+	Kind:     KindDeadlock,
+	Doc: `The consumer takes the registry lock, then the condvar's mutex,
+and parks waiting for the ready flag. Wait atomically releases the
+condvar's mutex — but not the registry lock, which rides along into
+the park. The producer must pass through the registry lock before it
+can publish and signal, so if the consumer parks first the producer
+blocks on the registry forever: a deadlock between a lock and a
+condition variable that no lock-order analysis sees (there is only one
+ordering of the two mutexes). Under the run-to-block baseline main
+races through the registry before the consumer starts, so the test
+passes; any schedule that lets the consumer park first deadlocks.`,
+	BugVars:  []string{"ready"},
+	Threads:  2,
+	Defaults: Params{},
+	Body:     waitHoldingLockBody,
+})

@@ -101,27 +101,31 @@ type finder struct {
 }
 
 var finders = map[string]finder{
-	"account":       {heuristic: func() noise.Heuristic { return noise.NewBernoulli(0.4, noise.KindYield) }, seeds: 200},
-	"wronglock":     {heuristic: func() noise.Heuristic { return noise.NewBernoulli(0.4, noise.KindYield) }, seeds: 200},
-	"checkthenact":  {heuristic: func() noise.Heuristic { return noise.NewBernoulli(0.4, noise.KindYield) }, seeds: 200},
-	"transfer":      {heuristic: func() noise.Heuristic { return noise.NewBernoulli(0.4, noise.KindYield) }, seeds: 200},
-	"dcl":           {heuristic: func() noise.Heuristic { return noise.NewBernoulli(0.4, noise.KindYield) }, seeds: 200},
-	"statmax":       {heuristic: func() noise.Heuristic { return noise.NewBernoulli(0.4, noise.KindYield) }, seeds: 200},
-	"rwcache":       {heuristic: func() noise.Heuristic { return noise.NewBernoulli(0.4, noise.KindYield) }, seeds: 200},
-	"inversion":     {heuristic: func() noise.Heuristic { return noise.SyncNoise(0.5) }, seeds: 200},
-	"philosophers":  {heuristic: func() noise.Heuristic { return noise.SyncNoise(0.5) }, seeds: 200},
-	"signalnotall":  {heuristic: func() noise.Heuristic { return noise.NewBernoulli(0.4, noise.KindYield) }, seeds: 300},
-	"waitnotinloop": {heuristic: func() noise.Heuristic { return noise.NewBernoulli(0.4, noise.KindYield) }, seeds: 300},
-	"workqueue":     {heuristic: func() noise.Heuristic { return noise.NewBernoulli(0.4, noise.KindYield) }, seeds: 300},
-	"sleepsync":     {heuristic: func() noise.Heuristic { return noise.NewBernoulli(0.5, noise.KindSleep) }, seeds: 300},
-	"lostnotify":    {heuristic: func() noise.Heuristic { return noise.NewBernoulli(0.5, noise.KindSleep) }, seeds: 300},
-	"forgottenjoin": {heuristic: func() noise.Heuristic { return noise.None() }, seeds: 1},
-	"barrier":       {heuristic: func() noise.Heuristic { return noise.None() }, seeds: 1},
-	"livelock":      {params: Params{"retries": 4}},
-	"bankwithdraw":  {heuristic: func() noise.Heuristic { return noise.NewBernoulli(0.4, noise.KindYield) }, seeds: 200},
-	"semaphore":     {heuristic: func() noise.Heuristic { return noise.NewBernoulli(0.4, noise.KindYield) }, seeds: 300},
-	"onecond":       {heuristic: func() noise.Heuristic { return noise.NewBernoulli(0.4, noise.KindYield) }, seeds: 400},
-	"lazyinit":      {heuristic: func() noise.Heuristic { return noise.NewBernoulli(0.4, noise.KindYield) }, seeds: 200},
+	"account":         {heuristic: func() noise.Heuristic { return noise.NewBernoulli(0.4, noise.KindYield) }, seeds: 200},
+	"wronglock":       {heuristic: func() noise.Heuristic { return noise.NewBernoulli(0.4, noise.KindYield) }, seeds: 200},
+	"checkthenact":    {heuristic: func() noise.Heuristic { return noise.NewBernoulli(0.4, noise.KindYield) }, seeds: 200},
+	"transfer":        {heuristic: func() noise.Heuristic { return noise.NewBernoulli(0.4, noise.KindYield) }, seeds: 200},
+	"dcl":             {heuristic: func() noise.Heuristic { return noise.NewBernoulli(0.4, noise.KindYield) }, seeds: 200},
+	"statmax":         {heuristic: func() noise.Heuristic { return noise.NewBernoulli(0.4, noise.KindYield) }, seeds: 200},
+	"rwcache":         {heuristic: func() noise.Heuristic { return noise.NewBernoulli(0.4, noise.KindYield) }, seeds: 200},
+	"inversion":       {heuristic: func() noise.Heuristic { return noise.SyncNoise(0.5) }, seeds: 200},
+	"philosophers":    {heuristic: func() noise.Heuristic { return noise.SyncNoise(0.5) }, seeds: 200},
+	"signalnotall":    {heuristic: func() noise.Heuristic { return noise.NewBernoulli(0.4, noise.KindYield) }, seeds: 300},
+	"waitnotinloop":   {heuristic: func() noise.Heuristic { return noise.NewBernoulli(0.4, noise.KindYield) }, seeds: 300},
+	"workqueue":       {heuristic: func() noise.Heuristic { return noise.NewBernoulli(0.4, noise.KindYield) }, seeds: 300},
+	"sleepsync":       {heuristic: func() noise.Heuristic { return noise.NewBernoulli(0.5, noise.KindSleep) }, seeds: 300},
+	"lostnotify":      {heuristic: func() noise.Heuristic { return noise.NewBernoulli(0.5, noise.KindSleep) }, seeds: 300},
+	"forgottenjoin":   {heuristic: func() noise.Heuristic { return noise.None() }, seeds: 1},
+	"barrier":         {heuristic: func() noise.Heuristic { return noise.None() }, seeds: 1},
+	"livelock":        {params: Params{"retries": 4}},
+	"bankwithdraw":    {heuristic: func() noise.Heuristic { return noise.NewBernoulli(0.4, noise.KindYield) }, seeds: 200},
+	"semaphore":       {heuristic: func() noise.Heuristic { return noise.NewBernoulli(0.4, noise.KindYield) }, seeds: 300},
+	"onecond":         {heuristic: func() noise.Heuristic { return noise.NewBernoulli(0.4, noise.KindYield) }, seeds: 400},
+	"lazyinit":        {heuristic: func() noise.Heuristic { return noise.NewBernoulli(0.4, noise.KindYield) }, seeds: 200},
+	"abastack":        {heuristic: func() noise.Heuristic { return noise.NewBernoulli(0.4, noise.KindYield) }, seeds: 300},
+	"semleak":         {heuristic: func() noise.Heuristic { return noise.NewBernoulli(0.4, noise.KindYield) }, seeds: 200},
+	"rwupgrade":       {heuristic: func() noise.Heuristic { return noise.NewBernoulli(0.4, noise.KindYield) }, seeds: 200},
+	"waitholdinglock": {heuristic: func() noise.Heuristic { return noise.NewBernoulli(0.4, noise.KindYield) }, seeds: 200},
 }
 
 // TestEveryBugFindable is the repository's core guarantee: each

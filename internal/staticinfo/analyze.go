@@ -126,8 +126,13 @@ type analysis struct {
 	// thread-local even when many instances exist.
 	createdIn map[string]int
 	// funcLits remembers literals bound to identifiers so that
-	// t.Go("x", consumer) can be resolved.
+	// t.Go("x", consumer) can be resolved and helper closures (e.g. a
+	// lock-free pop shared by several threads) can be inlined at their
+	// call sites.
 	funcLits map[string]*ast.FuncLit
+	// inlining guards against recursive helper closures during
+	// call-site inlining.
+	inlining map[string]bool
 
 	nextCtx int
 	// multiCtx marks contexts spawned inside loops (many instances).
@@ -146,6 +151,7 @@ func analyzeFunc(fset *token.FileSet, fd *ast.FuncDecl) *Info {
 		tParams:   map[string]bool{},
 		vars:      map[string]string{},
 		funcLits:  map[string]*ast.FuncLit{},
+		inlining:  map[string]bool{},
 		createdIn: map[string]int{},
 		multiCtx:  map[int]bool{},
 		joinSeen:  map[int]bool{},
@@ -290,7 +296,14 @@ func (a *analysis) call(call *ast.CallExpr, ctx, loopDepth int, open *[]string) 
 		for _, arg := range call.Args {
 			a.walkBody(arg, ctx, loopDepth, open)
 		}
+		a.inlineCall(call, ctx, loopDepth, open)
 		return
+	}
+	// A computed receiver (e.g. helper(wt, n).Load(wt)) may hide the
+	// accessed object; walk it for nested calls and let resolveRecv
+	// count it unresolved below.
+	if _, isIdent := sel.X.(*ast.Ident); !isIdent {
+		a.walkBody(sel.X, ctx, loopDepth, open)
 	}
 	method := sel.Sel.Name
 
@@ -351,6 +364,32 @@ func (a *analysis) call(call *ast.CallExpr, ctx, loopDepth int, open *[]string) 
 	for _, arg := range call.Args {
 		a.walkBody(arg, ctx, loopDepth, open)
 	}
+}
+
+// inlineCall analyzes a direct call to a bound helper closure (pop(),
+// push(wt, n), ...) in the calling context — syntactic inlining, so
+// accesses inside shared helpers are attributed to every thread that
+// calls them. The helper runs under the caller's open lock stack and
+// loop depth (a spawn inside a helper called from a loop is still a
+// multi-instance spawn). Recursive helpers are walked once and then
+// cut off.
+func (a *analysis) inlineCall(call *ast.CallExpr, ctx, loopDepth int, open *[]string) {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return
+	}
+	lit := a.funcLits[id.Name]
+	if lit == nil || a.inlining[id.Name] {
+		return
+	}
+	a.inlining[id.Name] = true
+	if params := lit.Type.Params; params != nil && len(params.List) > 0 {
+		if names := params.List[0].Names; len(names) > 0 {
+			a.tParams[names[0].Name] = true
+		}
+	}
+	a.walkBody(lit.Body, ctx, loopDepth, open)
+	delete(a.inlining, id.Name)
 }
 
 // spawn analyzes a thread body in a fresh context. Literals bound to
@@ -462,9 +501,12 @@ func (a *analysis) finish() {
 					}
 				}
 			}
-			if info.Unresolved > 0 && len(ctxs) > 0 {
-				// Unresolved receivers or thread bodies may hide more
-				// accesses: over-approximate to shared.
+			if info.Unresolved > 0 {
+				// Unresolved receivers or thread bodies may hide
+				// accesses to any object — including objects with no
+				// resolved access at all (reached only through
+				// expressions the analysis cannot follow). Pruning is
+				// only sound when the whole body resolved.
 				shared = true
 			}
 			if shared {

@@ -1,6 +1,8 @@
 package staticinfo
 
 import (
+	"os"
+	"path/filepath"
 	"reflect"
 	"testing"
 
@@ -48,6 +50,72 @@ func TestAccountAnalysis(t *testing.T) {
 	}
 	if len(info.DeadlockSuspects) != 0 {
 		t.Fatalf("deadlock suspects = %v", info.DeadlockSuspects)
+	}
+}
+
+// TestHelperClosureInlining pins the call-site inlining of bound
+// helper closures: abastack routes every access through local pop/push
+// helpers called from three thread contexts, so its stack cells must
+// come out shared (they feed the fuzzer's contention targets and the
+// coverage universe), and nothing may be pruned because the
+// helper-returning nextOf receiver stays unresolved.
+func TestHelperClosureInlining(t *testing.T) {
+	p, err := repository.Get("abastack")
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := ForProgram(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []string{"top", "pops1", "pops2", "pushes1", "pushes2", "next1", "next2"} {
+		if !contains(info.SharedVars, v) {
+			t.Errorf("%s not shared: shared=%v local=%v", v, info.SharedVars, info.LocalVars)
+		}
+	}
+	if len(info.LocalVars) != 0 {
+		t.Errorf("unsound pruning with unresolved accesses: local=%v", info.LocalVars)
+	}
+	if info.Unresolved == 0 {
+		t.Error("expected the computed nextOf(...) receiver to count as unresolved")
+	}
+}
+
+// TestInlinedSpawnInLoopIsMultiInstance guards the inlining against
+// losing the call site's loop depth: a helper that spawns a thread,
+// called from a loop, creates many instances, so a variable touched
+// only by that thread body is still shared — pruning it would drop
+// probes on a real N-thread race.
+func TestInlinedSpawnInLoopIsMultiInstance(t *testing.T) {
+	src := `package p
+
+func helperSpawnBody(t core.T, p Params) {
+	x := t.NewInt("x", 0)
+	spawnWorker := func() {
+		t.Go("w", func(wt core.T) {
+			x.Add(wt, 1)
+		})
+	}
+	for i := 0; i < 3; i++ {
+		spawnWorker()
+	}
+}
+`
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	infos, err := AnalyzeDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := infos["helperSpawnBody"]
+	if info == nil {
+		t.Fatal("helperSpawnBody not analyzed")
+	}
+	if !contains(info.SharedVars, "x") {
+		t.Fatalf("x not shared: shared=%v local=%v unresolved=%d",
+			info.SharedVars, info.LocalVars, info.Unresolved)
 	}
 }
 

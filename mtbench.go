@@ -36,6 +36,7 @@ import (
 	"mtbench/internal/deadlock"
 	"mtbench/internal/experiment"
 	"mtbench/internal/explore"
+	"mtbench/internal/fuzz"
 	"mtbench/internal/instrument"
 	"mtbench/internal/ltl"
 	"mtbench/internal/multiout"
@@ -256,6 +257,32 @@ var (
 	PreemptionBound = explore.Bound
 )
 
+// Coverage-guided schedule fuzzing.
+type (
+	// FuzzOptions configures a greybox fuzzing campaign over schedules:
+	// MaxRuns and StopAtFirstBug are global budgets across
+	// FuzzOptions.Workers parallel workers; a fixed Seed with Workers: 1
+	// reproduces a campaign exactly.
+	FuzzOptions = fuzz.Options
+	// FuzzResult summarizes a campaign (runs, dedup'd bugs, corpus and
+	// coverage growth, runs per mutation operator).
+	FuzzResult = fuzz.Result
+	// FuzzBug is one erroneous schedule found while fuzzing, replayable
+	// through FixedSchedule or the replay package.
+	FuzzBug = fuzz.Bug
+)
+
+var (
+	// Fuzz runs coverage-guided schedule fuzzing: a corpus of
+	// coverage-interesting decision logs, thread-aware mutators, and
+	// concurrency-coverage feedback — the search regime between noise
+	// and exhaustive exploration.
+	Fuzz = fuzz.Fuzz
+	// FuzzPreemptionBound builds the FuzzOptions.PreemptionBound value
+	// for the bounding mutator.
+	FuzzPreemptionBound = fuzz.Bound
+)
+
 // Cloning.
 type (
 	// CloneTest is a cloneable test for load testing.
@@ -372,7 +399,7 @@ type (
 )
 
 var (
-	// Experiments lists the prepared experiments (F1, E1..E10).
+	// Experiments lists the prepared experiments (F1, E1..E11).
 	Experiments = experiment.Runners
 	// GetExperiment looks an experiment up by id.
 	GetExperiment = experiment.Get
