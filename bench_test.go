@@ -1,7 +1,7 @@
 package mtbench_test
 
 // The benchmark harness: one testing.B benchmark per experiment in
-// DESIGN.md's index (F1, E1..E11), each invoking the prepared
+// DESIGN.md's index (F1, E1..E12), each invoking the prepared
 // experiment with a bench-sized configuration, plus microbenchmarks
 // for the substrate costs the paper's overhead comparisons rest on
 // (scheduling points, native probes, detector events, trace codecs).
@@ -16,6 +16,7 @@ import (
 	"testing"
 
 	"mtbench"
+	"mtbench/internal/campaign"
 	"mtbench/internal/core"
 	"mtbench/internal/experiment"
 	"mtbench/internal/ltl"
@@ -112,6 +113,14 @@ func BenchmarkE10TraceEval(b *testing.B) {
 func BenchmarkE11Fuzz(b *testing.B) {
 	runExperiment(b, func() ([]*experiment.Table, error) {
 		return experiment.Fuzz(experiment.FuzzConfig{Budget: 800})
+	})
+}
+
+func BenchmarkE12Campaign(b *testing.B) {
+	runExperiment(b, func() ([]*experiment.Table, error) {
+		return experiment.Campaign(experiment.CampaignConfig{
+			Campaign: campaign.Config{Budget: 200, Workers: 4},
+		})
 	})
 }
 

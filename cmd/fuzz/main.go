@@ -8,12 +8,14 @@
 // Usage:
 //
 //	fuzz -prog account -runs 2000 -seed 1
+//	fuzz -prog account -runs 200 -seed 1 -json   # machine-readable (CI smoke)
 //	fuzz -prog abastack -runs 5000 -workers 4 -first=false
 //	fuzz -prog philosophers -pbound 2 -save scenario.json
 //	fuzz -prog philosophers -replay scenario.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -33,17 +35,41 @@ func main() {
 	seed := flag.Int64("seed", 0, "master seed (fixed seed + 1 worker reproduces the campaign)")
 	pbound := flag.Int("pbound", -1, "preemption bound for the bounding mutator (-1 = draw 0..2 per mutation)")
 	stopFirst := flag.Bool("first", true, "stop at first bug")
+	jsonOut := flag.Bool("json", false, "emit one JSON object instead of text (first_bug is null when no bug was found)")
 	save := flag.String("save", "", "save the first failing scenario to this file")
 	replayPath := flag.String("replay", "", "replay a saved scenario instead of fuzzing")
 	flag.Parse()
 
-	if err := run(*prog, *runs, *workers, *pbound, *seed, *stopFirst, *save, *replayPath); err != nil {
+	if err := run(*prog, *runs, *workers, *pbound, *seed, *stopFirst, *jsonOut, *save, *replayPath); err != nil {
 		fmt.Fprintln(os.Stderr, "fuzz:", err)
 		os.Exit(1)
 	}
 }
 
-func run(progName string, runs, workers, pbound int, seed int64, stopFirst bool, save, replayPath string) error {
+// jsonReport fixes the machine-readable serialization CI's fuzz-smoke
+// step asserts on; field names are pinned independently of the fuzz
+// package's Go structs.
+type jsonReport struct {
+	Program      string         `json:"program"`
+	Seed         int64          `json:"seed"`
+	Runs         int            `json:"runs"`
+	FirstBug     *int           `json:"first_bug"` // null = no bug found
+	Bugs         []jsonBug      `json:"bugs"`
+	CorpusSize   int            `json:"corpus"`
+	Coverage     int            `json:"coverage"`
+	CoverageRuns int            `json:"coverage_runs"`
+	Repairs      int64          `json:"repairs"`
+	Ops          map[string]int `json:"ops"`
+}
+
+type jsonBug struct {
+	Index     int    `json:"index"`
+	Signature string `json:"signature"`
+	Verdict   string `json:"verdict"`
+	Decisions int    `json:"decisions"`
+}
+
+func run(progName string, runs, workers, pbound int, seed int64, stopFirst, jsonOut bool, save, replayPath string) error {
 	prog, err := repository.Get(progName)
 	if err != nil {
 		return err
@@ -56,6 +82,14 @@ func run(progName string, runs, workers, pbound int, seed int64, stopFirst bool,
 			return err
 		}
 		res := replay.ReplayControlled(s, sched.Config{Name: progName}, body)
+		if jsonOut {
+			return json.NewEncoder(os.Stdout).Encode(map[string]any{
+				"program":   progName,
+				"decisions": len(s.Decisions),
+				"verdict":   res.Verdict.String(),
+				"diverged":  res.Diverged,
+			})
+		}
 		fmt.Printf("replayed scenario (%d decisions): %v\n", len(s.Decisions), res)
 		return nil
 	}
@@ -71,6 +105,38 @@ func run(progName string, runs, workers, pbound int, seed int64, stopFirst bool,
 		opts.PreemptionBound = fuzz.Bound(pbound)
 	}
 	res := fuzz.Fuzz(opts, body)
+
+	if jsonOut {
+		rep := jsonReport{
+			Program:      progName,
+			Seed:         seed,
+			Runs:         res.Runs,
+			Bugs:         []jsonBug{},
+			CorpusSize:   res.CorpusSize,
+			Coverage:     res.Coverage,
+			CoverageRuns: res.CoverageRuns,
+			Repairs:      res.Repairs,
+			Ops:          res.Ops,
+		}
+		if first := res.FirstBugIndex(); first >= 1 {
+			rep.FirstBug = &first
+		}
+		for _, b := range res.Bugs {
+			rep.Bugs = append(rep.Bugs, jsonBug{
+				Index:     b.Index,
+				Signature: core.BugSignature(b.Result),
+				Verdict:   b.Result.Verdict.String(),
+				Decisions: len(b.Schedule),
+			})
+		}
+		if err := json.NewEncoder(os.Stdout).Encode(rep); err != nil {
+			return err
+		}
+		if stopFirst && len(res.Bugs) == 0 {
+			return fmt.Errorf("no bug found within %d runs", res.Runs)
+		}
+		return saveScenario(save, progName, seed, res)
+	}
 
 	fmt.Printf("runs executed: %d (corpus=%d, coverage tasks=%d, coverage-adding runs=%d, repaired decisions=%d)\n",
 		res.Runs, res.CorpusSize, res.Coverage, res.CoverageRuns, res.Repairs)
@@ -94,18 +160,25 @@ func run(progName string, runs, workers, pbound int, seed int64, stopFirst bool,
 	if stopFirst && len(res.Bugs) == 0 {
 		return fmt.Errorf("no bug found within %d runs", res.Runs)
 	}
-	if save != "" && len(res.Bugs) > 0 {
-		s := &replay.Schedule{
-			Program:   progName,
-			Mode:      "controlled",
-			Seed:      seed,
-			Strategy:  "fuzz-guided",
-			Decisions: append([]core.ThreadID(nil), res.Bugs[0].Schedule...),
-		}
-		if err := s.SaveFile(save); err != nil {
-			return err
-		}
-		fmt.Printf("saved failing scenario to %s (%d decisions)\n", save, len(s.Decisions))
+	return saveScenario(save, progName, seed, res)
+}
+
+// saveScenario writes the first failing schedule as a replayable
+// scenario file when asked and a bug exists.
+func saveScenario(save, progName string, seed int64, res *fuzz.Result) error {
+	if save == "" || len(res.Bugs) == 0 {
+		return nil
 	}
+	s := &replay.Schedule{
+		Program:   progName,
+		Mode:      "controlled",
+		Seed:      seed,
+		Strategy:  "fuzz-guided",
+		Decisions: append([]core.ThreadID(nil), res.Bugs[0].Schedule...),
+	}
+	if err := s.SaveFile(save); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "saved failing scenario to %s (%d decisions)\n", save, len(s.Decisions))
 	return nil
 }

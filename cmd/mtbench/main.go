@@ -1,6 +1,6 @@
 // Command mtbench is the benchmark's push-button entry point: list the
 // program repository, run a single program under a chosen tool, or run
-// the prepared experiments (F1, E1..E10) and print their evaluation
+// the prepared experiments (F1, E1..E12) and print their evaluation
 // report.
 //
 // Usage:
@@ -21,6 +21,7 @@ import (
 
 	"mtbench/internal/experiment"
 	"mtbench/internal/noise"
+	"mtbench/internal/report"
 	"mtbench/internal/repository"
 	"mtbench/internal/sched"
 )
@@ -62,7 +63,7 @@ commands:
   list                            list the program repository
   show -prog NAME                 print a program's bug documentation
   run  -prog NAME [flags]         run a program repeatedly under a tool
-  experiment -id ID [-csv|-json]  run one prepared experiment (F1, E1..E11)
+  experiment -id ID [-csv|-json]  run one prepared experiment (F1, E1..E12)
   experiments [-csv|-json]        run every prepared experiment
 `)
 }
@@ -158,28 +159,14 @@ func run(args []string) error {
 }
 
 func renderTables(tables []*experiment.Table, csv, json bool) error {
-	if json {
-		// One JSON array per invocation, so collectors parse a single
-		// document even when an experiment returns several tables.
-		return experiment.JSONAll(os.Stdout, tables)
-	}
-	for _, t := range tables {
-		if csv {
-			fmt.Printf("# %s: %s\n", t.ID, t.Title)
-			if err := t.CSV(os.Stdout); err != nil {
-				return err
-			}
-			fmt.Println()
-		} else if err := t.Render(os.Stdout); err != nil {
-			return err
-		}
-	}
-	return nil
+	// JSON is one array per invocation, so collectors parse a single
+	// document even when an experiment returns several tables.
+	return report.WriteTables(os.Stdout, tables, csv, json)
 }
 
 func runExperiment(args []string) error {
 	fs := flag.NewFlagSet("experiment", flag.ExitOnError)
-	id := fs.String("id", "", "experiment id (F1, E1..E11)")
+	id := fs.String("id", "", "experiment id (F1, E1..E12)")
 	csv := fs.Bool("csv", false, "CSV output")
 	json := fs.Bool("json", false, "JSON output (one array of tables)")
 	if err := fs.Parse(args); err != nil {

@@ -5,6 +5,8 @@ package mtbench_test
 
 import (
 	"bytes"
+	"context"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -156,8 +158,8 @@ func TestRepositoryMetadataThroughFacade(t *testing.T) {
 // TestExperimentRegistryThroughFacade runs the fastest experiment end
 // to end via the facade.
 func TestExperimentRegistryThroughFacade(t *testing.T) {
-	if len(mtbench.Experiments()) != 12 {
-		t.Fatalf("experiments = %d, want 12", len(mtbench.Experiments()))
+	if len(mtbench.Experiments()) != 13 {
+		t.Fatalf("experiments = %d, want 13", len(mtbench.Experiments()))
 	}
 	r, err := mtbench.GetExperiment("E9")
 	if err != nil {
@@ -219,5 +221,48 @@ func TestMultioutThroughFacade(t *testing.T) {
 	}
 	if dist.Distinct() < 2 {
 		t.Fatalf("distinct = %d", dist.Distinct())
+	}
+}
+
+// TestCampaignThroughFacade runs a small persistent campaign end to
+// end the way a downstream user would: create a store, run the
+// matrix, reload it from disk, and gate the reload against the live
+// records (which must match exactly).
+func TestCampaignThroughFacade(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.jsonl")
+	cfg := mtbench.CampaignConfig{
+		Programs: []string{"account"},
+		Finders:  []string{"fuzz", "noise"},
+		Budget:   60,
+		Workers:  2,
+	}
+	store, err := mtbench.CreateCampaignStore(path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	sum, err := mtbench.RunCampaign(context.Background(), cfg, store, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Executed != 2 {
+		t.Fatalf("executed = %d, want 2 cells", sum.Executed)
+	}
+
+	_, recs, err := mtbench.LoadCampaignStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := mtbench.CompareCampaigns(recs, sum.Records, 1.0)
+	if err := diff.Gate(); err != nil {
+		t.Fatalf("reloaded store differs from live records: %v", err)
+	}
+
+	var buf bytes.Buffer
+	if err := mtbench.RenderTables(&buf, mtbench.CampaignTables(cfg, recs)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "CAM") {
+		t.Fatalf("campaign tables render:\n%s", buf.String())
 	}
 }

@@ -1,0 +1,224 @@
+// The finder registry: every tool the campaign matrix compares,
+// wrapped behind one per-cell interface. A finder spends at most the
+// cell's budget, deduplicates what it finds by core.BugSignature, and
+// must be a pure function of (program, params, seed, budget, max
+// steps) — campaign determinism rests on every finder being serially
+// deterministic inside its cell, with parallelism living one level up
+// in the cell pool.
+package campaign
+
+import (
+	"fmt"
+	"sort"
+
+	"mtbench/internal/core"
+	"mtbench/internal/explore"
+	"mtbench/internal/fuzz"
+	"mtbench/internal/noise"
+	"mtbench/internal/race"
+	"mtbench/internal/repository"
+	"mtbench/internal/sched"
+)
+
+// Finder is one registered tool.
+type Finder struct {
+	// Name is the matrix key ("noise", "explore", "fuzz", "race").
+	Name string
+	// Doc is the one-line description the CLI lists.
+	Doc string
+	// run executes one cell.
+	run func(spec cellSpec) (cellOutcome, error)
+}
+
+// cellSpec is everything a finder needs to execute one cell.
+type cellSpec struct {
+	prog     *repository.Program
+	body     func(core.T)
+	seed     int64
+	budget   int
+	maxSteps int64
+}
+
+// cellOutcome is a finder's raw per-cell result before it becomes a
+// Record.
+type cellOutcome struct {
+	runs     int
+	bugs     []string // deduplicated signatures, sorted before storing
+	firstBug int      // 1-based run index, -1 = none
+}
+
+// finderTable is the registry, keyed by name.
+var finderTable = map[string]*Finder{
+	"noise": {
+		Name: "noise",
+		Doc:  "yield-noise over random dispatch, one fresh derived seed per run",
+		run:  runNoiseFinder,
+	},
+	"explore": {
+		Name: "explore",
+		Doc:  "systematic serial DFS over schedules (seed-invariant)",
+		run:  runExploreFinder,
+	},
+	"fuzz": {
+		Name: "fuzz",
+		Doc:  "coverage-guided schedule fuzzing (internal/fuzz, one worker)",
+		run:  runFuzzFinder,
+	},
+	"race": {
+		Name: "race",
+		Doc:  "hybrid race detector over round-robin and random schedules; warnings count as race:<var> bugs",
+		run:  runRaceFinder,
+	},
+}
+
+// Finders returns the registered finder names, sorted.
+func Finders() []string {
+	out := make([]string, 0, len(finderTable))
+	for name := range finderTable {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FinderDoc returns a finder's one-line description.
+func FinderDoc(name string) string {
+	if f, ok := finderTable[name]; ok {
+		return f.Doc
+	}
+	return ""
+}
+
+func getFinder(name string) (*Finder, error) {
+	f, ok := finderTable[name]
+	if !ok {
+		return nil, fmt.Errorf("campaign: unknown finder %q (have %v)", name, Finders())
+	}
+	return f, nil
+}
+
+// mix derives a per-run seed from the cell seed and a run index via
+// the shared core.MixSeed derivation (the same one the fuzzer uses),
+// so the runs of one cell are decorrelated but reproducible.
+func mix(seed, stream int64) int64 { return core.MixSeed(seed, stream) }
+
+// bugSet accumulates deduplicated signatures in first-seen order.
+type bugSet struct {
+	seen map[string]bool
+	sigs []string
+}
+
+func (b *bugSet) add(sig string) {
+	if b.seen == nil {
+		b.seen = map[string]bool{}
+	}
+	if !b.seen[sig] {
+		b.seen[sig] = true
+		b.sigs = append(b.sigs, sig)
+	}
+}
+
+// runNoiseFinder is the ConTest-style baseline: every budget unit is
+// one fresh-seeded noise run (Bernoulli yield noise over random
+// dispatch, the E11 configuration).
+func runNoiseFinder(spec cellSpec) (cellOutcome, error) {
+	var bugs bugSet
+	first := -1
+	for i := 0; i < spec.budget; i++ {
+		runSeed := mix(spec.seed, int64(i))
+		st := noise.NewStrategy(nil, noise.NewBernoulli(0.4, noise.KindYield), runSeed)
+		res := sched.Run(sched.Config{
+			Strategy: st,
+			Seed:     runSeed,
+			Name:     spec.prog.Name,
+			MaxSteps: spec.maxSteps,
+		}, spec.body)
+		if res.Verdict.Bug() {
+			bugs.add(core.BugSignature(res))
+			if first < 0 {
+				first = i + 1
+			}
+		}
+	}
+	return cellOutcome{runs: spec.budget, bugs: bugs.sigs, firstBug: first}, nil
+}
+
+// runExploreFinder is the systematic extreme: a serial DFS under the
+// cell's schedule budget. The DFS is deterministic and ignores the
+// seed; seeds still enumerate cells so the matrix stays rectangular,
+// and multi-seed configs simply pin that exploration reproduces.
+func runExploreFinder(spec cellSpec) (cellOutcome, error) {
+	er := explore.Explore(explore.Options{
+		MaxSchedules: spec.budget,
+		MaxSteps:     spec.maxSteps,
+		Workers:      1,
+		Name:         spec.prog.Name,
+	}, spec.body)
+	if er.Err != nil {
+		return cellOutcome{}, fmt.Errorf("explore %s: %w", spec.prog.Name, er.Err)
+	}
+	var bugs bugSet
+	for _, b := range er.Bugs {
+		bugs.add(core.BugSignature(b.Result))
+	}
+	return cellOutcome{runs: er.Schedules, bugs: bugs.sigs, firstBug: er.FirstBugIndex()}, nil
+}
+
+// runFuzzFinder is the greybox middle ground: one deterministic fuzz
+// worker under the cell's run budget.
+func runFuzzFinder(spec cellSpec) (cellOutcome, error) {
+	fr := fuzz.Fuzz(fuzz.Options{
+		MaxRuns:  spec.budget,
+		MaxSteps: spec.maxSteps,
+		Seed:     spec.seed,
+		Workers:  1,
+		Name:     spec.prog.Name,
+	}, spec.body)
+	var bugs bugSet
+	for _, b := range fr.Bugs {
+		bugs.add(core.BugSignature(b.Result))
+	}
+	return cellOutcome{runs: fr.Runs, bugs: bugs.sigs, firstBug: fr.FirstBugIndex()}, nil
+}
+
+// runRaceFinder attaches the hybrid race detector to one round-robin
+// run (maximal forced contention, fully deterministic — repeating it
+// would add nothing) followed by seeded-random schedules, the E2
+// spread without E2's duplicated determinism. Verdict bugs count by
+// signature as everywhere; race warnings count as "race:<var>"
+// signatures — including false alarms, deliberately: the gate guards
+// the tool's output, and a detector that stops warning where it used
+// to warn has changed behaviour either way.
+func runRaceFinder(spec cellSpec) (cellOutcome, error) {
+	det := race.NewHybrid(true)
+	var bugs bugSet
+	first := -1
+	for i := 0; i < spec.budget; i++ {
+		var st sched.Strategy
+		if i == 0 {
+			st = sched.RoundRobin()
+		} else {
+			st = sched.Random(mix(spec.seed, int64(i)))
+		}
+		res := sched.Run(sched.Config{
+			Strategy:  st,
+			Listeners: []core.Listener{det},
+			Seed:      spec.seed,
+			Name:      spec.prog.Name,
+			MaxSteps:  spec.maxSteps,
+		}, spec.body)
+		if res.Verdict.Bug() {
+			bugs.add(core.BugSignature(res))
+			if first < 0 {
+				first = i + 1
+			}
+		}
+		if first < 0 && len(det.Warnings()) > 0 {
+			first = i + 1
+		}
+	}
+	for _, v := range det.WarnedVars() {
+		bugs.add("race:" + v)
+	}
+	return cellOutcome{runs: spec.budget, bugs: bugs.sigs, firstBug: first}, nil
+}

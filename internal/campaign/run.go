@@ -1,0 +1,186 @@
+// The campaign executor: a worker pool over matrix cells, reusing the
+// budget-and-merge idioms of explore/fuzz one level up — cells are
+// claimed from a shared atomic cursor, results merge into the store
+// under its lock, and cancellation is a global wind-down (in-flight
+// cells finish and are recorded, nothing half-done is stored).
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mtbench/internal/repository"
+)
+
+// Progress observes each completed cell: done of total counts cells
+// executed by this invocation (skipped cells are not reported).
+// Callbacks are serialized. A Progress callback may cancel the run's
+// context to interrupt the campaign — that is exactly how the
+// resumability tests interrupt after K cells.
+type Progress func(done, total int, rec Record)
+
+// Summary is the outcome of one Run invocation.
+type Summary struct {
+	// Config is the normalized campaign config.
+	Config Config
+	// Cells is the size of the full matrix.
+	Cells int
+	// Executed counts cells this invocation ran; Skipped counts cells
+	// the store already had (the resumability ledger).
+	Executed int
+	Skipped  int
+	// Records is the store's full record set, canonically ordered.
+	Records []Record
+}
+
+// Run executes the campaign matrix into store, skipping cells the
+// store already holds — so the same call both starts and resumes a
+// campaign. The store must carry the same config fingerprint (Create
+// pins it; pass the store's own Config to resume). On completion the
+// store is compacted to canonical order; on context cancellation the
+// journal keeps its partial state and Run returns the context error
+// alongside a summary of what did complete.
+func Run(ctx context.Context, cfg Config, store *Store, progress Progress) (*Summary, error) {
+	cfg = cfg.normalized()
+	if store == nil {
+		store = NewMemStore(cfg)
+	}
+	if got, want := store.Config().Fingerprint(), cfg.Fingerprint(); got != want {
+		return nil, fmt.Errorf("campaign: store config mismatch: store pins %s, run asked for %s", got, want)
+	}
+
+	// Resolve the matrix up front: unknown programs or finders fail
+	// before any cell burns budget.
+	cells := Cells(cfg)
+	type boundCell struct {
+		cell   Cell
+		finder *Finder
+		spec   cellSpec
+	}
+	var pending []boundCell
+	skipped := 0
+	for _, cell := range cells {
+		prog, err := repository.Get(cell.Program)
+		if err != nil {
+			return nil, err
+		}
+		finder, err := getFinder(cell.Finder)
+		if err != nil {
+			return nil, err
+		}
+		if store.Has(cell.Key()) {
+			skipped++
+			continue
+		}
+		var params repository.Params
+		if over, ok := cfg.Params[cell.Program]; ok {
+			params = repository.Params(over)
+		}
+		pending = append(pending, boundCell{
+			cell:   cell,
+			finder: finder,
+			spec: cellSpec{
+				prog:     prog,
+				body:     prog.BodyWith(params),
+				seed:     cell.Seed,
+				budget:   cell.Budget,
+				maxSteps: cfg.MaxSteps,
+			},
+		})
+	}
+
+	var (
+		cursor   atomic.Int64
+		mu       sync.Mutex // guards done, firstErr, and serializes progress
+		done     int
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	workers := cfg.Workers
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if runCtx.Err() != nil {
+					return
+				}
+				i := int(cursor.Add(1)) - 1
+				if i >= len(pending) {
+					return
+				}
+				bc := pending[i]
+
+				start := time.Now()
+				out, err := bc.finder.run(bc.spec)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					cancel()
+					return
+				}
+				rec := Record{
+					Program:  bc.cell.Program,
+					Finder:   bc.cell.Finder,
+					Seed:     bc.cell.Seed,
+					Budget:   bc.cell.Budget,
+					Runs:     out.runs,
+					Bugs:     sortedUnique(out.bugs),
+					FirstBug: out.firstBug,
+				}
+				if cfg.Timing {
+					rec.WallMS = int64(time.Since(start) / time.Millisecond)
+				}
+				if err := store.Append(rec); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					cancel()
+					return
+				}
+				// done advances under the same lock that serializes the
+				// callback, so Progress observes a monotone count.
+				mu.Lock()
+				done++
+				if progress != nil {
+					progress(done, len(pending), rec)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	sum := &Summary{
+		Config:   cfg,
+		Cells:    len(cells),
+		Executed: done,
+		Skipped:  skipped,
+		Records:  store.Records(),
+	}
+	if firstErr != nil {
+		return sum, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		// Interrupted: leave the journal as-is for a later resume.
+		return sum, err
+	}
+	if err := store.Compact(); err != nil {
+		return sum, err
+	}
+	return sum, nil
+}

@@ -1,0 +1,300 @@
+// The persistent campaign store: an append-only JSONL journal with a
+// canonical compacted form.
+//
+// Line 1 is the meta record pinning the campaign config (the
+// CK-framework discipline: results without their reproducible config
+// are just numbers); every further line is one completed cell. While a
+// campaign runs, cells append in completion order — that is what makes
+// interruption safe, a partial journal is still a valid store. When a
+// campaign completes, Compact rewrites the file in canonical cell
+// order, so any two completed runs of the same fixed-seed config are
+// byte-identical and `diff` / git are meaningful over baselines.
+package campaign
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// storeVersion tags the meta line so future format changes can be
+// detected instead of misparsed.
+const storeVersion = 1
+
+// metaLine is the store's first line.
+type metaLine struct {
+	Campaign int    `json:"campaign"` // format version
+	Config   Config `json:"config"`
+}
+
+// Store is a campaign result store: an in-memory record map mirrored
+// to a JSONL journal (unless created in-memory only). Safe for
+// concurrent use by the cell worker pool.
+type Store struct {
+	mu   sync.Mutex
+	path string   // "" = in-memory
+	f    *os.File // append handle, nil when in-memory
+	cfg  Config
+	recs map[string]Record
+}
+
+// Create makes a fresh store at path (truncating any existing file)
+// and writes the meta line for cfg.
+func Create(path string, cfg Config) (*Store, error) {
+	cfg = cfg.normalized()
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: create store: %w", err)
+	}
+	s := &Store{path: path, f: f, cfg: cfg, recs: map[string]Record{}}
+	if err := s.writeLine(metaLine{Campaign: storeVersion, Config: cfg}); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Open loads an existing store for resumption: the meta line yields
+// the campaign config, every cell line a completed record, and the
+// file stays open for appending. A torn tail left by a crash
+// mid-append is truncated away first, so the next append starts on a
+// clean line boundary (the torn cell simply re-runs).
+func Open(path string) (*Store, error) {
+	cfg, recs, validLen, err := loadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: open store: %w", err)
+	}
+	if info, err := f.Stat(); err == nil && info.Size() > validLen {
+		if err := f.Truncate(validLen); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("campaign: truncate torn store tail: %w", err)
+		}
+	}
+	s := &Store{path: path, f: f, cfg: cfg, recs: map[string]Record{}}
+	for _, r := range recs {
+		s.recs[r.Key()] = r
+	}
+	return s, nil
+}
+
+// NewMemStore is a store with no backing file — the form experiments
+// and tests use when persistence is not the point.
+func NewMemStore(cfg Config) *Store {
+	return &Store{cfg: cfg.normalized(), recs: map[string]Record{}}
+}
+
+// Load reads a store file without holding it open: the campaign config
+// and the completed records in canonical order. This is the read path
+// Compare and the gate use.
+func Load(path string) (Config, []Record, error) {
+	cfg, recs, _, err := loadFile(path)
+	return cfg, recs, err
+}
+
+// loadFile parses a store file and additionally reports the byte
+// length of its valid prefix. Every newline-terminated line must
+// parse — a bad line in the middle is corruption and errors — but a
+// final unterminated chunk is tolerated as the torn tail of an append
+// that a crash (SIGKILL, OOM, power loss) cut short: it is excluded from
+// the records and from the valid length, so Open can truncate it and
+// the interrupted cell simply re-runs on resume.
+func loadFile(path string) (Config, []Record, int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Config{}, nil, 0, fmt.Errorf("campaign: load store: %w", err)
+	}
+
+	var meta metaLine
+	byKey := map[string]Record{}
+	var validLen int64
+	rest := data
+	lineNo := 0
+	for len(rest) > 0 {
+		lineNo++
+		nl := bytes.IndexByte(rest, '\n')
+		if nl < 0 {
+			// Unterminated final chunk: a torn append. The meta line has
+			// no completed cells to salvage, so a torn line 1 is still an
+			// invalid store.
+			if lineNo == 1 {
+				return Config{}, nil, 0, fmt.Errorf("campaign: store %s has no valid meta line", path)
+			}
+			break
+		}
+		line := rest[:nl]
+		rest = rest[nl+1:]
+		switch {
+		case lineNo == 1:
+			if err := json.Unmarshal(line, &meta); err != nil || meta.Campaign == 0 {
+				return Config{}, nil, 0, fmt.Errorf("campaign: store %s has no valid meta line", path)
+			}
+			if meta.Campaign != storeVersion {
+				return Config{}, nil, 0, fmt.Errorf("campaign: store %s has format version %d, want %d", path, meta.Campaign, storeVersion)
+			}
+		case len(line) > 0:
+			var rec Record
+			if err := json.Unmarshal(line, &rec); err != nil {
+				return Config{}, nil, 0, fmt.Errorf("campaign: store %s line %d: %w", path, lineNo, err)
+			}
+			byKey[rec.Key()] = rec
+		}
+		validLen += int64(nl + 1)
+	}
+	if lineNo == 0 {
+		return Config{}, nil, 0, fmt.Errorf("campaign: store %s is empty (no meta line)", path)
+	}
+
+	recs := make([]Record, 0, len(byKey))
+	for _, r := range byKey {
+		recs = append(recs, r)
+	}
+	sortRecords(recs)
+	return meta.Config.normalized(), recs, validLen, nil
+}
+
+// Config returns the campaign config pinned in the store.
+func (s *Store) Config() Config { return s.cfg }
+
+// Path returns the backing file path ("" for in-memory stores).
+func (s *Store) Path() string { return s.path }
+
+// Has reports whether the cell is already completed.
+func (s *Store) Has(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.recs[key]
+	return ok
+}
+
+// Len returns the number of completed cells.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.recs)
+}
+
+// Append records a completed cell and streams it to the journal.
+func (s *Store) Append(rec Record) error {
+	if rec.Bugs == nil {
+		rec.Bugs = []string{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.recs[rec.Key()] = rec
+	return s.writeLineLocked(rec)
+}
+
+// Records returns the completed cells in canonical order.
+func (s *Store) Records() []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	recs := make([]Record, 0, len(s.recs))
+	for _, r := range s.recs {
+		recs = append(recs, r)
+	}
+	sortRecords(recs)
+	return recs
+}
+
+// Compact rewrites the journal in canonical order (meta line, then
+// cells sorted by key), atomically via a temp file + rename. After
+// compaction two completed runs of the same fixed-seed config are
+// byte-identical. No-op for in-memory stores.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+
+	tmp := s.path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("campaign: compact store: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	write := func(v any) error {
+		b, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		b = append(b, '\n')
+		_, err = w.Write(b)
+		return err
+	}
+	err = write(metaLine{Campaign: storeVersion, Config: s.cfg})
+	recs := make([]Record, 0, len(s.recs))
+	for _, r := range s.recs {
+		recs = append(recs, r)
+	}
+	sortRecords(recs)
+	for _, r := range recs {
+		if err != nil {
+			break
+		}
+		err = write(r)
+	}
+	if err == nil {
+		err = w.Flush()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("campaign: compact store: %w", err)
+	}
+	if err := os.Rename(tmp, s.path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("campaign: compact store: %w", err)
+	}
+
+	// Reopen the append handle on the compacted file.
+	s.f.Close()
+	f, err = os.OpenFile(s.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("campaign: compact store: %w", err)
+	}
+	s.f = f
+	return nil
+}
+
+// Close releases the journal handle (in-memory stores: no-op).
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}
+
+func (s *Store) writeLine(v any) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.writeLineLocked(v)
+}
+
+func (s *Store) writeLineLocked(v any) error {
+	if s.f == nil {
+		return nil
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("campaign: encode store line: %w", err)
+	}
+	b = append(b, '\n')
+	if _, err := s.f.Write(b); err != nil {
+		return fmt.Errorf("campaign: write store line: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,217 @@
+package campaign
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestStoreAppendLoad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.jsonl")
+	cfg := testConfig()
+	store, err := Create(path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Append out of canonical order; bugs nil normalizes to [].
+	r2 := rec("zzz", "noise", 0, 60, nil, -1)
+	r1 := rec("account", "fuzz", 0, 60, []string{"fail:x"}, 3)
+	if err := store.Append(r2); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Append(r1); err != nil {
+		t.Fatal(err)
+	}
+	if !store.Has(r1.Key()) || store.Len() != 2 {
+		t.Fatalf("store state wrong: len=%d", store.Len())
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	gotCfg, recs, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotCfg.Fingerprint() != cfg.Fingerprint() {
+		t.Fatal("loaded config does not match the created one")
+	}
+	if len(recs) != 2 || recs[0].Program != "account" || recs[1].Program != "zzz" {
+		t.Fatalf("loaded records not in canonical order: %v", recs)
+	}
+	if recs[1].Bugs == nil || len(recs[1].Bugs) != 0 {
+		t.Fatalf("empty bug set did not round-trip as []: %#v", recs[1].Bugs)
+	}
+}
+
+func TestStoreCompact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.jsonl")
+	store, err := Create(path, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	store.Append(rec("zzz", "noise", 0, 60, nil, -1))
+	store.Append(rec("account", "fuzz", 0, 60, []string{"fail:x"}, 3))
+	if err := store.Compact(); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("compacted store has %d lines, want meta + 2 cells", len(lines))
+	}
+	if !strings.Contains(lines[1], `"program":"account"`) || !strings.Contains(lines[2], `"program":"zzz"`) {
+		t.Fatalf("compacted store not in canonical order:\n%s", raw)
+	}
+
+	// The append handle survives compaction.
+	if err := store.Append(rec("mmm", "race", 0, 60, nil, -1)); err != nil {
+		t.Fatal(err)
+	}
+	store.Close()
+	_, recs, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("post-compact append lost: %d records", len(recs))
+	}
+}
+
+func TestLoadRejectsBadStores(t *testing.T) {
+	dir := t.TempDir()
+
+	empty := filepath.Join(dir, "empty.jsonl")
+	os.WriteFile(empty, nil, 0o644)
+	if _, _, err := Load(empty); err == nil {
+		t.Fatal("empty store accepted")
+	}
+
+	noMeta := filepath.Join(dir, "nometa.jsonl")
+	os.WriteFile(noMeta, []byte(`{"program":"account","finder":"fuzz"}`+"\n"), 0o644)
+	if _, _, err := Load(noMeta); err == nil {
+		t.Fatal("store without meta line accepted")
+	}
+
+	badVersion := filepath.Join(dir, "badver.jsonl")
+	os.WriteFile(badVersion, []byte(`{"campaign":99,"config":{}}`+"\n"), 0o644)
+	if _, _, err := Load(badVersion); err == nil {
+		t.Fatal("future store version accepted")
+	}
+
+	garbage := filepath.Join(dir, "garbage.jsonl")
+	os.WriteFile(garbage, []byte(`{"campaign":1,"config":{}}`+"\nnot json\n"), 0o644)
+	if _, _, err := Load(garbage); err == nil {
+		t.Fatal("corrupt cell line accepted")
+	}
+
+	if _, _, err := Load(filepath.Join(dir, "missing.jsonl")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+// TestStoreTornTail pins crash safety beyond graceful SIGINT: a final
+// line cut short mid-append (SIGKILL, OOM, power loss) is tolerated
+// by Load and truncated by Open, so the store resumes instead of
+// stranding its completed cells. A bad line in the middle is still
+// corruption.
+func TestStoreTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.jsonl")
+	store, err := Create(path, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.Append(rec("account", "fuzz", 0, 60, []string{"fail:x"}, 3))
+	store.Close()
+
+	// Simulate a torn append: a partial JSON object with no newline.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"program":"semleak","finder":"noi`)
+	f.Close()
+
+	_, recs, err := Load(path)
+	if err != nil {
+		t.Fatalf("torn tail rejected by Load: %v", err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("torn store has %d records, want the 1 completed cell", len(recs))
+	}
+
+	// Open truncates the tail so the next append lands on a clean line.
+	store, err = Open(path)
+	if err != nil {
+		t.Fatalf("torn tail rejected by Open: %v", err)
+	}
+	if err := store.Append(rec("semleak", "noise", 0, 60, nil, -1)); err != nil {
+		t.Fatal(err)
+	}
+	store.Close()
+	_, recs, err = Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("post-truncate append gave %d records, want 2", len(recs))
+	}
+
+	// A torn line in the MIDDLE is corruption, not a tail.
+	raw, _ := os.ReadFile(path)
+	corrupt := filepath.Join(t.TempDir(), "corrupt.jsonl")
+	os.WriteFile(corrupt, append([]byte(`{"campaign":1,"config":{}}`+"\n"+`{"program":"acc`+"\n"), raw...), 0o644)
+	if _, _, err := Load(corrupt); err == nil {
+		t.Fatal("mid-file corruption accepted")
+	}
+}
+
+// TestEmptyParamsRoundTrip pins that an explicitly-empty Params map
+// (no overrides: full-size programs) survives the store meta line
+// instead of collapsing to nil and silently re-normalizing to
+// DefaultParams on resume.
+func TestEmptyParamsRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.jsonl")
+	cfg := testConfig()
+	cfg.Params = map[string]map[string]int{}
+	store, err := Create(path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.Close()
+	loaded, _, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Params) != 0 || loaded.Params == nil {
+		t.Fatalf("empty Params became %v after the store round trip", loaded.Params)
+	}
+	if loaded.Fingerprint() != cfg.Fingerprint() {
+		t.Fatal("empty-Params config changed fingerprint across the store round trip")
+	}
+}
+
+// TestMemStore pins that in-memory stores behave like file stores
+// minus persistence (the E12 path).
+func TestMemStore(t *testing.T) {
+	store := NewMemStore(testConfig())
+	store.Append(rec("account", "fuzz", 0, 60, []string{"fail:x"}, 3))
+	if err := store.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := store.Records(); len(got) != 1 {
+		t.Fatalf("mem store lost records: %v", got)
+	}
+	if store.Path() != "" {
+		t.Fatal("mem store has a path")
+	}
+}

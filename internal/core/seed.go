@@ -1,0 +1,13 @@
+package core
+
+// MixSeed derives a stream seed from a master seed and a stream index
+// (splitmix64 finalizer), so workers, phases and per-run strategies
+// get decorrelated but reproducible rngs. The fuzzer and the campaign
+// finders share this one derivation: fixed-seed reproducibility across
+// tools rests on them never diverging.
+func MixSeed(seed, stream int64) int64 {
+	z := uint64(seed) + uint64(stream)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}

@@ -1,0 +1,40 @@
+package experiment
+
+import (
+	"context"
+
+	"mtbench/internal/campaign"
+)
+
+// E12 — the campaign summary: every registered finder over the
+// benchmark matrix under one shared per-cell budget, the report the
+// whole campaign layer exists to produce at the push of a button. E11
+// compares three search regimes on one axis; E12 is the full
+// tool×program matrix view, computed through the same persistent
+// machinery `cmd/campaign` stores and gates on (here with an in-memory
+// store, since the prepared experiment is about the report, not the
+// file).
+
+// CampaignConfig parameterizes E12.
+type CampaignConfig struct {
+	// Campaign is the matrix to run; the zero value is the standard
+	// fixed-seed gate campaign (the config campaign/baseline.jsonl is
+	// generated from).
+	Campaign campaign.Config
+}
+
+// Campaign runs E12: the campaign matrix into an in-memory store,
+// rendered as the per-finder summary and the full per-cell table.
+func Campaign(cfg CampaignConfig) ([]*Table, error) {
+	sum, err := campaign.Run(context.Background(), cfg.Campaign, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	tables := campaign.SummaryTables(sum.Config, sum.Records)
+	tables[0].ID = "E12"
+	tables[0].Title = "campaign: tool×program benchmark matrix summary"
+	tables[1].ID = "E12b"
+	tables[1].Title = "campaign: per-cell results"
+	tables[0].Note("persistent form: cmd/campaign run/resume/compare/gate over the same matrix")
+	return tables, nil
+}

@@ -6,6 +6,8 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"mtbench/internal/campaign"
 )
 
 // cell looks up a table cell by row predicate and column name.
@@ -374,13 +376,51 @@ func TestPipelineShape(t *testing.T) {
 
 // TestRegistryDispatch checks Runners/Get plumbing.
 func TestRegistryDispatch(t *testing.T) {
-	if len(Runners()) != 12 {
-		t.Fatalf("runners = %d, want 12", len(Runners()))
+	if len(Runners()) != 13 {
+		t.Fatalf("runners = %d, want 13", len(Runners()))
 	}
 	if _, err := Get("E1"); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := Get("E99"); err == nil {
 		t.Fatal("unknown id accepted")
+	}
+}
+
+// TestCampaignShape pins E12 on a small matrix: one summary row per
+// finder, every finder beats the correct-program control (no bugs on
+// lockedcounter reflected as found_cells < cells), and the fuzz and
+// noise rows land bugs on the buggy programs.
+func TestCampaignShape(t *testing.T) {
+	tables, err := Campaign(CampaignConfig{Campaign: campaign.Config{
+		Programs: []string{"account", "lockedcounter"},
+		Finders:  []string{"fuzz", "noise"},
+		Budget:   80,
+		Workers:  2,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 || tables[0].ID != "E12" || tables[1].ID != "E12b" {
+		t.Fatalf("E12 table shape wrong: %+v", tables)
+	}
+	summary := tables[0]
+	if len(summary.Rows) != 2 {
+		t.Fatalf("E12 has %d rows, want one per finder", len(summary.Rows))
+	}
+	for _, finder := range []string{"fuzz", "noise"} {
+		get := func(col string) string {
+			return cell(t, summary, func(r []string) bool { return r[0] == finder }, col)
+		}
+		if got := atoiCell(t, get("cells")); got != 2 {
+			t.Errorf("%s: cells = %d, want 2", finder, got)
+		}
+		if got := atoiCell(t, get("found_cells")); got != 1 {
+			t.Errorf("%s: found_cells = %d, want 1 (account buggy, lockedcounter correct)", finder, got)
+		}
+	}
+	perCell := tables[1]
+	if len(perCell.Rows) != 4 {
+		t.Fatalf("E12b has %d rows, want 4 cells", len(perCell.Rows))
 	}
 }

@@ -80,14 +80,14 @@ func Noise(cfg NoiseConfig) ([]*Table, error) {
 		body := prog.BodyWith(nil)
 
 		// Deterministic baseline.
-		det, steps, dur := campaign(cfg.Runs, body, func(seed int64) sched.Strategy {
+		det, steps, dur := runNoiseCampaign(cfg.Runs, body, func(seed int64) sched.Strategy {
 			return sched.Nonpreemptive()
 		})
 		t.AddRow(name, "baseline", itoa(cfg.Runs), itoa(det), pct(det, cfg.Runs), i64(steps), i64(dur))
 
 		for _, h := range cfg.Heuristics {
 			heur := h.New() // one instance per campaign: adaptive state accumulates
-			det, steps, dur := campaign(cfg.Runs, body, func(seed int64) sched.Strategy {
+			det, steps, dur := runNoiseCampaign(cfg.Runs, body, func(seed int64) sched.Strategy {
 				return noise.NewStrategy(nil, heur, seed)
 			})
 			t.AddRow(name, h.Name, itoa(cfg.Runs), itoa(det), pct(det, cfg.Runs), i64(steps), i64(dur))
@@ -96,9 +96,9 @@ func Noise(cfg NoiseConfig) ([]*Table, error) {
 	return []*Table{t}, nil
 }
 
-// campaign runs the body under per-seed strategies and aggregates
+// runNoiseCampaign runs the body under per-seed strategies and aggregates
 // detection count, mean steps, and mean wall time in microseconds.
-func campaign(runs int, body func(core.T), mk func(seed int64) sched.Strategy) (detected int, avgSteps, avgUs int64) {
+func runNoiseCampaign(runs int, body func(core.T), mk func(seed int64) sched.Strategy) (detected int, avgSteps, avgUs int64) {
 	var steps, dur int64
 	for seed := int64(0); seed < int64(runs); seed++ {
 		res := sched.Run(sched.Config{

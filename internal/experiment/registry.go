@@ -28,6 +28,7 @@ func Runners() []Runner {
 		{"E9", "trace codecs and annotations", func() ([]*Table, error) { return Trace(TraceConfig{}) }},
 		{"E10", "offline trace evaluation (JPaX)", func() ([]*Table, error) { return TraceEval(TraceEvalConfig{}) }},
 		{"E11", "schedule fuzzing vs noise vs exploration", func() ([]*Table, error) { return Fuzz(FuzzConfig{}) }},
+		{"E12", "campaign: tool×program benchmark matrix", func() ([]*Table, error) { return Campaign(CampaignConfig{}) }},
 	}
 	sort.Slice(rs, func(i, j int) bool { return rs[i].ID < rs[j].ID })
 	return rs

@@ -8,151 +8,28 @@
 //
 // Each experiment function runs a tool matrix over the repository and
 // returns Tables; cmd/mtbench renders them as text, CSV or JSON. The
-// experiment IDs (E1..E11, F1) are indexed in DESIGN.md and their
+// experiment IDs (E1..E12, F1) are indexed in DESIGN.md and their
 // measured results recorded in EXPERIMENTS.md.
 package experiment
 
 import (
-	"encoding/json"
 	"fmt"
-	"io"
-	"strings"
+
+	"mtbench/internal/report"
 )
 
-// Table is one evaluation report table.
-type Table struct {
-	ID      string
-	Title   string
-	Columns []string
-	Rows    [][]string
-	Notes   []string
-}
+// Table is one evaluation report table. It is the shared report type
+// of internal/report (aliased here so every existing experiment and
+// caller keeps compiling); internal/campaign renders its comparison
+// reports through the same type.
+type Table = report.Table
 
-// AddRow appends a row; the cell count must match the columns.
-func (t *Table) AddRow(cells ...string) {
-	if len(cells) != len(t.Columns) {
-		panic(fmt.Sprintf("experiment: table %s row has %d cells, want %d", t.ID, len(cells), len(t.Columns)))
-	}
-	t.Rows = append(t.Rows, cells)
-}
-
-// Note appends a footnote.
-func (t *Table) Note(format string, args ...any) {
-	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
-}
-
-// Render writes the table as aligned text.
-func (t *Table) Render(w io.Writer) error {
-	widths := make([]int, len(t.Columns))
-	for i, c := range t.Columns {
-		widths[i] = len(c)
-	}
-	for _, row := range t.Rows {
-		for i, cell := range row {
-			if len(cell) > widths[i] {
-				widths[i] = len(cell)
-			}
-		}
-	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
-	writeRow := func(cells []string) {
-		for i, cell := range cells {
-			if i > 0 {
-				b.WriteString("  ")
-			}
-			fmt.Fprintf(&b, "%-*s", widths[i], cell)
-		}
-		b.WriteByte('\n')
-	}
-	writeRow(t.Columns)
-	sep := make([]string, len(t.Columns))
-	for i := range sep {
-		sep[i] = strings.Repeat("-", widths[i])
-	}
-	writeRow(sep)
-	for _, row := range t.Rows {
-		writeRow(row)
-	}
-	for _, n := range t.Notes {
-		fmt.Fprintf(&b, "note: %s\n", n)
-	}
-	b.WriteByte('\n')
-	_, err := io.WriteString(w, b.String())
-	return err
-}
-
-// CSV writes the table as comma-separated values (quoted minimally).
-func (t *Table) CSV(w io.Writer) error {
-	esc := func(s string) string {
-		if strings.ContainsAny(s, ",\"\n") {
-			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
-		}
-		return s
-	}
-	var b strings.Builder
-	cells := make([]string, len(t.Columns))
-	for i, c := range t.Columns {
-		cells[i] = esc(c)
-	}
-	b.WriteString(strings.Join(cells, ","))
-	b.WriteByte('\n')
-	for _, row := range t.Rows {
-		for i, c := range row {
-			cells[i] = esc(c)
-		}
-		b.WriteString(strings.Join(cells, ","))
-		b.WriteByte('\n')
-	}
-	_, err := io.WriteString(w, b.String())
-	return err
-}
-
-// JSON writes the table as a single JSON object ({id, title, columns,
-// rows, notes}) — the machine-readable serialization external campaign
-// tooling collects instead of parsing rendered text.
-func (t *Table) JSON(w io.Writer) error {
-	enc := json.NewEncoder(w)
-	return enc.Encode(t.jsonForm())
-}
-
-// JSONAll writes several tables as one JSON array.
-func JSONAll(w io.Writer, tables []*Table) error {
-	forms := make([]tableJSON, len(tables))
-	for i, t := range tables {
-		forms[i] = t.jsonForm()
-	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(forms)
-}
-
-// tableJSON fixes the serialized field names independently of the Go
-// struct, so renaming fields cannot silently break collectors.
-type tableJSON struct {
-	ID      string     `json:"id"`
-	Title   string     `json:"title"`
-	Columns []string   `json:"columns"`
-	Rows    [][]string `json:"rows"`
-	Notes   []string   `json:"notes,omitempty"`
-}
-
-func (t *Table) jsonForm() tableJSON {
-	rows := t.Rows
-	if rows == nil {
-		rows = [][]string{}
-	}
-	return tableJSON{ID: t.ID, Title: t.Title, Columns: t.Columns, Rows: rows, Notes: t.Notes}
-}
-
-// RenderAll renders several tables as text.
-func RenderAll(w io.Writer, tables []*Table) error {
-	for _, t := range tables {
-		if err := t.Render(w); err != nil {
-			return err
-		}
-	}
-	return nil
-}
+var (
+	// JSONAll writes several tables as one JSON array.
+	JSONAll = report.JSONAll
+	// RenderAll renders several tables as text.
+	RenderAll = report.RenderAll
+)
 
 func pct(num, den int) string {
 	if den == 0 {

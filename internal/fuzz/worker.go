@@ -66,15 +66,11 @@ func newCoordinator(opts Options, body func(core.T)) *coordinator {
 	}
 }
 
-// mix derives a stream seed from the master seed and a stream index
-// (splitmix64 finalizer), so workers and phases get decorrelated but
-// reproducible rngs.
-func mix(seed, stream int64) int64 {
-	z := uint64(seed) + uint64(stream)*0x9e3779b97f4a7c15
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return int64(z ^ (z >> 31))
-}
+// mix derives a stream seed from the master seed and a stream index,
+// so workers and phases get decorrelated but reproducible rngs. It is
+// the shared core.MixSeed derivation (the campaign finders use the
+// same one, which keeps per-run seeds comparable across tools).
+func mix(seed, stream int64) int64 { return core.MixSeed(seed, stream) }
 
 // run executes the campaign: seed the corpus, run the worker pool to
 // budget exhaustion (or global stop), merge.

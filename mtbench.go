@@ -30,6 +30,7 @@ package mtbench
 import (
 	"io"
 
+	"mtbench/internal/campaign"
 	"mtbench/internal/cloning"
 	"mtbench/internal/core"
 	"mtbench/internal/coverage"
@@ -390,6 +391,45 @@ var (
 	CanonicalOutcome = multiout.Canonical
 )
 
+// Campaigns: the persistent, resumable, diffable benchmark matrix.
+type (
+	// CampaignConfig declares a finder×program×seed×budget matrix.
+	CampaignConfig = campaign.Config
+	// CampaignRecord is one completed, stored matrix cell.
+	CampaignRecord = campaign.Record
+	// CampaignStore is the persistent JSONL result store (resumable:
+	// re-running skips completed cells; compacted stores of the same
+	// fixed-seed config are byte-identical).
+	CampaignStore = campaign.Store
+	// CampaignSummary is one Run invocation's outcome.
+	CampaignSummary = campaign.Summary
+	// CampaignDiff classifies per-cell deltas between two stores; its
+	// Gate method is the CI regression check.
+	CampaignDiff = campaign.Diff
+	// CampaignDelta is one classified difference.
+	CampaignDelta = campaign.Delta
+)
+
+var (
+	// RunCampaign executes (or resumes) a campaign matrix into a store.
+	RunCampaign = campaign.Run
+	// DefaultCampaign is the standard fixed-seed gate matrix.
+	DefaultCampaign = campaign.Default
+	// CampaignFinders lists the registered finder names.
+	CampaignFinders = campaign.Finders
+	// CreateCampaignStore / OpenCampaignStore / LoadCampaignStore
+	// manage persistent stores (create fresh, open for resumption,
+	// read-only load).
+	CreateCampaignStore = campaign.Create
+	OpenCampaignStore   = campaign.Open
+	LoadCampaignStore   = campaign.Load
+	// CompareCampaigns classifies per-cell deltas between two record
+	// sets (bug lost / gained, budget regressions, missing cells).
+	CompareCampaigns = campaign.Compare
+	// CampaignTables renders a stored campaign as report tables.
+	CampaignTables = campaign.SummaryTables
+)
+
 // Prepared experiments.
 type (
 	// ExperimentTable is one evaluation report table.
@@ -399,7 +439,7 @@ type (
 )
 
 var (
-	// Experiments lists the prepared experiments (F1, E1..E11).
+	// Experiments lists the prepared experiments (F1, E1..E12).
 	Experiments = experiment.Runners
 	// GetExperiment looks an experiment up by id.
 	GetExperiment = experiment.Get
