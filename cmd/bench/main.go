@@ -1,0 +1,217 @@
+// Command bench runs the framework's schedules-per-second benchmarks
+// outside `go test` and emits a machine-readable JSON file — the perf
+// trajectory artifact each performance PR checks in (BENCH_<n>.json)
+// or uploads from CI, so throughput changes are visible run over run
+// instead of living in PR descriptions.
+//
+// The workloads mirror BenchmarkExploreWorkers and BenchmarkFuzz (same
+// programs, same shrunken parameters, same budgets), plus a raw
+// pooled-runner microbenchmark of the controlled runtime itself. Each
+// entry reports ns/op, schedules/sec and allocs/op as measured by
+// testing.Benchmark.
+//
+// Usage:
+//
+//	bench -out BENCH_4.json          # full matrix
+//	bench -quick -out bench.json     # one iteration per workload (CI smoke)
+//	bench -list                      # print workload names
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+
+	"mtbench/internal/core"
+	"mtbench/internal/explore"
+	"mtbench/internal/fuzz"
+	"mtbench/internal/profiling"
+	"mtbench/internal/repository"
+	"mtbench/internal/sched"
+)
+
+// smallParams shrinks the larger repository programs exactly as the
+// package benchmarks do, so numbers are comparable with `go test
+// -bench` output.
+var smallParams = map[string]repository.Params{
+	"account":      {"depositors": 2, "deposits": 1},
+	"statmax":      {"reporters": 2},
+	"philosophers": {"philosophers": 2, "rounds": 1},
+}
+
+// budget is the per-op schedule budget shared by the search workloads.
+const budget = 2000
+
+// Entry is one benchmark result. Field names are pinned: CI tooling
+// and trend scripts parse them.
+type Entry struct {
+	Name            string  `json:"name"`
+	Iterations      int     `json:"iterations"`
+	NsPerOp         int64   `json:"ns_per_op"`
+	SchedulesPerSec float64 `json:"schedules_per_sec"`
+	AllocsPerOp     int64   `json:"allocs_per_op"`
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	GoVersion  string  `json:"go_version"`
+	GOOS       string  `json:"goos"`
+	GOARCH     string  `json:"goarch"`
+	NumCPU     int     `json:"num_cpu"`
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+// workload is one named benchmark body (run executes iteration i);
+// schedulesPerOp converts ns/op into schedules/sec.
+type workload struct {
+	name           string
+	schedulesPerOp int
+	run            func(i int) error
+}
+
+func body(name string) (func(core.T), error) {
+	prog, err := repository.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return prog.BodyWith(smallParams[name]), nil
+}
+
+func workloads() ([]workload, error) {
+	var out []workload
+
+	// Raw controlled-runtime throughput: one pooled runner executing
+	// the nonpreemptive baseline schedule back to back. This is the
+	// floor every search tool builds on.
+	accountBody, err := body("account")
+	if err != nil {
+		return nil, err
+	}
+	runner := sched.NewRunner()             // lives for the process; pooling is the point
+	runner.Run(sched.Config{}, accountBody) // warm the pool outside the timer
+	out = append(out, workload{
+		name:           "sched/pooled-run/account",
+		schedulesPerOp: 1,
+		run: func(int) error {
+			runner.Run(sched.Config{}, accountBody)
+			return nil
+		},
+	})
+
+	workerCounts := []int{1, 2, 4, runtime.NumCPU()}
+	seen := map[int]bool{}
+	var workers []int
+	for _, w := range workerCounts {
+		if !seen[w] {
+			seen[w] = true
+			workers = append(workers, w)
+		}
+	}
+
+	for _, prog := range []string{"philosophers", "account"} {
+		pb, err := body(prog)
+		if err != nil {
+			return nil, err
+		}
+		for _, w := range workers {
+			w := w
+			out = append(out, workload{
+				name:           fmt.Sprintf("explore/%s/workers=%d", prog, w),
+				schedulesPerOp: budget,
+				run: func(int) error {
+					res := explore.Explore(explore.Options{MaxSchedules: budget, Workers: w}, pb)
+					return res.Err
+				},
+			})
+		}
+	}
+
+	for _, prog := range []string{"account", "abastack"} {
+		pb, err := body(prog)
+		if err != nil {
+			return nil, err
+		}
+		for _, w := range workers {
+			w := w
+			out = append(out, workload{
+				name:           fmt.Sprintf("fuzz/%s/workers=%d", prog, w),
+				schedulesPerOp: budget,
+				run: func(i int) error {
+					fuzz.Fuzz(fuzz.Options{MaxRuns: budget, Seed: int64(i), Workers: w}, pb)
+					return nil
+				},
+			})
+		}
+	}
+	return out, nil
+}
+
+func main() {
+	out := flag.String("out", "BENCH_4.json", "output JSON path (- for stdout)")
+	quick := flag.Bool("quick", false, "single iteration per workload (CI smoke)")
+	list := flag.Bool("list", false, "list workload names and exit")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
+	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	err = run(*out, *quick, *list)
+	stopProf()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, quick, list bool) error {
+	ws, err := workloads()
+	if err != nil {
+		return err
+	}
+	if list {
+		for _, w := range ws {
+			fmt.Println(w.name)
+		}
+		return nil
+	}
+
+	rep := Report{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		Benchmarks: make([]Entry, 0, len(ws)),
+	}
+	for _, w := range ws {
+		e, err := measure(w, quick)
+		if err != nil {
+			return fmt.Errorf("%s: %w", w.name, err)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, e)
+		fmt.Fprintf(os.Stderr, "%-34s %12d ns/op %12.0f schedules/sec %8d allocs/op\n",
+			e.Name, e.NsPerOp, e.SchedulesPerSec, e.AllocsPerOp)
+	}
+	sort.Slice(rep.Benchmarks, func(i, j int) bool { return rep.Benchmarks[i].Name < rep.Benchmarks[j].Name })
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d benchmarks)\n", out, len(rep.Benchmarks))
+	return nil
+}

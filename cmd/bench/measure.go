@@ -1,0 +1,57 @@
+package main
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// measure runs one workload. Full mode goes through testing.Benchmark
+// (auto-scaled iteration counts, the same machinery as `go test
+// -bench`); quick mode times a single iteration by hand, which is what
+// the CI smoke job runs — every metric present, minimal wall clock.
+func measure(w workload, quick bool) (Entry, error) {
+	if quick {
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		if err := w.run(0); err != nil {
+			return Entry{}, err
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		e := Entry{
+			Name:        w.name,
+			Iterations:  1,
+			NsPerOp:     elapsed.Nanoseconds(),
+			AllocsPerOp: int64(after.Mallocs - before.Mallocs),
+		}
+		if elapsed > 0 {
+			e.SchedulesPerSec = float64(w.schedulesPerOp) / elapsed.Seconds()
+		}
+		return e, nil
+	}
+
+	var runErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := w.run(i); err != nil {
+				runErr = err
+				b.FailNow()
+			}
+		}
+	})
+	if runErr != nil {
+		return Entry{}, runErr
+	}
+	e := Entry{
+		Name:        w.name,
+		Iterations:  r.N,
+		NsPerOp:     r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+	if r.T > 0 {
+		e.SchedulesPerSec = float64(r.N*w.schedulesPerOp) / r.T.Seconds()
+	}
+	return e, nil
+}

@@ -31,6 +31,7 @@ import (
 	"strings"
 
 	"mtbench/internal/campaign"
+	"mtbench/internal/profiling"
 	"mtbench/internal/report"
 	"mtbench/internal/repository"
 )
@@ -40,18 +41,27 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	// Profiling spans whichever subcommand executes, so heavy campaigns
+	// can feed future perf work: campaign run ... -cpuprofile cpu.out.
+	// The flags are stripped before subcommand flag parsing.
+	args, cpuProfile, memProfile := extractProfileFlags(os.Args[2:])
+	stopProf, perr := profiling.Start(cpuProfile, memProfile)
+	if perr != nil {
+		fmt.Fprintln(os.Stderr, "campaign:", perr)
+		os.Exit(1)
+	}
 	var err error
 	switch os.Args[1] {
 	case "run":
-		err = cmdRun(os.Args[2:], false)
+		err = cmdRun(args, false)
 	case "resume":
-		err = cmdRun(os.Args[2:], true)
+		err = cmdRun(args, true)
 	case "show":
-		err = cmdShow(os.Args[2:])
+		err = cmdShow(args)
 	case "compare":
-		err = cmdCompare(os.Args[2:])
+		err = cmdCompare(args)
 	case "gate":
-		err = cmdGate(os.Args[2:])
+		err = cmdGate(args)
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -59,10 +69,39 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	stopProf()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "campaign:", err)
 		os.Exit(1)
 	}
+}
+
+// extractProfileFlags strips -cpuprofile/-memprofile (with = or
+// space-separated values) from args so subcommand flag sets need not
+// know about them.
+func extractProfileFlags(args []string) (rest []string, cpu, mem string) {
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		name, val, eq := a, "", false
+		if j := strings.IndexByte(a, '='); j >= 0 {
+			name, val, eq = a[:j], a[j+1:], true
+		}
+		switch name {
+		case "-cpuprofile", "--cpuprofile", "-memprofile", "--memprofile":
+			if !eq && i+1 < len(args) {
+				i++
+				val = args[i]
+			}
+			if strings.Contains(name, "cpu") {
+				cpu = val
+			} else {
+				mem = val
+			}
+		default:
+			rest = append(rest, a)
+		}
+	}
+	return rest, cpu, mem
 }
 
 func usage() {

@@ -19,6 +19,7 @@ import (
 
 	"mtbench/internal/core"
 	"mtbench/internal/explore"
+	"mtbench/internal/profiling"
 	"mtbench/internal/replay"
 	"mtbench/internal/repository"
 	"mtbench/internal/sched"
@@ -34,9 +35,18 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel search workers (0 = all cores, 1 = deterministic serial)")
 	save := flag.String("save", "", "save the first failing scenario to this file")
 	replayPath := flag.String("replay", "", "replay a saved scenario instead of exploring")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
 
-	if err := run(*prog, *max, *bound, *workers, *sleepSets, *timeouts, *stopFirst, *save, *replayPath); err != nil {
+	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "explore:", err)
+		os.Exit(1)
+	}
+	err = run(*prog, *max, *bound, *workers, *sleepSets, *timeouts, *stopFirst, *save, *replayPath)
+	stopProf()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "explore:", err)
 		os.Exit(1)
 	}

@@ -23,6 +23,7 @@ import (
 
 	"mtbench/internal/core"
 	"mtbench/internal/fuzz"
+	"mtbench/internal/profiling"
 	"mtbench/internal/replay"
 	"mtbench/internal/repository"
 	"mtbench/internal/sched"
@@ -38,9 +39,18 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit one JSON object instead of text (first_bug is null when no bug was found)")
 	save := flag.String("save", "", "save the first failing scenario to this file")
 	replayPath := flag.String("replay", "", "replay a saved scenario instead of fuzzing")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
 
-	if err := run(*prog, *runs, *workers, *pbound, *seed, *stopFirst, *jsonOut, *save, *replayPath); err != nil {
+	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fuzz:", err)
+		os.Exit(1)
+	}
+	err = run(*prog, *runs, *workers, *pbound, *seed, *stopFirst, *jsonOut, *save, *replayPath)
+	stopProf()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "fuzz:", err)
 		os.Exit(1)
 	}

@@ -120,14 +120,16 @@ func (b *bugSet) add(sig string) {
 
 // runNoiseFinder is the ConTest-style baseline: every budget unit is
 // one fresh-seeded noise run (Bernoulli yield noise over random
-// dispatch, the E11 configuration).
+// dispatch, the E11 configuration) through one pooled runner.
 func runNoiseFinder(spec cellSpec) (cellOutcome, error) {
+	runner := sched.NewRunner()
+	defer runner.Close()
 	var bugs bugSet
 	first := -1
 	for i := 0; i < spec.budget; i++ {
 		runSeed := mix(spec.seed, int64(i))
 		st := noise.NewStrategy(nil, noise.NewBernoulli(0.4, noise.KindYield), runSeed)
-		res := sched.Run(sched.Config{
+		res := runner.Run(sched.Config{
 			Strategy: st,
 			Seed:     runSeed,
 			Name:     spec.prog.Name,
@@ -190,6 +192,8 @@ func runFuzzFinder(spec cellSpec) (cellOutcome, error) {
 // the tool's output, and a detector that stops warning where it used
 // to warn has changed behaviour either way.
 func runRaceFinder(spec cellSpec) (cellOutcome, error) {
+	runner := sched.NewRunner()
+	defer runner.Close()
 	det := race.NewHybrid(true)
 	var bugs bugSet
 	first := -1
@@ -200,7 +204,7 @@ func runRaceFinder(spec cellSpec) (cellOutcome, error) {
 		} else {
 			st = sched.Random(mix(spec.seed, int64(i)))
 		}
-		res := sched.Run(sched.Config{
+		res := runner.Run(sched.Config{
 			Strategy:  st,
 			Listeners: []core.Listener{det},
 			Seed:      spec.seed,

@@ -175,3 +175,67 @@ func TestTrimPathProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// maskedListener subscribes to a subset of event classes via OpFilter.
+type maskedListener struct {
+	mask OpMask
+	seen int
+}
+
+func (m *maskedListener) OnEvent(*Event)  { m.seen++ }
+func (m *maskedListener) WantOps() OpMask { return m.mask }
+
+// TestWantMask pins the subscription-mask algebra runtimes use to skip
+// listener fan-out: filtered listeners union their masks, any
+// unfiltered listener widens to AllOps, and an empty listener set
+// wants nothing.
+func TestWantMask(t *testing.T) {
+	if got := (MultiListener{}).WantMask(); got != 0 {
+		t.Fatalf("empty MultiListener mask = %b, want 0", got)
+	}
+	a := &maskedListener{mask: MaskOf(OpRead, OpWrite)}
+	b := &maskedListener{mask: MaskOf(OpLock)}
+	m := MultiListener{a, b}.WantMask()
+	for _, op := range []Op{OpRead, OpWrite, OpLock} {
+		if !m.Has(op) {
+			t.Fatalf("mask %b missing %v", m, op)
+		}
+	}
+	if m.Has(OpYield) || m.Has(OpFork) {
+		t.Fatalf("mask %b includes unsubscribed ops", m)
+	}
+	plain := ListenerFunc(func(*Event) {})
+	if got := (MultiListener{a, plain}).WantMask(); got != AllOps {
+		t.Fatalf("unfiltered listener should widen mask to AllOps, got %b", got)
+	}
+}
+
+// TestInterners pins the handle tables: stable handles for repeated
+// strings, 0 for empty, lookup-without-intern, and exact round trips
+// (coverage reconstructs its legacy string keys from these).
+func TestInterners(t *testing.T) {
+	if id := InternName(""); id != 0 {
+		t.Fatalf("empty name interned to %d, want 0", id)
+	}
+	id1 := InternName("core-test-var")
+	id2 := InternName("core-test-var")
+	if id1 == 0 || id1 != id2 {
+		t.Fatalf("unstable name handles: %d vs %d", id1, id2)
+	}
+	if got := InternedName(id1); got != "core-test-var" {
+		t.Fatalf("round trip = %q", got)
+	}
+	if _, ok := LookupName("never-interned-name"); ok {
+		t.Fatal("LookupName invented a handle")
+	}
+	lid := InternLocKey("dir/file.go", 42)
+	if lid == 0 || InternLocKey("dir/file.go", 42) != lid {
+		t.Fatal("unstable location handles")
+	}
+	if got, want := InternedLocKey(lid), "dir/file.go:42"; got != want {
+		t.Fatalf("loc round trip = %q, want %q", got, want)
+	}
+	if InternLocKey("dir/file.go", 43) == lid {
+		t.Fatal("distinct lines share a handle")
+	}
+}

@@ -65,6 +65,15 @@ type Event struct {
 	Value  int64    // value read/written, child/join target, sleep ns
 	Flags  Flags    // modifiers (e.g. atomic access)
 	Loc    Location // program point of the operation
+
+	// NameID and LocID are the interned handles for Name and Loc.Key()
+	// (see intern.go): hot-path consumers key their maps on them
+	// instead of hashing strings. 0 means "not interned" — producers
+	// are not required to fill them (the native runtime does not), and
+	// consumers that need a handle intern on demand. They are runtime
+	// acceleration only and are never serialized.
+	NameID uint32
+	LocID  uint32
 }
 
 // Flags carries event modifiers.
@@ -101,29 +110,45 @@ func (e *Event) String() string {
 	return b.String()
 }
 
-// locCache caches PC-to-Location resolution; probes resolve their call
-// site on every event and resolution via runtime.CallersFrames is
-// comparatively expensive.
-var locCache sync.Map // uintptr -> Location
+// locCache caches PC-to-(Location, handle) resolution; probes resolve
+// their call site on every event and resolution via
+// runtime.CallersFrames is comparatively expensive.
+var locCache sync.Map // uintptr -> cachedLoc
+
+type cachedLoc struct {
+	loc Location
+	id  uint32
+}
 
 // CallerLocation resolves the source location skip+1 frames above the
 // caller. Runtimes use it at probe sites; the skip count hops over the
 // runtime's own wrapper frames so the reported location is inside the
 // benchmark program.
 func CallerLocation(skip int) Location {
+	loc, _ := CallerLocationID(skip + 1)
+	return loc
+}
+
+// CallerLocationID is CallerLocation plus the interned program-point
+// handle (InternLocKey of the location), resolved through the same
+// per-PC cache so the steady-state cost is one stack hop and one map
+// load.
+func CallerLocationID(skip int) (Location, uint32) {
 	var pcs [1]uintptr
 	if runtime.Callers(skip+2, pcs[:]) == 0 {
-		return Location{}
+		return Location{}, 0
 	}
 	pc := pcs[0]
-	if loc, ok := locCache.Load(pc); ok {
-		return loc.(Location)
+	if c, ok := locCache.Load(pc); ok {
+		cl := c.(cachedLoc)
+		return cl.loc, cl.id
 	}
 	frames := runtime.CallersFrames(pcs[:])
 	fr, _ := frames.Next()
 	loc := Location{File: trimPath(fr.File), Line: fr.Line, Fn: trimFn(fr.Function)}
-	locCache.Store(pc, loc)
-	return loc
+	cl := cachedLoc{loc: loc, id: InternLocKey(loc.File, loc.Line)}
+	locCache.Store(pc, cl)
+	return cl.loc, cl.id
 }
 
 // trimPath shortens an absolute file path to its last two path

@@ -33,6 +33,34 @@ type ListenerFunc func(ev *Event)
 // OnEvent calls f(ev).
 func (f ListenerFunc) OnEvent(ev *Event) { f(ev) }
 
+// OpMask is a bitset over Op values, used to declare which event
+// classes a listener subscribes to.
+type OpMask uint32
+
+// MaskOf builds a mask from operation kinds.
+func MaskOf(ops ...Op) OpMask {
+	var m OpMask
+	for _, o := range ops {
+		m |= 1 << o
+	}
+	return m
+}
+
+// AllOps is the mask subscribing to every event class.
+const AllOps = OpMask(1<<numOps) - 1
+
+// Has reports whether op is in the mask.
+func (m OpMask) Has(op Op) bool { return m&(1<<op) != 0 }
+
+// OpFilter is an optional Listener extension: a listener that only
+// consumes certain event classes declares them, and runtimes skip the
+// fan-out call (probe construction stays, since strategies may still
+// observe the event) for classes no attached listener wants. Listeners
+// without the method are assumed to want everything.
+type OpFilter interface {
+	WantOps() OpMask
+}
+
 // MultiListener fans one event stream out to several listeners in
 // order.
 type MultiListener []Listener
@@ -42,6 +70,21 @@ func (m MultiListener) OnEvent(ev *Event) {
 	for _, l := range m {
 		l.OnEvent(ev)
 	}
+}
+
+// WantMask is the union of the listeners' subscriptions: the runtime
+// skips OnEvent fan-out entirely for event classes outside it. An
+// empty MultiListener wants nothing.
+func (m MultiListener) WantMask() OpMask {
+	var mask OpMask
+	for _, l := range m {
+		if f, ok := l.(OpFilter); ok {
+			mask |= f.WantOps()
+		} else {
+			mask = AllOps
+		}
+	}
+	return mask
 }
 
 // StartRun notifies every RunObserver in m.

@@ -19,6 +19,16 @@
 // prescribes static analysis to bound the universe; Universe carries
 // that bound (internal/staticinfo produces it), and reports show both
 // raw and feasibility-adjusted numbers.
+//
+// The tracker sits on the hottest listener path in the framework (the
+// schedule fuzzer attaches two of them to every run), so its per-event
+// work is integer-keyed: variables and locks are tracked by interned
+// name handles (core.InternName), program points by interned location
+// handles, and an access pair is a packed uint64 of its two location
+// handles — the fmt.Sprintf string keys of the original implementation
+// resolve back to strings only at report time. For parallel consumers,
+// NewShard gives each worker a privately-locked shard merged at read
+// time, so the tracker's mutex leaves the per-event path entirely.
 package coverage
 
 import (
@@ -49,78 +59,247 @@ type Universe struct {
 	Locks []string
 }
 
-// Tracker accumulates coverage across any number of runs: attach it as
-// a listener to every run of a test campaign and read reports between
-// runs. It is safe for concurrent use.
-type Tracker struct {
-	mu sync.Mutex
-
-	locSeen   map[string]int64
-	varAccess map[string]map[core.ThreadID]bool
-	varHit    map[string]bool // contended (>=2 threads)
-	lockSeen  map[string]bool
-	lockHit   map[string]bool // blocked acquisition observed
-	pairSeen  map[string]bool
-	last      map[string]lastAccess // var -> previous access
+// varState is everything the contention models track per variable:
+// first-toucher/contended for var-contention, and the previous access
+// (thread + program point) for access-pair chaining.
+type varState struct {
+	seen       bool
+	multi      bool // touched by >= 2 distinct threads
+	hasLast    bool
+	first      core.ThreadID
+	lastThread core.ThreadID
+	lastLoc    uint32
 }
 
-type lastAccess struct {
-	thread core.ThreadID
-	locKey string
+// pairKey identifies an access-pair task: the variable plus the two
+// program points packed into one integer.
+type pairKey struct {
+	name uint32
+	locs uint64 // prev location handle <<32 | current location handle
+}
+
+// lock coverage bits.
+const (
+	lockSeen uint8 = 1 << iota
+	lockHit
+)
+
+// trackerData is one accumulation domain (the tracker's own, or one
+// shard's).
+type trackerData struct {
+	locSeen  map[uint32]int64
+	vars     map[uint32]varState
+	lockBits map[uint32]uint8
+	pairs    map[pairKey]struct{}
+}
+
+func newTrackerData() trackerData {
+	return trackerData{
+		locSeen:  map[uint32]int64{},
+		vars:     map[uint32]varState{},
+		lockBits: map[uint32]uint8{},
+		pairs:    map[pairKey]struct{}{},
+	}
+}
+
+// clear empties the maps in place, keeping their buckets — a reused
+// per-run tracker reaches a steady state where Reset allocates
+// nothing.
+func (d *trackerData) clear() {
+	clear(d.locSeen)
+	clear(d.vars)
+	clear(d.lockBits)
+	clear(d.pairs)
+}
+
+// update folds one event into d.
+func (d *trackerData) update(ev *core.Event) {
+	locID := ev.LocID
+	if locID == 0 && ev.Loc.File != "" {
+		locID = core.InternLocKey(ev.Loc.File, ev.Loc.Line)
+	}
+	if locID != 0 {
+		d.locSeen[locID]++
+	}
+
+	switch {
+	case ev.Op.IsAccess():
+		nameID := ev.NameID
+		if nameID == 0 {
+			nameID = core.InternName(ev.Name)
+		}
+		vs := d.vars[nameID]
+		if !vs.seen {
+			vs.seen = true
+			vs.first = ev.Thread
+		} else if !vs.multi && ev.Thread != vs.first {
+			vs.multi = true
+		}
+		if vs.hasLast && vs.lastThread != ev.Thread {
+			d.pairs[pairKey{name: nameID, locs: uint64(vs.lastLoc)<<32 | uint64(locID)}] = struct{}{}
+		}
+		vs.hasLast = true
+		vs.lastThread = ev.Thread
+		vs.lastLoc = locID
+		d.vars[nameID] = vs
+
+	case ev.Op == core.OpLock && ev.Value == 1, ev.Op == core.OpRLock:
+		nameID := ev.NameID
+		if nameID == 0 {
+			nameID = core.InternName(ev.Name)
+		}
+		d.lockBits[nameID] |= lockSeen
+	case ev.Op == core.OpBlock:
+		nameID := ev.NameID
+		if nameID == 0 {
+			nameID = core.InternName(ev.Name)
+		}
+		d.lockBits[nameID] |= lockSeen | lockHit
+	}
+}
+
+// mergeInto folds d's accumulated coverage into dst (without the
+// access-pair chaining state, which stays stream-local).
+func (d *trackerData) mergeInto(dst *trackerData) {
+	for loc, n := range d.locSeen {
+		dst.locSeen[loc] += n
+	}
+	for name, vs := range d.vars {
+		m := dst.vars[name]
+		switch {
+		case !m.seen:
+			m.seen = true
+			m.first = vs.first
+			m.multi = vs.multi
+		case vs.multi || vs.first != m.first:
+			m.multi = true
+		}
+		dst.vars[name] = m
+	}
+	for name, bits := range d.lockBits {
+		dst.lockBits[name] |= bits
+	}
+	for pk := range d.pairs {
+		dst.pairs[pk] = struct{}{}
+	}
+}
+
+// Tracker accumulates coverage across any number of runs: attach it as
+// a listener to every run of a test campaign and read reports between
+// runs. It is safe for concurrent use; heavily parallel consumers
+// should give each worker its own NewShard listener instead of sharing
+// the tracker itself, which keeps the tracker's mutex off the
+// per-event path.
+type Tracker struct {
+	mu     sync.Mutex
+	d      trackerData
+	shards []*Shard
+	// agg is the reusable merge target for reads on a sharded tracker
+	// (guarded by mu, cleared per read).
+	agg trackerData
+}
+
+// Shard is a privately-locked accumulation domain feeding one Tracker;
+// see Tracker.NewShard.
+type Shard struct {
+	mu sync.Mutex
+	d  trackerData
 }
 
 // NewTracker returns an empty coverage tracker.
 func NewTracker() *Tracker {
-	t := &Tracker{}
-	t.Reset()
-	return t
+	return &Tracker{d: newTrackerData()}
 }
 
-// Reset clears all accumulated coverage.
+// Reset clears all accumulated coverage, shards included. The maps are
+// emptied in place, so a tracker reused run over run stops allocating
+// once its maps reach steady-state size.
 func (t *Tracker) Reset() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.locSeen = map[string]int64{}
-	t.varAccess = map[string]map[core.ThreadID]bool{}
-	t.varHit = map[string]bool{}
-	t.lockSeen = map[string]bool{}
-	t.lockHit = map[string]bool{}
-	t.pairSeen = map[string]bool{}
-	t.last = map[string]lastAccess{}
+	t.d.clear()
+	for _, sh := range t.shards {
+		sh.mu.Lock()
+		sh.d.clear()
+		sh.mu.Unlock()
+	}
 }
 
 // OnEvent implements core.Listener.
 func (t *Tracker) OnEvent(ev *core.Event) {
 	t.mu.Lock()
+	t.d.update(ev)
+	t.mu.Unlock()
+}
+
+// NewShard returns a listener accumulating into a private domain of
+// this tracker. Events delivered to the shard contend only on the
+// shard's own (uncontended, per-worker) lock; every read API merges
+// the shards in. Access-pair chaining is per shard — each worker's
+// event stream is a separate chain, which is exactly right when each
+// worker observes its own runs.
+func (t *Tracker) NewShard() *Shard {
+	sh := &Shard{d: newTrackerData()}
+	t.mu.Lock()
+	t.shards = append(t.shards, sh)
+	t.mu.Unlock()
+	return sh
+}
+
+// OnEvent implements core.Listener.
+func (sh *Shard) OnEvent(ev *core.Event) {
+	sh.mu.Lock()
+	sh.d.update(ev)
+	sh.mu.Unlock()
+}
+
+// Merge folds src's accumulated coverage into t. It is the batch
+// alternative to sharing one tracker (or shard) across runs: a worker
+// measures each run into a private tracker and merges it in once per
+// run, so the cumulative tracker's mutex is taken per run instead of
+// per event. Contention merging is exact — a variable touched by one
+// thread in one merged tracker and a different thread in another
+// counts as contended, just as if one tracker had seen both accesses.
+// Access-pair chains are not stitched across the merge boundary.
+func (t *Tracker) Merge(src *Tracker) {
+	t.mu.Lock()
 	defer t.mu.Unlock()
-
-	if ev.Loc.File != "" {
-		t.locSeen[ev.Loc.Key()]++
+	if src == t {
+		return
 	}
-
-	switch {
-	case ev.Op.IsAccess():
-		threads := t.varAccess[ev.Name]
-		if threads == nil {
-			threads = map[core.ThreadID]bool{}
-			t.varAccess[ev.Name] = threads
-		}
-		threads[ev.Thread] = true
-		if len(threads) >= 2 {
-			t.varHit[ev.Name] = true
-		}
-		if prev, ok := t.last[ev.Name]; ok && prev.thread != ev.Thread {
-			key := ev.Name + "|" + prev.locKey + "->" + ev.Loc.Key()
-			t.pairSeen[key] = true
-		}
-		t.last[ev.Name] = lastAccess{thread: ev.Thread, locKey: ev.Loc.Key()}
-
-	case ev.Op == core.OpLock && ev.Value == 1, ev.Op == core.OpRLock:
-		t.lockSeen[ev.Name] = true
-	case ev.Op == core.OpBlock:
-		t.lockSeen[ev.Name] = true
-		t.lockHit[ev.Name] = true
+	src.mu.Lock()
+	defer src.mu.Unlock()
+	d := &src.d
+	if len(src.shards) > 0 {
+		d = srcMerged(src)
 	}
+	d.mergeInto(&t.d)
+}
+
+// srcMerged is merged() for a tracker whose mutex the caller already
+// holds (split out so Merge can reuse it).
+func srcMerged(t *Tracker) *trackerData {
+	if t.agg.vars == nil {
+		t.agg = newTrackerData()
+	}
+	t.agg.clear()
+	t.d.mergeInto(&t.agg)
+	for _, sh := range t.shards {
+		sh.mu.Lock()
+		sh.d.mergeInto(&t.agg)
+		sh.mu.Unlock()
+	}
+	return &t.agg
+}
+
+// merged returns the read view: t's own domain when it has no shards,
+// otherwise a fresh merge of the domain and every shard. The caller
+// must hold t.mu.
+func (t *Tracker) merged() *trackerData {
+	if len(t.shards) == 0 {
+		return &t.d
+	}
+	return srcMerged(t)
 }
 
 // ModelReport is the coverage of one model, optionally bounded by a
@@ -142,40 +321,85 @@ func report(model string, covered, total int) ModelReport {
 	return ModelReport{Model: model, Covered: covered, Total: total, Percent: pct}
 }
 
+func (d *trackerData) varsHit() int {
+	n := 0
+	for _, vs := range d.vars {
+		if vs.multi {
+			n++
+		}
+	}
+	return n
+}
+
+func (d *trackerData) locksHit() int {
+	n := 0
+	for _, bits := range d.lockBits {
+		if bits&lockHit != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// varHitByName reports whether the named variable is contended, by
+// interner lookup (a never-interned name was never touched).
+func (d *trackerData) varHitByName(name string) bool {
+	id, ok := core.LookupName(name)
+	if !ok {
+		return false
+	}
+	return d.vars[id].multi
+}
+
+func (d *trackerData) lockHitByName(name string) bool {
+	id, ok := core.LookupName(name)
+	if !ok {
+		return false
+	}
+	return d.lockBits[id]&lockHit != 0
+}
+
 // Report summarizes all models. A nil universe reports against the
 // dynamically discovered task sets.
 func (t *Tracker) Report(u *Universe) []ModelReport {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	d := t.merged()
 
 	var out []ModelReport
-	out = append(out, report(ModelLocation, len(t.locSeen), len(t.locSeen)))
+	out = append(out, report(ModelLocation, len(d.locSeen), len(d.locSeen)))
 
 	if u != nil {
 		covered := 0
 		for _, v := range u.SharedVars {
-			if t.varHit[v] {
+			if d.varHitByName(v) {
 				covered++
 			}
 		}
 		out = append(out, report(ModelVarContention, covered, len(u.SharedVars)))
 	} else {
-		out = append(out, report(ModelVarContention, len(t.varHit), len(t.varAccess)))
+		out = append(out, report(ModelVarContention, d.varsHit(), len(d.vars)))
 	}
 
 	if u != nil {
 		covered := 0
 		for _, l := range u.Locks {
-			if t.lockHit[l] {
+			if d.lockHitByName(l) {
 				covered++
 			}
 		}
 		out = append(out, report(ModelSyncBlocked, covered, len(u.Locks)))
 	} else {
-		out = append(out, report(ModelSyncBlocked, len(t.lockHit), len(t.lockSeen)))
+		lseen := 0
+		for _, bits := range d.lockBits {
+			if bits&lockSeen != 0 {
+				lseen++
+			}
+		}
+		out = append(out, report(ModelSyncBlocked, d.locksHit(), lseen))
 	}
 
-	out = append(out, report(ModelAccessPair, len(t.pairSeen), len(t.pairSeen)))
+	out = append(out, report(ModelAccessPair, len(d.pairs), len(d.pairs)))
 	return out
 }
 
@@ -185,30 +409,98 @@ func (t *Tracker) Report(u *Universe) []ModelReport {
 func (t *Tracker) CoveredCount() int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return len(t.varHit) + len(t.lockHit) + len(t.pairSeen)
+	d := t.merged()
+	return d.varsHit() + d.locksHit() + len(d.pairs)
+}
+
+// TaskKind distinguishes TaskKey task classes.
+type TaskKind uint8
+
+// Task classes, in the order Tasks sorts their string forms.
+const (
+	TaskLock TaskKind = iota
+	TaskPair
+	TaskVar
+)
+
+// TaskKey is the integer identity of one covered contention task: the
+// allocation-free counterpart of the strings Tasks returns. Keys are
+// stable across runs, workers and trackers (they are built from the
+// global interner), so consumers can use them directly as set and map
+// keys; resolve to the human-readable form with String when reporting.
+type TaskKey struct {
+	Kind TaskKind
+	Name uint32 // interned variable/lock name
+	Pair uint64 // packed location pair (TaskPair only)
+}
+
+// String renders the task in the exact form Tracker.Tasks uses
+// ("var:x", "lock:m", "pair:x|f.go:1->f.go:2").
+func (k TaskKey) String() string {
+	switch k.Kind {
+	case TaskVar:
+		return "var:" + core.InternedName(k.Name)
+	case TaskLock:
+		return "lock:" + core.InternedName(k.Name)
+	default:
+		return "pair:" + core.InternedName(k.Name) + "|" +
+			core.InternedLocKey(uint32(k.Pair>>32)) + "->" + core.InternedLocKey(uint32(k.Pair))
+	}
+}
+
+// AppendTaskKeys appends the covered contention-model tasks to dst (in
+// unspecified order) and returns it. This is the hot-path form of
+// Tasks: the schedule fuzzer calls it per run, and it allocates
+// nothing beyond dst growth.
+func (t *Tracker) AppendTaskKeys(dst []TaskKey) []TaskKey {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	d := t.merged()
+	for name, vs := range d.vars {
+		if vs.multi {
+			dst = append(dst, TaskKey{Kind: TaskVar, Name: name})
+		}
+	}
+	for name, bits := range d.lockBits {
+		if bits&lockHit != 0 {
+			dst = append(dst, TaskKey{Kind: TaskLock, Name: name})
+		}
+	}
+	for pk := range d.pairs {
+		dst = append(dst, TaskKey{Kind: TaskPair, Name: pk.name, Pair: pk.locs})
+	}
+	return dst
 }
 
 // Tasks returns the covered contention-model tasks as stable,
 // model-prefixed keys ("var:", "lock:", "pair:"), sorted. This is the
-// coverage signature consumers compare across runs — the schedule
-// fuzzer keys its corpus on the new tasks a candidate contributes.
-// Location coverage is excluded for the same reason CoveredCount
-// excludes it: it saturates on the first run.
+// coverage signature consumers compare across runs. Location coverage
+// is excluded for the same reason CoveredCount excludes it: it
+// saturates on the first run.
 func (t *Tracker) Tasks() []string {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	out := make([]string, 0, len(t.varHit)+len(t.lockHit)+len(t.pairSeen))
-	for v := range t.varHit {
-		out = append(out, "var:"+v)
-	}
-	for l := range t.lockHit {
-		out = append(out, "lock:"+l)
-	}
-	for p := range t.pairSeen {
-		out = append(out, "pair:"+p)
+	keys := t.AppendTaskKeys(nil)
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, k.String())
 	}
 	sort.Strings(out)
 	return out
+}
+
+// AppendContendedVarIDs appends the interned name handles of the
+// contended variables to dst (in unspecified order) and returns it:
+// the hot-path form of ContendedVars for consumers that refresh a set
+// every run.
+func (t *Tracker) AppendContendedVarIDs(dst []uint32) []uint32 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	d := t.merged()
+	for name, vs := range d.vars {
+		if vs.multi {
+			dst = append(dst, name)
+		}
+	}
+	return dst
 }
 
 // ContendedVars returns the sorted variable-contention tasks covered so
@@ -216,9 +508,12 @@ func (t *Tracker) Tasks() []string {
 func (t *Tracker) ContendedVars() []string {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	out := make([]string, 0, len(t.varHit))
-	for v := range t.varHit {
-		out = append(out, v)
+	d := t.merged()
+	out := make([]string, 0, len(d.vars))
+	for name, vs := range d.vars {
+		if vs.multi {
+			out = append(out, core.InternedName(name))
+		}
 	}
 	sort.Strings(out)
 	return out

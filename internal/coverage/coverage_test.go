@@ -180,3 +180,72 @@ func TestAllocateDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestShardsMergeAtRead pins the sharded-consumer contract: events
+// delivered to per-worker shards are invisible to each other on the
+// hot path but merge exactly at read time — including a variable that
+// is contended only ACROSS shards (one thread per shard), which must
+// still count as contended, and pairs/locks unioning.
+func TestShardsMergeAtRead(t *testing.T) {
+	tr := NewTracker()
+	a, b := tr.NewShard(), tr.NewShard()
+
+	ev := func(sh *Shard, thread core.ThreadID, op core.Op, name string, val int64) {
+		sh.OnEvent(&core.Event{Thread: thread, Op: op, Name: name, Value: val,
+			Loc: core.Location{File: "f.go", Line: int(thread) + 1}})
+	}
+	// "x" is touched by thread 0 only in shard a and thread 1 only in
+	// shard b: neither shard alone sees contention.
+	ev(a, 0, core.OpWrite, "x", 1)
+	ev(b, 1, core.OpWrite, "x", 2)
+	// Lock coverage: seen in a, blocked in b.
+	ev(a, 0, core.OpLock, "m", 1)
+	ev(b, 1, core.OpBlock, "m", 0)
+
+	vars := tr.ContendedVars()
+	if len(vars) != 1 || vars[0] != "x" {
+		t.Fatalf("cross-shard contention lost: contended vars = %v, want [x]", vars)
+	}
+	if got := find(tr.Report(nil), ModelSyncBlocked); got.Covered != 1 || got.Total != 1 {
+		t.Fatalf("sync contention = %d/%d, want 1/1", got.Covered, got.Total)
+	}
+	// Same-thread accesses in both shards must NOT merge to contended.
+	ev(a, 2, core.OpWrite, "y", 1)
+	ev(b, 2, core.OpWrite, "y", 2)
+	if vars := tr.ContendedVars(); len(vars) != 1 {
+		t.Fatalf("same-thread shard observations merged to contended: %v", vars)
+	}
+	// Reset clears shards too.
+	tr.Reset()
+	if n := tr.CoveredCount(); n != 0 {
+		t.Fatalf("covered after Reset = %d, want 0", n)
+	}
+}
+
+// TestMergeEqualsSharedTracker pins the batch pattern the fuzzer uses:
+// per-run trackers merged into a cumulative one must agree with one
+// tracker that saw every run directly — on contention, lock and
+// within-run pair coverage (cross-run pair chains are per-domain by
+// documented design, so the runs below touch disjoint pair sets).
+func TestMergeEqualsSharedTracker(t *testing.T) {
+	shared := NewTracker()
+	merged := NewTracker()
+	body := func(ct core.T) {
+		x := ct.NewInt("mx", 0)
+		h := ct.Go("w", func(wt core.T) { x.Add(wt, 1) })
+		h.Join(ct)
+		x.Add(ct, 1)
+	}
+	for seed := int64(0); seed < 3; seed++ {
+		perRun := NewTracker()
+		sched.Run(sched.Config{Strategy: sched.Random(seed),
+			Listeners: []core.Listener{shared, perRun}}, body)
+		merged.Merge(perRun)
+	}
+	if s, m := shared.Tasks(), merged.Tasks(); len(m) == 0 || len(s) < len(m) {
+		t.Fatalf("merged tasks %v inconsistent with shared %v", m, s)
+	}
+	if s, m := shared.ContendedVars(), merged.ContendedVars(); len(s) != len(m) {
+		t.Fatalf("merged contended vars %v != shared %v", m, s)
+	}
+}

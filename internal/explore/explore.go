@@ -134,6 +134,37 @@ type node struct {
 
 func (n *node) chosen() core.ThreadID { return n.options[n.curIdx] }
 
+// nodePool recycles DFS nodes (and their sleep/pendings maps) within a
+// worker. A deep search allocates one node per decision point per
+// path; recycling them on backtrack makes the steady-state search
+// allocation-free in the engine itself.
+type nodePool struct {
+	free []*node
+}
+
+func newNodePool() *nodePool { return &nodePool{} }
+
+// get returns a reset node with current set and inherited-state fields
+// zeroed.
+func (p *nodePool) get(current core.ThreadID) *node {
+	if n := len(p.free); n > 0 {
+		nd := p.free[n-1]
+		p.free = p.free[:n-1]
+		nd.options = nd.options[:0]
+		nd.curIdx = 0
+		nd.current = current
+		nd.preBefore = 0
+		clear(nd.sleep)
+		clear(nd.pendings)
+		return nd
+	}
+	return &node{current: current, sleep: map[core.ThreadID]bool{}}
+}
+
+func (p *nodePool) put(n *node) {
+	p.free = append(p.free, n)
+}
+
 // isPreemption reports whether this node's current choice switches
 // away from a runnable current thread.
 func (n *node) isPreemption() bool {
@@ -161,6 +192,9 @@ type explorer struct {
 	rootSleep map[core.ThreadID]bool
 	path      []*node
 	err       error
+	// pool recycles nodes across schedules and shards (owned by the
+	// worker driving this explorer).
+	pool *nodePool
 }
 
 // dfsStrategy drives one run: replay the prefix and the path's
@@ -230,7 +264,7 @@ func (st *dfsStrategy) Pick(c *sched.Choice) core.ThreadID {
 // accumulated along the replayed prefix, charged to the subtree's
 // first fresh node.
 func (e *explorer) newNode(c *sched.Choice, pd int, prefixPre int) *node {
-	n := &node{current: c.Current, sleep: map[core.ThreadID]bool{}}
+	n := e.pool.get(c.Current)
 
 	// Inherit preemption count and sleep set from the parent node, or
 	// from the donated work item at the subtree root.
@@ -282,7 +316,9 @@ func (e *explorer) newNode(c *sched.Choice, pd int, prefixPre int) *node {
 
 	// Snapshot pending operations for sleep-set computation.
 	if e.opts.SleepSets && c.PendingOf != nil {
-		n.pendings = make(map[core.ThreadID]sched.PendingOp, len(n.options))
+		if n.pendings == nil {
+			n.pendings = make(map[core.ThreadID]sched.PendingOp, len(n.options))
+		}
 		for _, id := range n.options {
 			n.pendings[id] = c.PendingOf(id)
 		}
@@ -313,6 +349,7 @@ func (e *explorer) backtrack() bool {
 			}
 		}
 		e.path = e.path[:len(e.path)-1]
+		e.pool.put(n)
 	}
 	return false
 }

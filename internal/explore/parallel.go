@@ -95,12 +95,17 @@ func (c *coordinator) run() *Result {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each worker owns a pooled runner and a node free list,
+			// reused across every schedule and shard it executes.
+			pool := newNodePool()
+			runner := sched.NewRunner()
+			defer runner.Close()
 			for {
 				item := c.take()
 				if item == nil {
 					return
 				}
-				c.exploreItem(item)
+				c.exploreItem(runner, pool, item)
 			}
 		}()
 	}
@@ -120,9 +125,11 @@ func (c *coordinator) run() *Result {
 }
 
 // exploreItem runs the DFS over one shard, donating branches to
-// starving workers and observing the global budgets.
-func (c *coordinator) exploreItem(item *workItem) {
-	e := &explorer{opts: c.opts, prefix: item.prefix, rootSleep: item.sleep}
+// starving workers and observing the global budgets. runner and pool
+// are the calling worker's reusable execution state.
+func (c *coordinator) exploreItem(runner *sched.Runner, pool *nodePool, item *workItem) {
+	e := &explorer{opts: c.opts, prefix: item.prefix, rootSleep: item.sleep, pool: pool}
+	st := &dfsStrategy{e: e}
 	for {
 		if c.stopping.Load() {
 			return
@@ -131,8 +138,8 @@ func (c *coordinator) exploreItem(item *workItem) {
 			c.truncated.Store(true)
 			return
 		}
-		st := &dfsStrategy{e: e}
-		runRes := sched.Run(sched.Config{
+		st.depth, st.prefixPre = 0, 0
+		runRes := runner.Run(sched.Config{
 			Strategy:       st,
 			Listeners:      c.opts.Listeners,
 			MaxSteps:       c.opts.MaxSteps,
@@ -172,8 +179,13 @@ func (c *coordinator) record(runRes *core.Result, index int, runErr error) {
 		key := core.BugSignature(runRes)
 		if !c.seenBugs[key] {
 			c.seenBugs[key] = true
+			// The recorded schedule aliases the worker's pooled runner
+			// buffer; clone before retaining (and point the retained
+			// Result at the clone so it stays valid too).
+			sch := append([]core.ThreadID(nil), runRes.Schedule...)
+			runRes.Schedule = sch
 			c.bugs = append(c.bugs, Bug{
-				Schedule: append([]core.ThreadID(nil), runRes.Schedule...),
+				Schedule: sch,
 				Result:   runRes,
 				Index:    index,
 			})

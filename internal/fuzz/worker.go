@@ -11,6 +11,15 @@
 // worker owns a seeded rng derived from (Options.Seed, worker index),
 // so a single worker is fully deterministic and N workers differ only
 // in how their deterministic streams interleave on the shared corpus.
+//
+// Each worker also owns its run machinery — a pooled sched.Runner, a
+// per-run coverage tracker that is reset between runs and batch-merged
+// into the cumulative tracker once per run (coverage.Tracker.Merge),
+// and a reusable guided strategy whose rng is reseeded per candidate —
+// so the steady-state loop executes schedules without reallocating any
+// of it and the cumulative tracker's mutex never appears on the
+// per-event path. Reuse is invisible to results: Workers: 1 with a
+// fixed seed remains byte-identical (TestFuzzGolden).
 package fuzz
 
 import (
@@ -28,16 +37,18 @@ type coordinator struct {
 	opts Options
 	body func(core.T)
 
-	// global accumulates coverage over every run; its ContendedVars
-	// feed the variable-bias mutator's targets. Tracker is safe for
-	// concurrent use.
+	// global accumulates coverage over every run; its contended
+	// variables feed the variable-bias mutator's targets. Workers write
+	// it through per-worker shards, so the only lock on the per-event
+	// path is the worker's own.
 	global *coverage.Tracker
 
 	// mu guards the corpus, the covered-task set and the campaign
 	// statistics.
 	mu           sync.Mutex
 	corp         *corpus
-	covered      map[string]bool
+	coveredTasks map[coverage.TaskKey]bool
+	coveredOuts  map[string]bool
 	coverageRuns int
 	repairs      int64
 	ops          map[string]int
@@ -56,14 +67,48 @@ type coordinator struct {
 
 func newCoordinator(opts Options, body func(core.T)) *coordinator {
 	return &coordinator{
-		opts:     opts,
-		body:     body,
-		global:   coverage.NewTracker(),
-		corp:     newCorpus(opts.MaxCorpus),
-		covered:  map[string]bool{},
-		ops:      map[string]int{},
-		seenBugs: map[string]bool{},
+		opts:         opts,
+		body:         body,
+		global:       coverage.NewTracker(),
+		corp:         newCorpus(opts.MaxCorpus),
+		coveredTasks: map[coverage.TaskKey]bool{},
+		coveredOuts:  map[string]bool{},
+		ops:          map[string]int{},
+		seenBugs:     map[string]bool{},
 	}
+}
+
+// workerState is one worker's reusable execution machinery.
+type workerState struct {
+	runner *sched.Runner
+	// perRun measures one run's coverage signature; Reset clears it in
+	// place between runs, and a per-run Merge folds it into the
+	// cumulative tracker — so the only listener on the event path is
+	// the worker's own, and the global tracker's mutex is taken once
+	// per run instead of once per event.
+	perRun *coverage.Tracker
+	// g is the reusable guided strategy; grng is its rng, lazily
+	// reseeded per candidate (equivalent stream to a freshly
+	// constructed one, but runs that never draw pay nothing).
+	g    guided
+	gsrc *lazySeedSource
+	grng *rand.Rand
+
+	listeners []core.Listener
+	keys      []coverage.TaskKey
+	varBuf    []uint32
+	targets   map[uint32]bool
+}
+
+func (c *coordinator) newWorkerState() *workerState {
+	ws := &workerState{
+		runner:  sched.NewRunner(),
+		perRun:  coverage.NewTracker(),
+		gsrc:    newLazySeedSource(),
+		targets: map[uint32]bool{},
+	}
+	ws.grng = rand.New(ws.gsrc)
+	return ws
 }
 
 // mix derives a stream seed from the master seed and a stream index,
@@ -75,14 +120,19 @@ func mix(seed, stream int64) int64 { return core.MixSeed(seed, stream) }
 // run executes the campaign: seed the corpus, run the worker pool to
 // budget exhaustion (or global stop), merge.
 func (c *coordinator) run() *Result {
-	c.seedCorpus()
+	seedWS := c.newWorkerState()
+	c.seedCorpus(seedWS)
+	seedWS.runner.Close()
+
 	var wg sync.WaitGroup
 	for w := 0; w < c.opts.Workers; w++ {
 		rng := rand.New(rand.NewSource(mix(c.opts.Seed, int64(w)+1)))
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			c.fuzzLoop(rng)
+			ws := c.newWorkerState()
+			defer ws.runner.Close()
+			c.fuzzLoop(ws, rng)
 		}()
 	}
 	wg.Wait()
@@ -91,7 +141,7 @@ func (c *coordinator) run() *Result {
 	res := &Result{
 		Runs:         int(c.executed.Load()),
 		CorpusSize:   len(c.corp.entries),
-		Coverage:     len(c.covered),
+		Coverage:     len(c.coveredTasks) + len(c.coveredOuts),
 		CoverageRuns: c.coverageRuns,
 		Repairs:      c.repairs,
 		Ops:          c.ops,
@@ -107,7 +157,7 @@ func (c *coordinator) run() *Result {
 // seedCorpus primes the search before any mutation: the nonpreemptive
 // baseline schedule (always corpus entry 0) plus a few seeded random
 // walks, all charged against MaxRuns and merged like any other run.
-func (c *coordinator) seedCorpus() {
+func (c *coordinator) seedCorpus(ws *workerState) {
 	for i := 0; i < seedRuns; i++ {
 		if c.stopping.Load() || c.reserved.Add(1) > int64(c.opts.MaxRuns) {
 			return
@@ -118,14 +168,14 @@ func (c *coordinator) seedCorpus() {
 			st = sched.Nonpreemptive()
 			g = nil
 		}
-		c.executeAndMerge(st, g, "seed")
+		c.executeAndMerge(ws, st, g, "seed")
 	}
 }
 
 // fuzzLoop is one worker: reserve budget, pick a base and an operator,
 // mutate, execute, merge — until the budget or a global stop ends the
 // campaign.
-func (c *coordinator) fuzzLoop(rng *rand.Rand) {
+func (c *coordinator) fuzzLoop(ws *workerState, rng *rand.Rand) {
 	for {
 		if c.stopping.Load() {
 			return
@@ -137,7 +187,7 @@ func (c *coordinator) fuzzLoop(rng *rand.Rand) {
 		c.mu.Lock()
 		base := c.corp.pick(rng)
 		donor := c.corp.pick(rng)
-		targets := c.targetsLocked()
+		targets := c.fillTargets(ws)
 		c.mu.Unlock()
 		if base == nil {
 			return // seeding found nothing to build on (empty budget)
@@ -145,43 +195,43 @@ func (c *coordinator) fuzzLoop(rng *rand.Rand) {
 
 		m := mutators[rng.Intn(len(mutators))]
 		candidate := m.fn(rng, base, donor, &c.opts)
-		g := &guided{
-			decisions: candidate,
-			rng:       rand.New(rand.NewSource(rng.Int63())),
-			targets:   targets,
-		}
-		c.executeAndMerge(g, g, m.name)
+		// Reuse the worker's guided strategy: reseeding its rng yields
+		// the same stream a freshly built rand.New(rand.NewSource(n))
+		// would, so reuse is invisible to the campaign's determinism.
+		g := &ws.g
+		ws.gsrc.Seed(rng.Int63())
+		*g = guided{decisions: candidate, rng: ws.grng, targets: targets, hot: g.hot[:0]}
+		c.executeAndMerge(ws, g, g, m.name)
 	}
 }
 
-// targetsLocked snapshots the contended-variable set for hot-position
-// tracking. Caller holds c.mu (the snapshot itself reads the tracker,
-// which has its own lock).
-func (c *coordinator) targetsLocked() map[string]bool {
-	vars := c.global.ContendedVars()
-	if len(vars) == 0 {
+// fillTargets refreshes the worker's contended-variable set for
+// hot-position tracking, returning nil when nothing is contended yet.
+// Caller holds c.mu (the read itself locks the tracker and shards).
+func (c *coordinator) fillTargets(ws *workerState) map[uint32]bool {
+	ws.varBuf = c.global.AppendContendedVarIDs(ws.varBuf[:0])
+	if len(ws.varBuf) == 0 {
 		return nil
 	}
-	m := make(map[string]bool, len(vars))
-	for _, v := range vars {
-		m[v] = true
+	clear(ws.targets)
+	for _, v := range ws.varBuf {
+		ws.targets[v] = true
 	}
-	return m
+	return ws.targets
 }
 
 // executeAndMerge performs one controlled run under st and merges its
 // coverage, corpus and bug contributions. g carries the guided
 // strategy's repair count and hot positions (nil for the baseline
 // seed).
-func (c *coordinator) executeAndMerge(st sched.Strategy, g *guided, op string) {
-	perRun := coverage.NewTracker()
-	listeners := make([]core.Listener, 0, len(c.opts.Listeners)+2)
-	listeners = append(listeners, c.global, perRun)
-	listeners = append(listeners, c.opts.Listeners...)
+func (c *coordinator) executeAndMerge(ws *workerState, st sched.Strategy, g *guided, op string) {
+	ws.perRun.Reset()
+	ws.listeners = append(ws.listeners[:0], core.Listener(ws.perRun))
+	ws.listeners = append(ws.listeners, c.opts.Listeners...)
 
-	res := sched.Run(sched.Config{
+	res := ws.runner.Run(sched.Config{
 		Strategy:       st,
-		Listeners:      listeners,
+		Listeners:      ws.listeners,
 		MaxSteps:       c.opts.MaxSteps,
 		Name:           c.opts.Name,
 		Seed:           c.opts.Seed,
@@ -191,8 +241,11 @@ func (c *coordinator) executeAndMerge(st sched.Strategy, g *guided, op string) {
 
 	// The run's coverage signature: contention-model tasks plus the
 	// observed outcome class, so outcome diversity also counts as
-	// progress (the multi-outcome benchmark's lesson).
-	tasks := append(perRun.Tasks(), "outcome:"+res.Verdict.String()+":"+res.Outcome)
+	// progress (the multi-outcome benchmark's lesson). The run's
+	// coverage also folds into the cumulative tracker here, once.
+	ws.keys = ws.perRun.AppendTaskKeys(ws.keys[:0])
+	outKey := res.Verdict.String() + ":" + res.Outcome
+	c.global.Merge(ws.perRun)
 
 	newBug := c.recordBug(res, index)
 
@@ -202,11 +255,15 @@ func (c *coordinator) executeAndMerge(st sched.Strategy, g *guided, op string) {
 		c.repairs += g.repairs
 	}
 	gain := 0
-	for _, task := range tasks {
-		if !c.covered[task] {
-			c.covered[task] = true
+	for _, task := range ws.keys {
+		if !c.coveredTasks[task] {
+			c.coveredTasks[task] = true
 			gain++
 		}
+	}
+	if !c.coveredOuts[outKey] {
+		c.coveredOuts[outKey] = true
+		gain++
 	}
 	if gain > 0 {
 		c.coverageRuns++
@@ -218,7 +275,7 @@ func (c *coordinator) executeAndMerge(st sched.Strategy, g *guided, op string) {
 			bug:      newBug,
 		}
 		if g != nil {
-			e.hot = g.hot
+			e.hot = slices.Clone(g.hot)
 		}
 		c.corp.add(e)
 	}
@@ -237,8 +294,12 @@ func (c *coordinator) recordBug(res *core.Result, index int) bool {
 	fresh := !c.seenBugs[key]
 	if fresh {
 		c.seenBugs[key] = true
+		// The schedule aliases the worker's pooled runner buffer; clone
+		// before retaining, and point the retained Result at the clone.
+		sch := slices.Clone(res.Schedule)
+		res.Schedule = sch
 		c.bugs = append(c.bugs, Bug{
-			Schedule: slices.Clone(res.Schedule),
+			Schedule: sch,
 			Result:   res,
 			Index:    index,
 		})

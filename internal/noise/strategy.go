@@ -47,6 +47,11 @@ func NewStrategy(base sched.Strategy, h Heuristic, seed int64) *Strategy {
 // Name implements sched.Strategy.
 func (s *Strategy) Name() string { return "noise:" + s.H.Name() }
 
+// NeedsLocations implements sched.LocationAware: noise heuristics key
+// their Points on the pending operation's program location, so the
+// scheduler must keep capturing locations even in listener-free runs.
+func (s *Strategy) NeedsLocations() bool { return true }
+
 // Pick implements sched.Strategy.
 func (s *Strategy) Pick(c *sched.Choice) core.ThreadID {
 	canPerturb := c.CurrentRunnable() && (len(c.Runnable) > 1 || c.CanIdle)

@@ -1,0 +1,51 @@
+// Package profiling is the shared -cpuprofile/-memprofile plumbing for
+// the CLI tools, so every throughput-bound command (explore, fuzz,
+// campaign, bench) can produce the pprof files that future performance
+// work is driven by. It wraps runtime/pprof the same way `go test`
+// does: CPU profiling runs for the whole command, and the heap profile
+// is written at shutdown after a final GC.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins the profiles requested by the (possibly empty) file
+// paths and returns a stop function to defer; the stop function
+// finishes the CPU profile and writes the heap profile. Errors opening
+// or starting a profile are returned immediately and leave nothing
+// running.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: start cpu profile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "profiling:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live-heap numbers
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "profiling: write heap profile:", err)
+			}
+		}
+	}, nil
+}

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"mtbench/internal/core"
@@ -9,7 +10,8 @@ import (
 
 // tc is the controlled runtime's implementation of core.T. One tc wraps
 // one virtual thread; all operations route through the thread's
-// scheduler.
+// scheduler. Each thread embeds its tc, so handing the program its
+// context allocates nothing.
 type tc struct {
 	th *thread
 }
@@ -19,31 +21,27 @@ var _ core.T = (*tc)(nil)
 func (c *tc) ID() core.ThreadID { return c.th.id }
 func (c *tc) Name() string      { return c.th.name }
 
-// loc resolves the benchmark program's call site: 2 frames above the
-// core helper (program -> tc method -> CallerLocation).
-func progLoc() core.Location { return core.CallerLocation(2) }
-
 func (c *tc) Go(name string, fn func(t core.T)) core.Handle {
 	th, s := c.th, c.th.sc
-	loc := progLoc()
-	th.prePoint(core.OpFork, name, loc)
-	child := s.spawn(name, func(t core.T) { fn(t) })
-	s.emit(th, core.OpFork, core.NoObject, name, int64(child.id), 0, loc)
-	return &handle{child: child}
+	loc, locID := s.progLoc()
+	th.prePoint(core.OpFork, name, 0, loc)
+	child := s.spawn(name, fn)
+	s.emit(th, core.OpFork, core.NoObject, name, child.nameID, int64(child.id), 0, loc, locID)
+	return &child.hv
 }
 
 func (c *tc) Yield() {
 	th, s := c.th, c.th.sc
-	loc := progLoc()
-	th.prePoint(core.OpYield, "", loc)
-	s.emit(th, core.OpYield, core.NoObject, "", 0, 0, loc)
+	loc, locID := s.progLoc()
+	th.prePoint(core.OpYield, "", 0, loc)
+	s.emit(th, core.OpYield, core.NoObject, "", 0, 0, 0, loc, locID)
 }
 
 func (c *tc) Sleep(d time.Duration) {
 	th, s := c.th, c.th.sc
-	loc := progLoc()
-	th.prePoint(core.OpSleep, "", loc)
-	s.emit(th, core.OpSleep, core.NoObject, "", int64(d), 0, loc)
+	loc, locID := s.progLoc()
+	th.prePoint(core.OpSleep, "", 0, loc)
+	s.emit(th, core.OpSleep, core.NoObject, "", 0, int64(d), 0, loc, locID)
 	if d <= 0 {
 		return
 	}
@@ -63,31 +61,51 @@ func (c *tc) Failf(format string, args ...any) {
 	c.fail(core.CallerLocation(1), format, args...)
 }
 
+// lazyFormat is the zero-allocation fast path for the verb-free
+// common case: a format with no arguments and no '%' is its own
+// result, byte for byte; anything else (including stray or escaped
+// verbs with no args) goes through Sprintf exactly as before.
+func lazyFormat(format string, args []any) string {
+	if len(args) == 0 && !strings.ContainsRune(format, '%') {
+		return format
+	}
+	return fmt.Sprintf(format, args...)
+}
+
 func (c *tc) fail(loc core.Location, format string, args ...any) {
 	th, s := c.th, c.th.sc
-	msg := fmt.Sprintf(format, args...)
-	s.emit(th, core.OpFail, core.NoObject, msg, 0, 0, loc)
+	msg := lazyFormat(format, args)
+	s.emit(th, core.OpFail, core.NoObject, msg, 0, 0, 0, loc, 0)
 	core.FailNow(core.Failure{Msg: msg, Thread: th.id, Loc: loc})
 }
 
+// Outcome appends a fragment to the run's outcome accumulator. Plain
+// fragments skip formatting entirely (see lazyFormat) — programs that
+// report constant outcomes inside loops stop allocating per call — and
+// the accumulator is a reused byte buffer joined with ';' exactly as
+// the old per-fragment string slice was.
 func (c *tc) Outcome(format string, args ...any) {
 	th, s := c.th, c.th.sc
-	loc := progLoc()
-	frag := fmt.Sprintf(format, args...)
-	s.outcome = append(s.outcome, frag)
-	s.emit(th, core.OpOutcome, core.NoObject, frag, 0, 0, loc)
+	loc, locID := s.progLoc()
+	frag := lazyFormat(format, args)
+	if s.nOutcomes > 0 {
+		s.outcomeBuf = append(s.outcomeBuf, ';')
+	}
+	s.outcomeBuf = append(s.outcomeBuf, frag...)
+	s.nOutcomes++
+	s.emit(th, core.OpOutcome, core.NoObject, frag, 0, 0, 0, loc, locID)
 }
 
 func (c *tc) NewMutex(name string) core.Mutex {
 	s := c.th.sc
 	s.objSeq++
-	return &mutex{id: s.objSeq, name: name, sc: s, holder: core.NoThread}
+	return &mutex{id: s.objSeq, name: name, nameID: core.InternName(name), sc: s, holder: core.NoThread}
 }
 
 func (c *tc) NewRWMutex(name string) core.RWMutex {
 	s := c.th.sc
 	s.objSeq++
-	return &rwmutex{id: s.objSeq, name: name, sc: s, writer: core.NoThread}
+	return &rwmutex{id: s.objSeq, name: name, nameID: core.InternName(name), sc: s, writer: core.NoThread}
 }
 
 func (c *tc) NewCond(name string, mu core.Mutex) core.Cond {
@@ -97,28 +115,30 @@ func (c *tc) NewCond(name string, mu core.Mutex) core.Cond {
 		panic("sched: NewCond requires a mutex created by this runtime")
 	}
 	s.objSeq++
-	return &cond{id: s.objSeq, name: name, sc: s, mu: m}
+	return &cond{id: s.objSeq, name: name, nameID: core.InternName(name), sc: s, mu: m}
 }
 
 func (c *tc) NewInt(name string, init int64) core.IntVar {
 	s := c.th.sc
 	s.objSeq++
-	return &intvar{id: s.objSeq, name: name, sc: s, val: init}
+	return &intvar{id: s.objSeq, name: name, nameID: core.InternName(name), sc: s, val: init}
 }
 
 func (c *tc) NewAtomicInt(name string, init int64) core.IntVar {
 	s := c.th.sc
 	s.objSeq++
-	return &intvar{id: s.objSeq, name: name, sc: s, val: init, atomic: true}
+	return &intvar{id: s.objSeq, name: name, nameID: core.InternName(name), sc: s, val: init, atomic: true}
 }
 
 func (c *tc) NewRef(name string) core.RefVar {
 	s := c.th.sc
 	s.objSeq++
-	return &refvar{id: s.objSeq, name: name, sc: s}
+	return &refvar{id: s.objSeq, name: name, nameID: core.InternName(name), sc: s}
 }
 
-// handle implements core.Handle for controlled threads.
+// handle implements core.Handle for controlled threads. Each thread
+// embeds the handle for its own joiners, so Go allocates nothing for
+// it.
 type handle struct {
 	child *thread
 }
@@ -128,14 +148,21 @@ func (h *handle) TID() core.ThreadID { return h.child.id }
 func (h *handle) Join(t core.T) {
 	c := t.(*tc)
 	th, s := c.th, c.th.sc
-	loc := progLoc()
-	th.prePoint(core.OpJoin, h.child.name, loc)
+	loc, locID := s.progLoc()
+	th.prePoint(core.OpJoin, h.child.name, h.child.nameID, loc)
 	for h.child.state != tDone {
 		th.blockOn(blockReason{
-			kind:  blockJoin,
-			name:  h.child.name,
-			ready: func() bool { return h.child.state == tDone },
+			kind: blockJoin,
+			name: h.child.name,
+			src:  h.child,
 		})
 	}
-	s.emit(th, core.OpJoin, core.NoObject, h.child.name, int64(h.child.id), 0, loc)
+	s.emit(th, core.OpJoin, core.NoObject, h.child.name, h.child.nameID, int64(h.child.id), 0, loc, locID)
 }
+
+// blockReady implements blockSrc for join waits.
+func (th *thread) blockReady(*blockReason) bool { return th.state == tDone }
+
+// blockHolder implements blockSrc for join waits; the joined thread is
+// not a lock holder, so no wait-for edge is reported.
+func (th *thread) blockHolder(*blockReason) core.ThreadID { return core.NoThread }

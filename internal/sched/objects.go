@@ -19,86 +19,88 @@ func (s *scheduler) curThread(t core.T) *thread {
 type mutex struct {
 	id     core.ObjectID
 	name   string
+	nameID uint32
 	sc     *scheduler
 	holder core.ThreadID
 }
 
 func (m *mutex) OID() core.ObjectID { return m.id }
 
+// blockReady implements blockSrc: a lock waiter can run once the lock
+// is free.
+func (m *mutex) blockReady(*blockReason) bool { return m.holder == core.NoThread }
+
+// blockHolder implements blockSrc for wait-for cycle construction.
+func (m *mutex) blockHolder(*blockReason) core.ThreadID { return m.holder }
+
 func (m *mutex) Lock(t core.T) {
 	th := m.sc.curThread(t)
-	loc := progLoc()
-	th.prePoint(core.OpLock, m.name, loc)
+	loc, locID := m.sc.progLoc()
+	th.prePoint(core.OpLock, m.name, m.nameID, loc)
 	if m.holder == th.id {
-		th.sc.emit(th, core.OpFail, m.id, "recursive lock of "+m.name, 0, 0, loc)
+		if loc.File == "" {
+			loc, locID = core.CallerLocationID(1)
+		}
+		m.sc.emit(th, core.OpFail, m.id, "recursive lock of "+m.name, 0, 0, 0, loc, locID)
 		core.FailNow(core.Failure{Msg: "recursive lock of " + m.name, Thread: th.id, Loc: loc})
 	}
 	if m.holder != core.NoThread {
-		m.sc.emit(th, core.OpBlock, m.id, m.name, 0, 0, loc)
+		m.sc.emit(th, core.OpBlock, m.id, m.name, m.nameID, 0, 0, loc, locID)
 		for m.holder != core.NoThread {
-			th.blockOn(blockReason{
-				kind:   blockLock,
-				obj:    m.id,
-				name:   m.name,
-				ready:  func() bool { return m.holder == core.NoThread },
-				holder: func() core.ThreadID { return m.holder },
-			})
+			th.blockOn(blockReason{kind: blockLock, obj: m.id, name: m.name, src: m})
 		}
 	}
 	m.holder = th.id
 	th.locksHeld = append(th.locksHeld, m.id)
-	m.sc.emit(th, core.OpLock, m.id, m.name, 1, 0, loc)
+	m.sc.emit(th, core.OpLock, m.id, m.name, m.nameID, 1, 0, loc, locID)
 }
 
 func (m *mutex) TryLock(t core.T) bool {
 	th := m.sc.curThread(t)
-	loc := progLoc()
-	th.prePoint(core.OpLock, m.name, loc)
+	loc, locID := m.sc.progLoc()
+	th.prePoint(core.OpLock, m.name, m.nameID, loc)
 	if m.holder != core.NoThread {
-		m.sc.emit(th, core.OpLock, m.id, m.name, 0, 0, loc)
+		m.sc.emit(th, core.OpLock, m.id, m.name, m.nameID, 0, 0, loc, locID)
 		return false
 	}
 	m.holder = th.id
 	th.locksHeld = append(th.locksHeld, m.id)
-	m.sc.emit(th, core.OpLock, m.id, m.name, 1, 0, loc)
+	m.sc.emit(th, core.OpLock, m.id, m.name, m.nameID, 1, 0, loc, locID)
 	return true
 }
 
 func (m *mutex) Unlock(t core.T) {
 	th := m.sc.curThread(t)
-	loc := progLoc()
-	th.prePoint(core.OpUnlock, m.name, loc)
+	loc, locID := m.sc.progLoc()
+	th.prePoint(core.OpUnlock, m.name, m.nameID, loc)
 	if m.holder != th.id {
+		if loc.File == "" {
+			loc, locID = core.CallerLocationID(1)
+		}
 		msg := "unlock of mutex " + m.name + " not held by caller"
-		m.sc.emit(th, core.OpFail, m.id, msg, 0, 0, loc)
+		m.sc.emit(th, core.OpFail, m.id, msg, 0, 0, 0, loc, locID)
 		core.FailNow(core.Failure{Msg: msg, Thread: th.id, Loc: loc})
 	}
-	m.unlockInternal(th, loc)
+	m.unlockInternal(th, loc, locID)
 }
 
 // unlockInternal releases the mutex and emits the unlock event; Wait
 // reuses it.
-func (m *mutex) unlockInternal(th *thread, loc core.Location) {
+func (m *mutex) unlockInternal(th *thread, loc core.Location, locID uint32) {
 	m.holder = core.NoThread
 	removeLock(th, m.id)
-	m.sc.emit(th, core.OpUnlock, m.id, m.name, 0, 0, loc)
+	m.sc.emit(th, core.OpUnlock, m.id, m.name, m.nameID, 0, 0, loc, locID)
 }
 
 // lockInternal reacquires the mutex without a scheduling point's
 // prePoint (Wait's wakeup path).
-func (m *mutex) lockInternal(th *thread, loc core.Location) {
+func (m *mutex) lockInternal(th *thread, loc core.Location, locID uint32) {
 	for m.holder != core.NoThread {
-		th.blockOn(blockReason{
-			kind:   blockLock,
-			obj:    m.id,
-			name:   m.name,
-			ready:  func() bool { return m.holder == core.NoThread },
-			holder: func() core.ThreadID { return m.holder },
-		})
+		th.blockOn(blockReason{kind: blockLock, obj: m.id, name: m.name, src: m})
 	}
 	m.holder = th.id
 	th.locksHeld = append(th.locksHeld, m.id)
-	m.sc.emit(th, core.OpLock, m.id, m.name, 1, 0, loc)
+	m.sc.emit(th, core.OpLock, m.id, m.name, m.nameID, 1, 0, loc, locID)
 }
 
 func removeLock(th *thread, id core.ObjectID) {
@@ -114,6 +116,7 @@ func removeLock(th *thread, id core.ObjectID) {
 type rwmutex struct {
 	id      core.ObjectID
 	name    string
+	nameID  uint32
 	sc      *scheduler
 	writer  core.ThreadID
 	readers map[core.ThreadID]int
@@ -129,97 +132,106 @@ func (w *rwmutex) nreaders() int {
 	return n
 }
 
+// blockReady implements blockSrc: write waiters (blockRW) need the
+// lock fully free; read waiters (blockRWRead) only need no writer.
+func (w *rwmutex) blockReady(r *blockReason) bool {
+	if r.kind == blockRWRead {
+		return w.writer == core.NoThread
+	}
+	return w.writer == core.NoThread && w.nreaders() == 0
+}
+
+// blockHolder implements blockSrc: the writer when there is one; for
+// write waiters additionally a sole reader (NoThread when unknown or
+// multiple).
+func (w *rwmutex) blockHolder(r *blockReason) core.ThreadID {
+	if w.writer != core.NoThread {
+		return w.writer
+	}
+	if r.kind != blockRWRead && len(w.readers) == 1 {
+		for t := range w.readers {
+			return t
+		}
+	}
+	return core.NoThread
+}
+
 func (w *rwmutex) Lock(t core.T) {
 	th := w.sc.curThread(t)
-	loc := progLoc()
-	th.prePoint(core.OpLock, w.name, loc)
+	loc, locID := w.sc.progLoc()
+	th.prePoint(core.OpLock, w.name, w.nameID, loc)
 	if w.writer != core.NoThread || w.nreaders() > 0 {
-		w.sc.emit(th, core.OpBlock, w.id, w.name, 0, 0, loc)
+		w.sc.emit(th, core.OpBlock, w.id, w.name, w.nameID, 0, 0, loc, locID)
 		for w.writer != core.NoThread || w.nreaders() > 0 {
-			th.blockOn(blockReason{
-				kind:  blockRW,
-				obj:   w.id,
-				name:  w.name,
-				ready: func() bool { return w.writer == core.NoThread && w.nreaders() == 0 },
-				holder: func() core.ThreadID {
-					if w.writer != core.NoThread {
-						return w.writer
-					}
-					if len(w.readers) == 1 {
-						for r := range w.readers {
-							return r
-						}
-					}
-					return core.NoThread
-				},
-			})
+			th.blockOn(blockReason{kind: blockRW, obj: w.id, name: w.name, src: w})
 		}
 	}
 	w.writer = th.id
 	th.locksHeld = append(th.locksHeld, w.id)
-	w.sc.emit(th, core.OpLock, w.id, w.name, 1, 0, loc)
+	w.sc.emit(th, core.OpLock, w.id, w.name, w.nameID, 1, 0, loc, locID)
 }
 
 func (w *rwmutex) Unlock(t core.T) {
 	th := w.sc.curThread(t)
-	loc := progLoc()
-	th.prePoint(core.OpUnlock, w.name, loc)
+	loc, locID := w.sc.progLoc()
+	th.prePoint(core.OpUnlock, w.name, w.nameID, loc)
 	if w.writer != th.id {
+		if loc.File == "" {
+			loc, locID = core.CallerLocationID(1)
+		}
 		msg := "unlock of rwmutex " + w.name + " not write-held by caller"
-		w.sc.emit(th, core.OpFail, w.id, msg, 0, 0, loc)
+		w.sc.emit(th, core.OpFail, w.id, msg, 0, 0, 0, loc, locID)
 		core.FailNow(core.Failure{Msg: msg, Thread: th.id, Loc: loc})
 	}
 	w.writer = core.NoThread
 	removeLock(th, w.id)
-	w.sc.emit(th, core.OpUnlock, w.id, w.name, 0, 0, loc)
+	w.sc.emit(th, core.OpUnlock, w.id, w.name, w.nameID, 0, 0, loc, locID)
 }
 
 func (w *rwmutex) RLock(t core.T) {
 	th := w.sc.curThread(t)
-	loc := progLoc()
-	th.prePoint(core.OpRLock, w.name, loc)
+	loc, locID := w.sc.progLoc()
+	th.prePoint(core.OpRLock, w.name, w.nameID, loc)
 	if w.writer != core.NoThread {
-		w.sc.emit(th, core.OpBlock, w.id, w.name, 0, 0, loc)
+		w.sc.emit(th, core.OpBlock, w.id, w.name, w.nameID, 0, 0, loc, locID)
 		for w.writer != core.NoThread {
-			th.blockOn(blockReason{
-				kind:   blockRW,
-				obj:    w.id,
-				name:   w.name,
-				ready:  func() bool { return w.writer == core.NoThread },
-				holder: func() core.ThreadID { return w.writer },
-			})
+			th.blockOn(blockReason{kind: blockRWRead, obj: w.id, name: w.name, src: w})
 		}
 	}
 	if w.readers == nil {
 		w.readers = make(map[core.ThreadID]int)
 	}
 	w.readers[th.id]++
-	w.sc.emit(th, core.OpRLock, w.id, w.name, 1, 0, loc)
+	w.sc.emit(th, core.OpRLock, w.id, w.name, w.nameID, 1, 0, loc, locID)
 }
 
 func (w *rwmutex) RUnlock(t core.T) {
 	th := w.sc.curThread(t)
-	loc := progLoc()
-	th.prePoint(core.OpRUnlock, w.name, loc)
+	loc, locID := w.sc.progLoc()
+	th.prePoint(core.OpRUnlock, w.name, w.nameID, loc)
 	if w.readers[th.id] == 0 {
+		if loc.File == "" {
+			loc, locID = core.CallerLocationID(1)
+		}
 		msg := "runlock of rwmutex " + w.name + " not read-held by caller"
-		w.sc.emit(th, core.OpFail, w.id, msg, 0, 0, loc)
+		w.sc.emit(th, core.OpFail, w.id, msg, 0, 0, 0, loc, locID)
 		core.FailNow(core.Failure{Msg: msg, Thread: th.id, Loc: loc})
 	}
 	w.readers[th.id]--
 	if w.readers[th.id] == 0 {
 		delete(w.readers, th.id)
 	}
-	w.sc.emit(th, core.OpRUnlock, w.id, w.name, 0, 0, loc)
+	w.sc.emit(th, core.OpRUnlock, w.id, w.name, w.nameID, 0, 0, loc, locID)
 }
 
 // cond is the controlled condition variable with Java monitor
 // semantics.
 type cond struct {
-	id   core.ObjectID
-	name string
-	sc   *scheduler
-	mu   *mutex
+	id     core.ObjectID
+	name   string
+	nameID uint32
+	sc     *scheduler
+	mu     *mutex
 	// waiters holds parked threads in FIFO arrival order; Signal moves
 	// the head to eligible.
 	waiters  []*thread
@@ -228,44 +240,50 @@ type cond struct {
 
 func (c *cond) OID() core.ObjectID { return c.id }
 
-func (c *cond) checkHeld(th *thread, op string, loc core.Location) {
+// blockReady implements blockSrc: a waiter can run once signalled
+// eligible.
+func (c *cond) blockReady(r *blockReason) bool { return c.eligible[r.tid] }
+
+// blockHolder implements blockSrc; condition waits carry no wait-for
+// edge.
+func (c *cond) blockHolder(*blockReason) core.ThreadID { return core.NoThread }
+
+func (c *cond) checkHeld(th *thread, op string, loc core.Location, locID uint32) {
 	if c.mu.holder != th.id {
+		if loc.File == "" {
+			loc, locID = core.CallerLocationID(2)
+		}
 		msg := op + " on cond " + c.name + " without holding mutex " + c.mu.name
-		c.sc.emit(th, core.OpFail, c.id, msg, 0, 0, loc)
+		c.sc.emit(th, core.OpFail, c.id, msg, 0, 0, 0, loc, locID)
 		core.FailNow(core.Failure{Msg: msg, Thread: th.id, Loc: loc})
 	}
 }
 
 func (c *cond) Wait(t core.T) {
 	th := c.sc.curThread(t)
-	loc := progLoc()
-	th.prePoint(core.OpWait, c.name, loc)
-	c.checkHeld(th, "wait", loc)
-	c.sc.emit(th, core.OpWait, c.id, c.name, 0, 0, loc)
-	c.mu.unlockInternal(th, loc)
+	loc, locID := c.sc.progLoc()
+	th.prePoint(core.OpWait, c.name, c.nameID, loc)
+	c.checkHeld(th, "wait", loc, locID)
+	c.sc.emit(th, core.OpWait, c.id, c.name, c.nameID, 0, 0, loc, locID)
+	c.mu.unlockInternal(th, loc, locID)
 	if c.eligible == nil {
 		c.eligible = make(map[core.ThreadID]bool)
 	}
 	c.waiters = append(c.waiters, th)
 	for !c.eligible[th.id] {
-		th.blockOn(blockReason{
-			kind:  blockCond,
-			obj:   c.id,
-			name:  c.name,
-			ready: func() bool { return c.eligible[th.id] },
-		})
+		th.blockOn(blockReason{kind: blockCond, obj: c.id, name: c.name, src: c, tid: th.id})
 	}
 	delete(c.eligible, th.id)
-	c.sc.emit(th, core.OpAwake, c.id, c.name, 0, 0, loc)
-	c.mu.lockInternal(th, loc)
+	c.sc.emit(th, core.OpAwake, c.id, c.name, c.nameID, 0, 0, loc, locID)
+	c.mu.lockInternal(th, loc, locID)
 }
 
 func (c *cond) Signal(t core.T) {
 	th := c.sc.curThread(t)
-	loc := progLoc()
-	th.prePoint(core.OpSignal, c.name, loc)
-	c.checkHeld(th, "signal", loc)
-	c.sc.emit(th, core.OpSignal, c.id, c.name, int64(len(c.waiters)), 0, loc)
+	loc, locID := c.sc.progLoc()
+	th.prePoint(core.OpSignal, c.name, c.nameID, loc)
+	c.checkHeld(th, "signal", loc, locID)
+	c.sc.emit(th, core.OpSignal, c.id, c.name, c.nameID, int64(len(c.waiters)), 0, loc, locID)
 	if len(c.waiters) > 0 {
 		w := c.waiters[0]
 		c.waiters = c.waiters[1:]
@@ -275,10 +293,10 @@ func (c *cond) Signal(t core.T) {
 
 func (c *cond) Broadcast(t core.T) {
 	th := c.sc.curThread(t)
-	loc := progLoc()
-	th.prePoint(core.OpBroadcast, c.name, loc)
-	c.checkHeld(th, "broadcast", loc)
-	c.sc.emit(th, core.OpBroadcast, c.id, c.name, int64(len(c.waiters)), 0, loc)
+	loc, locID := c.sc.progLoc()
+	th.prePoint(core.OpBroadcast, c.name, c.nameID, loc)
+	c.checkHeld(th, "broadcast", loc, locID)
+	c.sc.emit(th, core.OpBroadcast, c.id, c.name, c.nameID, int64(len(c.waiters)), 0, loc, locID)
 	for _, w := range c.waiters {
 		c.eligible[w.id] = true
 	}
@@ -291,6 +309,7 @@ func (c *cond) Broadcast(t core.T) {
 type intvar struct {
 	id     core.ObjectID
 	name   string
+	nameID uint32
 	sc     *scheduler
 	val    int64
 	atomic bool
@@ -308,66 +327,67 @@ func (v *intvar) flags() core.Flags {
 
 func (v *intvar) Load(t core.T) int64 {
 	th := v.sc.curThread(t)
-	loc := progLoc()
-	th.prePoint(core.OpRead, v.name, loc)
+	loc, locID := v.sc.progLoc()
+	th.prePoint(core.OpRead, v.name, v.nameID, loc)
 	val := v.val
-	v.sc.emit(th, core.OpRead, v.id, v.name, val, v.flags(), loc)
+	v.sc.emit(th, core.OpRead, v.id, v.name, v.nameID, val, v.flags(), loc, locID)
 	return val
 }
 
 func (v *intvar) Store(t core.T, val int64) {
 	th := v.sc.curThread(t)
-	loc := progLoc()
-	th.prePoint(core.OpWrite, v.name, loc)
+	loc, locID := v.sc.progLoc()
+	th.prePoint(core.OpWrite, v.name, v.nameID, loc)
 	v.val = val
-	v.sc.emit(th, core.OpWrite, v.id, v.name, val, v.flags(), loc)
+	v.sc.emit(th, core.OpWrite, v.id, v.name, v.nameID, val, v.flags(), loc, locID)
 }
 
 func (v *intvar) Add(t core.T, delta int64) int64 {
 	th := v.sc.curThread(t)
-	loc := progLoc()
-	th.prePoint(core.OpWrite, v.name, loc)
+	loc, locID := v.sc.progLoc()
+	th.prePoint(core.OpWrite, v.name, v.nameID, loc)
 	v.val += delta
-	v.sc.emit(th, core.OpWrite, v.id, v.name, v.val, v.flags(), loc)
+	v.sc.emit(th, core.OpWrite, v.id, v.name, v.nameID, v.val, v.flags(), loc, locID)
 	return v.val
 }
 
 func (v *intvar) CompareAndSwap(t core.T, old, new int64) bool {
 	th := v.sc.curThread(t)
-	loc := progLoc()
-	th.prePoint(core.OpWrite, v.name, loc)
+	loc, locID := v.sc.progLoc()
+	th.prePoint(core.OpWrite, v.name, v.nameID, loc)
 	if v.val != old {
-		v.sc.emit(th, core.OpRead, v.id, v.name, v.val, v.flags(), loc)
+		v.sc.emit(th, core.OpRead, v.id, v.name, v.nameID, v.val, v.flags(), loc, locID)
 		return false
 	}
 	v.val = new
-	v.sc.emit(th, core.OpWrite, v.id, v.name, new, v.flags(), loc)
+	v.sc.emit(th, core.OpWrite, v.id, v.name, v.nameID, new, v.flags(), loc, locID)
 	return true
 }
 
 // refvar is the controlled shared reference cell.
 type refvar struct {
-	id   core.ObjectID
-	name string
-	sc   *scheduler
-	val  any
+	id     core.ObjectID
+	name   string
+	nameID uint32
+	sc     *scheduler
+	val    any
 }
 
 func (v *refvar) OID() core.ObjectID { return v.id }
 
 func (v *refvar) Load(t core.T) any {
 	th := v.sc.curThread(t)
-	loc := progLoc()
-	th.prePoint(core.OpRead, v.name, loc)
+	loc, locID := v.sc.progLoc()
+	th.prePoint(core.OpRead, v.name, v.nameID, loc)
 	val := v.val
-	v.sc.emit(th, core.OpRead, v.id, v.name, 0, 0, loc)
+	v.sc.emit(th, core.OpRead, v.id, v.name, v.nameID, 0, 0, loc, locID)
 	return val
 }
 
 func (v *refvar) Store(t core.T, val any) {
 	th := v.sc.curThread(t)
-	loc := progLoc()
-	th.prePoint(core.OpWrite, v.name, loc)
+	loc, locID := v.sc.progLoc()
+	th.prePoint(core.OpWrite, v.name, v.nameID, loc)
 	v.val = val
-	v.sc.emit(th, core.OpWrite, v.id, v.name, 0, 0, loc)
+	v.sc.emit(th, core.OpWrite, v.id, v.name, v.nameID, 0, 0, loc, locID)
 }

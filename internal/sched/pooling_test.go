@@ -1,0 +1,103 @@
+package sched_test
+
+import (
+	"slices"
+	"testing"
+
+	"mtbench/internal/core"
+	"mtbench/internal/coverage"
+	"mtbench/internal/repository"
+	"mtbench/internal/sched"
+)
+
+// TestRunnerPoolingDeterminism is the reuse contract behind the whole
+// performance architecture: every repository program, run repeatedly
+// through ONE reused Runner (pooled threads, pooled buffers, interned
+// events), produces results byte-identical to a fresh scheduler per
+// run — verdict, outcome, failure signature, step and event counts,
+// thread count, finish order, deadlock description and the recorded
+// schedule. Each program runs twice through the shared runner so the
+// second run exercises a pool warmed by the first, and the runner is
+// shared across programs so pools are also re-shaped between bodies
+// with different thread counts.
+func TestRunnerPoolingDeterminism(t *testing.T) {
+	runner := sched.NewRunner()
+	defer runner.Close()
+
+	for _, p := range repository.All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			body := p.BodyWith(nil)
+			for seed := int64(0); seed < 2; seed++ {
+				for round := 0; round < 2; round++ {
+					cfg := func() sched.Config {
+						return sched.Config{
+							Strategy:       sched.Random(seed),
+							Seed:           seed,
+							Name:           p.Name,
+							MaxSteps:       300_000,
+							RecordSchedule: true,
+						}
+					}
+					fresh := sched.Run(cfg(), body)
+					pooled := runner.Run(cfg(), body)
+					// The pooled schedule aliases the runner's buffer;
+					// snapshot it before the next Run.
+					pooledSchedule := slices.Clone(pooled.Schedule)
+
+					if pooled.Verdict != fresh.Verdict || pooled.Outcome != fresh.Outcome ||
+						pooled.Steps != fresh.Steps || pooled.Events != fresh.Events ||
+						pooled.Threads != fresh.Threads || pooled.DeadlockInfo != fresh.DeadlockInfo {
+						t.Fatalf("seed %d round %d: pooled %v != fresh %v", seed, round, pooled, fresh)
+					}
+					if core.BugSignature(pooled) != core.BugSignature(fresh) {
+						t.Fatalf("seed %d round %d: pooled signature %q != fresh %q",
+							seed, round, core.BugSignature(pooled), core.BugSignature(fresh))
+					}
+					if !slices.Equal(pooled.FinishOrder, fresh.FinishOrder) {
+						t.Fatalf("seed %d round %d: finish order %v != %v",
+							seed, round, pooled.FinishOrder, fresh.FinishOrder)
+					}
+					if !slices.Equal(pooledSchedule, fresh.Schedule) {
+						t.Fatalf("seed %d round %d: recorded schedules differ (%d vs %d decisions)",
+							seed, round, len(pooledSchedule), len(fresh.Schedule))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRunnerPoolingCoverage pins the listener-visible event stream
+// under pooling: the concurrency-coverage signature of a pooled run
+// (which hashes every access's thread, variable and program point)
+// matches a fresh run's exactly.
+func TestRunnerPoolingCoverage(t *testing.T) {
+	runner := sched.NewRunner()
+	defer runner.Close()
+
+	for _, name := range []string{"account", "philosophers", "rwupgrade", "lostnotify"} {
+		prog, err := repository.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := prog.BodyWith(nil)
+		for seed := int64(0); seed < 2; seed++ {
+			freshCov := coverage.NewTracker()
+			pooledCov := coverage.NewTracker()
+			cfg := func(cov *coverage.Tracker) sched.Config {
+				return sched.Config{
+					Strategy:  sched.Random(seed),
+					Listeners: []core.Listener{cov},
+					Name:      name,
+					MaxSteps:  300_000,
+				}
+			}
+			sched.Run(cfg(freshCov), body)
+			runner.Run(cfg(pooledCov), body)
+			if f, p := freshCov.Tasks(), pooledCov.Tasks(); !slices.Equal(f, p) {
+				t.Fatalf("%s seed %d: pooled coverage %v != fresh %v", name, seed, p, f)
+			}
+		}
+	}
+}

@@ -1,7 +1,9 @@
 package sched
 
 import (
+	"fmt"
 	"slices"
+	"strings"
 	"testing"
 	"time"
 
@@ -508,5 +510,60 @@ func TestRandomDispatchRunsToBlock(t *testing.T) {
 	}
 	if switches != 0 {
 		t.Fatalf("random dispatch preempted a runnable thread %d times", switches)
+	}
+}
+
+// countingStrategy picks a deliberately non-runnable thread after a
+// few decisions, simulating a buggy Strategy implementation.
+type badPickStrategy struct{ picks int }
+
+func (b *badPickStrategy) Name() string { return "bad-pick" }
+func (b *badPickStrategy) Pick(c *Choice) core.ThreadID {
+	b.picks++
+	if b.picks > 3 {
+		return core.ThreadID(99) // never runnable
+	}
+	return c.Runnable[0]
+}
+
+// TestStrategyBugPanicsLoudly pins the engine-bug contract after the
+// direct-handoff rewrite: scheduling decisions now execute on
+// virtual-thread goroutines, under the same recover that converts
+// program panics into failed runs — but a Strategy returning a
+// non-runnable thread must still panic out of Run (silently counting
+// it as a program bug would skew every statistic built on top).
+func TestStrategyBugPanicsLoudly(t *testing.T) {
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			t.Fatal("buggy strategy did not panic out of Run")
+		}
+		if msg := fmt.Sprint(rec); !strings.Contains(msg, "picked non-runnable thread") {
+			t.Fatalf("unexpected panic payload: %v", rec)
+		}
+	}()
+	Run(Config{Strategy: &badPickStrategy{}}, func(ct core.T) {
+		x := ct.NewInt("x", 0)
+		h := ct.Go("w", func(wt core.T) { x.Add(wt, 1) })
+		h.Join(ct)
+	})
+	t.Fatal("Run returned a result for a buggy strategy")
+}
+
+// TestMisuseFailureKeepsLocation pins that lock-misuse oracles report
+// their program location even in listener-free runs, where the
+// scheduler otherwise skips per-operation location capture: the
+// location is part of BugSignature, so losing it would collapse
+// distinct misuse sites into one deduplicated bug.
+func TestMisuseFailureKeepsLocation(t *testing.T) {
+	res := Run(Config{}, func(ct core.T) {
+		mu := ct.NewMutex("mu")
+		mu.Unlock(ct) // not held: misuse failure
+	})
+	if res.Verdict != core.VerdictFail || res.Failure == nil {
+		t.Fatalf("verdict = %v, want misuse failure", res.Verdict)
+	}
+	if res.Failure.Loc.File == "" {
+		t.Fatalf("misuse failure lost its location: %+v", res.Failure)
 	}
 }

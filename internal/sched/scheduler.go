@@ -13,6 +13,18 @@
 // execute race-free without locking, and a run is a pure function of
 // (program, strategy decisions) — the property replay and exploration
 // depend on.
+//
+// Throughput matters as much as control: every search tool in the
+// framework (noise, exploration, fuzzing, the campaign matrix) is
+// bounded by how many short runs per second this package executes, so
+// the run hot path is built for reuse. A Runner keeps its virtual
+// threads' goroutines, resume channels and per-run buffers alive
+// across runs (back-to-back runs pay no goroutine spawn/teardown and
+// near-zero allocation), source locations are captured only when
+// something subscribed can observe them, and listener fan-out is
+// skipped for event classes no listener wants. Reuse never changes
+// results: a pooled run is byte-identical to a fresh one (pinned by
+// TestRunnerPoolingDeterminism across the whole program repository).
 package sched
 
 import (
@@ -68,9 +80,75 @@ type Config struct {
 // returns the run's result. It never panics on program misbehaviour:
 // assertion failures, deadlocks, step-limit hits and stray panics all
 // become verdicts.
+//
+// Run constructs a fresh Runner per call and tears it down afterwards;
+// code that executes many runs back to back (search loops, worker
+// pools) should hold a Runner and call its Run method instead, which
+// reuses the goroutines and buffers across runs.
 func Run(cfg Config, body func(t core.T)) *core.Result {
-	s := newScheduler(cfg)
+	r := NewRunner()
+	defer r.Close()
+	return r.Run(cfg, body)
+}
+
+// Runner executes controlled runs back to back, reusing the expensive
+// parts between them: virtual-thread goroutines and their resume
+// channels stay parked in a free pool instead of being respawned,
+// and the per-run slices (runnable sets, recorded schedule, outcome
+// and finish-order accumulators) keep their backing arrays. A Runner
+// is single-threaded — one run at a time — and a run through a reused
+// Runner is byte-identical to one through a fresh scheduler.
+//
+// Ownership caveat: when Config.RecordSchedule is set, the returned
+// Result.Schedule aliases the Runner's internal buffer and is only
+// valid until the next Run call; callers that retain it (or retain the
+// Result) across runs must clone it first. The package-level Run has
+// no such caveat since its Runner is never reused.
+type Runner struct {
+	s *scheduler
+}
+
+// NewRunner returns an empty Runner. The pool warms up on first use;
+// call Close when done to release the pooled goroutines (a dropped
+// Runner's goroutines are not otherwise reclaimed).
+func NewRunner() *Runner {
+	return &Runner{s: &scheduler{
+		parked:  make(chan *thread),
+		runDone: make(chan struct{}),
+	}}
+}
+
+// Run executes body under cfg, reusing the Runner's pooled state. See
+// Runner for the Result.Schedule ownership caveat.
+func (r *Runner) Run(cfg Config, body func(t core.T)) *core.Result {
+	s := r.s
+	if s.closed {
+		panic("sched: Run on a closed Runner")
+	}
+	if s.running {
+		panic("sched: Runner used for two runs at once")
+	}
+	s.reset(cfg)
 	return s.run(body)
+}
+
+// Close releases the Runner's pooled goroutines. It is a no-op on a
+// Runner whose last run panicked mid-flight (the pool is unrecoverable
+// then; the goroutines are leaked exactly as a fresh-scheduler panic
+// leaked them).
+func (r *Runner) Close() {
+	s := r.s
+	if s.closed {
+		return
+	}
+	s.closed = true
+	if s.running || len(s.threads) > 0 {
+		return
+	}
+	for _, th := range s.free {
+		th.ready <- resumeMsg{quit: true}
+	}
+	s.free = nil
 }
 
 type tstate uint8
@@ -90,32 +168,77 @@ type blockKind uint8
 const (
 	blockNone blockKind = iota
 	blockLock
-	blockRW
+	blockRW     // write-acquire of a reader/writer lock
+	blockRWRead // read-acquire of a reader/writer lock
 	blockCond
 	blockJoin
 )
+
+// blockSrc evaluates a blocked thread's guard. Synchronization objects
+// implement it directly (instead of handing the scheduler closures) so
+// blocking allocates nothing on the hot path.
+type blockSrc interface {
+	// blockReady reports whether the blocked thread could make progress
+	// now. The driver evaluates it when building the runnable set; the
+	// blocked operation re-checks its own guard after being resumed.
+	blockReady(r *blockReason) bool
+	// blockHolder names the current holder for wait-for cycle
+	// construction (NoThread when unknown or multiple, e.g. readers).
+	blockHolder(r *blockReason) core.ThreadID
+}
 
 type blockReason struct {
 	kind blockKind
 	obj  core.ObjectID
 	name string
-	// ready reports whether the thread could make progress now. The
-	// driver evaluates it when building the runnable set; the blocked
-	// operation re-checks its own guard after being resumed.
-	ready func() bool
-	// holder, for lock blocks, names the current holder for wait-for
-	// cycle construction (NoThread when unknown or multiple, e.g.
-	// readers).
-	holder func() core.ThreadID
+	src  blockSrc
+	// tid is the waiting thread's id, for guards that are per-waiter
+	// (condition-variable eligibility).
+	tid core.ThreadID
 }
 
-type resumeMsg struct{ abort bool }
+type resumeMsg struct {
+	abort bool
+	quit  bool
+}
+
+// engineBug is the panic payload for scheduler-internal invariant
+// violations (a strategy picking a non-runnable thread, idling with no
+// sleeper). Scheduling decisions execute on virtual-thread goroutines
+// now, under the same recover that converts program panics into failed
+// runs — engine bugs must NOT take that path (they would silently skew
+// statistics as ordinary VerdictFail results), so runBody intercepts
+// this type and ferries it back to the driver, which re-panics on the
+// Run caller's goroutine exactly as the old driver loop did.
+type engineBug struct{ msg string }
+
+// Error makes an escaped engineBug panic print its message.
+func (e engineBug) Error() string { return e.msg }
+
+// stepSafe runs step, converting an engineBug panic into a return
+// value for callers that cannot rely on runBody's recover (the driver
+// at kickoff, and finishHandoff, which runs inside runBody's deferred
+// function after recover has already been consumed).
+func (s *scheduler) stepSafe() (next *thread, over bool, bug *engineBug) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			eb, ok := rec.(engineBug)
+			if !ok {
+				panic(rec)
+			}
+			bug, over = &eb, true
+		}
+	}()
+	next, over = s.step()
+	return
+}
 
 type thread struct {
-	id    core.ThreadID
-	name  string
-	state tstate
-	block blockReason
+	id     core.ThreadID
+	name   string
+	nameID uint32
+	state  tstate
+	block  blockReason
 	// wakeAt is the virtual deadline for sleeping threads.
 	wakeAt int64
 	// ready resumes the thread; every resume is answered by exactly one
@@ -129,6 +252,10 @@ type thread struct {
 	pending PendingOp
 	body    func(core.T)
 	sc      *scheduler
+	// tcv and hv are the thread's reusable core.T facade and join
+	// handle, so neither allocates per run.
+	tcv tc
+	hv  handle
 }
 
 // PendingOp describes the operation a thread is about to perform at a
@@ -136,17 +263,35 @@ type thread struct {
 type PendingOp struct {
 	Op   core.Op
 	Name string
-	Loc  core.Location
+	// NameID is the interned handle for Name (0 when the operation has
+	// no interned name); strategies that test set membership per
+	// scheduling point key on it instead of hashing the string.
+	NameID uint32
+	Loc    core.Location
 }
 
 type scheduler struct {
 	cfg       Config
 	listeners core.MultiListener
+	evMask    core.OpMask
 	plan      *instrument.Plan
 	strategy  Strategy
+	// capLoc gates per-operation source-location capture: on only when
+	// a listener is attached or the strategy declared LocationAware,
+	// because resolving a caller PC is the single most expensive part
+	// of an otherwise-listener-free probe.
+	capLoc bool
 
 	threads []*thread
+	// free holds pooled threads whose goroutines are parked waiting for
+	// their next assignment.
+	free []*thread
+	// parked carries the abort handshake during teardown; runDone is
+	// the one signal per run that control has left the virtual threads
+	// for good (clean completion, failure, deadlock, step limit or
+	// divergence).
 	parked  chan *thread
+	runDone chan struct{}
 	cur     *thread
 
 	seq     int64
@@ -159,18 +304,34 @@ type scheduler struct {
 	deadlockInfo string
 	stepLimitHit bool
 	diverged     bool
+	// bug carries an engineBug recovered on a virtual thread until the
+	// driver re-panics it.
+	bug *engineBug
 
-	outcome     []string
+	// outcomeBuf accumulates T.Outcome fragments ';'-joined;
+	// finishOrder and schedule keep their backing arrays across runs.
+	outcomeBuf  []byte
+	nOutcomes   int
 	finishOrder []string
+	schedule    []core.ThreadID
 
-	schedule  []core.ThreadID
-	lastEvent core.Event
-	hasEvent  bool
+	runnableBuf []core.ThreadID
+	evScratch   core.Event
+	hasEvent    bool
 
-	evScratch core.Event
+	// choice is the reusable decision-point value handed to the
+	// strategy each step (with PendingOf bound once per run): built
+	// fresh per step it escapes through the interface call and puts a
+	// heap allocation on every scheduling decision.
+	choice Choice
+
+	running bool
+	closed  bool
 }
 
-func newScheduler(cfg Config) *scheduler {
+// reset reconfigures the scheduler for a new run, truncating the
+// reusable buffers and zeroing all per-run state.
+func (s *scheduler) reset(cfg Config) {
 	if cfg.Strategy == nil {
 		cfg.Strategy = Nonpreemptive()
 	}
@@ -180,36 +341,85 @@ func newScheduler(cfg Config) *scheduler {
 	if cfg.TimeQuantum <= 0 {
 		cfg.TimeQuantum = DefaultTimeQuantum
 	}
-	return &scheduler{
-		cfg:       cfg,
-		listeners: core.MultiListener(cfg.Listeners),
-		plan:      cfg.Plan,
-		strategy:  cfg.Strategy,
-		parked:    make(chan *thread),
-		quantum:   int64(cfg.TimeQuantum),
+	s.cfg = cfg
+	s.listeners = core.MultiListener(cfg.Listeners)
+	s.evMask = s.listeners.WantMask()
+	s.plan = cfg.Plan
+	s.strategy = cfg.Strategy
+	s.capLoc = len(cfg.Listeners) > 0
+	if !s.capLoc {
+		if la, ok := cfg.Strategy.(LocationAware); ok && la.NeedsLocations() {
+			s.capLoc = true
+		}
 	}
+
+	s.cur = nil
+	s.seq = 0
+	s.steps = 0
+	s.objSeq = 0
+	s.nowNs = 0
+	s.quantum = int64(cfg.TimeQuantum)
+	s.failure = nil
+	s.deadlockInfo = ""
+	s.bug = nil
+	s.stepLimitHit = false
+	s.diverged = false
+	s.outcomeBuf = s.outcomeBuf[:0]
+	s.nOutcomes = 0
+	s.finishOrder = s.finishOrder[:0]
+	s.schedule = s.schedule[:0]
+	s.evScratch = core.Event{}
+	s.hasEvent = false
+	s.choice = Choice{PendingOf: s.pendingOf}
+}
+
+// progLoc resolves the benchmark program's call site (2 frames above
+// the tc/object method that calls it), or reports the zero location
+// when nothing in this run observes locations.
+func (s *scheduler) progLoc() (core.Location, uint32) {
+	if !s.capLoc {
+		return core.Location{}, 0
+	}
+	return core.CallerLocationID(2)
 }
 
 func (s *scheduler) run(body func(t core.T)) *core.Result {
+	s.running = true
+	defer func() { s.running = false }()
 	start := time.Now()
 	s.listeners.StartRun(core.RunInfo{Program: s.cfg.Name, Mode: "controlled", Seed: s.cfg.Seed})
 
 	s.spawn("main", body)
-	s.drive()
+	s.kickoff()
 	s.abortAll()
+	if s.bug != nil {
+		// An engine bug surfaced on a virtual thread; the teardown
+		// above already unwound the other threads, so the pool is
+		// intact — now fail as loudly as the old driver loop did.
+		msg := s.bug.msg
+		s.free = append(s.free, s.threads...)
+		s.threads = s.threads[:0]
+		panic(msg)
+	}
 
+	var finish []string
+	if len(s.finishOrder) > 0 {
+		finish = append([]string(nil), s.finishOrder...)
+	}
 	res := &core.Result{
 		Verdict:      core.VerdictPass,
 		Failure:      s.failure,
 		DeadlockInfo: s.deadlockInfo,
-		Outcome:      strings.Join(s.outcome, ";"),
-		FinishOrder:  s.finishOrder,
+		Outcome:      string(s.outcomeBuf),
+		FinishOrder:  finish,
 		Steps:        s.steps,
 		Events:       s.seq,
 		Threads:      len(s.threads),
 		Elapsed:      time.Since(start),
-		Schedule:     s.schedule,
 		Diverged:     s.diverged,
+	}
+	if s.cfg.RecordSchedule {
+		res.Schedule = s.schedule
 	}
 	switch {
 	case s.failure != nil:
@@ -222,15 +432,24 @@ func (s *scheduler) run(body func(t core.T)) *core.Result {
 		res.Verdict = core.VerdictStepLimit
 	}
 	s.listeners.EndRun(res)
+
+	// Every thread is done; return them to the pool for the next run.
+	s.free = append(s.free, s.threads...)
+	s.threads = s.threads[:0]
 	return res
 }
 
-// drive is the scheduling loop: pick a runnable thread, resume it, wait
-// for it to park, repeat until all threads are done or the run dies.
-func (s *scheduler) drive() {
+// step is one scheduling decision, executed inline by whichever
+// goroutine currently holds control (the driver at kickoff, the
+// yielding virtual thread everywhere else — the overhaul that removed
+// the per-step round trip through a driver goroutine). It returns the
+// thread control should pass to, or over=true when the run is
+// finished: clean completion, failure, deadlock, step limit, or
+// strategy divergence.
+func (s *scheduler) step() (next *thread, over bool) {
 	for {
 		if s.failure != nil {
-			return
+			return nil, true
 		}
 		runnable := s.runnable()
 		if len(runnable) == 0 {
@@ -238,34 +457,34 @@ func (s *scheduler) drive() {
 				continue
 			}
 			if s.liveCount() == 0 {
-				return // clean completion
+				return nil, true // clean completion
 			}
 			s.deadlockInfo = s.describeDeadlock()
-			return
+			return nil, true
 		}
 		if s.steps >= s.cfg.MaxSteps {
 			s.stepLimitHit = true
-			return
+			return nil, true
 		}
 
-		choice := Choice{
-			Step:     s.steps,
-			Runnable: runnable,
-			Current:  core.NoThread,
-		}
+		choice := &s.choice
+		choice.Step = s.steps
+		choice.Runnable = runnable
+		choice.Current = core.NoThread
+		choice.Pending = PendingOp{}
+		choice.LastEvent = nil
 		if s.cur != nil {
 			choice.Current = s.cur.id
 			choice.Pending = s.cur.pending
 		}
 		if s.hasEvent {
-			choice.LastEvent = &s.lastEvent
+			choice.LastEvent = &s.evScratch
 		}
-		choice.PendingOf = s.pendingOf
 		choice.CanIdle = s.hasFutureSleeper()
-		pick := s.strategy.Pick(&choice)
+		pick := s.strategy.Pick(choice)
 		if pick == core.NoThread {
 			s.diverged = true
-			return
+			return nil, true
 		}
 		s.steps++
 		if s.cfg.RecordSchedule {
@@ -273,41 +492,51 @@ func (s *scheduler) drive() {
 		}
 		if pick == IdleID {
 			if !choice.CanIdle || !s.advanceTime() {
-				panic(fmt.Sprintf("sched: strategy %s idled with no sleeper", s.strategy.Name()))
+				panic(engineBug{fmt.Sprintf("sched: strategy %s idled with no sleeper", s.strategy.Name())})
 			}
 			continue
 		}
-		next := s.threadByID(pick)
-		if next == nil || !slices.Contains(runnable, pick) {
+		th := s.threadByID(pick)
+		if th == nil || !slices.Contains(runnable, pick) {
 			// A strategy bug: fail loudly rather than silently skewing
-			// statistics.
-			panic(fmt.Sprintf("sched: strategy %s picked non-runnable thread %d (runnable %v)",
-				s.strategy.Name(), pick, runnable))
+			// statistics (engineBug propagates to the Run caller).
+			panic(engineBug{fmt.Sprintf("sched: strategy %s picked non-runnable thread %d (runnable %v)",
+				s.strategy.Name(), pick, runnable)})
 		}
-		s.resume(next)
+		return th, false
 	}
 }
 
-// resume hands control to th and waits for it (or, after a spawn, the
-// same thread) to park again.
-func (s *scheduler) resume(th *thread) {
-	s.cur = th
-	th.state = tRunning
-	th.ready <- resumeMsg{}
-	<-s.parked
+// kickoff takes the run's first scheduling decision, hands control to
+// the picked thread, and sleeps until the virtual threads report the
+// run over. From that first handoff on, control moves directly from
+// thread to thread.
+func (s *scheduler) kickoff() {
+	next, over, bug := s.stepSafe()
+	if bug != nil {
+		s.bug = bug
+		return
+	}
+	if over {
+		return
+	}
+	s.cur = next
+	next.ready <- resumeMsg{}
+	<-s.runDone
 }
 
 // runnable returns the ids of threads that can run now, in id order:
 // ready threads, blocked threads whose guard is satisfied, and sleeping
-// threads whose deadline passed.
+// threads whose deadline passed. The returned slice is the scheduler's
+// scratch buffer, valid until the next call.
 func (s *scheduler) runnable() []core.ThreadID {
-	var out []core.ThreadID
+	out := s.runnableBuf[:0]
 	for _, th := range s.threads {
 		switch th.state {
 		case tReady:
 			out = append(out, th.id)
 		case tBlocked:
-			if th.block.ready == nil || th.block.ready() {
+			if th.block.src == nil || th.block.src.blockReady(&th.block) {
 				out = append(out, th.id)
 			}
 		case tSleeping:
@@ -316,6 +545,7 @@ func (s *scheduler) runnable() []core.ThreadID {
 			}
 		}
 	}
+	s.runnableBuf = out
 	return out
 }
 
@@ -387,12 +617,20 @@ func (s *scheduler) describeDeadlock() string {
 		case tSleeping:
 			parts = append(parts, fmt.Sprintf("t%d(%s) sleeping", th.id, th.name))
 		case tBlocked:
-			kind := map[blockKind]string{
-				blockLock: "lock", blockRW: "rwlock", blockCond: "cond", blockJoin: "join",
-			}[th.block.kind]
+			var kind string
+			switch th.block.kind {
+			case blockLock:
+				kind = "lock"
+			case blockRW, blockRWRead:
+				kind = "rwlock"
+			case blockCond:
+				kind = "cond"
+			case blockJoin:
+				kind = "join"
+			}
 			parts = append(parts, fmt.Sprintf("t%d(%s) blocked on %s %q", th.id, th.name, kind, th.block.name))
-			if th.block.holder != nil {
-				if h := th.block.holder(); h != core.NoThread {
+			if th.block.src != nil {
+				if h := th.block.src.blockHolder(&th.block); h != core.NoThread {
 					waitsFor[th.id] = h
 				}
 			}
@@ -469,56 +707,147 @@ func (s *scheduler) abortAll() {
 	}
 }
 
-// spawn creates a virtual thread. The new thread does not run until the
-// driver picks it.
+// spawn creates a virtual thread, reusing a pooled one (and its
+// goroutine and resume channel) when available. The new thread does
+// not run until the driver picks it.
 func (s *scheduler) spawn(name string, body func(core.T)) *thread {
-	th := &thread{
-		id:    core.ThreadID(len(s.threads)),
-		name:  name,
-		state: tReady,
-		ready: make(chan resumeMsg),
-		body:  body,
-		sc:    s,
+	var th *thread
+	if n := len(s.free); n > 0 {
+		th = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		th = &thread{ready: make(chan resumeMsg), sc: s}
+		th.tcv.th = th
+		th.hv.child = th
+		go th.loop()
 	}
+	th.id = core.ThreadID(len(s.threads))
+	th.name = name
+	th.nameID = core.InternName(name)
+	th.state = tReady
+	th.block = blockReason{}
+	th.wakeAt = 0
+	th.locksHeld = th.locksHeld[:0]
+	th.pending = PendingOp{}
+	th.body = body
 	s.threads = append(s.threads, th)
-	go th.main()
 	return th
 }
 
-// main is the virtual thread's goroutine body.
-func (th *thread) main() {
-	defer func() {
-		fail, aborted := core.RecoverThread(recover(), th.id)
-		s := th.sc
-		if fail != nil && s.failure == nil {
-			s.failure = fail
+// loop is the persistent goroutine body of a pooled thread: each
+// iteration serves one assignment of the thread to a run. The
+// happens-before chain for the cross-run field writes in spawn runs
+// through the ready channel: spawn's writes precede the spawning
+// thread's park, which precedes the driver's resume send, which
+// precedes this goroutine's receive.
+func (th *thread) loop() {
+	for {
+		msg := <-th.ready
+		switch {
+		case msg.quit:
+			return
+		case msg.abort:
+			// Aborted before ever running (run torn down first).
+			th.state = tDone
+			th.sc.parked <- th
+		default:
+			th.state = tRunning
+			th.runBody()
 		}
-		if fail == nil && !aborted {
-			s.finishOrder = append(s.finishOrder, th.name)
-			s.emit(th, core.OpEnd, core.NoObject, "", 0, 0, core.Location{})
-		}
-		th.state = tDone
-		s.parked <- th
-	}()
-	msg := <-th.ready
-	if msg.abort {
-		core.AbortNow()
 	}
-	th.state = tRunning
-	th.body(&tc{th: th})
 }
 
-// park gives control back to the driver and waits to be picked again.
-// The caller must have set th.state (and th.block for blocked parks).
+// runBody executes one assignment of the thread's body, converting
+// oracle failures and teardown aborts (both delivered as panics) into
+// scheduler state.
+func (th *thread) runBody() {
+	defer func() {
+		rec := recover()
+		s := th.sc
+		if eb, ok := rec.(engineBug); ok {
+			// Scheduler invariant violation: hand it to the driver to
+			// re-panic on the Run caller's goroutine; this goroutine
+			// returns to the pool.
+			th.state = tDone
+			s.bug = &eb
+			s.runDone <- struct{}{}
+			return
+		}
+		fail, aborted := core.RecoverThread(rec, th.id)
+		if aborted {
+			// Teardown handshake: the driver is sweeping threads down
+			// and waits for each on the parked channel.
+			th.state = tDone
+			s.parked <- th
+			return
+		}
+		if fail != nil {
+			if s.failure == nil {
+				s.failure = fail
+			}
+		} else {
+			s.finishOrder = append(s.finishOrder, th.name)
+			s.emit(th, core.OpEnd, core.NoObject, "", 0, 0, 0, core.Location{}, 0)
+		}
+		th.state = tDone
+		th.finishHandoff()
+	}()
+	th.body(&th.tcv)
+}
+
+// finishHandoff passes control on after this thread's body ended
+// (normally or by a failed oracle): pick the next thread inline and
+// wake it, or report the run over. The dying thread stays s.cur, so
+// the next decision's Choice.Current names it exactly as it did when a
+// driver goroutine drove the loop.
+func (th *thread) finishHandoff() {
+	s := th.sc
+	next, over, bug := s.stepSafe()
+	if bug != nil {
+		s.bug = bug
+		s.runDone <- struct{}{}
+		return
+	}
+	if over {
+		s.runDone <- struct{}{}
+		return
+	}
+	s.cur = next
+	next.ready <- resumeMsg{}
+}
+
+// park takes one scheduling decision on behalf of the scheduler and
+// yields accordingly: if the strategy keeps this thread, park returns
+// without any goroutine switch at all; if it picks another thread,
+// control is handed to it directly and park sleeps until some later
+// decision picks this thread again; if the decision ends the run, the
+// driver is woken and this thread waits for the teardown abort. The
+// caller must have set th.state (and th.block for blocked parks).
 func (th *thread) park() {
 	s := th.sc
-	s.parked <- th
-	msg := <-th.ready
-	if msg.abort {
-		core.AbortNow()
+	next, over := s.step()
+	if over {
+		s.runDone <- struct{}{}
+		th.awaitAbort()
+	}
+	if next != th {
+		s.cur = next
+		next.ready <- resumeMsg{}
+		msg := <-th.ready
+		if msg.abort {
+			core.AbortNow()
+		}
 	}
 	th.state = tRunning
 	th.block = blockReason{}
+}
+
+// awaitAbort parks a thread that has reported the run over; the only
+// message that can arrive is the teardown abort (Close's quit is only
+// ever sent to pooled threads), which unwinds the thread's body.
+func (th *thread) awaitAbort() {
+	<-th.ready
+	core.AbortNow()
 }
 
 // point is a scheduling point: the running thread offers the strategy a
@@ -528,7 +857,7 @@ func (th *thread) point() {
 	th.park()
 }
 
-// blockOn parks the thread until reason.ready() holds. The caller must
+// blockOn parks the thread until its guard holds. The caller must
 // re-check its guard afterwards in a loop: the driver guarantees the
 // guard held when it picked the thread, and since nothing ran in
 // between it still holds, but the loop keeps the invariant local.
@@ -540,8 +869,10 @@ func (th *thread) blockOn(reason blockReason) {
 
 // emit delivers an event to the listeners. Only the running thread
 // calls it, so no locking is needed. It returns false if the plan
-// suppressed the probe.
-func (s *scheduler) emit(th *thread, op core.Op, obj core.ObjectID, name string, value int64, flags core.Flags, loc core.Location) bool {
+// suppressed the probe. The event is always materialized in evScratch
+// (strategies observe it through Choice.LastEvent), but listener
+// fan-out is skipped for event classes outside the subscription mask.
+func (s *scheduler) emit(th *thread, op core.Op, obj core.ObjectID, name string, nameID uint32, value int64, flags core.Flags, loc core.Location, locID uint32) bool {
 	if !s.plan.Enabled(op, name) {
 		return false
 	}
@@ -555,10 +886,13 @@ func (s *scheduler) emit(th *thread, op core.Op, obj core.ObjectID, name string,
 		Value:  value,
 		Flags:  flags,
 		Loc:    loc,
+		NameID: nameID,
+		LocID:  locID,
 	}
-	s.lastEvent = s.evScratch
 	s.hasEvent = true
-	s.listeners.OnEvent(&s.evScratch)
+	if s.evMask.Has(op) {
+		s.listeners.OnEvent(&s.evScratch)
+	}
 	return true
 }
 
@@ -567,11 +901,11 @@ func (s *scheduler) emit(th *thread, op core.Op, obj core.ObjectID, name string,
 // operation is published so strategies (noise heuristics in
 // particular) can key their decision on what the thread is about to
 // do.
-func (th *thread) prePoint(op core.Op, name string, loc core.Location) {
+func (th *thread) prePoint(op core.Op, name string, nameID uint32, loc core.Location) {
 	if !th.sc.plan.Enabled(op, name) {
 		return
 	}
-	th.pending = PendingOp{Op: op, Name: name, Loc: loc}
+	th.pending = PendingOp{Op: op, Name: name, NameID: nameID, Loc: loc}
 	th.point()
 }
 

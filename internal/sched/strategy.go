@@ -63,6 +63,19 @@ type Strategy interface {
 	Pick(c *Choice) core.ThreadID
 }
 
+// LocationAware is an optional Strategy extension. Capturing the
+// source location of every instrumented operation costs a stack walk
+// per probe — the single most expensive part of a listener-free run —
+// so the scheduler skips it when nothing observes locations: any
+// attached listener turns capture on, and a strategy that keys its
+// decisions on Choice.Pending.Loc (the noise heuristics do) must
+// declare it by implementing LocationAware with NeedsLocations() true.
+// Strategies without the method see zero Locations in listener-free
+// runs; everything else about the Choice is unaffected.
+type LocationAware interface {
+	NeedsLocations() bool
+}
+
 // nonpreemptive models the scheduler the paper's §1 blames for unit
 // tests never exposing concurrency bugs: it keeps running the current
 // thread until it blocks or finishes, then picks the lowest-id runnable

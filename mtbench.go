@@ -101,10 +101,19 @@ type (
 	Choice = sched.Choice
 	// FixedSchedule replays an explicit decision sequence.
 	FixedSchedule = sched.FixedSchedule
+	// ControlledRunner executes controlled runs back to back, reusing
+	// goroutines and buffers between them — the hot-path form of
+	// RunControlled for search loops (see sched.Runner for the
+	// Result.Schedule ownership caveat).
+	ControlledRunner = sched.Runner
 )
 
 // RunControlled executes body under the deterministic scheduler.
 func RunControlled(cfg ControlledConfig, body func(T)) *Result { return sched.Run(cfg, body) }
+
+// NewControlledRunner returns a pooled runner for back-to-back
+// controlled runs; call Close when done with it.
+func NewControlledRunner() *ControlledRunner { return sched.NewRunner() }
 
 // Stock strategies.
 var (
