@@ -51,8 +51,9 @@ func TestCampaignDeterministic(t *testing.T) {
 	sumA := runToFile(t, cfg, a)
 	sumB := runToFile(t, cfg, b)
 
-	if sumA.Cells != 12 || sumA.Executed != 12 {
-		t.Fatalf("expected 12 executed cells, got %+v", sumA)
+	want := 3 * len(Finders()) // 3 programs x every registered finder
+	if sumA.Cells != want || sumA.Executed != want {
+		t.Fatalf("expected %d executed cells, got %+v", want, sumA)
 	}
 	bugs := 0
 	for _, r := range sumA.Records {

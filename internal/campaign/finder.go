@@ -59,6 +59,11 @@ var finderTable = map[string]*Finder{
 		Doc:  "systematic serial DFS over schedules (seed-invariant)",
 		run:  runExploreFinder,
 	},
+	"explore-por": {
+		Name: "explore-por",
+		Doc:  "reduced serial DFS: dynamic partial-order reduction + state caching (seed-invariant)",
+		run:  runExplorePORFinder,
+	},
 	"fuzz": {
 		Name: "fuzz",
 		Doc:  "coverage-guided schedule fuzzing (internal/fuzz, one worker)",
@@ -158,6 +163,32 @@ func runExploreFinder(spec cellSpec) (cellOutcome, error) {
 	}, spec.body)
 	if er.Err != nil {
 		return cellOutcome{}, fmt.Errorf("explore %s: %w", spec.prog.Name, er.Err)
+	}
+	var bugs bugSet
+	for _, b := range er.Bugs {
+		bugs.add(core.BugSignature(b.Result))
+	}
+	return cellOutcome{runs: er.Schedules, bugs: bugs.sigs, firstBug: er.FirstBugIndex()}, nil
+}
+
+// runExplorePORFinder is the reduced systematic extreme: the same
+// serial DFS under the same budget, with dynamic partial-order
+// reduction and the canonical-state cache pruning schedules that only
+// re-prove an already-explored partial order. Its cells pin the pruned
+// budgets: within the shared budget the reduced search reaches (and
+// usually exhausts) trees the full DFS cannot, so a reduction
+// regression shows up as a lost bug or a worse first-bug envelope.
+func runExplorePORFinder(spec cellSpec) (cellOutcome, error) {
+	er := explore.Explore(explore.Options{
+		MaxSchedules: spec.budget,
+		MaxSteps:     spec.maxSteps,
+		Workers:      1,
+		DPOR:         true,
+		StateCache:   true,
+		Name:         spec.prog.Name,
+	}, spec.body)
+	if er.Err != nil {
+		return cellOutcome{}, fmt.Errorf("explore-por %s: %w", spec.prog.Name, er.Err)
 	}
 	var bugs bugSet
 	for _, b := range er.Bugs {

@@ -61,9 +61,37 @@ type OpFilter interface {
 	WantOps() OpMask
 }
 
+// LocationIndifferent is an optional Listener extension mirroring the
+// strategy-side location gate: capturing the source location of every
+// instrumented operation costs a stack walk per probe, so the
+// controlled runtime turns capture on whenever any listener is
+// attached — unless every attached listener declares, by implementing
+// this interface with NeedsLocations() false, that it never reads
+// Event.Loc/LocID. Listeners without the method are assumed to need
+// locations. The state-hashing listener of the exploration engine's
+// reduction layer is the motivating case: it observes every event on
+// the hottest search path and must not reinstate the per-probe stack
+// walk the runner pooling work removed.
+type LocationIndifferent interface {
+	NeedsLocations() bool
+}
+
 // MultiListener fans one event stream out to several listeners in
 // order.
 type MultiListener []Listener
+
+// NeedLocations reports whether any listener in m may read event
+// locations (see LocationIndifferent). An empty MultiListener needs
+// none.
+func (m MultiListener) NeedLocations() bool {
+	for _, l := range m {
+		li, ok := l.(LocationIndifferent)
+		if !ok || li.NeedsLocations() {
+			return true
+		}
+	}
+	return false
+}
 
 // OnEvent delivers ev to each listener in order.
 func (m MultiListener) OnEvent(ev *Event) {

@@ -265,6 +265,16 @@ func TestExploreShape(t *testing.T) {
 	if b1 > full {
 		t.Fatalf("bound-1 used more schedules (%d) than unbounded (%d)", b1, full)
 	}
+	if got := get("dfs-por-cache", "first_bug"); got == "-" {
+		t.Fatal("reduced dfs missed the statmax bug")
+	}
+	reduced := atoiCell(t, get("dfs-por-cache", "schedules"))
+	if reduced > full {
+		t.Fatalf("reduced search used more schedules (%d) than unbounded (%d)", reduced, full)
+	}
+	if pruned := atoiCell(t, get("dfs-por", "pruned")); pruned == 0 {
+		t.Fatal("dfs-por reports zero pruned options")
+	}
 }
 
 // TestCloningShape pins E6: 1 clone never detects; detection grows.

@@ -33,8 +33,9 @@ var exploreParams = map[string]repository.Params{
 	"philosophers": {"philosophers": 2, "rounds": 1},
 }
 
-// Explore runs E5: schedules to first bug for DFS variants versus
-// random search.
+// Explore runs E5: first-bug indices and explored-tree sizes for DFS
+// variants (bounding, sleep sets, DPOR, state caching) versus random
+// search.
 func Explore(cfg ExploreConfig) ([]*Table, error) {
 	if len(cfg.Programs) == 0 {
 		cfg.Programs = []string{"account", "statmax", "inversion", "philosophers", "lostnotify"}
@@ -51,30 +52,38 @@ func Explore(cfg ExploreConfig) ([]*Table, error) {
 
 	t := &Table{
 		ID:      "E5",
-		Title:   "systematic exploration vs random search (runs to first bug)",
-		Columns: []string{"program", "method", "first_bug", "schedules", "exhausted"},
+		Title:   "systematic exploration vs random search (first bug + tree size)",
+		Columns: []string{"program", "method", "first_bug", "schedules", "exhausted", "pruned", "cache_hits"},
 	}
 	t.Note("first_bug = 1-based index of the first erroneous schedule; '-' = not found within budget")
+	t.Note("each DFS variant explores its whole (bounded) tree, so schedules compares search-space sizes; the first-bug index is unaffected")
 	t.Note("random = fresh seeded random scheduler per run (the noise-testing extreme)")
+	t.Note("pruned = options cut by sleep sets + DPOR backtrack sets; cache_hits = subtrees cut by the canonical-state cache")
 
 	methods := []struct {
 		name string
 		opts func() explore.Options
 	}{
 		{"dfs", func() explore.Options {
-			return explore.Options{MaxSchedules: cfg.MaxSchedules, StopAtFirstBug: true, Workers: cfg.Workers}
+			return explore.Options{MaxSchedules: cfg.MaxSchedules, Workers: cfg.Workers}
 		}},
 		{"dfs-bound1", func() explore.Options {
-			return explore.Options{MaxSchedules: cfg.MaxSchedules, StopAtFirstBug: true, Workers: cfg.Workers, PreemptionBound: explore.Bound(1)}
+			return explore.Options{MaxSchedules: cfg.MaxSchedules, Workers: cfg.Workers, PreemptionBound: explore.Bound(1)}
 		}},
 		{"dfs-bound2", func() explore.Options {
-			return explore.Options{MaxSchedules: cfg.MaxSchedules, StopAtFirstBug: true, Workers: cfg.Workers, PreemptionBound: explore.Bound(2)}
+			return explore.Options{MaxSchedules: cfg.MaxSchedules, Workers: cfg.Workers, PreemptionBound: explore.Bound(2)}
 		}},
 		{"dfs-sleepsets", func() explore.Options {
-			return explore.Options{MaxSchedules: cfg.MaxSchedules, StopAtFirstBug: true, Workers: cfg.Workers, SleepSets: true}
+			return explore.Options{MaxSchedules: cfg.MaxSchedules, Workers: cfg.Workers, SleepSets: true}
+		}},
+		{"dfs-por", func() explore.Options {
+			return explore.Options{MaxSchedules: cfg.MaxSchedules, Workers: cfg.Workers, DPOR: true}
+		}},
+		{"dfs-por-cache", func() explore.Options {
+			return explore.Options{MaxSchedules: cfg.MaxSchedules, Workers: cfg.Workers, DPOR: true, StateCache: true}
 		}},
 		{"dfs-timeouts", func() explore.Options {
-			return explore.Options{MaxSchedules: cfg.MaxSchedules, StopAtFirstBug: true, Workers: cfg.Workers, ExploreTimeouts: true, PreemptionBound: explore.Bound(2)}
+			return explore.Options{MaxSchedules: cfg.MaxSchedules, Workers: cfg.Workers, ExploreTimeouts: true, PreemptionBound: explore.Bound(2)}
 		}},
 	}
 
@@ -98,7 +107,8 @@ func Explore(cfg ExploreConfig) ([]*Table, error) {
 			if res.Exhausted {
 				exhausted = "yes"
 			}
-			t.AddRow(name, m.name, first, itoa(res.Schedules), exhausted)
+			t.AddRow(name, m.name, first, itoa(res.Schedules), exhausted,
+				itoa(res.Stats.SleepPruned+res.Stats.PORPruned), itoa(res.Stats.StateHits))
 		}
 
 		// Random search baseline: independent seeds until first bug.
@@ -110,7 +120,7 @@ func Explore(cfg ExploreConfig) ([]*Table, error) {
 				break
 			}
 		}
-		t.AddRow(name, "random", first, first, "-")
+		t.AddRow(name, "random", first, first, "-", "-", "-")
 	}
 	return []*Table{t}, nil
 }

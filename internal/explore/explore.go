@@ -51,6 +51,25 @@ type Options struct {
 	PreemptionBound *int
 	// SleepSets enables sleep-set pruning.
 	SleepSets bool
+	// DPOR enables dynamic partial-order reduction: each node commits
+	// to one successor and alternatives are expanded only when a later
+	// operation on the path is discovered not to commute with a chosen
+	// one (see reduce.go). DPOR implies SleepSets — the two prunings
+	// are sound together and the reduction layer maintains both.
+	// Reduction never changes the deduplicated bug set (pinned by
+	// TestReducedEquivalence over the whole program repository); it
+	// does change schedule numbering and outcome histograms, since
+	// pruned schedules are never executed.
+	DPOR bool
+	// StateCache enables canonical-state memoization: scheduler states
+	// are hashed (per-thread event chains in conflict order + runnable
+	// set + pending-operation handles) into a bounded per-worker
+	// direct-mapped cache, and a revisited state's subtree is cut.
+	StateCache bool
+	// StateCacheSize is the per-worker entry count of the state cache
+	// (0 = DefaultStateCacheSize). Collisions overwrite, so a small
+	// cache prunes less but is never unsound.
+	StateCacheSize int
 	// ExploreTimeouts includes "let virtual time pass" (sched.IdleID)
 	// among the choices at points where a thread sleeps on a timer,
 	// extending the search to timing bugs (sleep-as-synchronization,
@@ -100,6 +119,9 @@ type Result struct {
 	Bugs []Bug
 	// Outcomes histograms Result.Outcome strings over all schedules.
 	Outcomes map[string]int
+	// Stats reports what the reduction layer pruned (zero when neither
+	// DPOR nor StateCache ran).
+	Stats Stats
 	// Err is set when the program behaved nondeterministically under
 	// replay, which invalidates the search.
 	Err error
@@ -126,10 +148,30 @@ type node struct {
 	// preBefore is the number of preemptions used before this node.
 	preBefore int
 	// pendings snapshots each option's pending operation at this node
-	// (for sleep-set independence).
+	// (for sleep-set and DPOR independence).
 	pendings map[core.ThreadID]sched.PendingOp
 	// sleep marks options that need not be (re-)explored here.
 	sleep map[core.ThreadID]bool
+
+	// DPOR state (nil maps unless Options.DPOR): todo is the backtrack
+	// set — only its members are expanded — and done marks options
+	// whose subtrees completed.
+	todo map[core.ThreadID]bool
+	done map[core.ThreadID]bool
+
+	// State-cache bookkeeping (Options.StateCache): the node's
+	// canonical identity at creation, the inherited sleep set as a
+	// bitmask, the subtree's footprint summary accumulated as children
+	// pop, and the cut/bypass flags for pruned regions (cut = this
+	// node's subtree was found in the cache; bypass = the node only
+	// finishes a run below a cut and contributes nothing).
+	stateHash   uint64
+	sleepMask   uint64
+	maskOK      bool
+	cut         bool
+	bypass      bool
+	sub         []uint64
+	subOverflow bool
 }
 
 func (n *node) chosen() core.ThreadID { return n.options[n.curIdx] }
@@ -156,6 +198,12 @@ func (p *nodePool) get(current core.ThreadID) *node {
 		nd.preBefore = 0
 		clear(nd.sleep)
 		clear(nd.pendings)
+		clear(nd.todo)
+		clear(nd.done)
+		nd.stateHash, nd.sleepMask, nd.maskOK = 0, 0, false
+		nd.cut, nd.bypass = false, false
+		nd.sub = nd.sub[:0]
+		nd.subOverflow = false
 		return nd
 	}
 	return &node{current: current, sleep: map[core.ThreadID]bool{}}
@@ -195,6 +243,14 @@ type explorer struct {
 	// pool recycles nodes across schedules and shards (owned by the
 	// worker driving this explorer).
 	pool *nodePool
+	// red is the worker's state-cache machinery (nil unless
+	// Options.StateCache); stats accumulates this shard's reduction
+	// counters, merged by the coordinator when the shard ends.
+	red   *reduction
+	stats Stats
+	// cutDepth is the path index of the active cache cut (-1 when
+	// none): nodes created deeper only finish the in-flight run.
+	cutDepth int
 }
 
 // dfsStrategy drives one run: replay the prefix and the path's
@@ -231,6 +287,7 @@ func (st *dfsStrategy) Pick(c *sched.Choice) core.ThreadID {
 		if c.Current != core.NoThread && want != c.Current && slices.Contains(c.Runnable, c.Current) {
 			st.prefixPre++
 		}
+		e.notePick(c, want)
 		return want
 	}
 
@@ -243,17 +300,20 @@ func (st *dfsStrategy) Pick(c *sched.Choice) core.ThreadID {
 				e.err = fmt.Errorf("explore: nondeterministic program: cannot idle at depth %d", d)
 				return core.NoThread
 			}
+			e.notePick(c, want)
 			return want
 		}
 		if !slices.Contains(c.Runnable, want) {
 			e.err = fmt.Errorf("explore: nondeterministic program: thread %d not runnable at depth %d", want, d)
 			return core.NoThread
 		}
+		e.notePick(c, want)
 		return want
 	}
 
 	n := e.newNode(c, pd, st.prefixPre)
 	e.path = append(e.path, n)
+	e.notePick(c, n.chosen())
 	return n.chosen()
 }
 
@@ -265,6 +325,19 @@ func (st *dfsStrategy) Pick(c *sched.Choice) core.ThreadID {
 // first fresh node.
 func (e *explorer) newNode(c *sched.Choice, pd int, prefixPre int) *node {
 	n := e.pool.get(c.Current)
+
+	// Below an active cache cut the run merely executes to completion:
+	// the node carries one choice and contributes no branching, no
+	// summary and no cache entry (the cut's cached entry covers it).
+	if e.cutDepth >= 0 && pd > e.cutDepth {
+		n.bypass = true
+		if slices.Contains(c.Runnable, c.Current) {
+			n.options = append(n.options, c.Current)
+		} else {
+			n.options = append(n.options, c.Runnable[0])
+		}
+		return n
+	}
 
 	// Inherit preemption count and sleep set from the parent node, or
 	// from the donated work item at the subtree root.
@@ -314,8 +387,9 @@ func (e *explorer) newNode(c *sched.Choice, pd int, prefixPre int) *node {
 		n.options = append(n.options, sched.IdleID)
 	}
 
-	// Snapshot pending operations for sleep-set computation.
-	if e.opts.SleepSets && c.PendingOf != nil {
+	// Snapshot pending operations for sleep-set, DPOR and state-hash
+	// computation.
+	if (e.opts.SleepSets || e.red != nil) && c.PendingOf != nil {
 		if n.pendings == nil {
 			n.pendings = make(map[core.ThreadID]sched.PendingOp, len(n.options))
 		}
@@ -324,34 +398,141 @@ func (e *explorer) newNode(c *sched.Choice, pd int, prefixPre int) *node {
 		}
 	}
 
-	// Skip initial options that are in the inherited sleep set.
+	// Skip initial options that are in the inherited sleep set (DPOR
+	// accounts skipped options at pop time instead, since its
+	// backtrack set can still grow while the subtree is in flight).
 	for n.curIdx < len(n.options)-1 && n.sleep[n.options[n.curIdx]] {
+		if !e.opts.DPOR {
+			e.stats.SleepPruned++
+		}
 		n.curIdx++
+	}
+
+	if e.opts.DPOR {
+		if n.todo == nil {
+			n.todo = map[core.ThreadID]bool{}
+			n.done = map[core.ThreadID]bool{}
+		}
+		n.todo[n.chosen()] = true
+		// Timing branches are never DPOR-pruned: the independence
+		// relation says nothing about virtual-time warps.
+		if e.opts.ExploreTimeouts {
+			if last := n.options[len(n.options)-1]; last == sched.IdleID {
+				n.todo[sched.IdleID] = true
+			}
+		}
+		e.dporAnalyze(n, pd)
+	}
+
+	// Canonical-state lookup: an equivalent subtree already fully
+	// explored (under a no-larger sleep set) cuts this one. Under DPOR
+	// the cached summary is replayed first so the cut subtree's race
+	// reversals against the current path are still requested.
+	if e.red != nil {
+		n.sleepMask, n.maskOK = sleepMask(n.sleep)
+		n.stateHash = e.hashState(c, n)
+		if n.maskOK {
+			if ent, ok := e.red.cache.lookup(n.stateHash, n.sleepMask); ok {
+				e.stats.StateHits++
+				if e.opts.DPOR {
+					e.applySummary(ent, pd)
+					n.sub = append(n.sub[:0], ent.sum[:ent.nsum]...)
+				}
+				n.cut = true
+				e.cutDepth = pd
+				n.options[0] = n.chosen()
+				n.options = n.options[:1]
+				n.curIdx = 0
+			}
+		}
 	}
 	return n
 }
 
 // backtrack advances the deepest node with an untried, non-sleeping
-// alternative and truncates the path there; it reports false when the
-// shard's subtree is exhausted.
+// (and, under DPOR, backtrack-requested) alternative and truncates the
+// path there; it reports false when the shard's subtree is exhausted.
 func (e *explorer) backtrack() bool {
 	for len(e.path) > 0 {
 		n := e.path[len(e.path)-1]
+		if n.bypass || n.cut {
+			// Pruned region: nothing to advance, pop straight through.
+			e.popNode(n)
+			continue
+		}
 		if e.opts.SleepSets {
 			// The subtree under the current choice is done: siblings
 			// need not re-explore it unless dependent.
 			n.sleep[n.chosen()] = true
 		}
-		for n.curIdx+1 < len(n.options) {
-			n.curIdx++
-			if !n.sleep[n.options[n.curIdx]] {
+		if e.opts.DPOR {
+			n.done[n.chosen()] = true
+			if i, ok := n.nextTodo(); ok {
+				n.curIdx = i
 				return true
 			}
+		} else {
+			for n.curIdx+1 < len(n.options) {
+				n.curIdx++
+				if !n.sleep[n.options[n.curIdx]] {
+					return true
+				}
+				e.stats.SleepPruned++
+			}
 		}
-		e.path = e.path[:len(e.path)-1]
-		e.pool.put(n)
+		e.popNode(n)
 	}
 	return false
+}
+
+// nextTodo finds the first option that is requested, unexplored and
+// not sleeping. Unlike the plain DFS cursor it may move backwards:
+// backtrack-set additions land in discovery order, not option order.
+func (n *node) nextTodo() (int, bool) {
+	for i, o := range n.options {
+		if n.todo[o] && !n.done[o] && !n.sleep[o] {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// popNode removes the finished deepest node: account what was pruned,
+// publish the fully-explored subtree to the state cache, fold its
+// footprint summary into the parent, and recycle it.
+func (e *explorer) popNode(n *node) {
+	last := len(e.path) - 1
+	e.path = e.path[:last]
+	if e.opts.DPOR && !n.cut && !n.bypass {
+		for _, o := range n.options {
+			switch {
+			case n.done[o]:
+			case n.sleep[o]:
+				e.stats.SleepPruned++
+			case !n.todo[o]:
+				e.stats.PORPruned++
+			}
+		}
+	}
+	if n.cut {
+		e.cutDepth = -1
+	}
+	if e.red != nil {
+		if !n.cut && !n.bypass && n.maskOK && (!n.subOverflow || !e.opts.DPOR) {
+			sum := n.sub
+			if !e.opts.DPOR {
+				// Without DPOR there are no backtrack obligations to
+				// replay on a hit; the entry needs no summary.
+				sum = nil
+			}
+			e.red.cache.insert(n.stateHash, n.sleepMask, sum)
+		}
+		if !n.bypass && last > 0 {
+			parent := e.path[last-1]
+			parent.foldChild(parent.chosenFootprint(), n)
+		}
+	}
+	e.pool.put(n)
 }
 
 // split carves the shallowest untried, non-sleeping alternative off
@@ -367,14 +548,53 @@ func (e *explorer) backtrack() bool {
 // donated shard, so parallel sleep-set search may execute more
 // schedules than serial, but never fewer behaviours: a smaller sleep
 // set only prunes less.
+//
+// Under DPOR, donation is how backtrack sets are exchanged across work
+// items — by making the exchange unnecessary: before an option leaves
+// the donor, every node on the donor's path up to the branch point is
+// promoted to full expansion (todo = all options). Races the donated
+// subtree would discover against the donor's decisions then need no
+// cross-shard additions: whatever thread they would request at those
+// nodes is already committed. Donation therefore degrades those nodes
+// from DPOR pruning back to sleep-set pruning — parallel reduced
+// search may execute more schedules than serial, never fewer
+// behaviours — which keeps pruning sound (and the bug set identical)
+// at any worker count.
 func (e *explorer) split() (*workItem, bool) {
 	for d, n := range e.path {
-		for j := n.curIdx + 1; j < len(n.options); j++ {
-			opt := n.options[j]
-			if n.sleep[opt] {
+		if n.cut || n.bypass {
+			// Nothing below a cache cut is donatable: the region is
+			// single-choice by construction.
+			break
+		}
+		for j := 0; j < len(n.options); j++ {
+			if !e.opts.DPOR && j <= n.curIdx {
 				continue
 			}
+			if e.opts.DPOR && j == n.curIdx {
+				continue
+			}
+			opt := n.options[j]
+			if n.sleep[opt] || (e.opts.DPOR && n.done[opt]) {
+				continue
+			}
+			if e.opts.DPOR {
+				for i := 0; i <= d; i++ {
+					for _, o := range e.path[i].options {
+						e.path[i].todo[o] = true
+					}
+				}
+				// The donated subtree's footprints will never fold into
+				// this node's summary (another worker explores them), so
+				// a cache entry here would replay incomplete backtrack
+				// obligations on a later hit. Poison the summary; the
+				// overflow propagates to ancestors through foldChild.
+				n.subOverflow = true
+			}
 			n.options = slices.Delete(n.options, j, j+1)
+			if j < n.curIdx {
+				n.curIdx--
+			}
 
 			prefix := make([]core.ThreadID, 0, len(e.prefix)+d+1)
 			prefix = append(prefix, e.prefix...)
@@ -401,24 +621,14 @@ func (e *explorer) split() (*workItem, bool) {
 	return nil, false
 }
 
-// independent reports whether two pending operations commute: they
-// touch different objects, or are both reads of the same variable.
-// Unknown operations and thread-lifecycle operations are conservatively
-// dependent.
+// independent reports whether two pending operations commute. The
+// relation is core.Footprint.Commutes over the interned handles the
+// scheduler publishes: different objects, or both reads, commute;
+// unknown operations and thread-lifecycle operations are conservatively
+// dependent. (Interned handles are bijective with names, so this is
+// exactly the historical name-comparison relation.)
 func independent(a, b sched.PendingOp) bool {
-	if a.Op == core.OpInvalid || b.Op == core.OpInvalid {
-		return false
-	}
-	if a.Op == core.OpFork || a.Op == core.OpJoin || b.Op == core.OpFork || b.Op == core.OpJoin {
-		return false
-	}
-	if a.Op == core.OpYield || a.Op == core.OpSleep || b.Op == core.OpYield || b.Op == core.OpSleep {
-		return true
-	}
-	if a.Name != b.Name {
-		return true
-	}
-	return a.Op == core.OpRead && b.Op == core.OpRead
+	return a.Footprint().Commutes(b.Footprint())
 }
 
 // Explore runs the search over body and returns its summary. The
@@ -427,6 +637,9 @@ func independent(a, b sched.PendingOp) bool {
 func Explore(opts Options, body func(core.T)) *Result {
 	if opts.MaxSchedules <= 0 {
 		opts.MaxSchedules = 10000
+	}
+	if opts.DPOR {
+		opts.SleepSets = true
 	}
 	return newCoordinator(opts, body).run()
 }

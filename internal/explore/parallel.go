@@ -68,6 +68,7 @@ type coordinator struct {
 	seenBugs map[string]bool
 	bugs     []Bug
 	outcomes map[string]int
+	stats    Stats
 	err      error
 }
 
@@ -95,9 +96,14 @@ func (c *coordinator) run() *Result {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			// Each worker owns a pooled runner and a node free list,
-			// reused across every schedule and shard it executes.
+			// Each worker owns a pooled runner, a node free list and —
+			// when the state cache is on — a reduction bundle (event
+			// hasher + canonical-state cache), reused across every
+			// schedule and shard it executes. The cache is per-worker:
+			// an entry only ever asserts "this worker fully explored an
+			// equivalent subtree", which needs no cross-worker locking.
 			pool := newNodePool()
+			red := newReduction(c.opts)
 			runner := sched.NewRunner()
 			defer runner.Close()
 			for {
@@ -105,7 +111,7 @@ func (c *coordinator) run() *Result {
 				if item == nil {
 					return
 				}
-				c.exploreItem(runner, pool, item)
+				c.exploreItem(runner, pool, red, item)
 			}
 		}()
 	}
@@ -115,6 +121,7 @@ func (c *coordinator) run() *Result {
 		Schedules: int(c.executed.Load()),
 		Bugs:      c.bugs,
 		Outcomes:  c.outcomes,
+		Stats:     c.stats,
 		Err:       c.err,
 	}
 	// The tree was fully explored iff no budget truncation and no
@@ -125,11 +132,20 @@ func (c *coordinator) run() *Result {
 }
 
 // exploreItem runs the DFS over one shard, donating branches to
-// starving workers and observing the global budgets. runner and pool
-// are the calling worker's reusable execution state.
-func (c *coordinator) exploreItem(runner *sched.Runner, pool *nodePool, item *workItem) {
-	e := &explorer{opts: c.opts, prefix: item.prefix, rootSleep: item.sleep, pool: pool}
+// starving workers and observing the global budgets. runner, pool and
+// red are the calling worker's reusable execution state.
+func (c *coordinator) exploreItem(runner *sched.Runner, pool *nodePool, red *reduction, item *workItem) {
+	e := &explorer{opts: c.opts, prefix: item.prefix, rootSleep: item.sleep, pool: pool, red: red, cutDepth: -1}
+	defer func() {
+		c.resMu.Lock()
+		c.stats.add(e.stats)
+		c.resMu.Unlock()
+	}()
 	st := &dfsStrategy{e: e}
+	listeners := c.opts.Listeners
+	if red != nil {
+		listeners = red.listeners
+	}
 	for {
 		if c.stopping.Load() {
 			return
@@ -139,9 +155,15 @@ func (c *coordinator) exploreItem(runner *sched.Runner, pool *nodePool, item *wo
 			return
 		}
 		st.depth, st.prefixPre = 0, 0
+		if red != nil {
+			// The hash chains are a pure function of the decision
+			// sequence; every run replays its prefix from scratch, so
+			// the hasher rebuilds from scratch too.
+			red.hasher.reset()
+		}
 		runRes := runner.Run(sched.Config{
 			Strategy:       st,
-			Listeners:      c.opts.Listeners,
+			Listeners:      listeners,
 			MaxSteps:       c.opts.MaxSteps,
 			Name:           c.opts.Name,
 			RecordSchedule: true,

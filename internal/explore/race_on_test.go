@@ -1,0 +1,10 @@
+//go:build race
+
+package explore
+
+// raceEnabled slims the whole-repository equivalence sweep under the
+// race detector: instrumented runs are ~20x slower, and the sweep's
+// value under -race is exercising the parallel machinery, not
+// re-proving equivalence on the largest trees (the regular test job
+// does that).
+const raceEnabled = true

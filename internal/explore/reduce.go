@@ -1,0 +1,451 @@
+// The reduction layer: dynamic partial-order reduction and canonical-
+// state caching for the DFS engine. Both prune schedules that are
+// provably redundant — they revisit a state some other schedule
+// already covers — so the same deduplicated bug set is reachable in a
+// fraction of the schedules (pinned by TestReducedEquivalence across
+// the whole program repository).
+//
+// # Independence
+//
+// Everything keys on core.Footprint.Commutes over the (operation,
+// interned object handle) pairs the scheduler already publishes as
+// pending operations: two operations commute when they target
+// different objects, or are both reads. The relation is conservative —
+// fork/join and not-yet-published operations are dependent with
+// everything — which costs pruning, never soundness.
+//
+// # DPOR backtrack sets
+//
+// With Options.DPOR, a fresh node commits to exploring only its first
+// option. When a later decision point on the same path has a pending
+// operation that does not commute with an earlier node's chosen
+// operation by another thread, the pending thread is added to that
+// earlier node's backtrack set (Flanagan & Godefroid's lazy scheme,
+// without the clock-vector refinement — spurious additions cost extra
+// schedules, never coverage). A node is popped only when its backtrack
+// set is drained, so additions made while its subtree is in flight are
+// always honored. Options never added to any backtrack set are the
+// reduction: their reorderings are covered by a representative
+// schedule elsewhere in the tree.
+//
+// # Canonical-state cache
+//
+// With Options.StateCache, a per-worker listener folds every executed
+// event into per-thread hash chains, linking chains through per-object
+// "last writer" hashes so that two schedule prefixes hash equal iff
+// they execute the same per-thread event sequences in the same
+// conflict order — i.e. iff they are linearizations of the same
+// partial order and therefore reach the same program state. When a
+// fresh node's state hash is already in the cache, its whole subtree
+// is cut: the equivalent subtree was fully explored before. Soundness
+// conditions on a hit:
+//
+//   - the cached exploration's inherited sleep set must be a subset of
+//     the current one (it explored at least as much);
+//   - under DPOR, the cached subtree's footprint summary is replayed
+//     against the current path, adding backtrack points exactly as the
+//     skipped operations would have (the stateful-DPOR fix: cutting a
+//     subtree must not also cut the race reversals it would have
+//     requested).
+//
+// The cache is a bounded direct-mapped table: collisions overwrite,
+// which forfeits pruning but never soundness.
+package explore
+
+import (
+	"math/bits"
+
+	"mtbench/internal/core"
+	"mtbench/internal/sched"
+)
+
+// Stats counts what the reduction layer did during a search. All
+// fields are monotone counters merged across workers. The JSON field
+// names are pinned: cmd/explore -json emits them and the CI reduction
+// gate parses them.
+type Stats struct {
+	// SleepPruned counts node options skipped by sleep sets.
+	SleepPruned int `json:"sleep_pruned"`
+	// PORPruned counts node options never added to a DPOR backtrack
+	// set — subtrees proven redundant and not explored.
+	PORPruned int `json:"por_pruned"`
+	// Backtracks counts DPOR backtrack-set additions beyond each
+	// node's first option (including conservative additions replayed
+	// from cached subtree summaries).
+	Backtracks int `json:"backtracks"`
+	// StateHits counts subtrees cut by the canonical-state cache.
+	StateHits int `json:"state_hits"`
+}
+
+func (s *Stats) add(o Stats) {
+	s.SleepPruned += o.SleepPruned
+	s.PORPruned += o.PORPruned
+	s.Backtracks += o.Backtracks
+	s.StateHits += o.StateHits
+}
+
+// subCap bounds a node's subtree footprint summary. Benchmark
+// programs touch a handful of distinct (op, object) pairs; a subtree
+// that exceeds the cap is simply not cached under DPOR (overflowed
+// summaries cannot replay their backtrack obligations).
+const subCap = 24
+
+// word-level FNV-1a fold, shared with the fuzzer's canonical-form
+// hashing through core so the constants cannot drift.
+const fnvOffset = core.HashOffset
+
+func mix(h, v uint64) uint64 { return core.FoldHash(h, v) }
+
+// forkObj is the pseudo-object serializing forks in the hash: forks
+// assign thread ids in execution order, so their relative order is
+// observable even across unrelated parents and must never be hashed
+// away.
+const forkObj = uint64(1) << 40
+
+// stateHasher is the per-worker listener that folds the run's event
+// stream into per-thread hash chains. It is location-blind (it must
+// not reinstate the per-probe stack walk) and is reset at the start of
+// every run: a run replays its whole prefix, so the chains are rebuilt
+// from scratch each time and depend only on the decision sequence.
+type stateHasher struct {
+	chains []uint64
+	// wh[obj] is the hash of the last conflicting ("write-class")
+	// event on obj; rh[obj] xor-accumulates the reads since (reads
+	// commute, so their order must not influence the hash).
+	wh map[uint32]uint64
+	rh map[uint32]uint64
+	// whFork serializes fork events (see forkObj).
+	whFork uint64
+	// timeH folds virtual-time-relevant decision positions: the step
+	// index of every sleep execution (a sleeper's wake deadline is a
+	// function of the step it slept at, so two prefixes whose sleeps
+	// land on different steps are different states even when their
+	// event chains match) and of every idle (time-warp) decision. Fed
+	// by explorer.notePick, since neither position is visible in the
+	// event stream.
+	timeH uint64
+}
+
+func newStateHasher() *stateHasher {
+	return &stateHasher{
+		wh: make(map[uint32]uint64),
+		rh: make(map[uint32]uint64),
+	}
+}
+
+// NeedsLocations implements core.LocationIndifferent: the hasher never
+// reads event locations, so attaching it must not turn on per-probe
+// location capture.
+func (sh *stateHasher) NeedsLocations() bool { return false }
+
+func (sh *stateHasher) reset() {
+	sh.chains = sh.chains[:0]
+	clear(sh.wh)
+	clear(sh.rh)
+	sh.whFork = 0
+	sh.timeH = 0
+}
+
+func (sh *stateHasher) chain(t core.ThreadID) uint64 {
+	for int(t) >= len(sh.chains) {
+		sh.chains = append(sh.chains, mix(fnvOffset, uint64(len(sh.chains))+1))
+	}
+	return sh.chains[t]
+}
+
+// OnEvent implements core.Listener: fold one executed event.
+func (sh *stateHasher) OnEvent(ev *core.Event) {
+	t := ev.Thread
+	if t < 0 {
+		return
+	}
+	h := sh.chain(t)
+	obj := ev.NameID
+	switch ev.Op {
+	case core.OpYield, core.OpSleep, core.OpEnd, core.OpOutcome, core.OpFail:
+		// Local-only effects: no shared object, program order suffices.
+		h = mix(mix(h, uint64(ev.Op)), uint64(ev.Value))
+	case core.OpRead:
+		// Reads observe the object's last write but do not advance it;
+		// the xor accumulator keeps concurrent reads order-insensitive.
+		h = mix(mix(mix(h, uint64(ev.Op)), uint64(obj)), uint64(ev.Value))
+		h = mix(h, sh.wh[obj])
+		sh.rh[obj] ^= h
+	case core.OpBlock:
+		// A blocked acquire observes the lock's state without changing
+		// it: fold the observation, leave the object chain alone.
+		h = mix(mix(mix(h, uint64(ev.Op)), uint64(obj)), sh.wh[obj])
+	case core.OpFork:
+		// Forks order globally (thread-id assignment) and locally.
+		h = mix(mix(mix(h, uint64(ev.Op)), uint64(ev.Value)), sh.whFork)
+		sh.whFork = h
+	case core.OpJoin:
+		// Joining folds the joined thread's final chain: the joiner's
+		// continuation depends on everything the child did.
+		child := core.ThreadID(ev.Value)
+		h = mix(mix(h, uint64(ev.Op)), sh.chain(child))
+	default:
+		// Write-class: conflicts with every other operation on obj.
+		h = mix(mix(mix(h, uint64(ev.Op)), uint64(obj)), uint64(ev.Value))
+		h = mix(mix(h, sh.wh[obj]), sh.rh[obj])
+		sh.wh[obj] = h
+		sh.rh[obj] = 0
+	}
+	sh.chains[t] = h
+}
+
+// cacheEnt is one direct-mapped cache slot. The summary is inline so
+// steady-state insertion allocates nothing.
+type cacheEnt struct {
+	hash  uint64
+	sleep uint64 // inherited sleep set at exploration, as a thread bitmask
+	used  bool
+	nsum  uint8
+	sum   [subCap]uint64
+}
+
+// stateCache is the bounded canonical-state table. One per worker:
+// entries only assert "this worker fully explored an equivalent
+// subtree", which is sound without any cross-worker coordination.
+type stateCache struct {
+	mask uint64
+	ents []cacheEnt
+}
+
+// DefaultStateCacheSize is the per-worker entry count when
+// Options.StateCacheSize is zero.
+const DefaultStateCacheSize = 1 << 15
+
+func newStateCache(size int) *stateCache {
+	if size <= 0 {
+		size = DefaultStateCacheSize
+	}
+	n := 1 << bits.Len(uint(size-1)) // round up to a power of two
+	return &stateCache{mask: uint64(n - 1), ents: make([]cacheEnt, n)}
+}
+
+// lookup reports a usable entry for the state: same hash, and explored
+// under a sleep set no larger than the current one.
+func (c *stateCache) lookup(hash, sleep uint64) (*cacheEnt, bool) {
+	e := &c.ents[hash&c.mask]
+	if !e.used || e.hash != hash {
+		return nil, false
+	}
+	if e.sleep&^sleep != 0 {
+		return nil, false // cached run slept more than we would: it explored less
+	}
+	return e, true
+}
+
+// insert records a fully-explored subtree. Collisions overwrite: the
+// cache is an accelerator, not a ledger.
+func (c *stateCache) insert(hash, sleep uint64, sum []uint64) {
+	e := &c.ents[hash&c.mask]
+	e.hash, e.sleep, e.used = hash, sleep, true
+	e.nsum = uint8(len(sum))
+	copy(e.sum[:], sum)
+}
+
+// reduction bundles the per-worker state of the reduction layer: the
+// event hasher, its listener slice (hasher first, then the user's
+// listeners), and the canonical-state cache. nil when Options.
+// StateCache is off; DPOR alone needs no per-worker state.
+type reduction struct {
+	hasher    *stateHasher
+	cache     *stateCache
+	listeners []core.Listener
+}
+
+func newReduction(opts Options) *reduction {
+	if !opts.StateCache {
+		return nil
+	}
+	r := &reduction{
+		hasher: newStateHasher(),
+		cache:  newStateCache(opts.StateCacheSize),
+	}
+	r.listeners = append(r.listeners, core.Listener(r.hasher))
+	r.listeners = append(r.listeners, opts.Listeners...)
+	return r
+}
+
+// sleepMask folds a sleep set into a thread bitmask; ok is false when
+// a member does not fit (thread id ≥ 64), which disables caching for
+// the node rather than risking an incomparable set.
+func sleepMask(sleep map[core.ThreadID]bool) (uint64, bool) {
+	var m uint64
+	for t, on := range sleep {
+		if !on {
+			continue
+		}
+		if t < 0 || t >= 64 {
+			return 0, false
+		}
+		m |= 1 << uint(t)
+	}
+	return m, true
+}
+
+// hashState combines the worker's event chains with the decision
+// point's visible state — step index, runnable set, each runnable
+// thread's pending footprint, and the timing branch — into the node's
+// canonical identity. The current thread is deliberately excluded:
+// linearizations of the same partial order arrive here with different
+// last-executed threads but identical program states, and merging them
+// is the point. Under a preemption bound the remaining budget (and the
+// current thread it depends on) becomes part of the identity, since a
+// subtree explored with less budget proves nothing about more.
+func (e *explorer) hashState(c *sched.Choice, n *node) uint64 {
+	sh := e.red.hasher
+	h := mix(mix(fnvOffset, uint64(c.Step)), sh.timeH)
+	for i, ch := range sh.chains {
+		h = mix(mix(h, uint64(i)), ch)
+	}
+	for _, id := range c.Runnable {
+		h = mix(mix(h, uint64(uint32(id))), c.PendingOf(id).Footprint().Packed())
+	}
+	if c.CanIdle {
+		h = mix(h, 0x1d1e)
+	}
+	if e.opts.PreemptionBound != nil {
+		h = mix(mix(h, uint64(uint32(c.Current))), uint64(n.preBefore))
+	}
+	return h
+}
+
+// addSub folds one packed footprint into a node's subtree summary.
+func (n *node) addSub(fp uint64) {
+	if n.subOverflow {
+		return
+	}
+	for _, v := range n.sub {
+		if v == fp {
+			return
+		}
+	}
+	if len(n.sub) >= subCap {
+		n.subOverflow = true
+		return
+	}
+	n.sub = append(n.sub, fp)
+}
+
+// foldChild merges a popped child's summary (plus the executed edge's
+// own footprint) into this node's summary.
+func (n *node) foldChild(edge uint64, child *node) {
+	n.addSub(edge)
+	if child.subOverflow {
+		n.subOverflow = true
+		return
+	}
+	for _, v := range child.sub {
+		n.addSub(v)
+	}
+}
+
+// addBacktrack requests that thread p be explored at node n: p itself
+// when it is an option there, otherwise (p was not enabled) every
+// option — Flanagan & Godefroid's conservative fallback. It reports
+// how many fresh additions were made.
+func (n *node) addBacktrack(p core.ThreadID) int {
+	if n.todo == nil {
+		return 0
+	}
+	for _, o := range n.options {
+		if o == p {
+			if !n.todo[p] {
+				n.todo[p] = true
+				return 1
+			}
+			return 0
+		}
+	}
+	added := 0
+	for _, o := range n.options {
+		if !n.todo[o] {
+			n.todo[o] = true
+			added++
+		}
+	}
+	return added
+}
+
+// chosenFootprint is the packed footprint of the operation this node's
+// current choice executes.
+func (n *node) chosenFootprint() uint64 {
+	return n.pendings[n.chosen()].Footprint().Packed()
+}
+
+// dporAnalyze implements the lazy backtrack-set construction for a
+// fresh node: for every pending operation at this decision point, find
+// the deepest earlier node whose chosen operation (by another thread)
+// does not commute with it, and request the pending thread there. The
+// scan stops at the shard root: races against the donated prefix are
+// covered by the donor, which fully expands its path nodes before
+// every donation (see split).
+func (e *explorer) dporAnalyze(n *node, pd int) {
+	for _, p := range n.options {
+		if p == sched.IdleID {
+			continue
+		}
+		fp := n.pendings[p].Footprint()
+		for i := pd - 1; i >= 0; i-- {
+			ni := e.path[i]
+			ch := ni.chosen()
+			if ch == p || ch == sched.IdleID {
+				continue
+			}
+			if !ni.pendings[ch].Footprint().Commutes(fp) {
+				e.stats.Backtracks += ni.addBacktrack(p)
+				break
+			}
+		}
+	}
+}
+
+// notePick folds timing-relevant decisions into the state hash: idle
+// (time-warp) decisions and sleep executions, keyed by the step they
+// happen at (see stateHasher.timeH). Called for every decision of
+// every run — replayed and fresh alike, so the fold sequence is a
+// pure function of the decision prefix. No-op without the state cache
+// and for ordinary picks.
+func (e *explorer) notePick(c *sched.Choice, pick core.ThreadID) {
+	if e.red == nil {
+		return
+	}
+	sh := e.red.hasher
+	if pick == sched.IdleID {
+		sh.timeH = mix(mix(sh.timeH, 0x1d1e0), uint64(c.Step))
+	} else if c.PendingOf != nil && c.PendingOf(pick).Op == core.OpSleep {
+		sh.timeH = mix(mix(sh.timeH, 0x51ee9), uint64(c.Step))
+	}
+}
+
+// applySummary replays a cached subtree's footprint summary against
+// the current path: each summarized operation behaves like a pending
+// operation observed at the cut point, except the executing thread is
+// unknown, so the conservative all-options addition is used at the
+// deepest dependent node.
+func (e *explorer) applySummary(ent *cacheEnt, pd int) {
+	for _, packed := range ent.sum[:ent.nsum] {
+		fp := core.UnpackFootprint(packed)
+		for i := pd - 1; i >= 0; i-- {
+			ni := e.path[i]
+			ch := ni.chosen()
+			if ch == sched.IdleID {
+				continue
+			}
+			if !ni.pendings[ch].Footprint().Commutes(fp) {
+				added := 0
+				for _, o := range ni.options {
+					if o != ch && !ni.todo[o] {
+						ni.todo[o] = true
+						added++
+					}
+				}
+				e.stats.Backtracks += added
+				break
+			}
+		}
+	}
+}

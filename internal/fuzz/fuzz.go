@@ -83,6 +83,18 @@ type Options struct {
 	// MaxCorpus caps retained corpus entries (0 = 256); when full, the
 	// lowest-gain entry after the baseline seed is evicted.
 	MaxCorpus int
+	// Canonicalize enables commutation-aware candidate dedup: the
+	// guided strategy records each executed decision's operation
+	// footprint, the preemption-bound mutator first rewrites its base
+	// into a canonical normal form (adjacent independent decisions
+	// sorted by thread id, using the exploration engine's
+	// core.Footprint.Commutes relation — two schedules that differ
+	// only by reordering commuting operations rewrite to the same
+	// log), and runs whose canonical form was already executed are
+	// counted (Result.CanonDups) and kept out of the corpus. Off by
+	// default: it changes the campaign's run sequence, and the
+	// fixed-seed goldens pin the un-canonicalized search.
+	Canonicalize bool
 	// Listeners are attached to every run. With Workers > 1, runs
 	// execute concurrently, so listeners must be safe for concurrent
 	// use.
@@ -122,6 +134,10 @@ type Result struct {
 	// Repairs counts mutated decisions that were infeasible at
 	// execution time and were repaired by the guided strategy.
 	Repairs int64
+	// CanonDups counts executed runs whose commutation-canonical form
+	// had already been executed — budget spent re-proving an
+	// equivalence class (0 unless Options.Canonicalize).
+	CanonDups int
 	// Ops histograms executed runs by the mutation operator that
 	// produced them ("seed" for the corpus-seeding runs).
 	Ops map[string]int

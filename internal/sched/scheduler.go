@@ -270,6 +270,15 @@ type PendingOp struct {
 	Loc    core.Location
 }
 
+// Footprint is the operation's reduction-layer identity: its kind plus
+// the interned handle of the object it targets. The exploration
+// engine's independence relation (core.Footprint.Commutes) and the
+// fuzzer's commutation canonicalizer both key on it. It allocates
+// nothing — both fields are already carried by the pending op.
+func (p PendingOp) Footprint() core.Footprint {
+	return core.Footprint{Op: p.Op, Obj: p.NameID}
+}
+
 type scheduler struct {
 	cfg       Config
 	listeners core.MultiListener
@@ -277,9 +286,10 @@ type scheduler struct {
 	plan      *instrument.Plan
 	strategy  Strategy
 	// capLoc gates per-operation source-location capture: on only when
-	// a listener is attached or the strategy declared LocationAware,
-	// because resolving a caller PC is the single most expensive part
-	// of an otherwise-listener-free probe.
+	// an attached listener may read locations (core.LocationIndifferent
+	// lets location-blind listeners opt out) or the strategy declared
+	// LocationAware, because resolving a caller PC is the single most
+	// expensive part of an otherwise-listener-free probe.
 	capLoc bool
 
 	threads []*thread
@@ -346,7 +356,7 @@ func (s *scheduler) reset(cfg Config) {
 	s.evMask = s.listeners.WantMask()
 	s.plan = cfg.Plan
 	s.strategy = cfg.Strategy
-	s.capLoc = len(cfg.Listeners) > 0
+	s.capLoc = s.listeners.NeedLocations()
 	if !s.capLoc {
 		if la, ok := cfg.Strategy.(LocationAware); ok && la.NeedsLocations() {
 			s.capLoc = true

@@ -257,6 +257,14 @@ type (
 	// ExploreBug is one erroneous schedule found during exploration,
 	// replayable through FixedSchedule or the replay package.
 	ExploreBug = explore.Bug
+	// ExploreStats counts what the reduction layer pruned (sleep sets,
+	// DPOR backtrack sets, canonical-state cache) during a search.
+	ExploreStats = explore.Stats
+	// Footprint is the reduction layer's (operation, interned object)
+	// view of a pending operation; Footprint.Commutes is the
+	// independence relation DPOR, sleep sets and the fuzzer's
+	// commutation canonicalizer share.
+	Footprint = core.Footprint
 )
 
 var (
