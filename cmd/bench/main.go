@@ -165,6 +165,45 @@ func workloads() ([]workload, error) {
 		})
 	}
 
+	// Checkpointed exploration: the same exhaustive searches with a
+	// parked-runner budget (explore.Options.Checkpoints), which trades
+	// prefix replay for suspended runners. Checkpointing requires the
+	// state cache (parks happen at cache cuts), so the explore/* variant
+	// here is cache-only reduction and the explore-por/* variant is the
+	// full reduced stack. The coast-mode entries above keep their pinned
+	// names and configs so trajectories stay comparable across BENCH
+	// files.
+	for _, prog := range []string{"philosophers", "account"} {
+		pb, err := body(prog)
+		if err != nil {
+			return nil, err
+		}
+		for _, mode := range []struct {
+			family string
+			dpor   bool
+		}{
+			{"explore", false},
+			{"explore-por", true},
+		} {
+			opts := explore.Options{
+				MaxSchedules: 200000, Workers: 1,
+				DPOR: mode.dpor, StateCache: true, Checkpoints: 4,
+			}
+			warm := explore.Explore(opts, pb)
+			if warm.Err != nil {
+				return nil, warm.Err
+			}
+			out = append(out, workload{
+				name:           fmt.Sprintf("%s/%s/workers=1/checkpoints=4", mode.family, prog),
+				schedulesPerOp: warm.Schedules,
+				run: func(int) error {
+					res := explore.Explore(opts, pb)
+					return res.Err
+				},
+			})
+		}
+	}
+
 	for _, prog := range []string{"account", "abastack"} {
 		pb, err := body(prog)
 		if err != nil {

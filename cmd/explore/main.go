@@ -40,6 +40,7 @@ func main() {
 	por := flag.Bool("por", false, "enable dynamic partial-order reduction (implies -sleepsets)")
 	stateCache := flag.Bool("statecache", false, "enable canonical-state caching")
 	cacheSize := flag.Int("statecachesize", 0, "state-cache entries per worker (0 = default)")
+	checkpoints := flag.Int("checkpoints", 0, "parked-runner checkpoint budget per worker (0 = off; needs -statecache)")
 	timeouts := flag.Bool("timeouts", false, "explore timer expirations too")
 	stopFirst := flag.Bool("first", true, "stop at first bug")
 	workers := flag.Int("workers", 0, "parallel search workers (0 = all cores, 1 = deterministic serial)")
@@ -59,7 +60,8 @@ func main() {
 	err = run(cliConfig{
 		prog: *prog, params: *params, max: *max, bound: *bound, workers: *workers,
 		sleepSets: *sleepSets, por: *por, stateCache: *stateCache, cacheSize: *cacheSize,
-		timeouts: *timeouts, stopFirst: *stopFirst, stats: *stats, jsonOut: *jsonOut,
+		checkpoints: *checkpoints,
+		timeouts:    *timeouts, stopFirst: *stopFirst, stats: *stats, jsonOut: *jsonOut,
 		save: *save, replayPath: *replayPath,
 	})
 	stopProf()
@@ -75,6 +77,7 @@ type cliConfig struct {
 	sleepSets, por      bool
 	stateCache          bool
 	cacheSize           int
+	checkpoints         int
 	timeouts, stopFirst bool
 	stats, jsonOut      bool
 	save, replayPath    string
@@ -150,6 +153,7 @@ func run(cfg cliConfig) error {
 		DPOR:            cfg.por,
 		StateCache:      cfg.stateCache,
 		StateCacheSize:  cfg.cacheSize,
+		Checkpoints:     cfg.checkpoints,
 		ExploreTimeouts: cfg.timeouts,
 		StopAtFirstBug:  cfg.stopFirst,
 		Workers:         cfg.workers,
@@ -192,6 +196,8 @@ func run(cfg cliConfig) error {
 	if cfg.stats && !cfg.jsonOut {
 		fmt.Printf("reduction: sleep-pruned=%d por-pruned=%d backtracks=%d cache-hits=%d\n",
 			res.Stats.SleepPruned, res.Stats.PORPruned, res.Stats.Backtracks, res.Stats.StateHits)
+		fmt.Printf("replay tax: replayed-steps=%d novel-steps=%d\n",
+			res.Stats.ReplayedSteps, res.Stats.NovelSteps)
 	}
 	if cfg.save != "" && len(res.Bugs) > 0 {
 		s := &replay.Schedule{

@@ -55,6 +55,13 @@ type Config struct {
 	Budget int `json:"budget"`
 	// MaxSteps bounds each individual run (0 = DefaultMaxSteps).
 	MaxSteps int64 `json:"max_steps,omitempty"`
+	// Checkpoints is the parked-runner checkpoint budget per explore
+	// worker (see explore.Options.Checkpoints); only the explore-por
+	// finder consumes it. 0 = off, which keeps fixed-seed stores
+	// byte-identical with pre-checkpoint campaigns — checkpointing
+	// changes how the reduced DFS revisits branch points, never which
+	// schedules, bugs, or first-bug indices a cell reports.
+	Checkpoints int `json:"checkpoints,omitempty"`
 	// Params overrides program parameters by program name, so large
 	// programs face the same shrunk instances for every finder.
 	// nil = DefaultParams; an explicitly empty map means "no

@@ -32,11 +32,12 @@ type Finder struct {
 
 // cellSpec is everything a finder needs to execute one cell.
 type cellSpec struct {
-	prog     *repository.Program
-	body     func(core.T)
-	seed     int64
-	budget   int
-	maxSteps int64
+	prog        *repository.Program
+	body        func(core.T)
+	seed        int64
+	budget      int
+	maxSteps    int64
+	checkpoints int
 }
 
 // cellOutcome is a finder's raw per-cell result before it becomes a
@@ -185,6 +186,7 @@ func runExplorePORFinder(spec cellSpec) (cellOutcome, error) {
 		Workers:      1,
 		DPOR:         true,
 		StateCache:   true,
+		Checkpoints:  spec.checkpoints,
 		Name:         spec.prog.Name,
 	}, spec.body)
 	if er.Err != nil {

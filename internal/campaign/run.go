@@ -83,11 +83,12 @@ func Run(ctx context.Context, cfg Config, store *Store, progress Progress) (*Sum
 			cell:   cell,
 			finder: finder,
 			spec: cellSpec{
-				prog:     prog,
-				body:     prog.BodyWith(params),
-				seed:     cell.Seed,
-				budget:   cell.Budget,
-				maxSteps: cfg.MaxSteps,
+				prog:        prog,
+				body:        prog.BodyWith(params),
+				seed:        cell.Seed,
+				budget:      cell.Budget,
+				maxSteps:    cfg.MaxSteps,
+				checkpoints: cfg.Checkpoints,
 			},
 		})
 	}

@@ -1,0 +1,261 @@
+// Worker kits and parked-runner checkpoints.
+//
+// A workerKit is the reusable per-worker execution state: the pooled
+// runner, the DFS node free list, the reduction structures (event
+// hasher + canonical-state cache) and the outcome-key intern table.
+// Kits are recycled through a package-level pool, so a campaign that
+// calls Explore thousands of times pays the runner/cache construction
+// cost once — the state cache is invalidated by generation bump on
+// checkout instead of being reallocated or zeroed.
+//
+// With Options.Checkpoints > 0 a kit also manages parked runners: a
+// run that reaches a state-cache cut is suspended at the cut (its
+// virtual threads stay blocked on their resume channels) and kept as
+// a checkpoint. Before each schedule the worker asks the kit for a
+// checkpoint whose parked decision sequence is a prefix of the
+// schedule's replay sequence; on a match the run is resumed from
+// there — skipping that many replayed steps — and on a miss the
+// worker falls back to the ordinary replay path. The checkpoint pool
+// is bounded: the oldest runner is abandoned beyond the budget, and
+// every checkpoint is abandoned when its shard ends (a donated or
+// newly taken shard hangs under a different prefix, so a stale parked
+// run could never match it). Abandoning returns the runner's virtual
+// threads to its pool — no goroutine ever leaks with the parked run.
+package explore
+
+import (
+	"math/bits"
+	"sync"
+
+	"mtbench/internal/core"
+	"mtbench/internal/sched"
+)
+
+// checkpoint is one parked run: the runner suspended at a decision
+// point, the decision sequence it consumed to get there, and the
+// worker state a resumed run must continue under.
+type checkpoint struct {
+	runner *sched.Runner
+	// decisions is the schedule prefix the parked run executed; the
+	// parked (re-offered) decision point is decisions[len(decisions)]
+	// — not consumed, so a resumed run may pick any runnable thread
+	// there.
+	decisions []core.ThreadID
+	// prefixPre restores the strategy's prefix preemption accounting.
+	prefixPre int
+	// snap freezes the state hasher at the park point (nil when the
+	// state cache is off).
+	snap *hasherSnap
+}
+
+// workerKit is the per-worker reusable execution state.
+type workerKit struct {
+	runner *sched.Runner
+	pool   *nodePool
+	hasher *stateHasher
+	cache  *stateCache
+
+	// spares holds idle runners freed by abandoned checkpoints, reused
+	// before constructing new ones.
+	spares []*sched.Runner
+	// ckpts is the bounded parked-runner pool, oldest first.
+	ckpts []*checkpoint
+
+	// outKeys interns the "verdict:outcome" histogram keys per verdict,
+	// so recording a run allocates nothing once a (verdict, outcome)
+	// pair has been seen. Outcome strings are interned per runner,
+	// making the inner map lookups cheap and stable.
+	outKeys [8]map[string]string
+
+	// planned is the scratch buffer matchCheckpoint builds the next
+	// run's replay sequence into.
+	planned []core.ThreadID
+}
+
+// kitPool recycles worker kits process-wide. Runners keep their
+// virtual-thread goroutines parked between explorations — that is the
+// point — so the pool is bounded to keep the idle population small.
+var (
+	kitMu   sync.Mutex
+	kitFree []*workerKit
+)
+
+const maxPooledKits = 16
+
+func getKit() *workerKit {
+	kitMu.Lock()
+	if n := len(kitFree); n > 0 {
+		k := kitFree[n-1]
+		kitFree = kitFree[:n-1]
+		kitMu.Unlock()
+		return k
+	}
+	kitMu.Unlock()
+	return &workerKit{runner: sched.NewRunner(), pool: newNodePool()}
+}
+
+// release returns the kit to the pool (or closes it when the pool is
+// full). Any parked checkpoints are abandoned first; their runners
+// stay with the kit as spares.
+func (k *workerKit) release() {
+	k.abandonCheckpoints()
+	kitMu.Lock()
+	if len(kitFree) < maxPooledKits {
+		kitFree = append(kitFree, k)
+		kitMu.Unlock()
+		return
+	}
+	kitMu.Unlock()
+	k.close()
+}
+
+func (k *workerKit) close() {
+	k.abandonCheckpoints()
+	k.runner.Close()
+	for _, r := range k.spares {
+		r.Close()
+	}
+	k.spares = nil
+}
+
+// reductionFor prepares the kit's reduction bundle for one
+// exploration: reuse the hasher and (size permitting) the cache,
+// invalidating cached subtrees from whatever exploration used the kit
+// last.
+func (k *workerKit) reductionFor(opts Options) *reduction {
+	if !opts.StateCache {
+		return nil
+	}
+	size := opts.StateCacheSize
+	if size <= 0 {
+		size = DefaultStateCacheSize
+	}
+	n := 1 << bits.Len(uint(size-1))
+	if k.cache == nil || len(k.cache.ents) != n {
+		k.cache = newStateCache(size)
+	} else {
+		k.cache.reset()
+	}
+	if k.hasher == nil {
+		k.hasher = newStateHasher()
+	}
+	r := &reduction{hasher: k.hasher, cache: k.cache}
+	r.listeners = append(r.listeners, core.Listener(k.hasher))
+	r.listeners = append(r.listeners, opts.Listeners...)
+	return r
+}
+
+// outKey returns the interned outcome-histogram key for a run.
+func (k *workerKit) outKey(v core.Verdict, outcome string) string {
+	i := int(v)
+	if i >= len(k.outKeys) {
+		return v.String() + ":" + outcome
+	}
+	m := k.outKeys[i]
+	if m == nil {
+		m = make(map[string]string, 8)
+		k.outKeys[i] = m
+	}
+	key, ok := m[outcome]
+	if !ok {
+		key = v.String() + ":" + outcome
+		if len(m) < 1<<12 {
+			m[outcome] = key
+		}
+	}
+	return key
+}
+
+// freshRunner hands the worker a runner for its next run, preferring
+// spares freed by abandoned checkpoints.
+func (k *workerKit) freshRunner() *sched.Runner {
+	if n := len(k.spares); n > 0 {
+		r := k.spares[n-1]
+		k.spares = k.spares[:n-1]
+		return r
+	}
+	return sched.NewRunner()
+}
+
+// park registers the kit's active runner — just parked at a
+// state-cache cut — as a checkpoint and installs a fresh active
+// runner. Beyond the budget the oldest checkpoint is abandoned; its
+// runner (threads back in its pool) becomes a spare.
+func (k *workerKit) park(e *explorer, st *dfsStrategy, red *reduction, budget int) {
+	ck := &checkpoint{runner: k.runner, prefixPre: st.prefixPre}
+	ck.decisions = make([]core.ThreadID, 0, len(e.prefix)+len(e.path))
+	ck.decisions = append(ck.decisions, e.prefix...)
+	for _, n := range e.path {
+		ck.decisions = append(ck.decisions, n.chosen())
+	}
+	if red != nil {
+		ck.snap = red.hasher.snapshot()
+	}
+	k.ckpts = append(k.ckpts, ck)
+	if len(k.ckpts) > budget {
+		old := k.ckpts[0]
+		copy(k.ckpts, k.ckpts[1:])
+		k.ckpts = k.ckpts[:len(k.ckpts)-1]
+		old.runner.Abandon()
+		k.spares = append(k.spares, old.runner)
+	}
+	k.runner = k.freshRunner()
+}
+
+// takeCheckpoint finds, removes and returns the deepest checkpoint
+// whose parked decision sequence is a prefix of the next run's replay
+// sequence (the shard prefix plus the path's current choices) — the
+// run can continue from there instead of replaying from the root. It
+// returns nil when no checkpoint matches, which is the common case:
+// depth-first backtracking deviates above the cut a checkpoint was
+// parked at, so checkpoints mostly age out. The lookup stays because
+// it is what makes resume-instead-of-replay correct whenever a match
+// does exist (and cheap: one prefix comparison per retained
+// checkpoint).
+func (k *workerKit) takeCheckpoint(e *explorer) *checkpoint {
+	if len(k.ckpts) == 0 {
+		return nil
+	}
+	k.planned = k.planned[:0]
+	k.planned = append(k.planned, e.prefix...)
+	for _, n := range e.path {
+		k.planned = append(k.planned, n.chosen())
+	}
+	best := -1
+	for i, ck := range k.ckpts {
+		if len(ck.decisions) > len(k.planned) {
+			continue
+		}
+		if best >= 0 && len(ck.decisions) <= len(k.ckpts[best].decisions) {
+			continue
+		}
+		match := true
+		for j, d := range ck.decisions {
+			if k.planned[j] != d {
+				match = false
+				break
+			}
+		}
+		if match {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	ck := k.ckpts[best]
+	copy(k.ckpts[best:], k.ckpts[best+1:])
+	k.ckpts = k.ckpts[:len(k.ckpts)-1]
+	return ck
+}
+
+// abandonCheckpoints tears down every parked run, returning each
+// runner's threads to its pool and the runners themselves to the
+// spares list.
+func (k *workerKit) abandonCheckpoints() {
+	for _, ck := range k.ckpts {
+		ck.runner.Abandon()
+		k.spares = append(k.spares, ck.runner)
+	}
+	k.ckpts = k.ckpts[:0]
+}

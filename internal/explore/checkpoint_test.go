@@ -1,0 +1,214 @@
+package explore
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"mtbench/internal/repository"
+)
+
+// TestCheckpointedEquivalence pins the checkpointing contract over the
+// whole program repository. Serially the contract is exact:
+// parked-runner exploration (DPOR + state cache + a checkpoint budget)
+// must visit exactly the tree the coast-mode reduced search visits —
+// same schedule count, same exhaustion, same deduplicated bug set,
+// same novel-step total — because checkpointing only changes how a run
+// reaches its decision point, never which decisions the DFS
+// enumerates. The one intended serial difference is the replay tax:
+// the checkpointed search must never replay more steps than coast
+// mode, and on the benchmark gate program it must replay strictly
+// fewer while reporting parked runs in the outcome histogram.
+//
+// With Workers: 8 the per-worker state caches see different state
+// sequences depending on shard-donation timing — which parking shifts,
+// exactly as coast-mode donation timing already varies — so schedule
+// counts are not comparable across modes (TestReducedEquivalence pins
+// the parallel bound against the full tree instead). The parallel
+// checkpointed contract is the soundness half: when the search
+// exhausts, it finds exactly the serial bug set, and its outcome
+// histogram accounts for every schedule.
+func TestCheckpointedEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-repository exploration sweep in -short mode")
+	}
+	budget, maxSteps := 30000, int64(5000)
+	if raceEnabled {
+		budget = 3000
+	}
+	for _, prog := range repository.All() {
+		body := prog.BodyWith(smallParams[prog.Name])
+		base := Explore(Options{
+			MaxSchedules: budget, MaxSteps: maxSteps, Workers: 1,
+			DPOR: true, StateCache: true,
+		}, body)
+		if base.Err != nil {
+			t.Fatalf("%s: %v", prog.Name, base.Err)
+		}
+		baseBugs := bugKeys(base)
+		for _, workers := range []int{1, 8} {
+			ck := Explore(Options{
+				MaxSchedules: budget, MaxSteps: maxSteps, Workers: workers,
+				DPOR: true, StateCache: true, Checkpoints: 4,
+			}, body)
+			label := fmt.Sprintf("%s/checkpoints=4/workers=%d", prog.Name, workers)
+			if ck.Err != nil {
+				t.Fatalf("%s: %v", label, ck.Err)
+			}
+			total := 0
+			for _, n := range ck.Outcomes {
+				total += n
+			}
+			if total != ck.Schedules {
+				t.Errorf("%s: outcome histogram counts %d runs over %d schedules", label, total, ck.Schedules)
+			}
+			if workers > 1 {
+				if base.Exhausted && ck.Exhausted {
+					if got := bugKeys(ck); !reflect.DeepEqual(got, baseBugs) {
+						t.Errorf("%s: bug sets differ\n  coast:        %v\n  checkpointed: %v", label, baseBugs, got)
+					}
+				}
+				continue
+			}
+			if ck.Schedules != base.Schedules || ck.Exhausted != base.Exhausted {
+				t.Errorf("%s: tree shape changed: %d schedules (exhausted=%v) vs coast %d (%v)",
+					label, ck.Schedules, ck.Exhausted, base.Schedules, base.Exhausted)
+			}
+			if got := bugKeys(ck); !reflect.DeepEqual(got, baseBugs) {
+				t.Errorf("%s: bug sets differ\n  coast:        %v\n  checkpointed: %v", label, baseBugs, got)
+			}
+			if ck.Stats.ReplayedSteps > base.Stats.ReplayedSteps {
+				t.Errorf("%s: checkpointing raised the replay tax: %d vs coast %d",
+					label, ck.Stats.ReplayedSteps, base.Stats.ReplayedSteps)
+			}
+			if ck.Stats.NovelSteps != base.Stats.NovelSteps {
+				t.Errorf("%s: novel steps differ: %d vs coast %d",
+					label, ck.Stats.NovelSteps, base.Stats.NovelSteps)
+			}
+			if prog.Name == "philosophers" {
+				if ck.Stats.ReplayedSteps >= base.Stats.ReplayedSteps {
+					t.Errorf("%s: expected strictly fewer replayed steps than coast mode: %d vs %d",
+						label, ck.Stats.ReplayedSteps, base.Stats.ReplayedSteps)
+				}
+				if ck.Outcomes["parked:"] == 0 {
+					t.Errorf("%s: no parked runs recorded; outcomes: %v", label, ck.Outcomes)
+				}
+			}
+		}
+	}
+}
+
+// leakModes is the mode matrix the goroutine-leak sweep drives: every
+// reduction configuration, with and without parked-runner checkpoints
+// where the state cache permits them, at both worker counts.
+var leakModes = []struct {
+	name string
+	set  func(*Options)
+}{
+	{"plain", func(o *Options) {}},
+	{"dpor", func(o *Options) { o.DPOR = true }},
+	{"cache", func(o *Options) { o.StateCache = true }},
+	{"dpor+cache", func(o *Options) { o.DPOR = true; o.StateCache = true }},
+	{"dpor+cache+ckpt", func(o *Options) { o.DPOR = true; o.StateCache = true; o.Checkpoints = 2 }},
+	{"timeouts+ckpt", func(o *Options) {
+		o.DPOR = true
+		o.StateCache = true
+		o.Checkpoints = 2
+		o.ExploreTimeouts = true
+	}},
+}
+
+// TestExploreNoGoroutineLeak sweeps every explore mode over the whole
+// repository twice and checks the process goroutine count returns to
+// its post-warmup baseline. The first sweep is warmup: worker kits,
+// pooled runners and their parked virtual threads are retained by
+// design (that is what makes repeated exploration cheap), and the
+// retained population reaches steady state once every program has run
+// in every mode. The second sweep must then add nothing — in
+// particular, every runner parked as a checkpoint and later evicted or
+// abandoned at shard end must have returned its threads to its pool
+// rather than leaking them.
+func TestExploreNoGoroutineLeak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-repository exploration sweep in -short mode")
+	}
+	sweep := func() {
+		for _, prog := range repository.All() {
+			body := prog.BodyWith(smallParams[prog.Name])
+			for _, mode := range leakModes {
+				for _, workers := range []int{1, 4} {
+					opts := Options{MaxSchedules: 300, MaxSteps: 5000, Workers: workers}
+					mode.set(&opts)
+					if res := Explore(opts, body); res.Err != nil {
+						t.Fatalf("%s/%s/workers=%d: %v", prog.Name, mode.name, workers, res.Err)
+					}
+				}
+			}
+		}
+	}
+
+	sweep()
+	runtime.GC()
+	time.Sleep(10 * time.Millisecond)
+	baseline := runtime.NumGoroutine()
+
+	sweep()
+
+	// Worker goroutines exit asynchronously after Explore returns;
+	// give them a bounded moment to drain before declaring a leak.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked across explore sweep: baseline %d, now %d", baseline, runtime.NumGoroutine())
+}
+
+// TestReducedAllocs is the allocation gate on the reduced hot path:
+// serial DPOR + state-cache exploration of the benchmark gate program
+// must stay under a hard per-schedule allocation ceiling. The program
+// body itself owns ~13 allocations per run (closures and result
+// slices the repository programs legitimately build), so the ceiling
+// of 100 leaves room for growth while still catching any regression
+// that reintroduces per-run construction of runners, caches, node
+// records or event machinery (each of which costs tens to hundreds of
+// allocations per schedule on its own).
+func TestReducedAllocs(t *testing.T) {
+	body, err := repository.Get("philosophers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := body.BodyWith(smallParams["philosophers"])
+	opts := Options{MaxSchedules: 30000, MaxSteps: 5000, Workers: 1, DPOR: true, StateCache: true}
+
+	// Warm the kit pool: the first exploration constructs the runner,
+	// caches and node pool that later explorations reuse.
+	warm := Explore(opts, prog)
+	if warm.Err != nil {
+		t.Fatal(warm.Err)
+	}
+	if warm.Schedules == 0 {
+		t.Fatal("no schedules executed")
+	}
+
+	schedules := warm.Schedules
+	allocs := testing.AllocsPerRun(5, func() {
+		res := Explore(opts, prog)
+		if res.Schedules != schedules {
+			t.Fatalf("schedule count drifted: %d vs %d", res.Schedules, schedules)
+		}
+	})
+	perSchedule := allocs / float64(schedules)
+	t.Logf("reduced explore: %.0f allocs over %d schedules = %.1f allocs/schedule", allocs, schedules, perSchedule)
+	if perSchedule > 100 {
+		t.Errorf("allocation gate: %.1f allocs/schedule > 100 (total %.0f over %d schedules)", perSchedule, allocs, schedules)
+	}
+}

@@ -70,6 +70,20 @@ type Options struct {
 	// (0 = DefaultStateCacheSize). Collisions overwrite, so a small
 	// cache prunes less but is never unsound.
 	StateCacheSize int
+	// Checkpoints bounds the parked-runner checkpoints each worker may
+	// retain (0 = checkpointing off). With checkpointing on, a run that
+	// reaches a state-cache cut is parked at the cut instead of coasting
+	// to completion: its virtual threads stay suspended on their resume
+	// channels, the runner joins the worker's checkpoint pool (oldest
+	// abandoned beyond the budget, all abandoned at shard end), and a
+	// later run whose replay sequence extends the parked prefix resumes
+	// it instead of replaying from the root — with fallback to the
+	// ordinary replay path when no checkpoint matches. Cut tails are
+	// then never executed, so the run has no verdict: it is counted
+	// under the synthetic "parked:" outcome key. Checkpointing therefore
+	// changes the outcome histogram (never the bug set) and only applies
+	// when StateCache is on; leave it 0 for histogram-exact results.
+	Checkpoints int
 	// ExploreTimeouts includes "let virtual time pass" (sched.IdleID)
 	// among the choices at points where a thread sleeps on a timer,
 	// extending the search to timing bugs (sleep-as-synchronization,
@@ -147,9 +161,10 @@ type node struct {
 	current core.ThreadID   // thread that was running at this point
 	// preBefore is the number of preemptions used before this node.
 	preBefore int
-	// pendings snapshots each option's pending operation at this node
-	// (for sleep-set and DPOR independence).
-	pendings map[core.ThreadID]sched.PendingOp
+	// fps snapshots each option's pending-operation footprint at this
+	// node, index-aligned with options (for sleep-set and DPOR
+	// independence). Empty when nothing consumes independence.
+	fps []core.Footprint
 	// sleep marks options that need not be (re-)explored here.
 	sleep map[core.ThreadID]bool
 
@@ -162,19 +177,41 @@ type node struct {
 	// State-cache bookkeeping (Options.StateCache): the node's
 	// canonical identity at creation, the inherited sleep set as a
 	// bitmask, the subtree's footprint summary accumulated as children
-	// pop, and the cut/bypass flags for pruned regions (cut = this
-	// node's subtree was found in the cache; bypass = the node only
-	// finishes a run below a cut and contributes nothing).
+	// pop, and the cut flag (this node's subtree was found in the
+	// cache; the run's remaining decisions are coasted or parked, so
+	// no nodes exist below a cut).
 	stateHash   uint64
 	sleepMask   uint64
 	maskOK      bool
 	cut         bool
-	bypass      bool
 	sub         []uint64
 	subOverflow bool
 }
 
 func (n *node) chosen() core.ThreadID { return n.options[n.curIdx] }
+
+// fpOf returns the footprint snapshotted for thread t at this node;
+// zero — conservatively dependent with everything — when t was not an
+// option here or footprints were not captured.
+func (n *node) fpOf(t core.ThreadID) core.Footprint {
+	if len(n.fps) != len(n.options) {
+		return core.Footprint{}
+	}
+	for i, o := range n.options {
+		if o == t {
+			return n.fps[i]
+		}
+	}
+	return core.Footprint{}
+}
+
+// chosenFP is the footprint of the option currently being explored.
+func (n *node) chosenFP() core.Footprint {
+	if len(n.fps) != len(n.options) {
+		return core.Footprint{}
+	}
+	return n.fps[n.curIdx]
+}
 
 // nodePool recycles DFS nodes (and their sleep/pendings maps) within a
 // worker. A deep search allocates one node per decision point per
@@ -197,11 +234,11 @@ func (p *nodePool) get(current core.ThreadID) *node {
 		nd.current = current
 		nd.preBefore = 0
 		clear(nd.sleep)
-		clear(nd.pendings)
+		nd.fps = nd.fps[:0]
 		clear(nd.todo)
 		clear(nd.done)
 		nd.stateHash, nd.sleepMask, nd.maskOK = 0, 0, false
-		nd.cut, nd.bypass = false, false
+		nd.cut = false
 		nd.sub = nd.sub[:0]
 		nd.subOverflow = false
 		return nd
@@ -267,13 +304,19 @@ type dfsStrategy struct {
 // Name implements sched.Strategy.
 func (st *dfsStrategy) Name() string { return "explore-dfs" }
 
+// PendingFree implements sched.PendingFree: the DFS keys its pruning
+// on Choice.FootprintOf and never reads Choice.Pending, so the
+// scheduler can skip the per-decision PendingOp copy.
+func (st *dfsStrategy) PendingFree() bool { return true }
+
 // Pick implements sched.Strategy.
 func (st *dfsStrategy) Pick(c *sched.Choice) core.ThreadID {
 	e := st.e
 	d := st.depth
-	st.depth++
 
 	if d < len(e.prefix) {
+		st.depth++
+		e.stats.ReplayedSteps++
 		want := e.prefix[d]
 		if want == sched.IdleID {
 			if !c.CanIdle {
@@ -293,6 +336,8 @@ func (st *dfsStrategy) Pick(c *sched.Choice) core.ThreadID {
 
 	pd := d - len(e.prefix)
 	if pd < len(e.path) {
+		st.depth++
+		e.stats.ReplayedSteps++
 		n := e.path[pd]
 		want := n.chosen()
 		if want == sched.IdleID {
@@ -311,6 +356,22 @@ func (st *dfsStrategy) Pick(c *sched.Choice) core.ThreadID {
 		return want
 	}
 
+	// Below an active state-cache cut the subtree is already proven
+	// explored: the run need only be disposed of, not decided. With
+	// checkpointing the runner parks right here (the tail never
+	// executes; the decision is not consumed, so st.depth stays put);
+	// otherwise the scheduler coasts the tail under its built-in
+	// nonpreemptive rule — the exact decisions the old per-decision
+	// bypass nodes produced, with no strategy round trips.
+	if e.cutDepth >= 0 && pd > e.cutDepth {
+		if e.opts.Checkpoints > 0 {
+			return sched.ParkID
+		}
+		return sched.CoastID
+	}
+
+	st.depth++
+	e.stats.NovelSteps++
 	n := e.newNode(c, pd, st.prefixPre)
 	e.path = append(e.path, n)
 	e.notePick(c, n.chosen())
@@ -326,19 +387,6 @@ func (st *dfsStrategy) Pick(c *sched.Choice) core.ThreadID {
 func (e *explorer) newNode(c *sched.Choice, pd int, prefixPre int) *node {
 	n := e.pool.get(c.Current)
 
-	// Below an active cache cut the run merely executes to completion:
-	// the node carries one choice and contributes no branching, no
-	// summary and no cache entry (the cut's cached entry covers it).
-	if e.cutDepth >= 0 && pd > e.cutDepth {
-		n.bypass = true
-		if slices.Contains(c.Runnable, c.Current) {
-			n.options = append(n.options, c.Current)
-		} else {
-			n.options = append(n.options, c.Runnable[0])
-		}
-		return n
-	}
-
 	// Inherit preemption count and sleep set from the parent node, or
 	// from the donated work item at the subtree root.
 	if pd > 0 {
@@ -348,9 +396,9 @@ func (e *explorer) newNode(c *sched.Choice, pd int, prefixPre int) *node {
 			n.preBefore++
 		}
 		if e.opts.SleepSets {
-			chosenOp := parent.pendings[parent.chosen()]
+			chosenFP := parent.chosenFP()
 			for u := range parent.sleep {
-				if independent(parent.pendings[u], chosenOp) {
+				if parent.fpOf(u).Commutes(chosenFP) {
 					n.sleep[u] = true
 				}
 			}
@@ -387,14 +435,13 @@ func (e *explorer) newNode(c *sched.Choice, pd int, prefixPre int) *node {
 		n.options = append(n.options, sched.IdleID)
 	}
 
-	// Snapshot pending operations for sleep-set, DPOR and state-hash
-	// computation.
-	if (e.opts.SleepSets || e.red != nil) && c.PendingOf != nil {
-		if n.pendings == nil {
-			n.pendings = make(map[core.ThreadID]sched.PendingOp, len(n.options))
-		}
+	// Snapshot pending-operation footprints for sleep-set, DPOR and
+	// state-hash computation (index-aligned with options; FootprintOf
+	// returns zero for the idle pseudo-thread, which is conservatively
+	// dependent with everything).
+	if (e.opts.SleepSets || e.red != nil) && c.FootprintOf != nil {
 		for _, id := range n.options {
-			n.pendings[id] = c.PendingOf(id)
+			n.fps = append(n.fps, c.FootprintOf(id))
 		}
 	}
 
@@ -455,7 +502,7 @@ func (e *explorer) newNode(c *sched.Choice, pd int, prefixPre int) *node {
 func (e *explorer) backtrack() bool {
 	for len(e.path) > 0 {
 		n := e.path[len(e.path)-1]
-		if n.bypass || n.cut {
+		if n.cut {
 			// Pruned region: nothing to advance, pop straight through.
 			e.popNode(n)
 			continue
@@ -503,7 +550,7 @@ func (n *node) nextTodo() (int, bool) {
 func (e *explorer) popNode(n *node) {
 	last := len(e.path) - 1
 	e.path = e.path[:last]
-	if e.opts.DPOR && !n.cut && !n.bypass {
+	if e.opts.DPOR && !n.cut {
 		for _, o := range n.options {
 			switch {
 			case n.done[o]:
@@ -518,7 +565,7 @@ func (e *explorer) popNode(n *node) {
 		e.cutDepth = -1
 	}
 	if e.red != nil {
-		if !n.cut && !n.bypass && n.maskOK && (!n.subOverflow || !e.opts.DPOR) {
+		if !n.cut && n.maskOK && (!n.subOverflow || !e.opts.DPOR) {
 			sum := n.sub
 			if !e.opts.DPOR {
 				// Without DPOR there are no backtrack obligations to
@@ -527,7 +574,7 @@ func (e *explorer) popNode(n *node) {
 			}
 			e.red.cache.insert(n.stateHash, n.sleepMask, sum)
 		}
-		if !n.bypass && last > 0 {
+		if last > 0 {
 			parent := e.path[last-1]
 			parent.foldChild(parent.chosenFootprint(), n)
 		}
@@ -562,7 +609,7 @@ func (e *explorer) popNode(n *node) {
 // at any worker count.
 func (e *explorer) split() (*workItem, bool) {
 	for d, n := range e.path {
-		if n.cut || n.bypass {
+		if n.cut {
 			// Nothing below a cache cut is donatable: the region is
 			// single-choice by construction.
 			break
@@ -591,7 +638,12 @@ func (e *explorer) split() (*workItem, bool) {
 				// overflow propagates to ancestors through foldChild.
 				n.subOverflow = true
 			}
+			optFP := n.fpOf(opt)
+			hasFPs := len(n.fps) == len(n.options)
 			n.options = slices.Delete(n.options, j, j+1)
+			if hasFPs {
+				n.fps = slices.Delete(n.fps, j, j+1)
+			}
 			if j < n.curIdx {
 				n.curIdx--
 			}
@@ -604,10 +656,9 @@ func (e *explorer) split() (*workItem, bool) {
 			prefix = append(prefix, opt)
 
 			item := &workItem{prefix: prefix}
-			if e.opts.SleepSets && n.pendings != nil {
-				chosenOp := n.pendings[opt]
+			if e.opts.SleepSets && hasFPs {
 				for u := range n.sleep {
-					if independent(n.pendings[u], chosenOp) {
+					if n.fpOf(u).Commutes(optFP) {
 						if item.sleep == nil {
 							item.sleep = make(map[core.ThreadID]bool)
 						}
@@ -621,15 +672,12 @@ func (e *explorer) split() (*workItem, bool) {
 	return nil, false
 }
 
-// independent reports whether two pending operations commute. The
-// relation is core.Footprint.Commutes over the interned handles the
-// scheduler publishes: different objects, or both reads, commute;
-// unknown operations and thread-lifecycle operations are conservatively
-// dependent. (Interned handles are bijective with names, so this is
-// exactly the historical name-comparison relation.)
-func independent(a, b sched.PendingOp) bool {
-	return a.Footprint().Commutes(b.Footprint())
-}
+// Independence is core.Footprint.Commutes over the interned handles
+// the scheduler publishes (via Choice.FootprintOf): different objects,
+// or both reads, commute; unknown operations and thread-lifecycle
+// operations are conservatively dependent. (Interned handles are
+// bijective with names, so this is exactly the historical
+// name-comparison relation.)
 
 // Explore runs the search over body and returns its summary. The
 // search is serial for Options.Workers == 1 and sharded across a

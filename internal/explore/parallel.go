@@ -96,22 +96,22 @@ func (c *coordinator) run() *Result {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			// Each worker owns a pooled runner, a node free list and —
-			// when the state cache is on — a reduction bundle (event
-			// hasher + canonical-state cache), reused across every
-			// schedule and shard it executes. The cache is per-worker:
-			// an entry only ever asserts "this worker fully explored an
-			// equivalent subtree", which needs no cross-worker locking.
-			pool := newNodePool()
-			red := newReduction(c.opts)
-			runner := sched.NewRunner()
-			defer runner.Close()
+			// Each worker checks out a kit — pooled runner, node free
+			// list and, when the state cache is on, the reduction
+			// structures (event hasher + canonical-state cache) — reused
+			// across every schedule, shard and Explore call (see
+			// checkpoint.go). The cache is per-worker: an entry only
+			// ever asserts "this worker fully explored an equivalent
+			// subtree", which needs no cross-worker locking.
+			kit := getKit()
+			defer kit.release()
+			red := kit.reductionFor(c.opts)
 			for {
 				item := c.take()
 				if item == nil {
 					return
 				}
-				c.exploreItem(runner, pool, red, item)
+				c.exploreItem(kit, red, item)
 			}
 		}()
 	}
@@ -132,10 +132,12 @@ func (c *coordinator) run() *Result {
 }
 
 // exploreItem runs the DFS over one shard, donating branches to
-// starving workers and observing the global budgets. runner, pool and
-// red are the calling worker's reusable execution state.
-func (c *coordinator) exploreItem(runner *sched.Runner, pool *nodePool, red *reduction, item *workItem) {
-	e := &explorer{opts: c.opts, prefix: item.prefix, rootSleep: item.sleep, pool: pool, red: red, cutDepth: -1}
+// starving workers and observing the global budgets. kit and red are
+// the calling worker's reusable execution state; any runners the kit
+// parks as checkpoints during the shard are abandoned when it ends.
+func (c *coordinator) exploreItem(kit *workerKit, red *reduction, item *workItem) {
+	e := &explorer{opts: c.opts, prefix: item.prefix, rootSleep: item.sleep, pool: kit.pool, red: red, cutDepth: -1}
+	defer kit.abandonCheckpoints()
 	defer func() {
 		c.resMu.Lock()
 		c.stats.add(e.stats)
@@ -146,6 +148,14 @@ func (c *coordinator) exploreItem(runner *sched.Runner, pool *nodePool, red *red
 	if red != nil {
 		listeners = red.listeners
 	}
+	cfg := sched.Config{
+		Strategy:       st,
+		Listeners:      listeners,
+		MaxSteps:       c.opts.MaxSteps,
+		Name:           c.opts.Name,
+		RecordSchedule: true,
+		SkipTiming:     true,
+	}
 	for {
 		if c.stopping.Load() {
 			return
@@ -155,20 +165,47 @@ func (c *coordinator) exploreItem(runner *sched.Runner, pool *nodePool, red *red
 			return
 		}
 		st.depth, st.prefixPre = 0, 0
-		if red != nil {
-			// The hash chains are a pure function of the decision
-			// sequence; every run replays its prefix from scratch, so
-			// the hasher rebuilds from scratch too.
-			red.hasher.reset()
+		var runRes *core.Result
+		if ck := kit.takeCheckpoint(e); ck != nil {
+			// A parked run already executed this schedule's replay
+			// sequence up to the park point: continue it instead of
+			// replaying from the root. The strategy's cursor starts past
+			// the decisions the parked run consumed, and the hasher
+			// resumes from the chains frozen at the park.
+			st.depth = len(ck.decisions)
+			st.prefixPre = ck.prefixPre
+			if red != nil && ck.snap != nil {
+				red.hasher.restore(ck.snap)
+			}
+			kit.spares = append(kit.spares, kit.runner)
+			kit.runner = ck.runner
+			runRes = kit.runner.Resume()
+		} else {
+			if red != nil {
+				// The hash chains are a pure function of the decision
+				// sequence; a from-scratch run replays its prefix from
+				// scratch, so the hasher rebuilds from scratch too.
+				red.hasher.reset()
+			}
+			runRes = kit.runner.Start(cfg, c.body)
 		}
-		runRes := runner.Run(sched.Config{
-			Strategy:       st,
-			Listeners:      listeners,
-			MaxSteps:       c.opts.MaxSteps,
-			Name:           c.opts.Name,
-			RecordSchedule: true,
-		}, c.body)
-		c.record(runRes, int(c.executed.Add(1)), e.err)
+		index := int(c.executed.Add(1))
+		if runRes == nil {
+			// The strategy parked the run at a state-cache cut: the
+			// subtree below is proven explored, so the tail is never
+			// executed. The suspended runner joins the checkpoint pool
+			// and the schedule is counted under the synthetic outcome.
+			kit.park(e, st, red, c.opts.Checkpoints)
+			c.recordParked()
+		} else {
+			// Any scheduler steps beyond the decisions this strategy
+			// consumed were coasted below a cut — replay tax, not novel
+			// work.
+			if tail := runRes.Steps - int64(st.depth); tail > 0 {
+				e.stats.ReplayedSteps += int(tail)
+			}
+			c.record(kit, runRes, index, e.err)
+		}
 		if c.stopping.Load() {
 			return
 		}
@@ -187,10 +224,11 @@ func (c *coordinator) exploreItem(runner *sched.Runner, pool *nodePool, red *red
 
 // record merges one run into the global result and triggers the
 // global stop on errors and (with StopAtFirstBug) on the first bug.
-func (c *coordinator) record(runRes *core.Result, index int, runErr error) {
+func (c *coordinator) record(kit *workerKit, runRes *core.Result, index int, runErr error) {
+	key := kit.outKey(runRes.Verdict, runRes.Outcome)
 	stopFirst := false
 	c.resMu.Lock()
-	c.outcomes[runRes.Verdict.String()+":"+runRes.Outcome]++
+	c.outcomes[key]++
 	switch {
 	case runErr != nil:
 		if c.err == nil {
@@ -198,17 +236,23 @@ func (c *coordinator) record(runRes *core.Result, index int, runErr error) {
 		}
 	case runRes.Verdict.Bug():
 		// Deduplicate by observable signature (shared with the fuzzer).
-		key := core.BugSignature(runRes)
-		if !c.seenBugs[key] {
-			c.seenBugs[key] = true
-			// The recorded schedule aliases the worker's pooled runner
-			// buffer; clone before retaining (and point the retained
-			// Result at the clone so it stays valid too).
-			sch := append([]core.ThreadID(nil), runRes.Schedule...)
-			runRes.Schedule = sch
+		sig := core.BugSignature(runRes)
+		if !c.seenBugs[sig] {
+			c.seenBugs[sig] = true
+			// The run result and its slices live in the worker's pooled
+			// runner and are overwritten by its next run; deep-clone
+			// everything this bug retains.
+			keep := new(core.Result)
+			*keep = *runRes
+			keep.Schedule = slices.Clone(runRes.Schedule)
+			keep.FinishOrder = slices.Clone(runRes.FinishOrder)
+			if runRes.Failure != nil {
+				f := *runRes.Failure
+				keep.Failure = &f
+			}
 			c.bugs = append(c.bugs, Bug{
-				Schedule: sch,
-				Result:   runRes,
+				Schedule: keep.Schedule,
+				Result:   keep,
 				Index:    index,
 			})
 		}
@@ -218,6 +262,15 @@ func (c *coordinator) record(runRes *core.Result, index int, runErr error) {
 	if runErr != nil || stopFirst {
 		c.stop()
 	}
+}
+
+// recordParked counts a schedule whose run was parked at a state-cache
+// cut: it has no verdict (the cut tail never executed), so it lands
+// under the synthetic outcome key.
+func (c *coordinator) recordParked() {
+	c.resMu.Lock()
+	c.outcomes["parked:"]++
+	c.resMu.Unlock()
 }
 
 // stop winds the search down: workers finish their in-flight schedule

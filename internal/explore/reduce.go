@@ -75,6 +75,15 @@ type Stats struct {
 	Backtracks int `json:"backtracks"`
 	// StateHits counts subtrees cut by the canonical-state cache.
 	StateHits int `json:"state_hits"`
+	// ReplayedSteps counts scheduler steps spent re-establishing
+	// already-known state: schedule-prefix and path-replay decisions,
+	// plus the coasted tail steps below state-cache cuts. This is the
+	// replay tax DFS pays for statelessness — the quantity checkpointed
+	// exploration (Options.Checkpoints) removes.
+	ReplayedSteps int `json:"replayed_steps"`
+	// NovelSteps counts decisions taken at fresh frontier nodes — the
+	// steps that visit new state.
+	NovelSteps int `json:"novel_steps"`
 }
 
 func (s *Stats) add(o Stats) {
@@ -82,6 +91,8 @@ func (s *Stats) add(o Stats) {
 	s.PORPruned += o.PORPruned
 	s.Backtracks += o.Backtracks
 	s.StateHits += o.StateHits
+	s.ReplayedSteps += o.ReplayedSteps
+	s.NovelSteps += o.NovelSteps
 }
 
 // subCap bounds a node's subtree footprint summary. Benchmark
@@ -107,13 +118,27 @@ const forkObj = uint64(1) << 40
 // not reinstate the per-probe stack walk) and is reset at the start of
 // every run: a run replays its whole prefix, so the chains are rebuilt
 // from scratch each time and depend only on the decision sequence.
+// objSlot is one object's conflict-chain state, indexed by the
+// object's interned handle. An entry is live only when its gen
+// matches the hasher's current generation — resetting the hasher for
+// the next run is a counter bump, not a table clear (the hasher runs
+// on every event of every schedule, so its per-run reset and per-event
+// lookups must not touch maps).
+type objSlot struct {
+	gen uint32
+	// wh is the hash of the last conflicting ("write-class") event on
+	// the object; rh xor-accumulates the reads since (reads commute,
+	// so their order must not influence the hash).
+	wh uint64
+	rh uint64
+}
+
 type stateHasher struct {
 	chains []uint64
-	// wh[obj] is the hash of the last conflicting ("write-class")
-	// event on obj; rh[obj] xor-accumulates the reads since (reads
-	// commute, so their order must not influence the hash).
-	wh map[uint32]uint64
-	rh map[uint32]uint64
+	// objs is indexed by interned object handle (handles are small and
+	// dense); see objSlot for the generation scheme.
+	objs []objSlot
+	gen  uint32
 	// whFork serializes fork events (see forkObj).
 	whFork uint64
 	// timeH folds virtual-time-relevant decision positions: the step
@@ -127,10 +152,7 @@ type stateHasher struct {
 }
 
 func newStateHasher() *stateHasher {
-	return &stateHasher{
-		wh: make(map[uint32]uint64),
-		rh: make(map[uint32]uint64),
-	}
+	return &stateHasher{gen: 1}
 }
 
 // NeedsLocations implements core.LocationIndifferent: the hasher never
@@ -140,10 +162,70 @@ func (sh *stateHasher) NeedsLocations() bool { return false }
 
 func (sh *stateHasher) reset() {
 	sh.chains = sh.chains[:0]
-	clear(sh.wh)
-	clear(sh.rh)
 	sh.whFork = 0
 	sh.timeH = 0
+	sh.gen++
+	if sh.gen == 0 { // wrapped: invalidate the slow way once
+		clear(sh.objs)
+		sh.gen = 1
+	}
+}
+
+// slot returns the live chain state for an object handle, growing the
+// table and refreshing stale generations on the way.
+func (sh *stateHasher) slot(obj uint32) *objSlot {
+	if int(obj) >= len(sh.objs) {
+		grown := make([]objSlot, int(obj)+16)
+		copy(grown, sh.objs)
+		sh.objs = grown
+	}
+	sl := &sh.objs[obj]
+	if sl.gen != sh.gen {
+		sl.gen, sl.wh, sl.rh = sh.gen, 0, 0
+	}
+	return sl
+}
+
+// hasherSnap is a frozen copy of a stateHasher, taken when a run is
+// parked as a checkpoint: resuming the run later must continue folding
+// events onto exactly the chains the parked prefix built, even though
+// the (shared, per-worker) hasher has been reset and reused by other
+// runs in between.
+type hasherSnap struct {
+	chains []uint64
+	objK   []uint32
+	objW   []uint64
+	objR   []uint64
+	whFork uint64
+	timeH  uint64
+}
+
+func (sh *stateHasher) snapshot() *hasherSnap {
+	s := &hasherSnap{
+		chains: append([]uint64(nil), sh.chains...),
+		whFork: sh.whFork,
+		timeH:  sh.timeH,
+	}
+	for i := range sh.objs {
+		sl := &sh.objs[i]
+		if sl.gen == sh.gen && (sl.wh != 0 || sl.rh != 0) {
+			s.objK = append(s.objK, uint32(i))
+			s.objW = append(s.objW, sl.wh)
+			s.objR = append(s.objR, sl.rh)
+		}
+	}
+	return s
+}
+
+func (sh *stateHasher) restore(s *hasherSnap) {
+	sh.reset()
+	sh.chains = append(sh.chains, s.chains...)
+	for i, k := range s.objK {
+		sl := sh.slot(k)
+		sl.wh, sl.rh = s.objW[i], s.objR[i]
+	}
+	sh.whFork = s.whFork
+	sh.timeH = s.timeH
 }
 
 func (sh *stateHasher) chain(t core.ThreadID) uint64 {
@@ -168,13 +250,14 @@ func (sh *stateHasher) OnEvent(ev *core.Event) {
 	case core.OpRead:
 		// Reads observe the object's last write but do not advance it;
 		// the xor accumulator keeps concurrent reads order-insensitive.
+		sl := sh.slot(obj)
 		h = mix(mix(mix(h, uint64(ev.Op)), uint64(obj)), uint64(ev.Value))
-		h = mix(h, sh.wh[obj])
-		sh.rh[obj] ^= h
+		h = mix(h, sl.wh)
+		sl.rh ^= h
 	case core.OpBlock:
 		// A blocked acquire observes the lock's state without changing
 		// it: fold the observation, leave the object chain alone.
-		h = mix(mix(mix(h, uint64(ev.Op)), uint64(obj)), sh.wh[obj])
+		h = mix(mix(mix(h, uint64(ev.Op)), uint64(obj)), sh.slot(obj).wh)
 	case core.OpFork:
 		// Forks order globally (thread-id assignment) and locally.
 		h = mix(mix(mix(h, uint64(ev.Op)), uint64(ev.Value)), sh.whFork)
@@ -186,20 +269,26 @@ func (sh *stateHasher) OnEvent(ev *core.Event) {
 		h = mix(mix(h, uint64(ev.Op)), sh.chain(child))
 	default:
 		// Write-class: conflicts with every other operation on obj.
+		sl := sh.slot(obj)
 		h = mix(mix(mix(h, uint64(ev.Op)), uint64(obj)), uint64(ev.Value))
-		h = mix(mix(h, sh.wh[obj]), sh.rh[obj])
-		sh.wh[obj] = h
-		sh.rh[obj] = 0
+		h = mix(mix(h, sl.wh), sl.rh)
+		sl.wh = h
+		sl.rh = 0
 	}
 	sh.chains[t] = h
 }
 
 // cacheEnt is one direct-mapped cache slot. The summary is inline so
-// steady-state insertion allocates nothing.
+// steady-state insertion allocates nothing. An entry is live only
+// when its gen matches the cache's current generation — bumping the
+// generation invalidates the whole table without touching its memory,
+// which is what lets a pooled worker kit reuse one multi-megabyte
+// table across explorations instead of zeroing (or reallocating) it
+// per Explore call.
 type cacheEnt struct {
 	hash  uint64
 	sleep uint64 // inherited sleep set at exploration, as a thread bitmask
-	used  bool
+	gen   uint32
 	nsum  uint8
 	sum   [subCap]uint64
 }
@@ -209,6 +298,7 @@ type cacheEnt struct {
 // subtree", which is sound without any cross-worker coordination.
 type stateCache struct {
 	mask uint64
+	gen  uint32
 	ents []cacheEnt
 }
 
@@ -221,14 +311,25 @@ func newStateCache(size int) *stateCache {
 		size = DefaultStateCacheSize
 	}
 	n := 1 << bits.Len(uint(size-1)) // round up to a power of two
-	return &stateCache{mask: uint64(n - 1), ents: make([]cacheEnt, n)}
+	return &stateCache{mask: uint64(n - 1), gen: 1, ents: make([]cacheEnt, n)}
+}
+
+// reset invalidates every entry in O(1) by advancing the generation.
+// Cached subtree identities are only meaningful within one exploration
+// of one program, so a recycled cache must start empty.
+func (c *stateCache) reset() {
+	c.gen++
+	if c.gen == 0 { // generation counter wrapped: invalidate the slow way once
+		clear(c.ents)
+		c.gen = 1
+	}
 }
 
 // lookup reports a usable entry for the state: same hash, and explored
 // under a sleep set no larger than the current one.
 func (c *stateCache) lookup(hash, sleep uint64) (*cacheEnt, bool) {
 	e := &c.ents[hash&c.mask]
-	if !e.used || e.hash != hash {
+	if e.gen != c.gen || e.hash != hash {
 		return nil, false
 	}
 	if e.sleep&^sleep != 0 {
@@ -241,7 +342,7 @@ func (c *stateCache) lookup(hash, sleep uint64) (*cacheEnt, bool) {
 // cache is an accelerator, not a ledger.
 func (c *stateCache) insert(hash, sleep uint64, sum []uint64) {
 	e := &c.ents[hash&c.mask]
-	e.hash, e.sleep, e.used = hash, sleep, true
+	e.hash, e.sleep, e.gen = hash, sleep, c.gen
 	e.nsum = uint8(len(sum))
 	copy(e.sum[:], sum)
 }
@@ -249,24 +350,14 @@ func (c *stateCache) insert(hash, sleep uint64, sum []uint64) {
 // reduction bundles the per-worker state of the reduction layer: the
 // event hasher, its listener slice (hasher first, then the user's
 // listeners), and the canonical-state cache. nil when Options.
-// StateCache is off; DPOR alone needs no per-worker state.
+// StateCache is off; DPOR alone needs no per-worker state. The hasher
+// and cache are owned by the worker's kit and reused across
+// explorations; only this thin bundle (and its listener slice) is
+// rebuilt per Explore call.
 type reduction struct {
 	hasher    *stateHasher
 	cache     *stateCache
 	listeners []core.Listener
-}
-
-func newReduction(opts Options) *reduction {
-	if !opts.StateCache {
-		return nil
-	}
-	r := &reduction{
-		hasher: newStateHasher(),
-		cache:  newStateCache(opts.StateCacheSize),
-	}
-	r.listeners = append(r.listeners, core.Listener(r.hasher))
-	r.listeners = append(r.listeners, opts.Listeners...)
-	return r
 }
 
 // sleepMask folds a sleep set into a thread bitmask; ok is false when
@@ -302,7 +393,7 @@ func (e *explorer) hashState(c *sched.Choice, n *node) uint64 {
 		h = mix(mix(h, uint64(i)), ch)
 	}
 	for _, id := range c.Runnable {
-		h = mix(mix(h, uint64(uint32(id))), c.PendingOf(id).Footprint().Packed())
+		h = mix(mix(h, uint64(uint32(id))), c.FootprintOf(id).Packed())
 	}
 	if c.CanIdle {
 		h = mix(h, 0x1d1e)
@@ -373,7 +464,7 @@ func (n *node) addBacktrack(p core.ThreadID) int {
 // chosenFootprint is the packed footprint of the operation this node's
 // current choice executes.
 func (n *node) chosenFootprint() uint64 {
-	return n.pendings[n.chosen()].Footprint().Packed()
+	return n.chosenFP().Packed()
 }
 
 // dporAnalyze implements the lazy backtrack-set construction for a
@@ -384,18 +475,18 @@ func (n *node) chosenFootprint() uint64 {
 // covered by the donor, which fully expands its path nodes before
 // every donation (see split).
 func (e *explorer) dporAnalyze(n *node, pd int) {
-	for _, p := range n.options {
+	for oi, p := range n.options {
 		if p == sched.IdleID {
 			continue
 		}
-		fp := n.pendings[p].Footprint()
+		fp := n.fps[oi]
 		for i := pd - 1; i >= 0; i-- {
 			ni := e.path[i]
 			ch := ni.chosen()
 			if ch == p || ch == sched.IdleID {
 				continue
 			}
-			if !ni.pendings[ch].Footprint().Commutes(fp) {
+			if !ni.chosenFP().Commutes(fp) {
 				e.stats.Backtracks += ni.addBacktrack(p)
 				break
 			}
@@ -416,7 +507,7 @@ func (e *explorer) notePick(c *sched.Choice, pick core.ThreadID) {
 	sh := e.red.hasher
 	if pick == sched.IdleID {
 		sh.timeH = mix(mix(sh.timeH, 0x1d1e0), uint64(c.Step))
-	} else if c.PendingOf != nil && c.PendingOf(pick).Op == core.OpSleep {
+	} else if c.FootprintOf != nil && c.FootprintOf(pick).Op == core.OpSleep {
 		sh.timeH = mix(mix(sh.timeH, 0x51ee9), uint64(c.Step))
 	}
 }
@@ -435,7 +526,7 @@ func (e *explorer) applySummary(ent *cacheEnt, pd int) {
 			if ch == sched.IdleID {
 				continue
 			}
-			if !ni.pendings[ch].Footprint().Commutes(fp) {
+			if !ni.chosenFP().Commutes(fp) {
 				added := 0
 				for _, o := range ni.options {
 					if o != ch && !ni.todo[o] {

@@ -1,0 +1,38 @@
+package repository
+
+import "strconv"
+
+// The repository bodies name their threads and objects "prefix<i>".
+// Formatting those names with fmt.Sprintf on every controlled run is a
+// measurable slice of run cost under the exploration engine — the body
+// re-executes for every schedule, so a 2-philosopher program pays four
+// Sprintf calls (and their allocations) per schedule. smallName serves
+// the common small indices from a table precomputed at package init;
+// the strings are identical to what Sprintf produced, so schedules,
+// outcomes and golden results are unchanged. The tables are read-only
+// after init, which makes smallName safe for bodies running
+// concurrently on many exploration workers.
+var smallNameTables = map[string][]string{}
+
+const smallNameMax = 64
+
+func init() {
+	for _, prefix := range []string{
+		"fork", "phil", "worker", "reader", "prod", "cons", "resource-",
+	} {
+		t := make([]string, smallNameMax)
+		for i := range t {
+			t[i] = prefix + strconv.Itoa(i)
+		}
+		smallNameTables[prefix] = t
+	}
+}
+
+// smallName returns prefix followed by the decimal form of i, from the
+// precomputed table when available.
+func smallName(prefix string, i int) string {
+	if t := smallNameTables[prefix]; i >= 0 && i < len(t) {
+		return t[i]
+	}
+	return prefix + strconv.Itoa(i)
+}

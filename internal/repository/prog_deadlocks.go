@@ -1,10 +1,10 @@
 package repository
 
 import (
-	"fmt"
-
 	"mtbench/internal/core"
 )
+
+// Small repeated names here are served by smallName (names.go).
 
 // This file holds the deadlock and livelock programs: lock-order
 // inversions, dining philosophers (broken and fixed), the gate-lock
@@ -56,13 +56,13 @@ func philosophersBody(t core.T, p Params) {
 	rounds := p.Get("rounds", 1)
 	forks := make([]core.Mutex, n)
 	for i := range forks {
-		forks[i] = t.NewMutex(fmt.Sprintf("fork%d", i))
+		forks[i] = t.NewMutex(smallName("fork", i))
 	}
 	meals := t.NewInt("meals", 0)
 	handles := make([]core.Handle, n)
 	for i := range handles {
 		i := i
-		handles[i] = t.Go(fmt.Sprintf("phil%d", i), func(wt core.T) {
+		handles[i] = t.Go(smallName("phil", i), func(wt core.T) {
 			left, right := forks[i], forks[(i+1)%n]
 			for r := 0; r < rounds; r++ {
 				left.Lock(wt) // BUG: everyone grabs left first
@@ -100,13 +100,13 @@ func philosophersOrderedBody(t core.T, p Params) {
 	rounds := p.Get("rounds", 1)
 	forks := make([]core.Mutex, n)
 	for i := range forks {
-		forks[i] = t.NewMutex(fmt.Sprintf("fork%d", i))
+		forks[i] = t.NewMutex(smallName("fork", i))
 	}
 	meals := t.NewInt("meals", 0)
 	handles := make([]core.Handle, n)
 	for i := range handles {
 		i := i
-		handles[i] = t.Go(fmt.Sprintf("phil%d", i), func(wt core.T) {
+		handles[i] = t.Go(smallName("phil", i), func(wt core.T) {
 			lo, hi := i, (i+1)%n
 			if lo > hi {
 				lo, hi = hi, lo

@@ -1,10 +1,10 @@
 package repository
 
 import (
-	"fmt"
-
 	"mtbench/internal/core"
 )
+
+// Small repeated names here are served by smallName (names.go).
 
 // This file holds the repository's larger, service-shaped programs —
 // the "larger programs ... with bugs from the field" tier of §4: a
@@ -29,7 +29,7 @@ func workQueueBody(t core.T, p Params) {
 
 	var hs []core.Handle
 	for i := 0; i < workers; i++ {
-		hs = append(hs, t.Go(fmt.Sprintf("worker%d", i), func(wt core.T) {
+		hs = append(hs, t.Go(smallName("worker", i), func(wt core.T) {
 			mywork := wt.NewInt("mywork", 0) // per-worker, prunable
 			for {
 				mu.Lock(wt)
@@ -108,7 +108,7 @@ func rwCacheBody(t core.T, p Params) {
 
 	var hs []core.Handle
 	for i := 0; i < readers; i++ {
-		hs = append(hs, t.Go(fmt.Sprintf("reader%d", i), func(wt core.T) {
+		hs = append(hs, t.Go(smallName("reader", i), func(wt core.T) {
 			for j := 0; j < lookups; j++ {
 				rw.RLock(wt)
 				v := cacheVal.Load(wt)

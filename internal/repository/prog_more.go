@@ -1,10 +1,10 @@
 package repository
 
 import (
-	"fmt"
-
 	"mtbench/internal/core"
 )
+
+// Small repeated names here are served by smallName (names.go).
 
 // This file extends the repository with further classic patterns: a
 // TOCTOU overdraft, a condvar-based semaphore with the if/while bug, a
@@ -128,7 +128,7 @@ func oneCondBody(t core.T, p Params) {
 
 	var hs []core.Handle
 	for i := 0; i < producers; i++ {
-		hs = append(hs, t.Go(fmt.Sprintf("prod%d", i), func(wt core.T) {
+		hs = append(hs, t.Go(smallName("prod", i), func(wt core.T) {
 			mu.Lock(wt)
 			for count.Load(wt) >= capacity {
 				cv.Wait(wt)
@@ -139,7 +139,7 @@ func oneCondBody(t core.T, p Params) {
 		}))
 	}
 	for i := 0; i < consumers; i++ {
-		hs = append(hs, t.Go(fmt.Sprintf("cons%d", i), func(wt core.T) {
+		hs = append(hs, t.Go(smallName("cons", i), func(wt core.T) {
 			mu.Lock(wt)
 			for count.Load(wt) == 0 {
 				cv.Wait(wt)
@@ -189,7 +189,7 @@ func lazyInitBody(t core.T, p Params) {
 			if cache.Load(wt) == nil { // BUG: unsynchronized check
 				wt.Yield()
 				inits.Add(wt, 1) // expensive construction, duplicated
-				cache.Store(wt, fmt.Sprintf("resource-%d", wt.ID()))
+				cache.Store(wt, smallName("resource-", int(wt.ID())))
 			}
 			got := cache.Load(wt)
 			wt.Assert(got != nil, "used nil resource")

@@ -47,6 +47,7 @@ func (c *tc) Sleep(d time.Duration) {
 	}
 	th.wakeAt = s.now() + int64(d)
 	th.state = tSleeping
+	s.sleepers++
 	th.park()
 }
 
@@ -96,16 +97,48 @@ func (c *tc) Outcome(format string, args ...any) {
 	s.emit(th, core.OpOutcome, core.NoObject, frag, 0, 0, 0, loc, locID)
 }
 
+// The object constructors hand out arena-recycled objects in creation
+// order (see the scheduler's object arenas): the Nth NewMutex of a run
+// reuses the Nth mutex slot, fully reinitialized. Only one virtual
+// thread runs at a time, so the cursor bumps are race-free and the
+// slot sequence is deterministic per schedule.
+
+// reuseNameID returns an arena slot's cached intern handle when the
+// slot is reinitialized under the same name it carried last run — the
+// common case for deterministic bodies, where the Nth object of every
+// run has the same name — avoiding the global intern-table lookup on
+// the per-run object-creation path.
+func reuseNameID(prevName string, prevID uint32, name string) uint32 {
+	if prevID != 0 && prevName == name {
+		return prevID
+	}
+	return core.InternName(name)
+}
+
 func (c *tc) NewMutex(name string) core.Mutex {
 	s := c.th.sc
 	s.objSeq++
-	return &mutex{id: s.objSeq, name: name, nameID: core.InternName(name), sc: s, holder: core.NoThread}
+	if s.nMus == len(s.mus) {
+		s.mus = append(s.mus, &mutex{})
+	}
+	m := s.mus[s.nMus]
+	s.nMus++
+	*m = mutex{id: s.objSeq, name: name, nameID: reuseNameID(m.name, m.nameID, name), sc: s, holder: core.NoThread}
+	return m
 }
 
 func (c *tc) NewRWMutex(name string) core.RWMutex {
 	s := c.th.sc
 	s.objSeq++
-	return &rwmutex{id: s.objSeq, name: name, nameID: core.InternName(name), sc: s, writer: core.NoThread}
+	if s.nRWs == len(s.rws) {
+		s.rws = append(s.rws, &rwmutex{})
+	}
+	w := s.rws[s.nRWs]
+	s.nRWs++
+	readers := w.readers
+	clear(readers)
+	*w = rwmutex{id: s.objSeq, name: name, nameID: reuseNameID(w.name, w.nameID, name), sc: s, writer: core.NoThread, readers: readers}
+	return w
 }
 
 func (c *tc) NewCond(name string, mu core.Mutex) core.Cond {
@@ -115,25 +148,46 @@ func (c *tc) NewCond(name string, mu core.Mutex) core.Cond {
 		panic("sched: NewCond requires a mutex created by this runtime")
 	}
 	s.objSeq++
-	return &cond{id: s.objSeq, name: name, nameID: core.InternName(name), sc: s, mu: m}
+	if s.nConds == len(s.conds) {
+		s.conds = append(s.conds, &cond{})
+	}
+	cd := s.conds[s.nConds]
+	s.nConds++
+	eligible := cd.eligible
+	clear(eligible)
+	*cd = cond{id: s.objSeq, name: name, nameID: reuseNameID(cd.name, cd.nameID, name), sc: s, mu: m, waiters: cd.waiters[:0], eligible: eligible}
+	return cd
 }
 
 func (c *tc) NewInt(name string, init int64) core.IntVar {
-	s := c.th.sc
-	s.objSeq++
-	return &intvar{id: s.objSeq, name: name, nameID: core.InternName(name), sc: s, val: init}
+	return c.th.sc.newIntVar(name, init, false)
 }
 
 func (c *tc) NewAtomicInt(name string, init int64) core.IntVar {
-	s := c.th.sc
+	return c.th.sc.newIntVar(name, init, true)
+}
+
+func (s *scheduler) newIntVar(name string, init int64, atomic bool) core.IntVar {
 	s.objSeq++
-	return &intvar{id: s.objSeq, name: name, nameID: core.InternName(name), sc: s, val: init, atomic: true}
+	if s.nInts == len(s.ints) {
+		s.ints = append(s.ints, &intvar{})
+	}
+	v := s.ints[s.nInts]
+	s.nInts++
+	*v = intvar{id: s.objSeq, name: name, nameID: reuseNameID(v.name, v.nameID, name), sc: s, val: init, atomic: atomic}
+	return v
 }
 
 func (c *tc) NewRef(name string) core.RefVar {
 	s := c.th.sc
 	s.objSeq++
-	return &refvar{id: s.objSeq, name: name, nameID: core.InternName(name), sc: s}
+	if s.nRefs == len(s.refs) {
+		s.refs = append(s.refs, &refvar{})
+	}
+	v := s.refs[s.nRefs]
+	s.nRefs++
+	*v = refvar{id: s.objSeq, name: name, nameID: reuseNameID(v.name, v.nameID, name), sc: s}
+	return v
 }
 
 // handle implements core.Handle for controlled threads. Each thread

@@ -1,0 +1,250 @@
+package sched_test
+
+import (
+	"runtime"
+	"slices"
+	"testing"
+
+	"mtbench/internal/core"
+	"mtbench/internal/repository"
+	"mtbench/internal/sched"
+)
+
+// parker wraps a strategy and parks the run once at each listed
+// decision index. Because parking does not consume the decision, the
+// same Choice.Step is re-offered after Resume, so the wrapper keys on
+// c.Step (not on call count) and remembers which indices it already
+// parked at.
+type parker struct {
+	inner  sched.Strategy
+	parkAt map[int64]bool
+	done   map[int64]bool
+}
+
+func (p *parker) Name() string { return "parker:" + p.inner.Name() }
+
+func (p *parker) Pick(c *sched.Choice) core.ThreadID {
+	if p.parkAt[c.Step] && !p.done[c.Step] {
+		p.done[c.Step] = true
+		return sched.ParkID
+	}
+	return p.inner.Pick(c)
+}
+
+// driveParked runs a config through Start and resumes across every
+// park until the run completes.
+func driveParked(t *testing.T, runner *sched.Runner, cfg sched.Config, body func(core.T)) (*core.Result, int) {
+	t.Helper()
+	parks := 0
+	res := runner.Start(cfg, body)
+	for res == nil {
+		if !runner.Parked() {
+			t.Fatal("Start/Resume returned nil but Parked() is false")
+		}
+		parks++
+		res = runner.Resume()
+	}
+	return res, parks
+}
+
+// TestParkResume is the park contract: suspending a run at a decision
+// point and resuming it later is invisible — the interrupted run's
+// verdict, outcome, steps, events, finish order and recorded schedule
+// are byte-identical to the same strategy run without interruption.
+// Every repository program is parked at several depths, including
+// decision 0 (before any thread has run).
+func TestParkResume(t *testing.T) {
+	runner := sched.NewRunner()
+	defer runner.Close()
+
+	for _, p := range repository.All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			body := p.BodyWith(nil)
+			for seed := int64(0); seed < 2; seed++ {
+				cfg := func(st sched.Strategy) sched.Config {
+					return sched.Config{
+						Strategy:       st,
+						Seed:           seed,
+						Name:           p.Name,
+						MaxSteps:       300_000,
+						RecordSchedule: true,
+					}
+				}
+				fresh := sched.Run(cfg(sched.Random(seed)), body)
+				parkAt := map[int64]bool{0: true, 3: true, 17: true}
+				parked, parks := driveParked(t, runner,
+					cfg(&parker{inner: sched.Random(seed), parkAt: parkAt, done: map[int64]bool{}}), body)
+				if parks == 0 {
+					t.Fatalf("seed %d: run never parked", seed)
+				}
+				if parked.Verdict != fresh.Verdict || parked.Outcome != fresh.Outcome ||
+					parked.Steps != fresh.Steps || parked.Events != fresh.Events ||
+					parked.Threads != fresh.Threads || parked.DeadlockInfo != fresh.DeadlockInfo {
+					t.Fatalf("seed %d: parked %v != fresh %v", seed, parked, fresh)
+				}
+				if !slices.Equal(parked.FinishOrder, fresh.FinishOrder) {
+					t.Fatalf("seed %d: finish order %v != %v", seed, parked.FinishOrder, fresh.FinishOrder)
+				}
+				if !slices.Equal(parked.Schedule, fresh.Schedule) {
+					t.Fatalf("seed %d: schedules differ (%d vs %d decisions)",
+						seed, len(parked.Schedule), len(fresh.Schedule))
+				}
+			}
+		})
+	}
+}
+
+// TestParkAbandon checks that tearing down a parked run mid-flight
+// returns its virtual threads to the pool cleanly: the same runner
+// immediately executes a full run with results identical to a fresh
+// scheduler, across repeated park/abandon cycles and different
+// programs.
+func TestParkAbandon(t *testing.T) {
+	runner := sched.NewRunner()
+	defer runner.Close()
+
+	for _, name := range []string{"account", "philosophers", "lostnotify"} {
+		prog, err := repository.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := prog.BodyWith(nil)
+		for round := 0; round < 3; round++ {
+			for _, depth := range []int64{0, 2, 9} {
+				st := &parker{inner: sched.Random(1), parkAt: map[int64]bool{depth: true}, done: map[int64]bool{}}
+				res := runner.Start(sched.Config{Strategy: st, Name: name, MaxSteps: 300_000}, body)
+				if res != nil {
+					// Run ended before reaching the park depth; fine.
+					continue
+				}
+				if !runner.Parked() {
+					t.Fatalf("%s depth %d: nil result but not parked", name, depth)
+				}
+				runner.Abandon()
+				if runner.Parked() {
+					t.Fatalf("%s depth %d: still parked after Abandon", name, depth)
+				}
+			}
+			fresh := sched.Run(sched.Config{Strategy: sched.Random(7), Name: name, MaxSteps: 300_000}, body)
+			after := runner.Run(sched.Config{Strategy: sched.Random(7), Name: name, MaxSteps: 300_000}, body)
+			if after.Verdict != fresh.Verdict || after.Outcome != fresh.Outcome || after.Steps != fresh.Steps {
+				t.Fatalf("%s round %d: post-abandon run %v != fresh %v", name, round, after, fresh)
+			}
+		}
+	}
+}
+
+// TestParkAbandonNoLeak pins the no-goroutine-leak contract: a runner
+// that parked and abandoned runs releases every virtual thread's
+// goroutine on Close, returning runtime.NumGoroutine to its
+// pre-runner baseline. Close must also tear down a run still parked
+// at close time.
+func TestParkAbandonNoLeak(t *testing.T) {
+	prog, err := repository.Get("philosophers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := prog.BodyWith(nil)
+	baseline := runtime.NumGoroutine()
+
+	runner := sched.NewRunner()
+	for i := 0; i < 4; i++ {
+		st := &parker{inner: sched.Random(int64(i)), parkAt: map[int64]bool{5: true}, done: map[int64]bool{}}
+		if res := runner.Start(sched.Config{Strategy: st, Name: "philosophers", MaxSteps: 300_000}, body); res == nil && i%2 == 0 {
+			runner.Abandon()
+		} else if res == nil {
+			// Leave the last parked run for Close to reap.
+			break
+		}
+	}
+	runner.Close()
+
+	for i := 0; i < 100 && runtime.NumGoroutine() > baseline; i++ {
+		runtime.Gosched()
+	}
+	if n := runtime.NumGoroutine(); n > baseline {
+		t.Fatalf("goroutines leaked: baseline %d, after close %d", baseline, n)
+	}
+}
+
+// coaster delegates to inner until decision k, then returns CoastID.
+type coaster struct {
+	inner sched.Strategy
+	at    int64
+}
+
+func (c *coaster) Name() string { return "coaster" }
+
+func (c *coaster) Pick(ch *sched.Choice) core.ThreadID {
+	if ch.Step >= c.at {
+		return sched.CoastID
+	}
+	return c.inner.Pick(ch)
+}
+
+// switcher delegates to inner until decision k, then follows the
+// nonpreemptive rule explicitly — the reference behavior CoastID must
+// reproduce.
+type switcher struct {
+	inner sched.Strategy
+	at    int64
+	np    sched.Strategy
+}
+
+func (s *switcher) Name() string { return "switcher" }
+
+func (s *switcher) Pick(ch *sched.Choice) core.ThreadID {
+	if ch.Step >= s.at {
+		return s.np.Pick(ch)
+	}
+	return s.inner.Pick(ch)
+}
+
+// TestCoast checks the CoastID contract: handing the tail of a run to
+// the scheduler's built-in nonpreemptive rule produces exactly the
+// verdict, outcome, step count, event count and finish order that an
+// explicit nonpreemptive fallback strategy produces, while the
+// recorded schedule stops at the coast point.
+func TestCoast(t *testing.T) {
+	runner := sched.NewRunner()
+	defer runner.Close()
+
+	for _, p := range repository.All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			body := p.BodyWith(nil)
+			for _, at := range []int64{0, 1, 6, 25} {
+				for seed := int64(0); seed < 2; seed++ {
+					cfg := func(st sched.Strategy) sched.Config {
+						return sched.Config{
+							Strategy:       st,
+							Seed:           seed,
+							Name:           p.Name,
+							MaxSteps:       300_000,
+							RecordSchedule: true,
+						}
+					}
+					ref := sched.Run(cfg(&switcher{inner: sched.Random(seed), at: at, np: sched.Nonpreemptive()}), body)
+					coast := runner.Run(cfg(&coaster{inner: sched.Random(seed), at: at}), body)
+					if coast.Verdict != ref.Verdict || coast.Outcome != ref.Outcome ||
+						coast.Steps != ref.Steps || coast.Events != ref.Events ||
+						coast.Threads != ref.Threads || coast.DeadlockInfo != ref.DeadlockInfo {
+						t.Fatalf("at %d seed %d: coast %v != ref %v", at, seed, coast, ref)
+					}
+					if !slices.Equal(coast.FinishOrder, ref.FinishOrder) {
+						t.Fatalf("at %d seed %d: finish order %v != %v", at, seed, coast.FinishOrder, ref.FinishOrder)
+					}
+					wantSched := ref.Schedule
+					if int64(len(wantSched)) > at {
+						wantSched = wantSched[:at]
+					}
+					if !slices.Equal(coast.Schedule, wantSched) {
+						t.Fatalf("at %d seed %d: coast schedule %d decisions, want %d",
+							at, seed, len(coast.Schedule), len(wantSched))
+					}
+				}
+			}
+		})
+	}
+}

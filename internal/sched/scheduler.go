@@ -28,10 +28,10 @@
 package sched
 
 import (
+	"bytes"
 	"fmt"
 	"slices"
-	"sort"
-	"strings"
+	"strconv"
 	"time"
 
 	"mtbench/internal/core"
@@ -74,6 +74,11 @@ type Config struct {
 	// replay. Exploration and replay set it; bulk statistics runs leave
 	// it off to save allocation.
 	RecordSchedule bool
+	// SkipTiming leaves Result.Elapsed zero instead of reading the wall
+	// clock twice per run. Search loops that execute millions of short
+	// runs and never read Elapsed set it to keep time.Now off the
+	// per-run path.
+	SkipTiming bool
 }
 
 // Run executes body as thread 0 under the configured strategy and
@@ -99,11 +104,22 @@ func Run(cfg Config, body func(t core.T)) *core.Result {
 // is single-threaded — one run at a time — and a run through a reused
 // Runner is byte-identical to one through a fresh scheduler.
 //
+// Beyond run-to-completion (Run), a Runner supports a parked
+// lifecycle: Start drives a run until it either finishes or the
+// strategy returns ParkID, in which case the run suspends with every
+// virtual thread blocked on its resume channel; Resume continues a
+// parked run from the exact decision point it parked at, and Abandon
+// tears a parked run down, unwinding the live threads back into the
+// free pool. A parked Runner holds its threads (and their goroutines)
+// but consumes no CPU.
+//
 // Ownership caveat: when Config.RecordSchedule is set, the returned
 // Result.Schedule aliases the Runner's internal buffer and is only
-// valid until the next Run call; callers that retain it (or retain the
+// valid until the next run; callers that retain it (or retain the
 // Result) across runs must clone it first. The package-level Run has
-// no such caveat since its Runner is never reused.
+// no such caveat since its Runner is never reused. Results returned by
+// Start/Resume are pooled more aggressively: the Result itself and its
+// FinishOrder alias per-Runner buffers reused by the next run.
 type Runner struct {
 	s *scheduler
 }
@@ -114,32 +130,106 @@ type Runner struct {
 func NewRunner() *Runner {
 	return &Runner{s: &scheduler{
 		parked:  make(chan *thread),
-		runDone: make(chan struct{}),
+		runDone: make(chan runSig),
 	}}
 }
 
-// Run executes body under cfg, reusing the Runner's pooled state. See
-// Runner for the Result.Schedule ownership caveat.
+// Run executes body under cfg to completion, reusing the Runner's
+// pooled state. See Runner for the Result.Schedule ownership caveat;
+// everything else in the Result is valid indefinitely. Run panics if
+// the strategy parks the run — parking strategies must be driven
+// through Start/Resume/Abandon.
 func (r *Runner) Run(cfg Config, body func(t core.T)) *core.Result {
+	p := r.Start(cfg, body)
+	if p == nil {
+		panic("sched: strategy parked a run driven by Run; use Start/Resume/Abandon")
+	}
+	// Start's Result is pooled (overwritten by the next run); Run's
+	// contract is a caller-owned Result, so unpool it here.
+	res := new(core.Result)
+	*res = *p
+	if len(res.FinishOrder) > 0 {
+		res.FinishOrder = append([]string(nil), res.FinishOrder...)
+	}
+	return res
+}
+
+// Start begins a controlled run and drives it until it completes or
+// parks. It returns the run's Result, or nil when the strategy parked
+// the run (Parked reports true until Resume or Abandon). The returned
+// Result and its FinishOrder (and Schedule, under RecordSchedule)
+// alias per-Runner buffers: they are valid only until the next
+// Start/Resume/Run on this Runner and must be cloned to be retained.
+func (r *Runner) Start(cfg Config, body func(t core.T)) *core.Result {
 	s := r.s
 	if s.closed {
-		panic("sched: Run on a closed Runner")
+		panic("sched: Start on a closed Runner")
+	}
+	if s.parkedRun {
+		panic("sched: Start on a Runner holding a parked run (Resume or Abandon it first)")
 	}
 	if s.running {
 		panic("sched: Runner used for two runs at once")
 	}
 	s.reset(cfg)
-	return s.run(body)
+	s.running = true
+	if !cfg.SkipTiming {
+		s.start = time.Now()
+	} else {
+		s.start = time.Time{}
+	}
+	s.listeners.StartRun(core.RunInfo{Program: s.cfg.Name, Mode: "controlled", Seed: s.cfg.Seed})
+	s.spawn("main", body)
+	return s.drive()
 }
 
-// Close releases the Runner's pooled goroutines. It is a no-op on a
-// Runner whose last run panicked mid-flight (the pool is unrecoverable
-// then; the goroutines are leaked exactly as a fresh-scheduler panic
-// leaked them).
+// Resume continues a parked run from the decision point it parked at.
+// The interrupted decision is re-offered to the strategy (same
+// Choice.Step), so park+resume is invisible to the decision sequence.
+// Like Start, Resume returns nil if the run parks again; the returned
+// Result has Start's pooled-ownership caveat.
+func (r *Runner) Resume() *core.Result {
+	s := r.s
+	if !s.parkedRun {
+		panic("sched: Resume on a Runner with no parked run")
+	}
+	s.parkedRun = false
+	return s.drive()
+}
+
+// Parked reports whether the Runner holds a parked run.
+func (r *Runner) Parked() bool { return r.s.parkedRun }
+
+// Abandon tears down a parked run without completing it: every live
+// virtual thread is unwound via the abort handshake and returned to
+// the Runner's free pool, exactly as at the end of a completed run, so
+// an abandoned run leaks no goroutines. The run produces no Result and
+// is not reported to RunObserver EndRun hooks. Abandon on a Runner
+// with no parked run is a no-op.
+func (r *Runner) Abandon() {
+	s := r.s
+	if !s.parkedRun {
+		return
+	}
+	s.parkedRun = false
+	s.teardown()
+	s.free = append(s.free, s.threads...)
+	s.threads = s.threads[:0]
+	s.running = false
+}
+
+// Close releases the Runner's pooled goroutines, abandoning a parked
+// run first if one is suspended. It is a no-op on a Runner whose last
+// run panicked mid-flight (the pool is unrecoverable then; the
+// goroutines are leaked exactly as a fresh-scheduler panic leaked
+// them).
 func (r *Runner) Close() {
 	s := r.s
 	if s.closed {
 		return
+	}
+	if s.parkedRun {
+		r.Abandon()
 	}
 	s.closed = true
 	if s.running || len(s.threads) > 0 {
@@ -202,6 +292,29 @@ type resumeMsg struct {
 	quit  bool
 }
 
+// runSig is the one-per-suspension signal a virtual thread sends the
+// driver on runDone: the run either finished for good (sigOver) or
+// parked at a decision point with every thread waiting on its resume
+// channel (sigParked).
+type runSig uint8
+
+const (
+	sigOver runSig = iota
+	sigParked
+)
+
+// stepStatus classifies a scheduling decision's outcome for the
+// goroutine that took it: hand control to the returned thread
+// (stepGo), the run is finished (stepOver), or the strategy parked the
+// run without consuming the decision (stepParked).
+type stepStatus uint8
+
+const (
+	stepGo stepStatus = iota
+	stepOver
+	stepParked
+)
+
 // engineBug is the panic payload for scheduler-internal invariant
 // violations (a strategy picking a non-runnable thread, idling with no
 // sleeper). Scheduling decisions execute on virtual-thread goroutines
@@ -219,17 +332,17 @@ func (e engineBug) Error() string { return e.msg }
 // value for callers that cannot rely on runBody's recover (the driver
 // at kickoff, and finishHandoff, which runs inside runBody's deferred
 // function after recover has already been consumed).
-func (s *scheduler) stepSafe() (next *thread, over bool, bug *engineBug) {
+func (s *scheduler) stepSafe() (next *thread, st stepStatus, bug *engineBug) {
 	defer func() {
 		if rec := recover(); rec != nil {
 			eb, ok := rec.(engineBug)
 			if !ok {
 				panic(rec)
 			}
-			bug, over = &eb, true
+			bug, st = &eb, stepOver
 		}
 	}()
-	next, over = s.step()
+	next, st = s.step()
 	return
 }
 
@@ -291,17 +404,24 @@ type scheduler struct {
 	// LocationAware, because resolving a caller PC is the single most
 	// expensive part of an otherwise-listener-free probe.
 	capLoc bool
+	// wantPending gates publishing Choice.Pending (a multi-word copy
+	// per decision); off when the strategy declares PendingFree.
+	wantPending bool
+	// sleepers counts threads in state tSleeping (whether or not their
+	// deadline has passed), so the per-step CanIdle probe can skip the
+	// all-threads scan in the common no-sleeps case.
+	sleepers int
 
 	threads []*thread
 	// free holds pooled threads whose goroutines are parked waiting for
 	// their next assignment.
 	free []*thread
 	// parked carries the abort handshake during teardown; runDone is
-	// the one signal per run that control has left the virtual threads
-	// for good (clean completion, failure, deadlock, step limit or
-	// divergence).
+	// the one signal per suspension that control has left the virtual
+	// threads — either for good (clean completion, failure, deadlock,
+	// step limit, divergence) or because the run parked.
 	parked  chan *thread
-	runDone chan struct{}
+	runDone chan runSig
 	cur     *thread
 
 	seq     int64
@@ -334,10 +454,66 @@ type scheduler struct {
 	// fresh per step it escapes through the interface call and puts a
 	// heap allocation on every scheduling decision.
 	choice Choice
+	// pendingOfFn/footprintOfFn cache the method-value closures handed
+	// out through Choice (binding one allocates; see reset).
+	pendingOfFn   func(core.ThreadID) PendingOp
+	footprintOfFn func(core.ThreadID) core.Footprint
+
+	// start is the run's wall-clock start (zero under SkipTiming); res
+	// is the pooled Result returned by Start/Resume.
+	start time.Time
+	res   core.Result
+
+	// coasting is set when the strategy returned CoastID: the rest of
+	// the run follows the built-in nonpreemptive rule without strategy
+	// round trips or schedule recording.
+	coasting bool
+	// parkedRun is set while a run is suspended between Start/Resume
+	// and Resume/Abandon.
+	parkedRun bool
+
+	// outcomeTab interns Result.Outcome strings and dlTab interns
+	// deadlock descriptions: searches revisit the same few outcome and
+	// deadlock shapes millions of times, and both strings are built in
+	// reusable byte buffers, so interning makes them allocation-free in
+	// steady state. Both tables are capped defensively.
+	outcomeTab map[string]string
+	dlTab      map[string]string
+
+	// Reusable deadlock-description scratch (see describeDeadlock).
+	dlArena []byte
+	dlParts []dlPart
+	dlBuf   []byte
+	dlWaits []core.ThreadID
+	dlSeen  []int32
+	dlPath  []core.ThreadID
+	dlCyc   []core.ThreadID
+
+	// Object arenas: the synchronization objects a body creates
+	// (NewMutex, NewInt, ...) are recycled across runs in creation
+	// order — only one virtual thread runs at a time, so the cursors
+	// need no locking, and every object is fully reinitialized when it
+	// is handed out. This removes the per-run allocations that dominate
+	// pooled-run cost (a body's object set is rebuilt on every one of a
+	// search's thousands of executions).
+	mus    []*mutex
+	rws    []*rwmutex
+	conds  []*cond
+	ints   []*intvar
+	refs   []*refvar
+	nMus   int
+	nRWs   int
+	nConds int
+	nInts  int
+	nRefs  int
 
 	running bool
 	closed  bool
 }
+
+// dlPart is one pre-sort deadlock description fragment, as a byte
+// range into the scheduler's dlArena.
+type dlPart struct{ beg, end int }
 
 // reset reconfigures the scheduler for a new run, truncating the
 // reusable buffers and zeroing all per-run state.
@@ -362,6 +538,10 @@ func (s *scheduler) reset(cfg Config) {
 			s.capLoc = true
 		}
 	}
+	s.wantPending = true
+	if pf, ok := cfg.Strategy.(PendingFree); ok && pf.PendingFree() {
+		s.wantPending = false
+	}
 
 	s.cur = nil
 	s.seq = 0
@@ -380,7 +560,16 @@ func (s *scheduler) reset(cfg Config) {
 	s.schedule = s.schedule[:0]
 	s.evScratch = core.Event{}
 	s.hasEvent = false
-	s.choice = Choice{PendingOf: s.pendingOf}
+	s.coasting = false
+	s.sleepers = 0
+	s.nMus, s.nRWs, s.nConds, s.nInts, s.nRefs = 0, 0, 0, 0, 0
+	// The accessor closures are cached on first use: binding a method
+	// value allocates, and reset runs once per pooled run.
+	if s.pendingOfFn == nil {
+		s.pendingOfFn = s.pendingOf
+		s.footprintOfFn = s.footprintOf
+	}
+	s.choice = Choice{PendingOf: s.pendingOfFn, FootprintOf: s.footprintOfFn}
 }
 
 // progLoc resolves the benchmark program's call site (2 frames above
@@ -393,14 +582,35 @@ func (s *scheduler) progLoc() (core.Location, uint32) {
 	return core.CallerLocationID(2)
 }
 
-func (s *scheduler) run(body func(t core.T)) *core.Result {
-	s.running = true
-	defer func() { s.running = false }()
-	start := time.Now()
-	s.listeners.StartRun(core.RunInfo{Program: s.cfg.Name, Mode: "controlled", Seed: s.cfg.Seed})
+// drive takes one scheduling decision on the driver goroutine — the
+// run's first, or the re-offered decision after a Resume — hands
+// control to the picked thread, and sleeps until the virtual threads
+// report the run suspended again. From the handoff on, control moves
+// directly from thread to thread; the driver wakes only when the run
+// is over (finish) or parked (return nil with parkedRun set).
+func (s *scheduler) drive() *core.Result {
+	next, st, bug := s.stepSafe()
+	switch {
+	case bug != nil:
+		s.bug = bug
+	case st == stepParked:
+		s.parkedRun = true
+		return nil
+	case st == stepOver:
+	default:
+		s.cur = next
+		next.ready <- resumeMsg{}
+		if <-s.runDone == sigParked {
+			s.parkedRun = true
+			return nil
+		}
+	}
+	return s.finish()
+}
 
-	s.spawn("main", body)
-	s.kickoff()
+// teardown unwinds every live thread and re-panics a ferried engine
+// bug on the driver goroutine.
+func (s *scheduler) teardown() {
 	s.abortAll()
 	if s.bug != nil {
 		// An engine bug surfaced on a virtual thread; the teardown
@@ -409,24 +619,34 @@ func (s *scheduler) run(body func(t core.T)) *core.Result {
 		msg := s.bug.msg
 		s.free = append(s.free, s.threads...)
 		s.threads = s.threads[:0]
+		s.running = false
 		panic(msg)
 	}
+}
 
-	var finish []string
-	if len(s.finishOrder) > 0 {
-		finish = append([]string(nil), s.finishOrder...)
-	}
-	res := &core.Result{
+// finish tears the completed run down and builds its Result in the
+// pooled slot. Outcome and DeadlockInfo are interned strings and
+// FinishOrder aliases the per-run accumulator, so a completed run
+// allocates nothing here in steady state.
+func (s *scheduler) finish() *core.Result {
+	s.teardown()
+
+	res := &s.res
+	*res = core.Result{
 		Verdict:      core.VerdictPass,
 		Failure:      s.failure,
 		DeadlockInfo: s.deadlockInfo,
-		Outcome:      string(s.outcomeBuf),
-		FinishOrder:  finish,
+		Outcome:      s.internOutcome(),
 		Steps:        s.steps,
 		Events:       s.seq,
 		Threads:      len(s.threads),
-		Elapsed:      time.Since(start),
 		Diverged:     s.diverged,
+	}
+	if len(s.finishOrder) > 0 {
+		res.FinishOrder = s.finishOrder
+	}
+	if !s.start.IsZero() {
+		res.Elapsed = time.Since(s.start)
 	}
 	if s.cfg.RecordSchedule {
 		res.Schedule = s.schedule
@@ -446,20 +666,45 @@ func (s *scheduler) run(body func(t core.T)) *core.Result {
 	// Every thread is done; return them to the pool for the next run.
 	s.free = append(s.free, s.threads...)
 	s.threads = s.threads[:0]
+	s.running = false
 	return res
 }
 
+// internOutcome returns the run's outcome accumulator as an interned
+// string: repeated outcomes (a search executes the same few program
+// behaviours over and over) hit the table without allocating.
+func (s *scheduler) internOutcome() string {
+	if len(s.outcomeBuf) == 0 {
+		return ""
+	}
+	if v, ok := s.outcomeTab[string(s.outcomeBuf)]; ok {
+		return v
+	}
+	v := string(s.outcomeBuf)
+	if s.outcomeTab == nil {
+		s.outcomeTab = make(map[string]string, 64)
+	}
+	if len(s.outcomeTab) < 1<<12 {
+		s.outcomeTab[v] = v
+	}
+	return v
+}
+
 // step is one scheduling decision, executed inline by whichever
-// goroutine currently holds control (the driver at kickoff, the
-// yielding virtual thread everywhere else — the overhaul that removed
-// the per-step round trip through a driver goroutine). It returns the
-// thread control should pass to, or over=true when the run is
-// finished: clean completion, failure, deadlock, step limit, or
-// strategy divergence.
-func (s *scheduler) step() (next *thread, over bool) {
+// goroutine currently holds control (the driver at kickoff or resume,
+// the yielding virtual thread everywhere else — the overhaul that
+// removed the per-step round trip through a driver goroutine). It
+// returns the thread control should pass to, stepOver when the run is
+// finished (clean completion, failure, deadlock, step limit, or
+// strategy divergence), or stepParked when the strategy parked the run
+// without consuming the decision.
+func (s *scheduler) step() (next *thread, st stepStatus) {
+	if s.coasting {
+		return s.coastStep()
+	}
 	for {
 		if s.failure != nil {
-			return nil, true
+			return nil, stepOver
 		}
 		runnable := s.runnable()
 		if len(runnable) == 0 {
@@ -467,34 +712,56 @@ func (s *scheduler) step() (next *thread, over bool) {
 				continue
 			}
 			if s.liveCount() == 0 {
-				return nil, true // clean completion
+				return nil, stepOver // clean completion
 			}
 			s.deadlockInfo = s.describeDeadlock()
-			return nil, true
+			return nil, stepOver
 		}
 		if s.steps >= s.cfg.MaxSteps {
 			s.stepLimitHit = true
-			return nil, true
+			return nil, stepOver
 		}
 
 		choice := &s.choice
 		choice.Step = s.steps
 		choice.Runnable = runnable
 		choice.Current = core.NoThread
-		choice.Pending = PendingOp{}
 		choice.LastEvent = nil
 		if s.cur != nil {
 			choice.Current = s.cur.id
-			choice.Pending = s.cur.pending
+		}
+		// Publishing the pending operation copies a multi-word struct
+		// every decision; PendingFree strategies opt out of paying it.
+		if s.wantPending {
+			choice.Pending = PendingOp{}
+			if s.cur != nil {
+				choice.Pending = s.cur.pending
+			}
 		}
 		if s.hasEvent {
 			choice.LastEvent = &s.evScratch
 		}
 		choice.CanIdle = s.hasFutureSleeper()
 		pick := s.strategy.Pick(choice)
-		if pick == core.NoThread {
+		switch pick {
+		case core.NoThread:
 			s.diverged = true
-			return nil, true
+			return nil, stepOver
+		case ParkID:
+			// The decision is not consumed: no step is counted and
+			// nothing is recorded, so the same Choice is re-offered to
+			// the first Pick after Resume.
+			return nil, stepParked
+		case CoastID:
+			// The strategy hands the rest of the run to the built-in
+			// nonpreemptive rule, starting with this decision; coasted
+			// decisions are counted but not recorded.
+			s.coasting = true
+			s.steps++
+			if s.cur != nil && slices.Contains(runnable, s.cur.id) {
+				return s.cur, stepGo
+			}
+			return s.threadByID(runnable[0]), stepGo
 		}
 		s.steps++
 		if s.cfg.RecordSchedule {
@@ -513,26 +780,54 @@ func (s *scheduler) step() (next *thread, over bool) {
 			panic(engineBug{fmt.Sprintf("sched: strategy %s picked non-runnable thread %d (runnable %v)",
 				s.strategy.Name(), pick, runnable)})
 		}
-		return th, false
+		return th, stepGo
 	}
 }
 
-// kickoff takes the run's first scheduling decision, hands control to
-// the picked thread, and sleeps until the virtual threads report the
-// run over. From that first handoff on, control moves directly from
-// thread to thread.
-func (s *scheduler) kickoff() {
-	next, over, bug := s.stepSafe()
-	if bug != nil {
-		s.bug = bug
-		return
+// coastStep is the post-CoastID decision path: follow the
+// nonpreemptive rule (current thread while it can run, lowest-id
+// runnable otherwise) without consulting the strategy or recording the
+// schedule. Step counting, virtual-time advancement, deadlock
+// detection and the step limit match step exactly, so a coasted run
+// ends with the verdict and outcome a nonpreemptive fallback strategy
+// would have produced. When the current thread merely yielded at a
+// scheduling point (tReady) nothing else can have changed state, so
+// the fast path skips even the runnable scan and hands control
+// straight back — no channel operation, no goroutine switch.
+func (s *scheduler) coastStep() (next *thread, st stepStatus) {
+	if s.failure != nil {
+		return nil, stepOver
 	}
-	if over {
-		return
+	if s.cur != nil && s.cur.state == tReady {
+		if s.steps >= s.cfg.MaxSteps {
+			s.stepLimitHit = true
+			return nil, stepOver
+		}
+		s.steps++
+		return s.cur, stepGo
 	}
-	s.cur = next
-	next.ready <- resumeMsg{}
-	<-s.runDone
+	for {
+		runnable := s.runnable()
+		if len(runnable) == 0 {
+			if s.advanceTime() {
+				continue
+			}
+			if s.liveCount() == 0 {
+				return nil, stepOver // clean completion
+			}
+			s.deadlockInfo = s.describeDeadlock()
+			return nil, stepOver
+		}
+		if s.steps >= s.cfg.MaxSteps {
+			s.stepLimitHit = true
+			return nil, stepOver
+		}
+		s.steps++
+		if s.cur != nil && slices.Contains(runnable, s.cur.id) {
+			return s.cur, stepGo
+		}
+		return s.threadByID(runnable[0]), stepGo
+	}
 }
 
 // runnable returns the ids of threads that can run now, in id order:
@@ -562,8 +857,12 @@ func (s *scheduler) runnable() []core.ThreadID {
 // hasFutureSleeper reports whether some thread sleeps on a deadline
 // the clock has not reached (i.e. idling would change state).
 func (s *scheduler) hasFutureSleeper() bool {
+	if s.sleepers == 0 {
+		return false
+	}
+	now := s.now()
 	for _, th := range s.threads {
-		if th.state == tSleeping && th.wakeAt > s.now() {
+		if th.state == tSleeping && th.wakeAt > now {
 			return true
 		}
 	}
@@ -613,97 +912,169 @@ func (s *scheduler) pendingOf(id core.ThreadID) PendingOp {
 	return th.pending
 }
 
+// footprintOf is the register-sized fast path behind Choice.
+// FootprintOf: the pending operation's reduction identity without
+// copying the whole PendingOp (whose Name/Loc strings make it a
+// several-word struct).
+func (s *scheduler) footprintOf(id core.ThreadID) core.Footprint {
+	th := s.threadByID(id)
+	if th == nil {
+		return core.Footprint{}
+	}
+	return core.Footprint{Op: th.pending.Op, Obj: th.pending.NameID}
+}
+
 // describeDeadlock builds the human-readable wait-for description used
-// in VerdictDeadlock results: every live thread with what it waits for,
-// plus the lock cycle if one exists.
+// in VerdictDeadlock results: every live thread with what it waits
+// for, plus the lock cycle if one exists. The builder is
+// allocation-free in steady state: fragments are composed in a
+// reusable arena, sorted as byte ranges, and the finished description
+// is interned — exploration revisits the same few deadlock shapes
+// thousands of times, and bug deduplication keys on the exact string,
+// so repeated deadlocks cost a table lookup instead of a dozen
+// Sprintf allocations.
 func (s *scheduler) describeDeadlock() string {
-	var parts []string
-	waitsFor := make(map[core.ThreadID]core.ThreadID)
+	arena := s.dlArena[:0]
+	s.dlParts = s.dlParts[:0]
+	if cap(s.dlWaits) < len(s.threads) {
+		s.dlWaits = make([]core.ThreadID, len(s.threads))
+	}
+	waits := s.dlWaits[:len(s.threads)]
+	for i := range waits {
+		waits[i] = core.NoThread
+	}
+	hasEdge := false
 	for _, th := range s.threads {
 		if th.state == tDone {
 			continue
 		}
+		beg := len(arena)
+		arena = append(arena, 't')
+		arena = strconv.AppendInt(arena, int64(th.id), 10)
+		arena = append(arena, '(')
+		arena = append(arena, th.name...)
+		arena = append(arena, ')', ' ')
 		switch th.state {
 		case tSleeping:
-			parts = append(parts, fmt.Sprintf("t%d(%s) sleeping", th.id, th.name))
+			arena = append(arena, "sleeping"...)
 		case tBlocked:
-			var kind string
+			arena = append(arena, "blocked on "...)
 			switch th.block.kind {
 			case blockLock:
-				kind = "lock"
+				arena = append(arena, "lock"...)
 			case blockRW, blockRWRead:
-				kind = "rwlock"
+				arena = append(arena, "rwlock"...)
 			case blockCond:
-				kind = "cond"
+				arena = append(arena, "cond"...)
 			case blockJoin:
-				kind = "join"
+				arena = append(arena, "join"...)
 			}
-			parts = append(parts, fmt.Sprintf("t%d(%s) blocked on %s %q", th.id, th.name, kind, th.block.name))
+			arena = append(arena, ' ')
+			arena = strconv.AppendQuote(arena, th.block.name)
 			if th.block.src != nil {
 				if h := th.block.src.blockHolder(&th.block); h != core.NoThread {
-					waitsFor[th.id] = h
+					waits[th.id] = h
+					hasEdge = true
 				}
 			}
 		default:
-			parts = append(parts, fmt.Sprintf("t%d(%s) %v", th.id, th.name, th.state))
+			arena = strconv.AppendUint(arena, uint64(th.state), 10)
+		}
+		s.dlParts = append(s.dlParts, dlPart{beg, len(arena)})
+	}
+	s.dlArena = arena
+	slices.SortFunc(s.dlParts, func(a, b dlPart) int {
+		return bytes.Compare(arena[a.beg:a.end], arena[b.beg:b.end])
+	})
+	buf := s.dlBuf[:0]
+	for i, p := range s.dlParts {
+		if i > 0 {
+			buf = append(buf, "; "...)
+		}
+		buf = append(buf, arena[p.beg:p.end]...)
+	}
+	if hasEdge {
+		if cyc := s.findCycle(waits); len(cyc) > 0 {
+			buf = append(buf, " [cycle: "...)
+			for i, id := range cyc {
+				if i > 0 {
+					buf = append(buf, '-', '>')
+				}
+				buf = append(buf, 't')
+				buf = strconv.AppendInt(buf, int64(id), 10)
+			}
+			buf = append(buf, ']')
 		}
 	}
-	sort.Strings(parts)
-	desc := strings.Join(parts, "; ")
-	if cyc := findCycle(waitsFor); len(cyc) > 0 {
-		ids := make([]string, len(cyc))
-		for i, id := range cyc {
-			ids[i] = fmt.Sprintf("t%d", id)
-		}
-		desc += " [cycle: " + strings.Join(ids, "->") + "]"
+	s.dlBuf = buf
+	if v, ok := s.dlTab[string(buf)]; ok {
+		return v
 	}
-	return desc
+	v := string(buf)
+	if s.dlTab == nil {
+		s.dlTab = make(map[string]string, 16)
+	}
+	if len(s.dlTab) < 1<<12 {
+		s.dlTab[v] = v
+	}
+	return v
 }
 
-// findCycle finds a cycle in the wait-for map, returning the thread ids
-// along it (empty if none). The result is canonical — starts are probed
-// in ascending id order and the cycle is rotated to begin at its
-// smallest id — so identical deadlocks always produce identical
-// descriptions. Bug deduplication (explore.bugKey) depends on this.
-func findCycle(waitsFor map[core.ThreadID]core.ThreadID) []core.ThreadID {
-	starts := make([]core.ThreadID, 0, len(waitsFor))
-	for id := range waitsFor {
-		starts = append(starts, id)
+// findCycle finds a cycle in the wait-for table (indexed by thread id,
+// core.NoThread = no edge), returning the thread ids along it (empty
+// if none). The result is canonical — starts are probed in ascending
+// id order and the cycle is rotated to begin at its smallest id — so
+// identical deadlocks always produce identical descriptions. Bug
+// deduplication (explore.bugKey) depends on this. The walk reuses
+// scheduler scratch buffers and allocates nothing in steady state.
+func (s *scheduler) findCycle(waits []core.ThreadID) []core.ThreadID {
+	if cap(s.dlSeen) < len(waits) {
+		s.dlSeen = make([]int32, len(waits))
 	}
-	slices.Sort(starts)
-	for _, start := range starts {
-		seen := map[core.ThreadID]int{}
-		var path []core.ThreadID
-		cur := start
+	seen := s.dlSeen[:len(waits)]
+	for start := range waits {
+		if waits[start] == core.NoThread {
+			continue
+		}
+		for i := range seen {
+			seen[i] = -1
+		}
+		path := s.dlPath[:0]
+		cur := core.ThreadID(start)
 		for {
-			if i, ok := seen[cur]; ok {
-				return canonicalCycle(path[i:])
+			if i := seen[cur]; i >= 0 {
+				s.dlPath = path
+				return s.canonicalCycle(path[i:])
 			}
-			next, ok := waitsFor[cur]
-			if !ok {
+			next := waits[cur]
+			if next == core.NoThread {
 				break
 			}
-			seen[cur] = len(path)
+			seen[cur] = int32(len(path))
 			path = append(path, cur)
 			cur = next
 		}
+		s.dlPath = path
 	}
 	return nil
 }
 
 // canonicalCycle rotates an open cycle to start at its smallest thread
-// id and closes it by repeating that id at the end.
-func canonicalCycle(cyc []core.ThreadID) []core.ThreadID {
+// id and closes it by repeating that id at the end, into a reusable
+// buffer.
+func (s *scheduler) canonicalCycle(cyc []core.ThreadID) []core.ThreadID {
 	min := 0
 	for i, id := range cyc {
 		if id < cyc[min] {
 			min = i
 		}
 	}
-	out := make([]core.ThreadID, 0, len(cyc)+1)
+	out := s.dlCyc[:0]
 	out = append(out, cyc[min:]...)
 	out = append(out, cyc[:min]...)
-	return append(out, out[0])
+	out = append(out, out[0])
+	s.dlCyc = out
+	return out
 }
 
 // abortAll unwinds every live thread so no goroutines outlive the run.
@@ -732,8 +1103,14 @@ func (s *scheduler) spawn(name string, body func(core.T)) *thread {
 		go th.loop()
 	}
 	th.id = core.ThreadID(len(s.threads))
-	th.name = name
-	th.nameID = core.InternName(name)
+	// Pooled threads usually get the same name run after run (the
+	// repository bodies name deterministically), so a matching cached
+	// name skips the intern-table lookup; InternName("") is 0, and the
+	// nameID == 0 guard keeps fresh threads on the interning path.
+	if th.name != name || th.nameID == 0 {
+		th.name = name
+		th.nameID = core.InternName(name)
+	}
 	th.state = tReady
 	th.block = blockReason{}
 	th.wakeAt = 0
@@ -780,7 +1157,7 @@ func (th *thread) runBody() {
 			// returns to the pool.
 			th.state = tDone
 			s.bug = &eb
-			s.runDone <- struct{}{}
+			s.runDone <- sigOver
 			return
 		}
 		fail, aborted := core.RecoverThread(rec, th.id)
@@ -812,18 +1189,25 @@ func (th *thread) runBody() {
 // driver goroutine drove the loop.
 func (th *thread) finishHandoff() {
 	s := th.sc
-	next, over, bug := s.stepSafe()
+	next, st, bug := s.stepSafe()
 	if bug != nil {
 		s.bug = bug
-		s.runDone <- struct{}{}
+		s.runDone <- sigOver
 		return
 	}
-	if over {
-		s.runDone <- struct{}{}
-		return
+	switch st {
+	case stepOver:
+		s.runDone <- sigOver
+	case stepParked:
+		// The run parks with this thread already finished: report the
+		// park and return to the pool loop. The driver re-takes the
+		// decision on Resume; s.cur still names this thread, so the
+		// re-offered Choice.Current is unchanged.
+		s.runDone <- sigParked
+	default:
+		s.cur = next
+		next.ready <- resumeMsg{}
 	}
-	s.cur = next
-	next.ready <- resumeMsg{}
 }
 
 // park takes one scheduling decision on behalf of the scheduler and
@@ -835,18 +1219,31 @@ func (th *thread) finishHandoff() {
 // caller must have set th.state (and th.block for blocked parks).
 func (th *thread) park() {
 	s := th.sc
-	next, over := s.step()
-	if over {
-		s.runDone <- struct{}{}
+	next, st := s.step()
+	if st == stepOver {
+		s.runDone <- sigOver
 		th.awaitAbort()
 	}
-	if next != th {
+	if st == stepParked {
+		// The run parks at this thread's decision point: report it to
+		// the driver, then wait exactly like a descheduled thread — a
+		// decision after Resume may pick this thread again, or the
+		// teardown abort unwinds it.
+		s.runDone <- sigParked
+		msg := <-th.ready
+		if msg.abort {
+			core.AbortNow()
+		}
+	} else if next != th {
 		s.cur = next
 		next.ready <- resumeMsg{}
 		msg := <-th.ready
 		if msg.abort {
 			core.AbortNow()
 		}
+	}
+	if th.state == tSleeping {
+		s.sleepers--
 	}
 	th.state = tRunning
 	th.block = blockReason{}
@@ -887,18 +1284,19 @@ func (s *scheduler) emit(th *thread, op core.Op, obj core.ObjectID, name string,
 		return false
 	}
 	s.seq++
-	s.evScratch = core.Event{
-		Seq:    s.seq,
-		Thread: th.id,
-		Op:     op,
-		Obj:    obj,
-		Name:   name,
-		Value:  value,
-		Flags:  flags,
-		Loc:    loc,
-		NameID: nameID,
-		LocID:  locID,
-	}
+	// Field-at-a-time into the scratch event: a composite literal here
+	// builds a temporary and block-copies it on every probe.
+	ev := &s.evScratch
+	ev.Seq = s.seq
+	ev.Thread = th.id
+	ev.Op = op
+	ev.Obj = obj
+	ev.Name = name
+	ev.Value = value
+	ev.Flags = flags
+	ev.Loc = loc
+	ev.NameID = nameID
+	ev.LocID = locID
 	s.hasEvent = true
 	if s.evMask.Has(op) {
 		s.listeners.OnEvent(&s.evScratch)
@@ -915,7 +1313,10 @@ func (th *thread) prePoint(op core.Op, name string, nameID uint32, loc core.Loca
 	if !th.sc.plan.Enabled(op, name) {
 		return
 	}
-	th.pending = PendingOp{Op: op, Name: name, NameID: nameID, Loc: loc}
+	th.pending.Op = op
+	th.pending.Name = name
+	th.pending.NameID = nameID
+	th.pending.Loc = loc
 	th.point()
 }
 

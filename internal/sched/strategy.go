@@ -15,6 +15,32 @@ import (
 // lost-wakeup timing bugs.
 const IdleID core.ThreadID = -2
 
+// ParkID is the pseudo-thread a Strategy may return from Pick to park
+// the run at the current decision point instead of deciding it. The
+// scheduler suspends the run with every virtual thread blocked on its
+// resume channel and hands control back to the driver: Runner.Start
+// (or Resume) returns nil and Runner.Parked reports true. The decision
+// is not consumed — it is re-offered, with the same Choice.Step, to
+// the first Pick after Runner.Resume — so parking is invisible to the
+// decision sequence: park+resume produces a byte-identical run.
+// Runner.Abandon tears a parked run down without completing it.
+// Strategies driven through Run (or the package-level Run) must not
+// park: Run has no way to hand a suspended run back.
+const ParkID core.ThreadID = -3
+
+// CoastID is the pseudo-thread a Strategy may return from Pick to hand
+// the rest of the run to the scheduler: this and all later decisions
+// follow the built-in nonpreemptive rule (current thread while it can
+// run, lowest-id runnable otherwise) without consulting the strategy
+// again and without recording the schedule. Step counting, virtual
+// time, deadlock detection and the step limit are unchanged, so a
+// coasted run reaches exactly the verdict and outcome a nonpreemptive
+// fallback strategy would have — CoastID only removes the
+// per-decision strategy round trip. The exploration engine coasts
+// through run tails below a state-cache cut, where the decisions are
+// forced and the subtree is already proven explored.
+const CoastID core.ThreadID = -4
+
 // Choice describes one scheduling decision point for a Strategy.
 type Choice struct {
 	// Step is the zero-based index of this decision in the run.
@@ -39,6 +65,12 @@ type Choice struct {
 	// (zero for threads that have not executed yet). The exploration
 	// engine uses it for independence-based pruning.
 	PendingOf func(core.ThreadID) PendingOp
+	// FootprintOf reports just the reduction-layer footprint (operation
+	// kind + interned object handle) of a runnable thread's pending
+	// operation — the register-sized subset of PendingOf that
+	// independence pruning and state hashing key on, avoiding the
+	// multi-word PendingOp copy on the exploration hot path.
+	FootprintOf func(core.ThreadID) core.Footprint
 	// CanIdle reports that at least one thread sleeps on a future
 	// virtual deadline, so Pick may return IdleID to warp time there.
 	CanIdle bool
@@ -55,9 +87,10 @@ func (c *Choice) CurrentRunnable() bool {
 // runs are reproducible; it may keep per-run state, but then a fresh
 // instance must be used per run (the exploration engine does this).
 //
-// Pick must return a member of c.Runnable, or core.NoThread to declare
+// Pick must return a member of c.Runnable; core.NoThread to declare
 // divergence (used by replay when the recorded schedule cannot be
-// followed).
+// followed); IdleID to warp virtual time (only when c.CanIdle); or one
+// of the run-control sentinels ParkID / CoastID.
 type Strategy interface {
 	Name() string
 	Pick(c *Choice) core.ThreadID
@@ -74,6 +107,17 @@ type Strategy interface {
 // runs; everything else about the Choice is unaffected.
 type LocationAware interface {
 	NeedsLocations() bool
+}
+
+// PendingFree is an optional Strategy extension, the mirror image of
+// LocationAware: a strategy that never reads Choice.Pending — keying
+// on Choice.FootprintOf or Choice.PendingOf instead — may declare it
+// with PendingFree() true, and the scheduler then skips publishing
+// the multi-word PendingOp copy at every decision point. The
+// exploration engine's DFS strategy does this; strategies without the
+// method keep seeing Pending as before.
+type PendingFree interface {
+	PendingFree() bool
 }
 
 // nonpreemptive models the scheduler the paper's §1 blames for unit
