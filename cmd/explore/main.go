@@ -29,6 +29,9 @@ import (
 	"mtbench/internal/replay"
 	"mtbench/internal/repository"
 	"mtbench/internal/sched"
+
+	// Generated instrumented packages register themselves on import.
+	_ "mtbench/internal/genprog"
 )
 
 func main() {
@@ -50,8 +53,13 @@ func main() {
 	replayPath := flag.String("replay", "", "replay a saved scenario instead of exploring")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
+	list := flag.Bool("list", false, "list the registered programs and exit")
 	flag.Parse()
 
+	if *list {
+		listPrograms()
+		return
+	}
 	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "explore:", err)
@@ -68,6 +76,15 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "explore:", err)
 		os.Exit(1)
+	}
+}
+
+// listPrograms prints every registered program — including ones the
+// rewrite pipeline registered through repository.Register — one per
+// line, so scripts can discover instrumented packages by name.
+func listPrograms() {
+	for _, p := range repository.All() {
+		fmt.Printf("%-18s %-20s %s\n", p.Name, p.Kind, p.Synopsis)
 	}
 }
 
@@ -158,6 +175,7 @@ func run(cfg cliConfig) error {
 		StopAtFirstBug:  cfg.stopFirst,
 		Workers:         cfg.workers,
 		Name:            cfg.prog,
+		Plan:            prog.Plan,
 	}
 	if cfg.bound >= 0 {
 		opts.PreemptionBound = explore.Bound(cfg.bound)

@@ -27,6 +27,9 @@ import (
 	"mtbench/internal/replay"
 	"mtbench/internal/repository"
 	"mtbench/internal/sched"
+
+	// Generated instrumented packages register themselves on import.
+	_ "mtbench/internal/genprog"
 )
 
 func main() {
@@ -41,8 +44,15 @@ func main() {
 	replayPath := flag.String("replay", "", "replay a saved scenario instead of fuzzing")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
+	list := flag.Bool("list", false, "list the registered programs and exit")
 	flag.Parse()
 
+	if *list {
+		for _, p := range repository.All() {
+			fmt.Printf("%-18s %-20s %s\n", p.Name, p.Kind, p.Synopsis)
+		}
+		return
+	}
 	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fuzz:", err)
@@ -110,6 +120,7 @@ func run(progName string, runs, workers, pbound int, seed int64, stopFirst, json
 		Workers:        workers,
 		StopAtFirstBug: stopFirst,
 		Name:           progName,
+		Plan:           prog.Plan,
 	}
 	if pbound >= 0 {
 		opts.PreemptionBound = fuzz.Bound(pbound)

@@ -1,0 +1,245 @@
+// Command instrument drives the source-to-source rewrite pipeline: it
+// turns the ordinary Go packages under -src into instrumented packages
+// under -out that run on the controlled scheduler and register
+// themselves with the program repository.
+//
+// Usage:
+//
+//	instrument                 # regenerate internal/genprog from the examples
+//	instrument -verify         # fail if the checked-in output drifted
+//	instrument -build          # regenerate, then go build the output
+//	instrument -run -json      # run the finder suite over each program
+//	instrument -list           # list registered programs (generated included)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"sort"
+
+	"mtbench/internal/core"
+	"mtbench/internal/explore"
+	"mtbench/internal/fuzz"
+	"mtbench/internal/noise"
+	"mtbench/internal/repository"
+	"mtbench/internal/rewrite"
+	"mtbench/internal/sched"
+
+	_ "mtbench/internal/genprog"
+)
+
+func main() {
+	src := flag.String("src", "internal/rewrite/testdata/src", "root directory of example input packages")
+	out := flag.String("out", "internal/genprog", "output directory for instrumented packages")
+	verify := flag.Bool("verify", false, "regenerate and fail if the checked-in output differs")
+	build := flag.Bool("build", false, "go build the generated packages after rewriting")
+	run := flag.Bool("run", false, "run the finder suite over every generated program")
+	jsonOut := flag.Bool("json", false, "with -run: emit machine-readable JSON")
+	noiseRuns := flag.Int("noise-runs", 500, "with -run: noise runs per program")
+	exploreMax := flag.Int("explore-max", 2000, "with -run: explore-por schedule budget per program")
+	fuzzRuns := flag.Int("fuzz-runs", 2000, "with -run: fuzz run budget per program")
+	list := flag.Bool("list", false, "list the registered programs and exit")
+	flag.Parse()
+
+	if *list {
+		for _, p := range repository.All() {
+			fmt.Printf("%-18s %-20s %s\n", p.Name, p.Kind, p.Synopsis)
+		}
+		return
+	}
+
+	tree, results, err := rewrite.GenerateTree(*src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "instrument:", err)
+		os.Exit(1)
+	}
+
+	if *verify {
+		drift := rewrite.DiffTree(tree, *out)
+		if len(drift) > 0 {
+			fmt.Fprintf(os.Stderr, "instrument: %d generated file(s) drifted from %s:\n", len(drift), *src)
+			for _, p := range drift {
+				fmt.Fprintf(os.Stderr, "  %s\n", p)
+			}
+			fmt.Fprintln(os.Stderr, "run cmd/instrument to regenerate")
+			os.Exit(1)
+		}
+		fmt.Printf("verified: %d generated files match %s\n", len(tree), *src)
+	} else if !*run {
+		paths, err := rewrite.WriteTree(tree, *out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "instrument:", err)
+			os.Exit(1)
+		}
+		for _, p := range paths {
+			fmt.Println(p)
+		}
+	}
+
+	if *build {
+		cmd := exec.Command("go", "build", "./"+*out+"/...")
+		cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
+		if err := cmd.Run(); err != nil {
+			fmt.Fprintln(os.Stderr, "instrument: build failed:", err)
+			os.Exit(1)
+		}
+		fmt.Println("build ok")
+	}
+
+	if *run {
+		ok := runSuite(results, suiteBudgets{noise: *noiseRuns, explore: *exploreMax, fuzz: *fuzzRuns}, *jsonOut)
+		if !ok {
+			os.Exit(1)
+		}
+	}
+}
+
+type suiteBudgets struct{ noise, explore, fuzz int }
+
+// finderReport is one finder's outcome over one program. Field names
+// are pinned: the CI instrument-smoke job parses them with jq.
+type finderReport struct {
+	Finder   string   `json:"finder"`
+	Runs     int      `json:"runs"`
+	Bugs     []string `json:"bugs"`
+	FirstBug int      `json:"first_bug"`
+}
+
+// programReport is the per-program suite outcome.
+type programReport struct {
+	Program string         `json:"program"`
+	Kind    string         `json:"kind"`
+	Found   bool           `json:"found"`
+	Finders []finderReport `json:"finders"`
+}
+
+// runSuite runs the planted-bug gauntlet: every generated program must
+// fail under at least one finder within the fixed budgets.
+func runSuite(results []*rewrite.Result, budgets suiteBudgets, jsonOut bool) bool {
+	var reports []programReport
+	allFound := true
+	for _, res := range results {
+		prog, err := repository.Get(res.Name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "instrument:", err)
+			return false
+		}
+		body := prog.BodyWith(nil)
+		rep := programReport{Program: prog.Name, Kind: string(prog.Kind)}
+		rep.Finders = append(rep.Finders,
+			runNoise(prog, body, budgets.noise),
+			runExplorePOR(prog, body, budgets.explore),
+			runFuzz(prog, body, budgets.fuzz),
+		)
+		for _, f := range rep.Finders {
+			if len(f.Bugs) > 0 {
+				rep.Found = true
+			}
+		}
+		if prog.HasBug() && !rep.Found {
+			allFound = false
+		}
+		reports = append(reports, rep)
+	}
+
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		for _, rep := range reports {
+			if err := enc.Encode(rep); err != nil {
+				fmt.Fprintln(os.Stderr, "instrument:", err)
+				return false
+			}
+		}
+	} else {
+		for _, rep := range reports {
+			status := "FOUND"
+			if !rep.Found {
+				status = "MISSED"
+			}
+			fmt.Printf("%-14s %-20s %s\n", rep.Program, rep.Kind, status)
+			for _, f := range rep.Finders {
+				fmt.Printf("  %-12s runs=%-6d first_bug=%-5d bugs=%v\n", f.Finder, f.Runs, f.FirstBug, f.Bugs)
+			}
+		}
+	}
+	if !allFound {
+		fmt.Fprintln(os.Stderr, "instrument: planted bug(s) not found within budget")
+	}
+	return allFound
+}
+
+func runNoise(prog *repository.Program, body func(core.T), budget int) finderReport {
+	runner := sched.NewRunner()
+	defer runner.Close()
+	rep := finderReport{Finder: "noise", Runs: budget, FirstBug: -1}
+	seen := map[string]bool{}
+	for i := 0; i < budget; i++ {
+		seed := core.MixSeed(1, int64(i))
+		st := noise.NewStrategy(nil, noise.NewBernoulli(0.4, noise.KindYield), seed)
+		res := runner.Run(sched.Config{
+			Strategy: st,
+			Seed:     seed,
+			Name:     prog.Name,
+			Plan:     prog.Plan,
+		}, body)
+		if res.Verdict.Bug() {
+			sig := core.BugSignature(res)
+			if !seen[sig] {
+				seen[sig] = true
+				rep.Bugs = append(rep.Bugs, sig)
+			}
+			if rep.FirstBug < 0 {
+				rep.FirstBug = i + 1
+			}
+		}
+	}
+	sort.Strings(rep.Bugs)
+	return rep
+}
+
+func runExplorePOR(prog *repository.Program, body func(core.T), budget int) finderReport {
+	er := explore.Explore(explore.Options{
+		MaxSchedules:   budget,
+		Workers:        1,
+		DPOR:           true,
+		StateCache:     true,
+		StopAtFirstBug: false,
+		Name:           prog.Name,
+		Plan:           prog.Plan,
+	}, body)
+	rep := finderReport{Finder: "explore-por", Runs: er.Schedules, FirstBug: er.FirstBugIndex()}
+	seen := map[string]bool{}
+	for _, b := range er.Bugs {
+		sig := core.BugSignature(b.Result)
+		if !seen[sig] {
+			seen[sig] = true
+			rep.Bugs = append(rep.Bugs, sig)
+		}
+	}
+	sort.Strings(rep.Bugs)
+	return rep
+}
+
+func runFuzz(prog *repository.Program, body func(core.T), budget int) finderReport {
+	fr := fuzz.Fuzz(fuzz.Options{
+		MaxRuns: budget,
+		Seed:    1,
+		Workers: 1,
+		Name:    prog.Name,
+		Plan:    prog.Plan,
+	}, body)
+	rep := finderReport{Finder: "fuzz", Runs: fr.Runs, FirstBug: fr.FirstBugIndex()}
+	seen := map[string]bool{}
+	for _, b := range fr.Bugs {
+		sig := core.BugSignature(b.Result)
+		if !seen[sig] {
+			seen[sig] = true
+			rep.Bugs = append(rep.Bugs, sig)
+		}
+	}
+	sort.Strings(rep.Bugs)
+	return rep
+}

@@ -24,6 +24,9 @@ import (
 	"mtbench/internal/report"
 	"mtbench/internal/repository"
 	"mtbench/internal/sched"
+
+	// Generated instrumented packages register themselves on import.
+	_ "mtbench/internal/genprog"
 )
 
 func main() {
@@ -33,7 +36,7 @@ func main() {
 	}
 	var err error
 	switch os.Args[1] {
-	case "list":
+	case "list", "-list":
 		err = list()
 	case "show":
 		err = show(os.Args[2:])
@@ -143,7 +146,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		res := sched.Run(sched.Config{Strategy: st, Seed: seed, Name: prog.Name, MaxSteps: 1_000_000}, body)
+		res := sched.Run(sched.Config{Strategy: st, Seed: seed, Name: prog.Name, MaxSteps: 1_000_000, Plan: prog.Plan}, body)
 		verdicts[res.Verdict.String()]++
 		if res.Verdict.Bug() {
 			found++

@@ -140,6 +140,7 @@ func runNoiseFinder(spec cellSpec) (cellOutcome, error) {
 			Seed:     runSeed,
 			Name:     spec.prog.Name,
 			MaxSteps: spec.maxSteps,
+			Plan:     spec.prog.Plan,
 		}, spec.body)
 		if res.Verdict.Bug() {
 			bugs.add(core.BugSignature(res))
@@ -161,6 +162,7 @@ func runExploreFinder(spec cellSpec) (cellOutcome, error) {
 		MaxSteps:     spec.maxSteps,
 		Workers:      1,
 		Name:         spec.prog.Name,
+		Plan:         spec.prog.Plan,
 	}, spec.body)
 	if er.Err != nil {
 		return cellOutcome{}, fmt.Errorf("explore %s: %w", spec.prog.Name, er.Err)
@@ -188,6 +190,7 @@ func runExplorePORFinder(spec cellSpec) (cellOutcome, error) {
 		StateCache:   true,
 		Checkpoints:  spec.checkpoints,
 		Name:         spec.prog.Name,
+		Plan:         spec.prog.Plan,
 	}, spec.body)
 	if er.Err != nil {
 		return cellOutcome{}, fmt.Errorf("explore-por %s: %w", spec.prog.Name, er.Err)
@@ -208,6 +211,7 @@ func runFuzzFinder(spec cellSpec) (cellOutcome, error) {
 		Seed:     spec.seed,
 		Workers:  1,
 		Name:     spec.prog.Name,
+		Plan:     spec.prog.Plan,
 	}, spec.body)
 	var bugs bugSet
 	for _, b := range fr.Bugs {
@@ -243,6 +247,7 @@ func runRaceFinder(spec cellSpec) (cellOutcome, error) {
 			Seed:      spec.seed,
 			Name:      spec.prog.Name,
 			MaxSteps:  spec.maxSteps,
+			Plan:      spec.prog.Plan,
 		}, spec.body)
 		if res.Verdict.Bug() {
 			bugs.add(core.BugSignature(res))

@@ -57,6 +57,21 @@ type T interface {
 	NewAtomicInt(name string, init int64) IntVar
 	// NewRef creates a named shared reference cell holding any value.
 	NewRef(name string) RefVar
+	// NewWaitGroup creates a named waitgroup with sync.WaitGroup
+	// semantics (the rewrite layer maps sync.WaitGroup here).
+	NewWaitGroup(name string) WaitGroup
+	// NewChan creates a named channel with capacity cap (0 =
+	// rendezvous). Values are carried as any; the rewrite layer maps
+	// make(chan T, n) here and generates typed accessor shims.
+	NewChan(name string, cap int) Chan
+
+	// Select blocks until one of the cases can proceed and executes it,
+	// returning the chosen case index, the received value (nil for send
+	// cases) and the receive's ok flag (true for send cases). Ties are
+	// broken deterministically: the lowest-index ready case wins, so a
+	// schedule fully determines the choice. Default cases and send
+	// cases on rendezvous channels are not supported.
+	Select(cases []SelectCase) (chosen int, recv any, ok bool)
 }
 
 // Handle allows waiting for a spawned thread.
@@ -120,4 +135,37 @@ type RefVar interface {
 	Load(t T) any
 	Store(t T, v any)
 	OID() ObjectID
+}
+
+// WaitGroup mirrors sync.WaitGroup: Add moves the counter, Wait blocks
+// until it reaches zero. Driving the counter negative is a failing
+// oracle, as in the standard library.
+type WaitGroup interface {
+	Add(t T, delta int)
+	Done(t T)
+	Wait(t T)
+	OID() ObjectID
+}
+
+// Chan is a Go channel under instrumentation: Send/Recv/Close follow
+// channel semantics (rendezvous when the capacity is 0, send on closed
+// and double close are failing oracles, Recv on a closed drained
+// channel returns (nil, false)).
+type Chan interface {
+	Send(t T, v any)
+	// Recv returns the received value and true, or (nil, false) once the
+	// channel is closed and drained.
+	Recv(t T) (any, bool)
+	Close(t T)
+	// Cap returns the channel's buffer capacity.
+	Cap() int
+	OID() ObjectID
+}
+
+// SelectCase is one arm of T.Select: a receive from Ch, or — when Send
+// is set — a send of Val to Ch.
+type SelectCase struct {
+	Ch   Chan
+	Send bool
+	Val  any
 }

@@ -28,17 +28,26 @@ type Footprint struct {
 //   - Fork and Join are dependent with everything: forking changes the
 //     thread population (and thread-id assignment), joining observes a
 //     thread's completion.
+//   - Select is dependent with everything: its footprint names at most
+//     one of the several channels it may touch, so no per-object
+//     independence claim about it is sound.
 //   - Yield and Sleep touch no shared object and commute with
 //     everything.
-//   - Operations on different objects commute.
+//   - Operations on different objects commute — including sends and
+//     receives on different channels and waitgroup operations against
+//     unrelated objects.
 //   - On the same object, only two reads commute; every
-//     synchronization operation (lock, unlock, wait, signal, ...)
-//     conflicts with every other operation on its object.
+//     synchronization operation (lock, unlock, wait, signal, send,
+//     recv, close, wgadd, wgwait, ...) conflicts with every other
+//     operation on its object.
 func (a Footprint) Commutes(b Footprint) bool {
 	if a.Op == OpInvalid || b.Op == OpInvalid {
 		return false
 	}
 	if a.Op == OpFork || a.Op == OpJoin || b.Op == OpFork || b.Op == OpJoin {
+		return false
+	}
+	if a.Op == OpSelect || b.Op == OpSelect {
 		return false
 	}
 	if a.Op == OpYield || a.Op == OpSleep || b.Op == OpYield || b.Op == OpSleep {

@@ -62,6 +62,26 @@ const (
 	// message. Emitted before the run is torn down.
 	OpFail
 
+	// WaitGroup operations. OpWGAdd covers Add and Done (Value = counter
+	// after the delta); OpWGWait is emitted when Wait returns.
+	OpWGAdd
+	OpWGWait
+
+	// Channel operations. OpChanSend's Value is the number of buffered
+	// elements after the send (0 for a rendezvous handoff); OpChanRecv's
+	// Value is 1 for a received element and 0 for a closed-channel zero
+	// receive.
+	OpChanSend
+	OpChanRecv
+	OpChanClose
+
+	// OpSelect is the pending-operation kind a thread publishes while
+	// choosing among several channel cases. It is never emitted as an
+	// event (the chosen case emits its own send/recv); it exists so the
+	// reduction layer sees a multi-object operation and stays
+	// conservative (see Footprint.Commutes).
+	OpSelect
+
 	numOps // sentinel; keep last
 )
 
@@ -85,6 +105,12 @@ var opNames = [...]string{
 	OpSleep:     "sleep",
 	OpOutcome:   "outcome",
 	OpFail:      "fail",
+	OpWGAdd:     "wgadd",
+	OpWGWait:    "wgwait",
+	OpChanSend:  "send",
+	OpChanRecv:  "recv",
+	OpChanClose: "close",
+	OpSelect:    "select",
 }
 
 // String returns the lower-case mnemonic used in traces and reports.
@@ -114,10 +140,12 @@ const NumOps = int(numOps)
 func (o Op) IsAccess() bool { return o == OpRead || o == OpWrite }
 
 // IsSync reports whether the op is a synchronization operation
-// (lock, unlock, rlock, runlock, wait, awake, signal, broadcast).
+// (lock, unlock, rlock, runlock, wait, awake, signal, broadcast,
+// waitgroup and channel operations).
 func (o Op) IsSync() bool {
 	switch o {
-	case OpLock, OpUnlock, OpBlock, OpRLock, OpRUnlock, OpWait, OpAwake, OpSignal, OpBroadcast:
+	case OpLock, OpUnlock, OpBlock, OpRLock, OpRUnlock, OpWait, OpAwake, OpSignal, OpBroadcast,
+		OpWGAdd, OpWGWait, OpChanSend, OpChanRecv, OpChanClose, OpSelect:
 		return true
 	}
 	return false

@@ -143,7 +143,13 @@ func (d *trackerData) update(ev *core.Event) {
 		vs.lastLoc = locID
 		d.vars[nameID] = vs
 
-	case ev.Op == core.OpLock && ev.Value == 1, ev.Op == core.OpRLock:
+	case ev.Op == core.OpLock && ev.Value == 1, ev.Op == core.OpRLock,
+		ev.Op == core.OpChanSend, ev.Op == core.OpChanRecv, ev.Op == core.OpChanClose,
+		ev.Op == core.OpWGAdd, ev.Op == core.OpWGWait:
+		// Channel and waitgroup traffic counts as synchronization-object
+		// coverage exactly like lock acquisitions; contention (the
+		// blocked flavor) arrives through the same OpBlock the runtimes
+		// emit before parking on any of them.
 		nameID := ev.NameID
 		if nameID == 0 {
 			nameID = core.InternName(ev.Name)

@@ -35,6 +35,7 @@ import (
 	"slices"
 
 	"mtbench/internal/core"
+	"mtbench/internal/instrument"
 	"mtbench/internal/sched"
 )
 
@@ -109,6 +110,11 @@ type Options struct {
 	Listeners []core.Listener
 	// Name labels runs for RunObserver listeners.
 	Name string
+	// Plan filters which probes fire in every run (nil = instrument
+	// everything). Programs produced by the rewrite pipeline carry a
+	// plan from escape analysis; threading it here keeps thread-local
+	// accesses out of the schedule space.
+	Plan *instrument.Plan
 }
 
 // Bug is one erroneous schedule found during exploration.

@@ -153,6 +153,7 @@ func (c *coordinator) exploreItem(kit *workerKit, red *reduction, item *workItem
 		Listeners:      listeners,
 		MaxSteps:       c.opts.MaxSteps,
 		Name:           c.opts.Name,
+		Plan:           c.opts.Plan,
 		RecordSchedule: true,
 		SkipTiming:     true,
 	}

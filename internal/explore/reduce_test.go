@@ -170,6 +170,8 @@ type opSpec struct {
 type oracleObjs struct {
 	x, y   core.IntVar
 	m, m2  core.Mutex
+	c1, c2 core.Chan
+	wg     core.WaitGroup
 	shared core.T
 }
 
@@ -188,6 +190,24 @@ var oracleOps = []opSpec{
 		func(t core.T, o *oracleObjs) { o.m2.Lock(t); o.m2.Unlock(t) }},
 	{"yield", func() core.Footprint { return core.Footprint{Op: core.OpYield} },
 		func(t core.T, o *oracleObjs) { t.Yield() }},
+	// Channel and waitgroup micro-ops: c1 starts with two buffered
+	// values so a receive never blocks, both channels have spare
+	// capacity so a send never blocks, and the waitgroup counter starts
+	// at zero so a lone Wait returns immediately.
+	{"send-c1", func() core.Footprint { return core.Footprint{Op: core.OpChanSend, Obj: core.InternName("c1")} },
+		func(t core.T, o *oracleObjs) { o.c1.Send(t, 5) }},
+	{"recv-c1", func() core.Footprint { return core.Footprint{Op: core.OpChanRecv, Obj: core.InternName("c1")} },
+		func(t core.T, o *oracleObjs) { o.c1.Recv(t) }},
+	{"send-c2", func() core.Footprint { return core.Footprint{Op: core.OpChanSend, Obj: core.InternName("c2")} },
+		func(t core.T, o *oracleObjs) { o.c2.Send(t, 6) }},
+	{"close-c2", func() core.Footprint { return core.Footprint{Op: core.OpChanClose, Obj: core.InternName("c2")} },
+		func(t core.T, o *oracleObjs) { o.c2.Close(t) }},
+	{"wgadd", func() core.Footprint { return core.Footprint{Op: core.OpWGAdd, Obj: core.InternName("wg")} },
+		func(t core.T, o *oracleObjs) { o.wg.Add(t, 1) }},
+	{"wgwait", func() core.Footprint { return core.Footprint{Op: core.OpWGWait, Obj: core.InternName("wg")} },
+		func(t core.T, o *oracleObjs) { o.wg.Wait(t) }},
+	{"select-c1", func() core.Footprint { return core.Footprint{Op: core.OpSelect} },
+		func(t core.T, o *oracleObjs) { t.Select([]core.SelectCase{{Ch: o.c1}}) }},
 }
 
 // oracleOutcome executes the two-thread micro-program with thread
@@ -202,18 +222,24 @@ func oracleOutcome(t *testing.T, a, b opSpec, first, second core.ThreadID) strin
 			y:  ct.NewInt("y", 2),
 			m:  ct.NewMutex("m"),
 			m2: ct.NewMutex("m2"),
+			c1: ct.NewChan("c1", 4),
+			c2: ct.NewChan("c2", 4),
+			wg: ct.NewWaitGroup("wg"),
 		}
+		objs.c1.Send(ct, 1)
+		objs.c1.Send(ct, 2)
 		ha := ct.Go("a", func(wt core.T) { a.body(wt, objs) })
 		hb := ct.Go("b", func(wt core.T) { b.body(wt, objs) })
 		ha.Join(ct)
 		hb.Join(ct)
 		ct.Outcome("x=%d y=%d", objs.x.Load(ct), objs.y.Load(ct))
 	}
-	// Decision structure: main's kickoff and two fork executions, then
-	// starting each child parks it at its first operation; the next
-	// two picks execute the two target operations in the chosen order.
-	// The nonpreemptive fallback finishes the run deterministically.
-	decisions := []core.ThreadID{0, 0, 0, 1, 2, first, second}
+	// Decision structure: main's kickoff, the two c1 pre-fill sends and
+	// two fork executions, then starting each child parks it at its
+	// first operation; the next two picks execute the two target
+	// operations in the chosen order. The nonpreemptive fallback
+	// finishes the run deterministically.
+	decisions := []core.ThreadID{0, 0, 0, 0, 0, 1, 2, first, second}
 	res := sched.Run(sched.Config{Strategy: &sched.FixedSchedule{Decisions: decisions}}, body)
 	if res.Diverged {
 		t.Fatalf("oracle schedule diverged for %s/%s", a.name, b.name)
@@ -268,6 +294,20 @@ func TestCommutesOracle(t *testing.T) {
 		{fp(core.OpYield, ""), fp(core.OpWrite, "x"), true},   // yield vs anything
 		{core.Footprint{}, fp(core.OpRead, "x"), false},       // unknown op conservative
 		{fp(core.OpRead, ""), fp(core.OpWrite, ""), false},    // unnamed objects alias
+		// Channel and waitgroup operations (the rewrite layer's ops).
+		{fp(core.OpChanSend, "c1"), fp(core.OpChanRecv, "c2"), true},  // different channels commute
+		{fp(core.OpChanSend, "c1"), fp(core.OpChanSend, "c2"), true},  // disjoint sends
+		{fp(core.OpChanSend, "c1"), fp(core.OpChanRecv, "c1"), false}, // same channel conservative
+		{fp(core.OpChanSend, "c1"), fp(core.OpChanSend, "c1"), false}, // same-channel sends
+		{fp(core.OpChanClose, "c1"), fp(core.OpChanRecv, "c1"), false},
+		{fp(core.OpChanSend, "c1"), fp(core.OpLock, "m"), true}, // chan vs unrelated lock
+		{fp(core.OpWGAdd, "wg"), fp(core.OpWGWait, "wg"), false},
+		{fp(core.OpWGAdd, "wg"), fp(core.OpWGAdd, "wg2"), true},
+		{fp(core.OpWGWait, "wg"), fp(core.OpRead, "x"), true},
+		// Select names at most one of its channels, so it is dependent
+		// with everything.
+		{core.Footprint{Op: core.OpSelect}, fp(core.OpRead, "x"), false},
+		{core.Footprint{Op: core.OpSelect, Obj: core.InternName("c1")}, fp(core.OpChanSend, "c2"), false},
 	}
 	for _, row := range table {
 		if got := row.a.Commutes(row.b); got != row.want {

@@ -40,6 +40,7 @@ package fuzz
 
 import (
 	"mtbench/internal/core"
+	"mtbench/internal/instrument"
 )
 
 // Defaults for Options zero values.
@@ -101,6 +102,10 @@ type Options struct {
 	Listeners []core.Listener
 	// Name labels runs for RunObserver listeners.
 	Name string
+	// Plan filters which probes fire in every run (nil = instrument
+	// everything); rewrite-pipeline programs pass their escape-analysis
+	// plan through here.
+	Plan *instrument.Plan
 }
 
 // Bound is a convenience for Options.PreemptionBound.

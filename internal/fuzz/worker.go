@@ -242,6 +242,7 @@ func (c *coordinator) executeAndMerge(ws *workerState, st sched.Strategy, g *gui
 		MaxSteps:       c.opts.MaxSteps,
 		Name:           c.opts.Name,
 		Seed:           c.opts.Seed,
+		Plan:           c.opts.Plan,
 		RecordSchedule: true,
 	}, c.body)
 	index := int(c.executed.Add(1))

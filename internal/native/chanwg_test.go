@@ -1,0 +1,114 @@
+package native
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mtbench/internal/core"
+)
+
+func TestNativeWaitGroup(t *testing.T) {
+	res := Run(Config{Timeout: 5 * time.Second}, func(ct core.T) {
+		wg := ct.NewWaitGroup("wg")
+		sum := ct.NewInt("sum", 0)
+		wg.Add(ct, 4)
+		for i := 0; i < 4; i++ {
+			ct.Go("w", func(wt core.T) {
+				sum.Add(wt, 1)
+				wg.Done(wt)
+			})
+		}
+		wg.Wait(ct)
+		ct.Assert(sum.Load(ct) == 4, "sum = %d", sum.Load(ct))
+	})
+	if res.Verdict != core.VerdictPass {
+		t.Fatalf("verdict = %v (%v)", res.Verdict, res)
+	}
+}
+
+func TestNativeWaitGroupNegative(t *testing.T) {
+	res := Run(Config{Timeout: 2 * time.Second}, func(ct core.T) {
+		wg := ct.NewWaitGroup("wg")
+		wg.Done(ct)
+	})
+	if res.Verdict != core.VerdictFail || !strings.Contains(res.Failure.Msg, "negative counter") {
+		t.Fatalf("res = %v", res)
+	}
+}
+
+func TestNativeChanRoundTrip(t *testing.T) {
+	res := Run(Config{Timeout: 5 * time.Second}, func(ct core.T) {
+		ch := ct.NewChan("ch", 0)
+		done := ct.NewChan("done", 1)
+		ct.Go("producer", func(wt core.T) {
+			for i := 0; i < 10; i++ {
+				ch.Send(wt, i)
+			}
+			ch.Close(wt)
+		})
+		ct.Go("consumer", func(wt core.T) {
+			sum := 0
+			for {
+				v, ok := ch.Recv(wt)
+				if !ok {
+					break
+				}
+				sum += v.(int)
+			}
+			done.Send(wt, sum)
+		})
+		v, _ := done.Recv(ct)
+		ct.Assert(v.(int) == 45, "sum = %v", v)
+	})
+	if res.Verdict != core.VerdictPass {
+		t.Fatalf("verdict = %v (%v)", res.Verdict, res)
+	}
+}
+
+// TestNativeChanMisuse: send on closed and double close surface as
+// failing oracles through the foreign-panic recovery.
+func TestNativeChanMisuse(t *testing.T) {
+	res := Run(Config{Timeout: 2 * time.Second}, func(ct core.T) {
+		ch := ct.NewChan("ch", 1)
+		ch.Close(ct)
+		ch.Send(ct, 1)
+	})
+	if res.Verdict != core.VerdictFail {
+		t.Fatalf("send on closed: %v", res)
+	}
+
+	res = Run(Config{Timeout: 2 * time.Second}, func(ct core.T) {
+		ch := ct.NewChan("ch", 1)
+		ch.Close(ct)
+		ch.Close(ct)
+	})
+	if res.Verdict != core.VerdictFail {
+		t.Fatalf("double close: %v", res)
+	}
+}
+
+func TestNativeSelect(t *testing.T) {
+	res := Run(Config{Timeout: 5 * time.Second}, func(ct core.T) {
+		work := ct.NewChan("work", 0)
+		quit := ct.NewChan("quit", 0)
+		got := ct.NewInt("got", 0)
+		h := ct.Go("consumer", func(wt core.T) {
+			for {
+				i, v, _ := wt.Select([]core.SelectCase{{Ch: work}, {Ch: quit}})
+				if i == 1 {
+					return
+				}
+				got.Add(wt, v.(int64))
+			}
+		})
+		work.Send(ct, int64(5))
+		work.Send(ct, int64(7))
+		quit.Send(ct, nil)
+		h.Join(ct)
+		ct.Assert(got.Load(ct) == 12, "got = %d", got.Load(ct))
+	})
+	if res.Verdict != core.VerdictPass {
+		t.Fatalf("verdict = %v (%v)", res.Verdict, res)
+	}
+}

@@ -3,6 +3,7 @@ package native
 import (
 	"fmt"
 	"math/rand"
+	"reflect"
 	"runtime"
 	"sync/atomic"
 	"time"
@@ -188,6 +189,67 @@ func (t *ntc) NewAtomicInt(name string, init int64) core.IntVar {
 
 func (t *ntc) NewRef(name string) core.RefVar {
 	return &nrefvar{id: t.r.newObjID(), name: name, r: t.r}
+}
+
+func (t *ntc) NewWaitGroup(name string) core.WaitGroup {
+	w := &nwaitgroup{id: t.r.newObjID(), name: name, r: t.r, done: make(chan struct{})}
+	close(w.done) // counter starts at zero: Wait must not block
+	return w
+}
+
+func (t *ntc) NewChan(name string, capn int) core.Chan {
+	return &nchan{id: t.r.newObjID(), name: name, r: t.r, capn: capn, ch: make(chan any, capn)}
+}
+
+// Select maps core.SelectCase arms onto a reflect.Select over the
+// underlying Go channels, plus the runtime's abort channel so blocked
+// selects unwind on teardown. The live Go scheduler breaks ties, so —
+// unlike the controlled runtime — the choice is nondeterministic.
+func (t *ntc) Select(cases []core.SelectCase) (int, any, bool) {
+	loc := progLoc()
+	if len(cases) == 0 {
+		t.failAt(loc, "select with no cases")
+	}
+	name := ""
+	scs := make([]reflect.SelectCase, 0, len(cases)+1)
+	for _, c := range cases {
+		ch, ok := c.Ch.(*nchan)
+		if !ok {
+			panic("native: Select case channel from a different runtime")
+		}
+		if name == "" {
+			name = ch.name
+		}
+		sc := reflect.SelectCase{Dir: reflect.SelectRecv, Chan: reflect.ValueOf(ch.ch)}
+		if c.Send {
+			sc.Dir = reflect.SelectSend
+			val := c.Val
+			sc.Send = reflect.ValueOf(&val).Elem()
+		}
+		scs = append(scs, sc)
+	}
+	abortIdx := len(scs)
+	scs = append(scs, reflect.SelectCase{Dir: reflect.SelectRecv, Chan: reflect.ValueOf(t.r.abortCh)})
+	en := t.before(core.OpSelect, name, loc)
+	clear := t.blockPoint("select " + name)
+	i, v, ok := reflect.Select(scs)
+	clear()
+	if i == abortIdx {
+		core.AbortNow()
+	}
+	ch := cases[i].Ch.(*nchan)
+	if cases[i].Send {
+		t.after(en, core.OpChanSend, ch.id, ch.name, int64(len(ch.ch)), 0, loc)
+		return i, nil, true
+	}
+	val := int64(0)
+	var rv any
+	if ok {
+		val = 1
+		rv = v.Interface()
+	}
+	t.after(en, core.OpChanRecv, ch.id, ch.name, val, 0, loc)
+	return i, rv, ok
 }
 
 // nhandle implements core.Handle for native threads.

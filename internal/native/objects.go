@@ -363,6 +363,145 @@ func (v *nintvar) CompareAndSwap(t core.T, old, new int64) bool {
 	return ok
 }
 
+// nwaitgroup is the native sync.WaitGroup equivalent, built on a
+// replaceable done channel (instead of sync.WaitGroup itself) so Wait
+// is abortable on teardown.
+type nwaitgroup struct {
+	id    core.ObjectID
+	name  string
+	r     *rt
+	mu    sync.Mutex
+	count int
+	done  chan struct{} // closed while count == 0
+}
+
+func (w *nwaitgroup) OID() core.ObjectID { return w.id }
+
+func (w *nwaitgroup) Add(t core.T, delta int) { w.add(t, delta) }
+func (w *nwaitgroup) Done(t core.T)           { w.add(t, -1) }
+
+func (w *nwaitgroup) add(t core.T, delta int) {
+	nt := t.(*ntc)
+	loc := progLoc()
+	en := nt.before(core.OpWGAdd, w.name, loc)
+	w.mu.Lock()
+	was := w.count
+	w.count += delta
+	count := w.count
+	if count < 0 {
+		w.mu.Unlock()
+		nt.failAt(loc, "negative counter on waitgroup %s", w.name)
+	}
+	if was == 0 && count > 0 {
+		w.done = make(chan struct{})
+	}
+	if was > 0 && count == 0 {
+		close(w.done)
+	}
+	w.mu.Unlock()
+	nt.after(en, core.OpWGAdd, w.id, w.name, int64(count), 0, loc)
+}
+
+func (w *nwaitgroup) Wait(t core.T) {
+	nt := t.(*ntc)
+	loc := progLoc()
+	en := nt.before(core.OpWGWait, w.name, loc)
+	w.mu.Lock()
+	done := w.done
+	blocked := w.count > 0
+	w.mu.Unlock()
+	if blocked {
+		if en {
+			nt.r.emit(nt, core.OpBlock, w.id, w.name, 0, 0, loc)
+		}
+		clear := nt.blockPoint("waitgroup " + w.name)
+		select {
+		case <-done:
+			clear()
+		case <-nt.r.abortCh:
+			clear()
+			core.AbortNow()
+		}
+	}
+	nt.after(en, core.OpWGWait, w.id, w.name, 0, 0, loc)
+}
+
+// nchan is the native channel: a real Go channel of any, so send on
+// closed and double close surface as the runtime's own panics (which
+// the thread recovery converts into failing oracles) and blocked
+// operations stay abortable through the select on abortCh.
+type nchan struct {
+	id   core.ObjectID
+	name string
+	r    *rt
+	capn int
+	ch   chan any
+}
+
+func (c *nchan) OID() core.ObjectID { return c.id }
+func (c *nchan) Cap() int           { return c.capn }
+
+func (c *nchan) Send(t core.T, v any) {
+	nt := t.(*ntc)
+	loc := progLoc()
+	en := nt.before(core.OpChanSend, c.name, loc)
+	select {
+	case c.ch <- v:
+	default:
+		if en {
+			nt.r.emit(nt, core.OpBlock, c.id, c.name, 0, 0, loc)
+		}
+		clear := nt.blockPoint("chan-send " + c.name)
+		select {
+		case c.ch <- v:
+			clear()
+		case <-nt.r.abortCh:
+			clear()
+			core.AbortNow()
+		}
+	}
+	nt.after(en, core.OpChanSend, c.id, c.name, int64(len(c.ch)), 0, loc)
+}
+
+func (c *nchan) Recv(t core.T) (any, bool) {
+	nt := t.(*ntc)
+	loc := progLoc()
+	en := nt.before(core.OpChanRecv, c.name, loc)
+	var v any
+	var ok bool
+	select {
+	case v, ok = <-c.ch:
+	default:
+		if en {
+			nt.r.emit(nt, core.OpBlock, c.id, c.name, 0, 0, loc)
+		}
+		clear := nt.blockPoint("chan-recv " + c.name)
+		select {
+		case v, ok = <-c.ch:
+			clear()
+		case <-nt.r.abortCh:
+			clear()
+			core.AbortNow()
+		}
+	}
+	val := int64(0)
+	if ok {
+		val = 1
+	} else {
+		v = nil
+	}
+	nt.after(en, core.OpChanRecv, c.id, c.name, val, 0, loc)
+	return v, ok
+}
+
+func (c *nchan) Close(t core.T) {
+	nt := t.(*ntc)
+	loc := progLoc()
+	en := nt.before(core.OpChanClose, c.name, loc)
+	close(c.ch) // double close: the runtime panic becomes a failing oracle
+	nt.after(en, core.OpChanClose, c.id, c.name, int64(len(c.ch)), 0, loc)
+}
+
 // nrefvar is the native shared reference cell.
 type nrefvar struct {
 	id   core.ObjectID

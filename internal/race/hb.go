@@ -132,6 +132,27 @@ func (d *HB) OnEvent(ev *core.Event) {
 		lc := d.objClock(d.locks, ev.Obj)
 		lc.Join(*ct)
 		ct.Tick(t)
+	case core.OpChanSend, core.OpChanClose:
+		// A send (or close) releases the sender's knowledge into the
+		// channel: everything before it happens-before the matching
+		// receive.
+		ct := d.clock(t)
+		cc := d.objClock(d.locks, ev.Obj)
+		cc.Join(*ct)
+		ct.Tick(t)
+	case core.OpChanRecv:
+		// A receive acquires the channel's accumulated clock.
+		d.clock(t).Join(*d.objClock(d.locks, ev.Obj))
+	case core.OpWGAdd:
+		// Add/Done release: the work preceding a Done happens-before
+		// the Wait that observes the zero counter.
+		ct := d.clock(t)
+		wc := d.objClock(d.locks, ev.Obj)
+		wc.Join(*ct)
+		ct.Tick(t)
+	case core.OpWGWait:
+		// Wait acquires every contributor's published clock.
+		d.clock(t).Join(*d.objClock(d.locks, ev.Obj))
 	case core.OpRead, core.OpWrite:
 		if d.RespectAtomics && ev.Flags.Atomic() {
 			d.atomicAccess(ev)

@@ -273,3 +273,60 @@ func TestRWLockSemantics(t *testing.T) {
 		t.Fatal("lockset missed write under read-lock")
 	}
 }
+
+// chanHandoffBody transfers ownership of "data" through a channel:
+// the producer writes, sends; the consumer receives, then reads. The
+// send/recv pair is a release/acquire edge, so the HB detector must
+// stay silent.
+func chanHandoffBody(ct core.T) {
+	data := ct.NewInt("data", 0)
+	ch := ct.NewChan("ch", 0)
+	h := ct.Go("consumer", func(wt core.T) {
+		ch.Recv(wt)
+		_ = data.Load(wt)
+	})
+	data.Store(ct, 42)
+	ch.Send(ct, nil)
+	h.Join(ct)
+}
+
+// wgHandoffBody publishes workers' writes through WaitGroup.Done /
+// Wait: each worker writes its own slot of shared state, the waiter
+// reads after Wait. Done→Wait is a release/acquire edge.
+func wgHandoffBody(ct core.T) {
+	data := ct.NewInt("data", 0)
+	wg := ct.NewWaitGroup("wg")
+	wg.Add(ct, 1)
+	ct.Go("worker", func(wt core.T) {
+		data.Store(wt, 7)
+		wg.Done(wt)
+	})
+	wg.Wait(ct)
+	_ = data.Load(ct)
+}
+
+// TestChanWGHappensBefore pins the new release/acquire edges: channel
+// and waitgroup handoffs order the conflicting accesses, so the HB
+// detector reports nothing, while removing the synchronization (the
+// racy baseline) still warns.
+func TestChanWGHappensBefore(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		body func(core.T)
+	}{
+		{"chan-handoff", chanHandoffBody},
+		{"wg-handoff", wgHandoffBody},
+	} {
+		d := NewHB(true)
+		runWith(t, tc.body, d)
+		if got := d.WarnedVars(); len(got) != 0 {
+			t.Errorf("%s: hb warned %v on a correctly synchronized handoff", tc.name, got)
+		}
+	}
+	// Sanity: the detector still fires without the handoff edges.
+	d := NewHB(true)
+	runWith(t, racyBody, d)
+	if got := d.WarnedVars(); !reflect.DeepEqual(got, []string{"data"}) {
+		t.Errorf("baseline warned %v, want [data]", got)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"sort"
 
 	"mtbench/internal/core"
+	"mtbench/internal/instrument"
 	"mtbench/internal/trace"
 )
 
@@ -118,6 +119,12 @@ type Program struct {
 	// carry its own oracle (Assert); deadlocks are detected by the
 	// runtimes.
 	Body func(t core.T, p Params)
+	// Plan, when non-nil, is the instrumentation plan the dynamic tools
+	// attach to every run of this program. Hand-written repository
+	// entries leave it nil (instrument everything); programs produced by
+	// the rewrite pipeline carry the plan its escape analysis computed,
+	// so provably thread-local accesses never reach the scheduler.
+	Plan *instrument.Plan
 }
 
 // BodyWith binds parameters (defaults overridden by over) into a plain
@@ -149,15 +156,39 @@ func (p *Program) Annotator() trace.Annotator {
 // registry holds all programs, keyed by name.
 var registry = map[string]*Program{}
 
-// register adds a program at package init; duplicate names are
-// programming errors.
-func register(p *Program) *Program {
+// Register adds a program built outside this package — the hook the
+// rewrite pipeline's generated registrations use. Unlike the internal
+// init-time path it reports duplicates as errors, so a generated
+// package colliding with a hand-written entry (or a double import of
+// the same generated package) surfaces as a diagnosable failure
+// instead of an init panic deep in the import graph.
+func Register(p *Program) error {
+	if p == nil || p.Name == "" {
+		return fmt.Errorf("repository: Register needs a named program")
+	}
+	if p.Body == nil {
+		return fmt.Errorf("repository: program %q has no body", p.Name)
+	}
 	if _, dup := registry[p.Name]; dup {
-		panic(fmt.Sprintf("repository: duplicate program %q", p.Name))
+		return fmt.Errorf("repository: duplicate program %q", p.Name)
 	}
 	registry[p.Name] = p
+	return nil
+}
+
+// MustRegister is Register for init functions: generated registration
+// files call it at import time, where an error has nowhere to go but a
+// panic.
+func MustRegister(p *Program) *Program {
+	if err := Register(p); err != nil {
+		panic(err)
+	}
 	return p
 }
+
+// register adds a program at package init; duplicate names are
+// programming errors.
+func register(p *Program) *Program { return MustRegister(p) }
 
 // All returns every program sorted by name.
 func All() []*Program {

@@ -238,3 +238,33 @@ func TestDocsMentionMechanism(t *testing.T) {
 		}
 	}
 }
+
+// TestRegisterHook: the external registration hook accepts a new
+// program, rejects duplicates with an error (not a panic), and rejects
+// anonymous or bodyless entries.
+func TestRegisterHook(t *testing.T) {
+	p := &Program{
+		Name:     "register-hook-probe",
+		Synopsis: "test-only entry",
+		Kind:     KindNone,
+		Body:     func(ct core.T, _ Params) {},
+	}
+	if err := Register(p); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	defer delete(registry, p.Name)
+
+	got, err := Get(p.Name)
+	if err != nil || got != p {
+		t.Fatalf("Get after Register = %v, %v", got, err)
+	}
+	if err := Register(p); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate Register error = %v", err)
+	}
+	if err := Register(&Program{Name: "x"}); err == nil {
+		t.Fatal("bodyless program registered")
+	}
+	if err := Register(&Program{Body: p.Body}); err == nil {
+		t.Fatal("anonymous program registered")
+	}
+}

@@ -1,0 +1,47 @@
+package rewrite
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestGeneratedGolden pins the rewriter's output byte-for-byte: the
+// checked-in files under internal/genprog ARE the golden files, and
+// any rewriter change that alters generated output must regenerate
+// them (run cmd/instrument) in the same commit. This is the same drift
+// gate `instrument -verify` runs in CI.
+func TestGeneratedGolden(t *testing.T) {
+	tree, results, err := GenerateTree("testdata/src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drift := DiffTree(tree, filepath.Join("..", "genprog")); len(drift) > 0 {
+		t.Fatalf("generated output drifted from checked-in internal/genprog: %v\n(run cmd/instrument to regenerate)", drift)
+	}
+	wantFiles := 1 + 2*len(results) // aggregator + prog.go/register.go each
+	if len(tree) != wantFiles {
+		t.Fatalf("generated %d files, want %d", len(tree), wantFiles)
+	}
+}
+
+// TestGeneratedDeterministic pins that two independent rewrites of the
+// same input produce identical bytes — thread naming, object naming
+// and emission order are all deterministic.
+func TestGeneratedDeterministic(t *testing.T) {
+	first, _, err := GenerateTree("testdata/src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, _, err := GenerateTree("testdata/src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != len(second) {
+		t.Fatalf("file counts differ: %d vs %d", len(first), len(second))
+	}
+	for p, want := range first {
+		if string(second[p]) != string(want) {
+			t.Errorf("%s: non-deterministic output", p)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package rewrite
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Meta is the benchmark metadata an input package declares through
+// //mtbench: directives in its source (conventionally in the package
+// doc comment). It becomes the generated repository.Program entry.
+type Meta struct {
+	// Name is the registry name (defaults to the package name).
+	Name string
+	// Kind is the documented bug class; must match a repository.Kind.
+	Kind string
+	// Synopsis is the one-line description (required).
+	Synopsis string
+	// Doc is the multi-line bug documentation, joined from
+	// //mtbench:doc lines.
+	Doc string
+	// BugVars are the objects participating in the documented bug.
+	BugVars []string
+}
+
+// knownKinds mirrors the repository.Kind* constants; the rewriter
+// validates directives at generation time so a typo fails the rewrite
+// rather than registering an unclassifiable program.
+var knownKinds = map[string]string{
+	"none":                "KindNone",
+	"race":                "KindRace",
+	"atomicity-violation": "KindAtomicity",
+	"order-violation":     "KindOrder",
+	"deadlock":            "KindDeadlock",
+	"notify":              "KindNotify",
+	"livelock":            "KindLivelock",
+}
+
+// parseMeta scans raw file contents for //mtbench: directive lines.
+// Sources are visited in file-name order, so directives land in a
+// deterministic order regardless of which file carries them.
+func parseMeta(pkgName string, sources [][]byte) (*Meta, error) {
+	m := &Meta{Name: pkgName}
+	var docLines []string
+	for _, src := range sources {
+		for _, line := range strings.Split(string(src), "\n") {
+			line = strings.TrimSpace(line)
+			rest, ok := strings.CutPrefix(line, "//mtbench:")
+			if !ok {
+				continue
+			}
+			key, val, _ := strings.Cut(rest, " ")
+			val = strings.TrimSpace(val)
+			switch key {
+			case "name":
+				m.Name = val
+			case "kind":
+				m.Kind = val
+			case "synopsis":
+				m.Synopsis = val
+			case "doc":
+				docLines = append(docLines, val)
+			case "bugvars":
+				for _, v := range strings.Split(val, ",") {
+					if v = strings.TrimSpace(v); v != "" {
+						m.BugVars = append(m.BugVars, v)
+					}
+				}
+			default:
+				return nil, fmt.Errorf("unknown directive //mtbench:%s", key)
+			}
+		}
+	}
+	m.Doc = strings.Join(docLines, " ")
+	if m.Kind == "" || m.Synopsis == "" {
+		return nil, fmt.Errorf("package %s: //mtbench:kind and //mtbench:synopsis directives are required", pkgName)
+	}
+	if _, ok := knownKinds[m.Kind]; !ok {
+		kinds := make([]string, 0, len(knownKinds))
+		for k := range knownKinds {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		return nil, fmt.Errorf("package %s: unknown kind %q (have %v)", pkgName, m.Kind, kinds)
+	}
+	sort.Strings(m.BugVars)
+	return m, nil
+}

@@ -1,0 +1,784 @@
+// Package rewrite is the source-to-source instrumentation layer: it
+// takes a small, ordinary Go package — goroutines, sync.Mutex,
+// sync.WaitGroup, channels, select — and emits a self-contained
+// instrumented package whose every concurrency operation and shared
+// access goes through the core.T runtime API, so the program runs
+// under the controlled scheduler and all the dynamic tools (noise,
+// exploration, fuzzing, race detection, record/replay) apply to it
+// unchanged.
+//
+// This is the paper's source-level instrumentor (§3) turned on real
+// code instead of hand-ported benchmark bodies. The pipeline:
+//
+//  1. parse with go/ast and type-check with go/types;
+//  2. map the concurrency vocabulary: `go` statements become t.Go,
+//     sync.Mutex/RWMutex/Cond become the core equivalents,
+//     sync.WaitGroup and channel make/send/recv/close/select become
+//     core.WaitGroup and core.Chan;
+//  3. instrument shared data: package-level variables and locals that
+//     escape into goroutines become IntVar/RefVar probes, while
+//     provably thread-local accesses stay plain Go — the escape
+//     analysis result also flows into an instrument.Plan (via
+//     staticinfo.Info) so main-confined package variables keep no
+//     probes either;
+//  4. emit the rewritten source plus a registration file that calls
+//     repository.Register, making the program a first-class citizen of
+//     the benchmark.
+//
+// The rewriter handles a documented subset (see DESIGN.md, "The
+// rewrite layer"); anything outside it fails the rewrite with a
+// position-tagged error rather than emitting wrong code.
+package rewrite
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+
+	"mtbench/internal/staticinfo"
+)
+
+// objKind classifies an instrumented object.
+type objKind int
+
+const (
+	objMutex objKind = iota
+	objRW
+	objWG
+	objCond
+	objChan
+	objInt
+	objRef
+)
+
+// object is one source variable the rewriter maps onto a runtime
+// object.
+type object struct {
+	kind     objKind
+	goName   string // identifier in the generated code
+	objName  string // runtime object name (unique per package)
+	pkgLevel bool
+	elem     string          // objChan: element type
+	capExpr  ast.Expr        // objChan: buffer capacity (nil = 0)
+	init     ast.Expr        // objInt/objRef: package-level initializer
+	condMu   types.Object    // objCond: the associated mutex variable
+	intKind  types.BasicKind // objInt: types.Int or types.Int64
+	refType  string          // objRef: held type
+	isParam  bool            // alias for a parameter, not a creation site
+	shared   bool            // data vars: referenced from spawned code
+}
+
+func (o *object) isData() bool { return o.kind == objInt || o.kind == objRef }
+
+// Result is a rewritten package ready to be written to disk.
+type Result struct {
+	// Name is the registry (and generated package) name.
+	Name string
+	// Meta is the parsed directive metadata.
+	Meta *Meta
+	// Files maps generated file name to gofmt-clean contents
+	// ("prog.go" and "register.go").
+	Files map[string][]byte
+	// SharedVars and LocalVars are the escape-analysis verdicts over
+	// the instrumented data variables; LocalVars feed the emitted
+	// instrument.Plan.
+	SharedVars, LocalVars []string
+	// Threads is the static thread count (main + go statements).
+	Threads int
+}
+
+type rewriter struct {
+	dir       string
+	fset      *token.FileSet
+	files     []*ast.File
+	fileNames []string
+	pkg       *types.Package
+	info      *types.Info
+	meta      *Meta
+
+	objects      map[types.Object]*object
+	pkgObjs      []*object // package-level, in declaration order
+	escaping     map[types.Object]bool
+	spawnedFuncs map[types.Object]bool
+	unresolved   bool // closure values in play: disable plan pruning
+
+	usedNames map[string]int
+	goCount   int
+	threads   int
+
+	needRecv, needRecv1, needCast bool
+
+	errs []error
+}
+
+// Rewrite instruments the Go package in dir.
+func Rewrite(dir string) (*Result, error) {
+	r := &rewriter{
+		dir:          dir,
+		fset:         token.NewFileSet(),
+		objects:      map[types.Object]*object{},
+		escaping:     map[types.Object]bool{},
+		spawnedFuncs: map[types.Object]bool{},
+		usedNames:    map[string]int{},
+	}
+	if err := r.load(); err != nil {
+		return nil, err
+	}
+	r.validateImports()
+	r.classifyPkgVars()
+	r.analyzeFuncs()
+	if err := r.firstErr(); err != nil {
+		return nil, err
+	}
+	files, err := r.emit()
+	if err != nil {
+		return nil, err
+	}
+	shared, local := r.planSets()
+	return &Result{
+		Name:       r.meta.Name,
+		Meta:       r.meta,
+		Files:      files,
+		SharedVars: shared,
+		LocalVars:  local,
+		Threads:    1 + r.threads,
+	}, nil
+}
+
+// load parses and type-checks the package.
+func (r *rewriter) load() error {
+	entries, err := os.ReadDir(r.dir)
+	if err != nil {
+		return err
+	}
+	var sources [][]byte
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || filepath.Ext(name) != ".go" {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(r.dir, name))
+		if err != nil {
+			return err
+		}
+		f, err := parser.ParseFile(r.fset, filepath.Join(r.dir, name), src, parser.SkipObjectResolution)
+		if err != nil {
+			return err
+		}
+		r.files = append(r.files, f)
+		r.fileNames = append(r.fileNames, name)
+		sources = append(sources, src)
+	}
+	if len(r.files) == 0 {
+		return fmt.Errorf("rewrite: no Go files in %s", r.dir)
+	}
+	pkgName := r.files[0].Name.Name
+	meta, err := parseMeta(pkgName, sources)
+	if err != nil {
+		return fmt.Errorf("rewrite: %w", err)
+	}
+	r.meta = meta
+
+	r.info = &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(r.fset, "source", nil)}
+	pkg, err := conf.Check(pkgName, r.fset, r.files, r.info)
+	if err != nil {
+		return fmt.Errorf("rewrite: type-check %s: %w", r.dir, err)
+	}
+	r.pkg = pkg
+	if pkg.Scope().Lookup("Main") == nil {
+		return fmt.Errorf("rewrite: package %s has no func Main() entry point", pkgName)
+	}
+	return nil
+}
+
+func (r *rewriter) errf(pos token.Pos, format string, args ...any) {
+	where := r.fset.Position(pos).String()
+	r.errs = append(r.errs, fmt.Errorf("%s: %s", where, fmt.Sprintf(format, args...)))
+}
+
+func (r *rewriter) firstErr() error {
+	if len(r.errs) == 0 {
+		return nil
+	}
+	return r.errs[0]
+}
+
+// validateImports restricts inputs to the vocabulary the rewriter can
+// translate: only "sync" may be imported.
+func (r *rewriter) validateImports() {
+	for _, f := range r.files {
+		for _, imp := range f.Imports {
+			if v, _ := strconv.Unquote(imp.Path.Value); v != "sync" {
+				r.errf(imp.Pos(), "unsupported import %s (only \"sync\" is translatable)", imp.Path.Value)
+			}
+		}
+	}
+}
+
+// allocName reserves a unique runtime object name.
+func (r *rewriter) allocName(pref string) string {
+	n := r.usedNames[pref]
+	r.usedNames[pref] = n + 1
+	if n == 0 {
+		return pref
+	}
+	return pref + strconv.Itoa(n+1)
+}
+
+// syncKind maps a type to the instrumented kind of a sync package
+// object, looking through one pointer.
+func syncKind(t types.Type) (objKind, bool) {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return 0, false
+	}
+	switch named.Obj().Name() {
+	case "Mutex":
+		return objMutex, true
+	case "RWMutex":
+		return objRW, true
+	case "WaitGroup":
+		return objWG, true
+	case "Cond":
+		return objCond, true
+	}
+	return 0, false
+}
+
+// typeStr renders a type with package-local names unqualified.
+func (r *rewriter) typeStr(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string {
+		if p == r.pkg {
+			return ""
+		}
+		return p.Name()
+	})
+}
+
+// classify builds the object skeleton for a variable of type t, or
+// reports the variable untranslatable.
+func (r *rewriter) classify(name string, t types.Type, pos token.Pos) *object {
+	if k, ok := syncKind(t); ok {
+		return &object{kind: k, goName: name}
+	}
+	if ch, ok := t.(*types.Chan); ok {
+		return &object{kind: objChan, goName: name, elem: r.typeStr(ch.Elem())}
+	}
+	if b, ok := t.(*types.Basic); ok {
+		switch b.Kind() {
+		case types.Int, types.Int64:
+			return &object{kind: objInt, goName: name, intKind: b.Kind()}
+		case types.Bool:
+			r.errf(pos, "bool variable %s: model flags as int (0/1)", name)
+			return nil
+		}
+	}
+	return &object{kind: objRef, goName: name, refType: r.typeStr(t)}
+}
+
+// classifyPkgVars turns every package-level var into an object.
+func (r *rewriter) classifyPkgVars() {
+	for _, f := range r.files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs := spec.(*ast.ValueSpec)
+				for i, name := range vs.Names {
+					def := r.info.Defs[name]
+					if def == nil {
+						continue
+					}
+					o := r.classify(name.Name, def.Type(), name.Pos())
+					if o == nil {
+						continue
+					}
+					o.pkgLevel = true
+					o.objName = r.allocName(name.Name)
+					var init ast.Expr
+					if i < len(vs.Values) {
+						init = vs.Values[i]
+					}
+					r.initObject(o, init, name.Pos())
+					r.objects[def] = o
+					r.pkgObjs = append(r.pkgObjs, o)
+				}
+			}
+		}
+	}
+}
+
+// initObject validates and records an object's initializer.
+func (r *rewriter) initObject(o *object, init ast.Expr, pos token.Pos) {
+	switch o.kind {
+	case objMutex, objRW, objWG:
+		if init != nil {
+			if _, ok := init.(*ast.CompositeLit); !ok {
+				r.errf(pos, "%s: sync objects must use their zero value", o.goName)
+			}
+		}
+	case objCond:
+		mu := r.condTarget(init)
+		if mu == nil {
+			r.errf(pos, "%s: condition variables must be initialized with sync.NewCond(&mu)", o.goName)
+			return
+		}
+		o.condMu = mu
+	case objChan:
+		if init == nil {
+			r.errf(pos, "%s: channels must be initialized with make", o.goName)
+			return
+		}
+		capExpr, ok := r.makeChan(init)
+		if !ok {
+			r.errf(pos, "%s: channels must be initialized with make(chan T[, cap])", o.goName)
+			return
+		}
+		o.capExpr = capExpr
+	case objInt, objRef:
+		o.init = init
+		if init != nil {
+			ast.Inspect(init, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					if obj := r.info.Uses[id]; obj != nil {
+						if _, isVar := obj.(*types.Var); isVar && obj.Parent() == r.pkg.Scope() {
+							r.errf(pos, "%s: initializer references package variable %s (unsupported)", o.goName, id.Name)
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// condTarget extracts the mutex variable from sync.NewCond(&mu).
+func (r *rewriter) condTarget(init ast.Expr) types.Object {
+	call, ok := init.(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return nil
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "NewCond" {
+		return nil
+	}
+	un, ok := call.Args[0].(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return nil
+	}
+	id, ok := un.X.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return r.info.Uses[id]
+}
+
+// makeChan matches make(chan T[, cap]) and returns the capacity expr.
+func (r *rewriter) makeChan(e ast.Expr) (ast.Expr, bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return nil, false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "make" {
+		return nil, false
+	}
+	if _, isBuiltin := r.info.Uses[id].(*types.Builtin); !isBuiltin {
+		return nil, false
+	}
+	if len(call.Args) == 2 {
+		return call.Args[1], true
+	}
+	if len(call.Args) == 1 {
+		return nil, true
+	}
+	return nil, false
+}
+
+// funcDecls returns the package's function declarations in file/source
+// order.
+func (r *rewriter) funcDecls() []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range r.files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}
+
+// analyzeFuncs runs the pre-transform analyses: validate declarations,
+// register instrumented locals, run the escape analysis, compute the
+// spawned-code reachability that decides shared vs main-confined, and
+// count threads.
+func (r *rewriter) analyzeFuncs() {
+	decls := r.funcDecls()
+	for _, fd := range decls {
+		if fd.Recv != nil {
+			r.errf(fd.Pos(), "methods are unsupported")
+		}
+	}
+	for _, f := range r.files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			ast.Inspect(gd, func(n ast.Node) bool {
+				switch n.(type) {
+				case *ast.ChanType:
+					r.errf(n.Pos(), "channel-typed fields in type declarations are unsupported")
+				case *ast.SelectorExpr:
+					if id, ok := n.(*ast.SelectorExpr).X.(*ast.Ident); ok && id.Name == "sync" {
+						r.errf(n.Pos(), "sync types inside type declarations are unsupported")
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	for _, fd := range decls {
+		r.collectLocals(fd)
+	}
+	r.escapePass(decls)
+	r.spawnPass(decls)
+	r.sharedPass(decls)
+}
+
+// collectLocals registers instrumented local declarations (sync
+// objects, channels, conds) and rewrites param aliases, for one
+// function.
+func (r *rewriter) collectLocals(fd *ast.FuncDecl) {
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			for _, name := range field.Names {
+				def := r.info.Defs[name]
+				if def == nil {
+					continue
+				}
+				if k, ok := syncKind(def.Type()); ok {
+					r.objects[def] = &object{kind: k, goName: name.Name, objName: name.Name, isParam: true}
+				} else if ch, ok := def.Type().(*types.Chan); ok {
+					r.objects[def] = &object{kind: objChan, goName: name.Name, objName: name.Name, isParam: true, elem: r.typeStr(ch.Elem())}
+				}
+			}
+		}
+	}
+	if fd.Body == nil {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ident, init := localDeclSite(n)
+		if ident == nil {
+			return true
+		}
+		def := r.info.Defs[ident]
+		if def == nil || r.objects[def] != nil {
+			return true
+		}
+		t := def.Type()
+		if k, ok := syncKind(t); ok {
+			o := &object{kind: k, goName: ident.Name, objName: r.allocName(ident.Name)}
+			if k == objCond {
+				if mu := r.condTarget(init); mu != nil {
+					o.condMu = mu
+				} else {
+					r.errf(ident.Pos(), "%s: condition variables must be initialized with sync.NewCond(&mu)", ident.Name)
+				}
+			}
+			r.objects[def] = o
+		} else if ch, ok := t.(*types.Chan); ok {
+			capExpr, ok := r.makeChan(init)
+			if !ok {
+				r.errf(ident.Pos(), "%s: channels must be created with make(chan T[, cap])", ident.Name)
+				return true
+			}
+			r.objects[def] = &object{kind: objChan, goName: ident.Name, objName: r.allocName(ident.Name), elem: r.typeStr(ch.Elem()), capExpr: capExpr}
+		}
+		return true
+	})
+}
+
+// localDeclSite matches the declaration forms that can introduce an
+// instrumented local: `x := E`, `var x T = E`.
+func localDeclSite(n ast.Node) (*ast.Ident, ast.Expr) {
+	switch s := n.(type) {
+	case *ast.AssignStmt:
+		if s.Tok == token.DEFINE && len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+			if id, ok := s.Lhs[0].(*ast.Ident); ok {
+				return id, s.Rhs[0]
+			}
+		}
+	case *ast.ValueSpec:
+		if len(s.Names) == 1 {
+			var init ast.Expr
+			if len(s.Values) == 1 {
+				init = s.Values[0]
+			}
+			return s.Names[0], init
+		}
+	}
+	return nil, nil
+}
+
+// escapePass finds data locals referenced from a function literal
+// other than the one that declared them: those may be touched by
+// another thread and get instrumented. Parameters that escape are
+// rejected (the call boundary would need by-reference shims).
+func (r *rewriter) escapePass(decls []*ast.FuncDecl) {
+	for _, fd := range decls {
+		if fd.Body == nil {
+			continue
+		}
+		declIn := map[types.Object]ast.Node{}
+		if fd.Type.Params != nil {
+			for _, field := range fd.Type.Params.List {
+				for _, name := range field.Names {
+					if def := r.info.Defs[name]; def != nil {
+						declIn[def] = fd
+					}
+				}
+			}
+		}
+		var walk func(n ast.Node, lit ast.Node)
+		walk = func(n ast.Node, lit ast.Node) {
+			ast.Inspect(n, func(node ast.Node) bool {
+				switch x := node.(type) {
+				case *ast.FuncLit:
+					walk(x.Body, x)
+					return false
+				case *ast.Ident:
+					if def := r.info.Defs[x]; def != nil {
+						if _, isVar := def.(*types.Var); isVar {
+							declIn[def] = lit
+						}
+					}
+					use := r.info.Uses[x]
+					if use == nil {
+						return true
+					}
+					from, local := declIn[use]
+					if !local || from == lit {
+						return true
+					}
+					if r.objects[use] != nil {
+						return true // sync/chan objects cross literals freely
+					}
+					if _, isVar := use.(*types.Var); !isVar {
+						return true
+					}
+					if _, isFunc := use.Type().Underlying().(*types.Signature); isFunc {
+						// A closure value crossing scopes: its body's
+						// accesses cannot be attributed, so pruning is off.
+						r.unresolved = true
+						return true
+					}
+					if from == fd && isParamOf(fd, use, r.info) {
+						r.errf(x.Pos(), "parameter %s captured by a function literal is unsupported", x.Name)
+						return true
+					}
+					if !r.escaping[use] {
+						r.escaping[use] = true
+						o := r.classify(use.Name(), use.Type(), x.Pos())
+						if o != nil {
+							o.objName = r.allocName(use.Name())
+							r.objects[use] = o
+						}
+					}
+				}
+				return true
+			})
+		}
+		walk(fd.Body, fd)
+	}
+}
+
+func isParamOf(fd *ast.FuncDecl, obj types.Object, info *types.Info) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if info.Defs[name] == obj {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// spawnPass computes the set of package functions reachable from `go`
+// statements, and counts static thread creations.
+func (r *rewriter) spawnPass(decls []*ast.FuncDecl) {
+	bodies := map[types.Object]*ast.FuncDecl{}
+	for _, fd := range decls {
+		if def := r.info.Defs[fd.Name]; def != nil {
+			bodies[def] = fd
+		}
+	}
+	var queue []types.Object
+	seed := func(n ast.Node) {
+		ast.Inspect(n, func(node ast.Node) bool {
+			gs, ok := node.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			r.threads++
+			switch fun := gs.Call.Fun.(type) {
+			case *ast.Ident:
+				if def := r.info.Uses[fun]; def != nil && bodies[def] != nil {
+					queue = append(queue, def)
+				}
+			case *ast.FuncLit:
+				// The literal body is spawned code: collect its calls.
+				ast.Inspect(fun.Body, func(inner ast.Node) bool {
+					call, ok := inner.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if id, ok := call.Fun.(*ast.Ident); ok {
+						if def := r.info.Uses[id]; def != nil && bodies[def] != nil {
+							queue = append(queue, def)
+						}
+					}
+					return true
+				})
+			}
+			return true
+		})
+	}
+	for _, fd := range decls {
+		if fd.Body != nil {
+			seed(fd.Body)
+		}
+	}
+	for len(queue) > 0 {
+		def := queue[0]
+		queue = queue[1:]
+		if r.spawnedFuncs[def] {
+			continue
+		}
+		r.spawnedFuncs[def] = true
+		fd := bodies[def]
+		if fd == nil || fd.Body == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok {
+				if d := r.info.Uses[id]; d != nil && bodies[d] != nil {
+					queue = append(queue, d)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// sharedPass marks every instrumented data object referenced from
+// spawned code (a go literal, or a function reachable from one) as
+// shared; the rest stay main-confined and their access probes are
+// pruned from the plan.
+func (r *rewriter) sharedPass(decls []*ast.FuncDecl) {
+	for _, fd := range decls {
+		if fd.Body == nil {
+			continue
+		}
+		base := false
+		if def := r.info.Defs[fd.Name]; def != nil && r.spawnedFuncs[def] {
+			base = true
+		}
+		var walk func(n ast.Node, spawned bool)
+		walk = func(n ast.Node, spawned bool) {
+			ast.Inspect(n, func(node ast.Node) bool {
+				switch x := node.(type) {
+				case *ast.GoStmt:
+					if lit, ok := x.Call.Fun.(*ast.FuncLit); ok {
+						for _, arg := range x.Call.Args {
+							walk(arg, spawned)
+						}
+						walk(lit.Body, true)
+						return false
+					}
+					return true
+				case *ast.FuncLit:
+					walk(x.Body, spawned)
+					return false
+				case *ast.Ident:
+					if use := r.info.Uses[x]; use != nil && spawned {
+						if o := r.objects[use]; o != nil && o.isData() {
+							o.shared = true
+						}
+					}
+				}
+				return true
+			})
+		}
+		walk(fd.Body, base)
+	}
+}
+
+// planSets returns the shared/local name sets over instrumented data
+// objects, sorted.
+func (r *rewriter) planSets() (shared, local []string) {
+	var objs []*object
+	for _, o := range r.objects {
+		if o.isData() {
+			objs = append(objs, o)
+		}
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i].objName < objs[j].objName })
+	for _, o := range objs {
+		if o.shared || r.unresolved {
+			shared = append(shared, o.objName)
+		} else {
+			local = append(local, o.objName)
+		}
+	}
+	return shared, local
+}
+
+// planFor exposes the escape verdicts through the staticinfo types, so
+// the rewrite layer produces its pruning plan the same way the static
+// analyzer does for hand-written programs (Figure 1: statics feed the
+// instrumentor).
+func (r *rewriter) planFor() *staticinfo.Info {
+	shared, local := r.planSets()
+	vars := map[string]staticinfo.VarKind{}
+	for _, o := range r.objects {
+		if o.kind == objInt {
+			vars[o.objName] = staticinfo.KindInt
+		} else if o.kind == objRef {
+			vars[o.objName] = staticinfo.KindRef
+		}
+	}
+	return &staticinfo.Info{
+		Func:       "Body",
+		Vars:       vars,
+		SharedVars: shared,
+		LocalVars:  local,
+	}
+}

@@ -1,0 +1,272 @@
+package rewrite
+
+import (
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// rewriteSrc rewrites a single-file package from source text.
+func rewriteSrc(t *testing.T, src string) (*Result, error) {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "main.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return Rewrite(dir)
+}
+
+const header = `//mtbench:kind race
+//mtbench:synopsis test program
+package p
+
+`
+
+func TestMetaDirectivesRequired(t *testing.T) {
+	_, err := rewriteSrc(t, "package p\n\nfunc Main() {}\n")
+	if err == nil || !strings.Contains(err.Error(), "directives are required") {
+		t.Fatalf("err = %v, want missing-directive error", err)
+	}
+}
+
+func TestUnknownKindRejected(t *testing.T) {
+	_, err := rewriteSrc(t, "//mtbench:kind heisenbug\n//mtbench:synopsis x\npackage p\n\nfunc Main() {}\n")
+	if err == nil || !strings.Contains(err.Error(), "unknown kind") {
+		t.Fatalf("err = %v, want unknown-kind error", err)
+	}
+}
+
+func TestUnsupportedImportRejected(t *testing.T) {
+	_, err := rewriteSrc(t, header+"import \"fmt\"\n\nfunc Main() { fmt.Println(1) }\n")
+	if err == nil || !strings.Contains(err.Error(), "unsupported import") {
+		t.Fatalf("err = %v, want unsupported-import error", err)
+	}
+}
+
+func TestMainRequired(t *testing.T) {
+	_, err := rewriteSrc(t, header+"func helper() {}\n")
+	if err == nil || !strings.Contains(err.Error(), "no func Main") {
+		t.Fatalf("err = %v, want missing-Main error", err)
+	}
+}
+
+func TestSelectDefaultRejected(t *testing.T) {
+	_, err := rewriteSrc(t, header+`func Main() {
+	ch := make(chan int, 1)
+	select {
+	case <-ch:
+	default:
+	}
+}
+`)
+	if err == nil || !strings.Contains(err.Error(), "select with default") {
+		t.Fatalf("err = %v, want select-default error", err)
+	}
+}
+
+func TestBoolVarRejected(t *testing.T) {
+	_, err := rewriteSrc(t, header+"var flag bool\n\nfunc Main() { flag = true }\n")
+	if err == nil || !strings.Contains(err.Error(), "model flags as int") {
+		t.Fatalf("err = %v, want bool-var error", err)
+	}
+}
+
+func TestMethodsRejected(t *testing.T) {
+	_, err := rewriteSrc(t, header+`type box struct{ n int }
+
+func (b *box) get() int { return b.n }
+
+func Main() {}
+`)
+	if err == nil || !strings.Contains(err.Error(), "methods are unsupported") {
+		t.Fatalf("err = %v, want methods error", err)
+	}
+}
+
+func TestEscapingLocalInstrumented(t *testing.T) {
+	res, err := rewriteSrc(t, header+`func Main() {
+	count := 0
+	done := make(chan int)
+	go func() {
+		count = 1
+		done <- 0
+	}()
+	<-done
+	count++
+	_ = count
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// count escapes into the goroutine: instrumented and shared.
+	if !reflect.DeepEqual(res.SharedVars, []string{"count"}) {
+		t.Fatalf("SharedVars = %v, want [count]", res.SharedVars)
+	}
+	if len(res.LocalVars) != 0 {
+		t.Fatalf("LocalVars = %v, want none", res.LocalVars)
+	}
+	prog := string(res.Files["prog.go"])
+	if !strings.Contains(prog, `_t.NewInt("count", 0)`) {
+		t.Fatalf("escaping local not instrumented:\n%s", prog)
+	}
+}
+
+func TestNonEscapingLocalStaysPlain(t *testing.T) {
+	res, err := rewriteSrc(t, header+`var total int
+
+func Main() {
+	go func() { total = 1 }()
+	scratch := 41
+	scratch++
+	total = scratch
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := string(res.Files["prog.go"])
+	if !strings.Contains(prog, "scratch := 41") || !strings.Contains(prog, "scratch++") {
+		t.Fatalf("non-escaping local was rewritten:\n%s", prog)
+	}
+	if strings.Contains(prog, `NewInt("scratch"`) {
+		t.Fatalf("non-escaping local got a probe:\n%s", prog)
+	}
+}
+
+func TestMainConfinedVarPruned(t *testing.T) {
+	res, err := rewriteSrc(t, header+`var hot int
+
+var cold int
+
+func Main() {
+	go func() { hot = 1 }()
+	cold = 2
+	_ = hot
+	_ = cold
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.SharedVars, []string{"hot"}) {
+		t.Fatalf("SharedVars = %v, want [hot]", res.SharedVars)
+	}
+	if !reflect.DeepEqual(res.LocalVars, []string{"cold"}) {
+		t.Fatalf("LocalVars = %v, want [cold]", res.LocalVars)
+	}
+	reg := string(res.Files["register.go"])
+	if !strings.Contains(reg, `instrument.All().OnlyObjects("hot")`) {
+		t.Fatalf("plan literal missing:\n%s", reg)
+	}
+}
+
+// TestClosureValueDisablesPruning: a closure stored in a variable can
+// carry accesses anywhere, so the escape verdicts degrade to
+// everything-shared and no plan is emitted.
+func TestClosureValueDisablesPruning(t *testing.T) {
+	res, err := rewriteSrc(t, header+`var quiet int
+
+func Main() {
+	bump := func() { quiet++ }
+	go func() { bump() }()
+	bump()
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.LocalVars) != 0 {
+		t.Fatalf("unsound pruning with a closure value: LocalVars = %v", res.LocalVars)
+	}
+	if strings.Contains(string(res.Files["register.go"]), "OnlyObjects") {
+		t.Fatalf("plan emitted despite unresolved closure:\n%s", res.Files["register.go"])
+	}
+}
+
+func TestSpawnReachableCalleeShares(t *testing.T) {
+	res, err := rewriteSrc(t, header+`var n int
+
+func bump() { n++ }
+
+func helper() { bump() }
+
+func Main() {
+	go helper()
+	_ = n
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n is touched through go helper() -> bump(): shared transitively.
+	if !reflect.DeepEqual(res.SharedVars, []string{"n"}) {
+		t.Fatalf("SharedVars = %v, want [n] (transitive spawn reachability)", res.SharedVars)
+	}
+}
+
+func TestThreadsCount(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		want int
+	}{
+		{"lockorder", 3}, {"bankaccount", 3}, {"notifier", 2}, {"pipeline", 3},
+	} {
+		res, err := Rewrite(filepath.Join("testdata", "src", tc.name))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if res.Threads != tc.want {
+			t.Errorf("%s: Threads = %d, want %d", tc.name, res.Threads, tc.want)
+		}
+	}
+}
+
+// TestPlanMatchesStaticinfo pins that the rewrite layer's pruning plan
+// is built through the same staticinfo path the hand-written programs
+// use.
+func TestPlanMatchesStaticinfo(t *testing.T) {
+	dir := t.TempDir()
+	src := header + `var hot int
+
+var cold int
+
+func Main() {
+	go func() { hot = 1 }()
+	cold = 2
+	_ = hot
+	_ = cold
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "main.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r := &rewriter{
+		dir:          dir,
+		fset:         token.NewFileSet(),
+		objects:      map[types.Object]*object{},
+		escaping:     map[types.Object]bool{},
+		spawnedFuncs: map[types.Object]bool{},
+		usedNames:    map[string]int{},
+	}
+	if err := r.load(); err != nil {
+		t.Fatal(err)
+	}
+	r.validateImports()
+	r.classifyPkgVars()
+	r.analyzeFuncs()
+	if err := r.firstErr(); err != nil {
+		t.Fatal(err)
+	}
+	info := r.planFor()
+	if !reflect.DeepEqual(info.SharedVars, []string{"hot"}) || !reflect.DeepEqual(info.LocalVars, []string{"cold"}) {
+		t.Fatalf("staticinfo verdicts: shared=%v local=%v", info.SharedVars, info.LocalVars)
+	}
+	if info.Plan() == nil {
+		t.Fatal("staticinfo plan is nil despite shared vars")
+	}
+}

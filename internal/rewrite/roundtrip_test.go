@@ -1,0 +1,81 @@
+package rewrite_test
+
+import (
+	"testing"
+
+	"mtbench/internal/core"
+	"mtbench/internal/explore"
+	"mtbench/internal/repository"
+	"mtbench/internal/sched"
+
+	_ "mtbench/internal/genprog"
+)
+
+// TestRoundTrip closes the loop over every generated example package:
+// the checked-in instrumented package registers itself, exploration
+// finds its planted bug, and replaying the failing schedule through
+// FixedSchedule reproduces the identical verdict — rewrite output is a
+// first-class citizen of the record/replay machinery.
+func TestRoundTrip(t *testing.T) {
+	for _, name := range []string{"bankaccount", "lockorder", "notifier", "pipeline"} {
+		t.Run(name, func(t *testing.T) {
+			prog, err := repository.Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !prog.HasBug() {
+				t.Fatalf("%s registered without a bug kind", name)
+			}
+			body := prog.BodyWith(nil)
+			res := explore.Explore(explore.Options{
+				MaxSchedules:   5000,
+				Workers:        1,
+				DPOR:           true,
+				StateCache:     true,
+				StopAtFirstBug: true,
+				Name:           name,
+				Plan:           prog.Plan,
+			}, body)
+			if res.Err != nil {
+				t.Fatal(res.Err)
+			}
+			if len(res.Bugs) == 0 {
+				t.Fatalf("exploration missed the planted bug (%d schedules, exhausted=%v)",
+					res.Schedules, res.Exhausted)
+			}
+			bug := res.Bugs[0]
+			want := core.BugSignature(bug.Result)
+
+			rep := sched.Run(sched.Config{
+				Strategy: &sched.FixedSchedule{Decisions: bug.Schedule},
+				Name:     name,
+				Plan:     prog.Plan,
+			}, body)
+			if !rep.Verdict.Bug() {
+				t.Fatalf("replay verdict %v is not a bug", rep.Verdict)
+			}
+			if got := core.BugSignature(rep); got != want {
+				t.Fatalf("replay signature diverged:\n  explore: %s\n  replay:  %s", want, got)
+			}
+		})
+	}
+}
+
+// TestGeneratedPlanGate pins that generated programs carry their
+// escape-analysis plan into the registry: bankaccount's main-confined
+// audits variable must be pruned while balance keeps its probes.
+func TestGeneratedPlanGate(t *testing.T) {
+	prog, err := repository.Get("bankaccount")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Plan == nil {
+		t.Fatal("bankaccount registered without an instrumentation plan")
+	}
+	if !prog.Plan.Enabled(core.OpRead, "balance") {
+		t.Error("plan prunes balance (bug variable must keep probes)")
+	}
+	if prog.Plan.Enabled(core.OpRead, "audits") {
+		t.Error("plan keeps audits (main-confined variable should be pruned)")
+	}
+}

@@ -1,0 +1,44 @@
+// Package bankaccount performs two unsynchronized deposits: each is a
+// read-modify-write through a local temporary, so an interleaving that
+// splits one deposit across the other loses an update.
+//
+//mtbench:kind atomicity-violation
+//mtbench:synopsis read-modify-write deposits without a lock (lost update)
+//mtbench:bugvars balance
+//mtbench:doc deposit copies balance into a local, adds, and stores the
+//mtbench:doc local back. Two deposits interleaved at the copy both read
+//mtbench:doc the same balance and one update is lost; Main's check then
+//mtbench:doc fails. audits is only ever touched by the main thread, so
+//mtbench:doc the escape analysis prunes its probes from the plan.
+package bankaccount
+
+import "sync"
+
+var balance int
+
+var audits int
+
+func deposit(amount int) {
+	b := balance
+	b += amount
+	balance = b
+}
+
+// Main is the entry point the rewriter instruments.
+func Main() {
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		deposit(10)
+		wg.Done()
+	}()
+	go func() {
+		deposit(10)
+		wg.Done()
+	}()
+	wg.Wait()
+	audits++
+	if balance != 20 {
+		panic("lost update")
+	}
+}

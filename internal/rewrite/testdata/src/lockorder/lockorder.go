@@ -1,0 +1,56 @@
+// Package lockorder transfers between two accounts with inconsistent
+// lock ordering: one thread takes muA then muB, the other muB then muA
+// — the classic AB-BA deadlock window.
+//
+//mtbench:kind deadlock
+//mtbench:synopsis two mutexes taken in opposite orders (AB-BA deadlock)
+//mtbench:bugvars muA,muB
+//mtbench:doc transferAB locks muA then muB while transferBA locks muB
+//mtbench:doc then muA. A schedule that parks each thread between its
+//mtbench:doc two acquisitions leaves both waiting on the other's lock.
+package lockorder
+
+import "sync"
+
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+	a   = 100
+	b   = 100
+)
+
+func transferAB(amt int) {
+	muA.Lock()
+	muB.Lock()
+	a -= amt
+	b += amt
+	muB.Unlock()
+	muA.Unlock()
+}
+
+func transferBA(amt int) {
+	muB.Lock()
+	muA.Lock()
+	b -= amt
+	a += amt
+	muA.Unlock()
+	muB.Unlock()
+}
+
+// Main is the entry point the rewriter instruments.
+func Main() {
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		transferAB(10)
+		wg.Done()
+	}()
+	go func() {
+		transferBA(10)
+		wg.Done()
+	}()
+	wg.Wait()
+	if a+b != 200 {
+		panic("conservation violated")
+	}
+}

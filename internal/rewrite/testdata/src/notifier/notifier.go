@@ -1,0 +1,37 @@
+// Package notifier signals a condition variable that may have no
+// waiter yet: a signal with nobody waiting is lost, and the waiter
+// that arrives afterwards sleeps forever.
+//
+//mtbench:kind notify
+//mtbench:synopsis signal with no waiter is lost; the late waiter sleeps forever
+//mtbench:bugvars done
+//mtbench:doc The producer takes mu, publishes sent and signals done.
+//mtbench:doc Main waits on done without re-checking state first: if the
+//mtbench:doc producer's signal fired before Main reached Wait, the
+//mtbench:doc wakeup is lost and Main blocks forever (lost-notify
+//mtbench:doc deadlock). Schedules where Main waits first pass.
+package notifier
+
+import "sync"
+
+var (
+	mu   sync.Mutex
+	done = sync.NewCond(&mu)
+	sent int
+)
+
+// Main is the entry point the rewriter instruments.
+func Main() {
+	go func() {
+		mu.Lock()
+		sent = 1
+		done.Signal()
+		mu.Unlock()
+	}()
+	mu.Lock()
+	done.Wait()
+	if sent != 1 {
+		panic("woke without payload")
+	}
+	mu.Unlock()
+}

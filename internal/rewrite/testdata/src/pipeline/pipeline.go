@@ -1,0 +1,48 @@
+// Package pipeline squares numbers through a two-stage channel
+// pipeline and shuts the drainer down over a quit channel that races
+// the drain: depending on the schedule the program loses work or
+// deadlocks on the quit handshake.
+//
+//mtbench:kind order-violation
+//mtbench:synopsis quit message races the pipeline drain (lost work or stuck quit)
+//mtbench:bugvars sum
+//mtbench:doc The squarer ranges over work and closes out; the drainer
+//mtbench:doc selects between out and quit. Main sends quit as soon as
+//mtbench:doc it has queued the work: if the drainer takes quit while
+//mtbench:doc out still holds elements, sum comes up short; if the
+//mtbench:doc drainer exits on the closed out channel first, nobody
+//mtbench:doc ever receives quit and Main blocks forever.
+package pipeline
+
+func Main() {
+	work := make(chan int, 2)
+	out := make(chan int, 2)
+	quit := make(chan int)
+	sum := 0
+	go func() {
+		for v := range work {
+			out <- v * v
+		}
+		close(out)
+	}()
+	go func() {
+		for {
+			select {
+			case v, ok := <-out:
+				if !ok {
+					return
+				}
+				sum += v
+			case <-quit:
+				return
+			}
+		}
+	}()
+	work <- 2
+	work <- 3
+	close(work)
+	quit <- 0
+	if sum != 13 {
+		panic("partial sum")
+	}
+}

@@ -1,0 +1,886 @@
+package rewrite
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+)
+
+// ---------------------------------------------------------------------------
+// Small AST constructors. All generated nodes are position-free; the
+// emitter runs the whole file through format.Source afterwards.
+
+func id(name string) *ast.Ident { return ast.NewIdent(name) }
+
+func tArg() ast.Expr { return id("_t") }
+
+func sel(x ast.Expr, name string) *ast.SelectorExpr {
+	return &ast.SelectorExpr{X: x, Sel: id(name)}
+}
+
+func call(fun ast.Expr, args ...ast.Expr) *ast.CallExpr {
+	return &ast.CallExpr{Fun: fun, Args: args}
+}
+
+func strLit(s string) *ast.BasicLit {
+	return &ast.BasicLit{Kind: token.STRING, Value: strconv.Quote(s)}
+}
+
+func intLit(n int) *ast.BasicLit {
+	return &ast.BasicLit{Kind: token.INT, Value: strconv.Itoa(n)}
+}
+
+func exprStmt(e ast.Expr) ast.Stmt { return &ast.ExprStmt{X: e} }
+
+// coreT is the `func(_t core.T)` type used by generated thread bodies.
+func coreT() *ast.FuncType {
+	return &ast.FuncType{Params: &ast.FieldList{List: []*ast.Field{
+		{Names: []*ast.Ident{id("_t")}, Type: sel(id("core"), "T")},
+	}}}
+}
+
+// generic instantiates a generic helper: _recv[T].
+func generic(fn, typ string) ast.Expr {
+	return &ast.IndexExpr{X: id(fn), Index: id(typ)}
+}
+
+// ---------------------------------------------------------------------------
+// Object resolution.
+
+// lookupObj maps an expression to the instrumented object it names, if
+// any: a bare identifier, or &x over one.
+func (r *rewriter) lookupObj(e ast.Expr) *object {
+	switch x := e.(type) {
+	case *ast.Ident:
+		if use := r.info.Uses[x]; use != nil {
+			return r.objects[use]
+		}
+		if def := r.info.Defs[x]; def != nil {
+			return r.objects[def]
+		}
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return r.lookupObj(x.X)
+		}
+	case *ast.ParenExpr:
+		return r.lookupObj(x.X)
+	}
+	return nil
+}
+
+// objExpr is the generated reference to an instrumented object.
+func objExpr(o *object) ast.Expr {
+	if o.pkgLevel {
+		return sel(id("_s"), o.goName)
+	}
+	return id(o.goName)
+}
+
+// chanElem returns the element type of a channel-typed expression.
+func (r *rewriter) chanElem(e ast.Expr) string {
+	if o := r.lookupObj(e); o != nil && o.kind == objChan {
+		return o.elem
+	}
+	if tv, ok := r.info.Types[e]; ok {
+		if ch, ok := tv.Type.Underlying().(*types.Chan); ok {
+			return r.typeStr(ch.Elem())
+		}
+	}
+	return ""
+}
+
+// chanExpr rewrites an expression that must denote a channel object.
+func (r *rewriter) chanExpr(e ast.Expr) ast.Expr {
+	o := r.lookupObj(e)
+	if o == nil || o.kind != objChan {
+		r.errf(e.Pos(), "channel expression must name a channel variable")
+		return e
+	}
+	return objExpr(o)
+}
+
+// intStoreVal wraps a stored value in int64(...) when needed.
+func (r *rewriter) intStoreVal(o *object, e ast.Expr) ast.Expr {
+	if o.intKind == types.Int64 {
+		return e
+	}
+	if _, isLit := e.(*ast.BasicLit); isLit {
+		return e
+	}
+	return call(id("int64"), e)
+}
+
+// loadExpr reads an instrumented data object.
+func (r *rewriter) loadExpr(o *object) ast.Expr {
+	load := call(sel(objExpr(o), "Load"), tArg())
+	switch o.kind {
+	case objInt:
+		if o.intKind == types.Int {
+			return call(id("int"), load)
+		}
+		return load
+	case objRef:
+		return &ast.TypeAssertExpr{X: load, Type: id(o.refType)}
+	}
+	return load
+}
+
+// storeStmt writes an instrumented data object.
+func (r *rewriter) storeStmt(o *object, val ast.Expr) ast.Stmt {
+	if o.kind == objInt {
+		val = r.intStoreVal(o, val)
+	}
+	return exprStmt(call(sel(objExpr(o), "Store"), tArg(), val))
+}
+
+// objMethods lists the translatable methods per kind.
+var objMethods = map[objKind]map[string]bool{
+	objMutex: {"Lock": true, "Unlock": true, "TryLock": true},
+	objRW:    {"Lock": true, "Unlock": true, "RLock": true, "RUnlock": true},
+	objWG:    {"Add": true, "Done": true, "Wait": true},
+	objCond:  {"Wait": true, "Signal": true, "Broadcast": true},
+	objChan:  {"Send": true, "Recv": true, "Close": true},
+}
+
+// ---------------------------------------------------------------------------
+// Expression rewriting.
+
+func (r *rewriter) rxList(es []ast.Expr) []ast.Expr {
+	out := make([]ast.Expr, len(es))
+	for i, e := range es {
+		out[i] = r.rx(e)
+	}
+	return out
+}
+
+// rx rewrites an expression for the instrumented package.
+func (r *rewriter) rx(e ast.Expr) ast.Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *ast.Ident:
+		if o := r.lookupObj(x); o != nil {
+			if o.isData() {
+				return r.loadExpr(o)
+			}
+			return objExpr(o)
+		}
+		if use := r.info.Uses[x]; use != nil {
+			if fn, ok := use.(*types.Func); ok && fn.Pkg() == r.pkg {
+				r.errf(x.Pos(), "package function %s used as a value is unsupported", x.Name)
+			}
+		}
+		return id(x.Name)
+	case *ast.BasicLit:
+		return x
+	case *ast.ParenExpr:
+		return &ast.ParenExpr{X: r.rx(x.X)}
+	case *ast.UnaryExpr:
+		if x.Op == token.ARROW {
+			elem := r.chanElem(x.X)
+			r.needRecv1 = true
+			return call(generic("_recv1", elem), tArg(), r.chanExpr(x.X))
+		}
+		if x.Op == token.AND {
+			if o := r.lookupObj(x.X); o != nil && !o.isData() {
+				return objExpr(o) // core objects are already references
+			}
+			if o := r.lookupObj(x.X); o != nil {
+				r.errf(x.Pos(), "taking the address of instrumented variable %s is unsupported", o.goName)
+				return x
+			}
+		}
+		return &ast.UnaryExpr{Op: x.Op, X: r.rx(x.X)}
+	case *ast.BinaryExpr:
+		return &ast.BinaryExpr{X: r.rx(x.X), Op: x.Op, Y: r.rx(x.Y)}
+	case *ast.CallExpr:
+		return r.rxCall(x)
+	case *ast.FuncLit:
+		return r.rxFuncLit(x)
+	case *ast.IndexExpr:
+		return &ast.IndexExpr{X: r.rx(x.X), Index: r.rx(x.Index)}
+	case *ast.SliceExpr:
+		return &ast.SliceExpr{X: r.rx(x.X), Low: r.rx(x.Low), High: r.rx(x.High), Max: r.rx(x.Max), Slice3: x.Slice3}
+	case *ast.SelectorExpr:
+		return &ast.SelectorExpr{X: r.rx(x.X), Sel: id(x.Sel.Name)}
+	case *ast.StarExpr:
+		return &ast.StarExpr{X: r.rx(x.X)}
+	case *ast.CompositeLit:
+		return &ast.CompositeLit{Type: x.Type, Elts: r.rxList(x.Elts)}
+	case *ast.KeyValueExpr:
+		return &ast.KeyValueExpr{Key: x.Key, Value: r.rx(x.Value)}
+	case *ast.TypeAssertExpr:
+		return &ast.TypeAssertExpr{X: r.rx(x.X), Type: x.Type}
+	case *ast.ArrayType, *ast.MapType, *ast.StructType, *ast.FuncType, *ast.InterfaceType:
+		return e
+	}
+	// Fallback: leave the node, but refuse if an instrumented variable
+	// hides inside it.
+	ast.Inspect(e, func(n ast.Node) bool {
+		if ident, ok := n.(*ast.Ident); ok {
+			if o := r.lookupObj(ident); o != nil {
+				r.errf(ident.Pos(), "instrumented variable %s in unsupported expression", o.goName)
+			}
+		}
+		return true
+	})
+	return e
+}
+
+// rxCall rewrites a call expression.
+func (r *rewriter) rxCall(x *ast.CallExpr) ast.Expr {
+	switch fun := x.Fun.(type) {
+	case *ast.Ident:
+		switch use := r.info.Uses[fun].(type) {
+		case *types.Builtin:
+			switch fun.Name {
+			case "close", "panic":
+				r.errf(x.Pos(), "%s is only supported in statement position", fun.Name)
+				return x
+			case "make":
+				r.errf(x.Pos(), "channels must be created at a declaration site (x := make(chan T))")
+				return x
+			case "len", "cap":
+				if r.lookupObj(x.Args[0]) != nil {
+					r.errf(x.Pos(), "%s over an instrumented object is unsupported", fun.Name)
+					return x
+				}
+			}
+			return call(id(fun.Name), r.rxList(x.Args)...)
+		case *types.TypeName:
+			return call(id(fun.Name), r.rxList(x.Args)...)
+		case *types.Func:
+			if use.Pkg() == r.pkg {
+				args := append([]ast.Expr{tArg()}, r.rxList(x.Args)...)
+				return call(sel(id("_s"), fun.Name), args...)
+			}
+			r.errf(x.Pos(), "call to external function %s is unsupported", fun.Name)
+			return x
+		default:
+			// Local closure variable: the literal was rewritten where
+			// it was built; the call stays a plain Go call.
+			return call(id(fun.Name), r.rxList(x.Args)...)
+		}
+	case *ast.SelectorExpr:
+		if base, ok := fun.X.(*ast.Ident); ok {
+			if o := r.lookupObj(base); o != nil {
+				return r.rxMethod(x, o, fun.Sel.Name)
+			}
+			if base.Name == "sync" {
+				r.errf(x.Pos(), "sync.%s is only supported at a declaration site", fun.Sel.Name)
+				return x
+			}
+		}
+		return call(&ast.SelectorExpr{X: r.rx(fun.X), Sel: id(fun.Sel.Name)}, r.rxList(x.Args)...)
+	case *ast.FuncLit:
+		return call(r.rxFuncLit(fun), r.rxList(x.Args)...)
+	}
+	r.errf(x.Pos(), "unsupported call form")
+	return x
+}
+
+// rxMethod rewrites obj.Method(args) into the core API shape.
+func (r *rewriter) rxMethod(x *ast.CallExpr, o *object, name string) ast.Expr {
+	if !objMethods[o.kind][name] {
+		r.errf(x.Pos(), "method %s is not supported on %s", name, o.goName)
+		return x
+	}
+	args := append([]ast.Expr{tArg()}, r.rxList(x.Args)...)
+	return call(sel(objExpr(o), name), args...)
+}
+
+// rxFuncLit rewrites a function literal's body (params stay plain Go;
+// sync/chan-typed literal params are rejected).
+func (r *rewriter) rxFuncLit(x *ast.FuncLit) *ast.FuncLit {
+	if x.Type.Params != nil {
+		for _, field := range x.Type.Params.List {
+			for _, name := range field.Names {
+				if def := r.info.Defs[name]; def != nil {
+					if _, ok := syncKind(def.Type()); ok {
+						r.errf(name.Pos(), "sync-typed literal parameter %s is unsupported", name.Name)
+					}
+					if _, ok := def.Type().(*types.Chan); ok {
+						r.errf(name.Pos(), "channel-typed literal parameter %s is unsupported", name.Name)
+					}
+				}
+			}
+		}
+	}
+	return &ast.FuncLit{Type: x.Type, Body: r.rsBlock(x.Body)}
+}
+
+// ---------------------------------------------------------------------------
+// Statement rewriting.
+
+func (r *rewriter) rsBlock(b *ast.BlockStmt) *ast.BlockStmt {
+	if b == nil {
+		return nil
+	}
+	return &ast.BlockStmt{List: r.rsList(b.List)}
+}
+
+func (r *rewriter) rsList(stmts []ast.Stmt) []ast.Stmt {
+	var out []ast.Stmt
+	for _, s := range stmts {
+		out = append(out, r.rs(s)...)
+	}
+	return out
+}
+
+// rsOne rewrites a statement that must stay a single statement
+// (if/for/switch init positions), wrapping expansions in a block where
+// the caller allows it via the surrounding rewrite.
+func (r *rewriter) rsOne(s ast.Stmt) (ast.Stmt, []ast.Stmt) {
+	if s == nil {
+		return nil, nil
+	}
+	stmts := r.rs(s)
+	if len(stmts) == 1 {
+		return stmts[0], nil
+	}
+	return nil, stmts
+}
+
+// rs rewrites one statement into its instrumented form.
+func (r *rewriter) rs(s ast.Stmt) []ast.Stmt {
+	switch x := s.(type) {
+	case *ast.ExprStmt:
+		return []ast.Stmt{r.rsExprStmt(x)}
+	case *ast.SendStmt:
+		return []ast.Stmt{exprStmt(call(sel(r.chanExpr(x.Chan), "Send"), tArg(), r.rx(x.Value)))}
+	case *ast.IncDecStmt:
+		if o := r.lookupObj(x.X); o != nil {
+			if o.kind != objInt {
+				r.errf(x.Pos(), "%s on non-integer instrumented variable", x.Tok)
+				return []ast.Stmt{x}
+			}
+			delta := intLit(1)
+			if x.Tok == token.DEC {
+				return []ast.Stmt{exprStmt(call(sel(objExpr(o), "Add"), tArg(), &ast.UnaryExpr{Op: token.SUB, X: delta}))}
+			}
+			return []ast.Stmt{exprStmt(call(sel(objExpr(o), "Add"), tArg(), delta))}
+		}
+		return []ast.Stmt{&ast.IncDecStmt{X: r.rx(x.X), Tok: x.Tok}}
+	case *ast.AssignStmt:
+		return r.rsAssign(x)
+	case *ast.DeclStmt:
+		return r.rsDecl(x)
+	case *ast.GoStmt:
+		return r.rsGo(x)
+	case *ast.DeferStmt:
+		return r.rsDefer(x)
+	case *ast.ReturnStmt:
+		return []ast.Stmt{&ast.ReturnStmt{Results: r.rxList(x.Results)}}
+	case *ast.IfStmt:
+		return r.rsIf(x)
+	case *ast.ForStmt:
+		return r.rsFor(x)
+	case *ast.RangeStmt:
+		return r.rsRange(x)
+	case *ast.SelectStmt:
+		return r.rsSelect(x)
+	case *ast.SwitchStmt:
+		return r.rsSwitch(x)
+	case *ast.BlockStmt:
+		return []ast.Stmt{r.rsBlock(x)}
+	case *ast.BranchStmt, *ast.EmptyStmt:
+		return []ast.Stmt{s}
+	case *ast.LabeledStmt:
+		inner, expanded := r.rsOne(x.Stmt)
+		if inner == nil {
+			inner = &ast.BlockStmt{List: expanded}
+		}
+		return []ast.Stmt{&ast.LabeledStmt{Label: id(x.Label.Name), Stmt: inner}}
+	}
+	r.errf(s.Pos(), "unsupported statement")
+	return []ast.Stmt{s}
+}
+
+// rsExprStmt handles statement-position calls: panic and close get
+// special translations.
+func (r *rewriter) rsExprStmt(x *ast.ExprStmt) ast.Stmt {
+	if c, ok := x.X.(*ast.CallExpr); ok {
+		if fn, ok := c.Fun.(*ast.Ident); ok {
+			if _, isBuiltin := r.info.Uses[fn].(*types.Builtin); isBuiltin {
+				switch fn.Name {
+				case "panic":
+					// A panic is the program's bug oracle: report it as
+					// a controlled failure instead of unwinding.
+					args := append([]ast.Expr{strLit("panic: %v")}, r.rxList(c.Args)...)
+					return exprStmt(call(sel(tArg(), "Failf"), args...))
+				case "close":
+					return exprStmt(call(sel(r.chanExpr(c.Args[0]), "Close"), tArg()))
+				}
+			}
+		}
+	}
+	return exprStmt(r.rx(x.X))
+}
+
+// rsDefer rewrites the deferred call through the expression rules.
+func (r *rewriter) rsDefer(x *ast.DeferStmt) []ast.Stmt {
+	rewritten := r.rsExprStmt(&ast.ExprStmt{X: x.Call})
+	es, ok := rewritten.(*ast.ExprStmt)
+	if !ok {
+		r.errf(x.Pos(), "unsupported defer")
+		return []ast.Stmt{x}
+	}
+	c, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		r.errf(x.Pos(), "unsupported defer")
+		return []ast.Stmt{x}
+	}
+	return []ast.Stmt{&ast.DeferStmt{Call: c}}
+}
+
+// creationStmts emits the statements that create a local instrumented
+// object, consuming its declaration site.
+func (r *rewriter) creationStmts(o *object, lhs *ast.Ident, init ast.Expr) []ast.Stmt {
+	define := func(rhs ast.Expr) ast.Stmt {
+		return &ast.AssignStmt{Lhs: []ast.Expr{id(lhs.Name)}, Tok: token.DEFINE, Rhs: []ast.Expr{rhs}}
+	}
+	switch o.kind {
+	case objMutex:
+		return []ast.Stmt{define(call(sel(tArg(), "NewMutex"), strLit(o.objName)))}
+	case objRW:
+		return []ast.Stmt{define(call(sel(tArg(), "NewRWMutex"), strLit(o.objName)))}
+	case objWG:
+		return []ast.Stmt{define(call(sel(tArg(), "NewWaitGroup"), strLit(o.objName)))}
+	case objCond:
+		mu := r.objects[o.condMu]
+		if mu == nil {
+			r.errf(lhs.Pos(), "%s: condition variable over an uninstrumented mutex", o.goName)
+			return nil
+		}
+		return []ast.Stmt{define(call(sel(tArg(), "NewCond"), strLit(o.objName), objExpr(mu)))}
+	case objChan:
+		capExpr := ast.Expr(intLit(0))
+		if o.capExpr != nil {
+			capExpr = r.rx(o.capExpr)
+		}
+		return []ast.Stmt{define(call(sel(tArg(), "NewChan"), strLit(o.objName), capExpr))}
+	case objInt:
+		initVal := ast.Expr(intLit(0))
+		if init != nil {
+			initVal = r.intStoreVal(o, r.rx(init))
+		}
+		return []ast.Stmt{define(call(sel(tArg(), "NewInt"), strLit(o.objName), initVal))}
+	case objRef:
+		stmts := []ast.Stmt{define(call(sel(tArg(), "NewRef"), strLit(o.objName)))}
+		if init != nil {
+			stmts = append(stmts, exprStmt(call(sel(id(lhs.Name), "Store"), tArg(), r.rx(init))))
+		}
+		return stmts
+	}
+	return nil
+}
+
+// rsAssign rewrites assignments: creation sites, channel receives,
+// stores into instrumented variables, and plain assignments.
+func (r *rewriter) rsAssign(x *ast.AssignStmt) []ast.Stmt {
+	// Creation site for an instrumented local?
+	if x.Tok == token.DEFINE && len(x.Lhs) == 1 && len(x.Rhs) == 1 {
+		if lhs, ok := x.Lhs[0].(*ast.Ident); ok {
+			if def := r.info.Defs[lhs]; def != nil {
+				if o := r.objects[def]; o != nil {
+					return r.creationStmts(o, lhs, x.Rhs[0])
+				}
+			}
+		}
+	}
+	// Channel receive on the right?
+	if len(x.Rhs) == 1 {
+		if un, ok := x.Rhs[0].(*ast.UnaryExpr); ok && un.Op == token.ARROW {
+			return r.rsRecvAssign(x, un)
+		}
+	}
+	// Store into an instrumented variable?
+	if len(x.Lhs) == 1 && len(x.Rhs) == 1 && x.Tok != token.DEFINE {
+		if o := r.lookupObj(x.Lhs[0]); o != nil {
+			return r.rsStore(x, o)
+		}
+	}
+	// Plain assignment: instrumented variables may not appear on the
+	// left of multi-assignments.
+	for _, l := range x.Lhs {
+		if o := r.lookupObj(l); o != nil && x.Tok != token.DEFINE {
+			r.errf(x.Pos(), "instrumented variable %s in a multi-assignment is unsupported", o.goName)
+			return []ast.Stmt{x}
+		}
+	}
+	lhs := make([]ast.Expr, len(x.Lhs))
+	for i, l := range x.Lhs {
+		if ident, ok := l.(*ast.Ident); ok {
+			lhs[i] = id(ident.Name)
+		} else {
+			lhs[i] = r.rx(l)
+		}
+	}
+	return []ast.Stmt{&ast.AssignStmt{Lhs: lhs, Tok: x.Tok, Rhs: r.rxList(x.Rhs)}}
+}
+
+// rsStore handles `x = E`, `x += E`, `x -= E` on instrumented data.
+func (r *rewriter) rsStore(x *ast.AssignStmt, o *object) []ast.Stmt {
+	val := r.rx(x.Rhs[0])
+	switch x.Tok {
+	case token.ASSIGN:
+		return []ast.Stmt{r.storeStmt(o, val)}
+	case token.ADD_ASSIGN, token.SUB_ASSIGN:
+		if o.kind != objInt {
+			r.errf(x.Pos(), "%s on non-integer instrumented variable %s", x.Tok, o.goName)
+			return []ast.Stmt{x}
+		}
+		val = r.intStoreVal(o, val)
+		if x.Tok == token.SUB_ASSIGN {
+			val = &ast.UnaryExpr{Op: token.SUB, X: val}
+		}
+		return []ast.Stmt{exprStmt(call(sel(objExpr(o), "Add"), tArg(), val))}
+	}
+	r.errf(x.Pos(), "%s on instrumented variable %s is unsupported", x.Tok, o.goName)
+	return []ast.Stmt{x}
+}
+
+// rsRecvAssign handles `v := <-ch`, `v, ok := <-ch` and their `=`
+// forms.
+func (r *rewriter) rsRecvAssign(x *ast.AssignStmt, un *ast.UnaryExpr) []ast.Stmt {
+	elem := r.chanElem(un.X)
+	ch := r.chanExpr(un.X)
+	switch len(x.Lhs) {
+	case 1:
+		r.needRecv1 = true
+		rhs := call(generic("_recv1", elem), tArg(), ch)
+		if x.Tok == token.ASSIGN {
+			if o := r.lookupObj(x.Lhs[0]); o != nil {
+				return []ast.Stmt{r.storeStmt(o, rhs)}
+			}
+		}
+		return []ast.Stmt{&ast.AssignStmt{Lhs: []ast.Expr{r.plainLHS(x.Lhs[0])}, Tok: x.Tok, Rhs: []ast.Expr{rhs}}}
+	case 2:
+		for _, l := range x.Lhs {
+			if o := r.lookupObj(l); o != nil {
+				r.errf(x.Pos(), "instrumented variable %s in a comma-ok receive is unsupported", o.goName)
+				return []ast.Stmt{x}
+			}
+		}
+		r.needRecv = true
+		rhs := call(generic("_recv", elem), tArg(), ch)
+		return []ast.Stmt{&ast.AssignStmt{
+			Lhs: []ast.Expr{r.plainLHS(x.Lhs[0]), r.plainLHS(x.Lhs[1])},
+			Tok: x.Tok,
+			Rhs: []ast.Expr{rhs},
+		}}
+	}
+	r.errf(x.Pos(), "unsupported receive assignment")
+	return []ast.Stmt{x}
+}
+
+func (r *rewriter) plainLHS(e ast.Expr) ast.Expr {
+	if ident, ok := e.(*ast.Ident); ok {
+		return id(ident.Name)
+	}
+	return r.rx(e)
+}
+
+// rsDecl rewrites `var ...` statements. Instrumented names become
+// creation statements; plain names keep their declaration.
+func (r *rewriter) rsDecl(x *ast.DeclStmt) []ast.Stmt {
+	gd, ok := x.Decl.(*ast.GenDecl)
+	if !ok || gd.Tok == token.TYPE {
+		r.errf(x.Pos(), "unsupported declaration statement")
+		return []ast.Stmt{x}
+	}
+	if gd.Tok == token.CONST {
+		return []ast.Stmt{x}
+	}
+	var out []ast.Stmt
+	var plain []ast.Spec
+	for _, spec := range gd.Specs {
+		vs := spec.(*ast.ValueSpec)
+		instrumented := false
+		for _, name := range vs.Names {
+			if def := r.info.Defs[name]; def != nil && r.objects[def] != nil {
+				instrumented = true
+			}
+		}
+		if !instrumented {
+			vals := r.rxList(vs.Values)
+			plain = append(plain, &ast.ValueSpec{Names: vs.Names, Type: vs.Type, Values: vals})
+			continue
+		}
+		if len(vs.Names) != 1 {
+			r.errf(vs.Pos(), "declare instrumented variables one per statement")
+			continue
+		}
+		name := vs.Names[0]
+		o := r.objects[r.info.Defs[name]]
+		var init ast.Expr
+		if len(vs.Values) == 1 {
+			init = vs.Values[0]
+		}
+		out = append(out, r.creationStmts(o, name, init)...)
+	}
+	if len(plain) > 0 {
+		out = append(out, &ast.DeclStmt{Decl: &ast.GenDecl{Tok: token.VAR, Specs: plain}})
+	}
+	return out
+}
+
+// rsGo rewrites `go f(...)` / `go func(){...}()` into _t.Go with a
+// deterministic thread name.
+func (r *rewriter) rsGo(x *ast.GoStmt) []ast.Stmt {
+	var name string
+	var body []ast.Stmt
+	switch fun := x.Call.Fun.(type) {
+	case *ast.FuncLit:
+		r.goCount++
+		name = "g" + strconv.Itoa(r.goCount)
+		if len(x.Call.Args) == 0 && len(fun.Type.Params.List) == 0 {
+			body = r.rsBlock(fun.Body).List
+		} else {
+			// Keep the argument-passing semantics by invoking the
+			// rewritten literal inside the thread body. NOTE: unlike a
+			// real go statement, the arguments are evaluated when the
+			// thread runs, not at spawn; the rewriter accepts only
+			// effect-free argument expressions elsewhere, so the
+			// difference is not observable for the supported subset.
+			inner := call(r.rxFuncLit(fun), r.rxList(x.Call.Args)...)
+			body = []ast.Stmt{exprStmt(inner)}
+		}
+	case *ast.Ident:
+		use, ok := r.info.Uses[fun].(*types.Func)
+		if !ok || use.Pkg() != r.pkg {
+			r.errf(x.Pos(), "go statement target must be a package function or literal")
+			return []ast.Stmt{x}
+		}
+		name = fun.Name
+		args := append([]ast.Expr{tArg()}, r.rxList(x.Call.Args)...)
+		body = []ast.Stmt{exprStmt(call(sel(id("_s"), fun.Name), args...))}
+	default:
+		r.errf(x.Pos(), "go statement target must be a package function or literal")
+		return []ast.Stmt{x}
+	}
+	thread := &ast.FuncLit{Type: coreT(), Body: &ast.BlockStmt{List: body}}
+	return []ast.Stmt{exprStmt(call(sel(tArg(), "Go"), strLit(name), thread))}
+}
+
+// rsIf rewrites an if statement; an init statement that expands to
+// multiple statements hoists into a wrapping block.
+func (r *rewriter) rsIf(x *ast.IfStmt) []ast.Stmt {
+	init, hoisted := r.rsOne(x.Init)
+	out := &ast.IfStmt{Init: init, Cond: r.rx(x.Cond), Body: r.rsBlock(x.Body)}
+	if x.Else != nil {
+		elseStmt, expanded := r.rsOne(x.Else)
+		if elseStmt == nil {
+			elseStmt = &ast.BlockStmt{List: expanded}
+		}
+		out.Else = elseStmt
+	}
+	if hoisted != nil {
+		return []ast.Stmt{&ast.BlockStmt{List: append(hoisted, out)}}
+	}
+	return []ast.Stmt{out}
+}
+
+func (r *rewriter) rsFor(x *ast.ForStmt) []ast.Stmt {
+	init, hoisted := r.rsOne(x.Init)
+	post, postHoisted := r.rsOne(x.Post)
+	if postHoisted != nil {
+		r.errf(x.Pos(), "for post statement expands to multiple statements (unsupported)")
+		return []ast.Stmt{x}
+	}
+	out := &ast.ForStmt{Init: init, Cond: r.rx(x.Cond), Post: post, Body: r.rsBlock(x.Body)}
+	if hoisted != nil {
+		return []ast.Stmt{&ast.BlockStmt{List: append(hoisted, out)}}
+	}
+	return []ast.Stmt{out}
+}
+
+// rsRange desugars `for v := range ch` into an explicit receive loop;
+// non-channel ranges pass through.
+func (r *rewriter) rsRange(x *ast.RangeStmt) []ast.Stmt {
+	tv, ok := r.info.Types[x.X]
+	if !ok {
+		r.errf(x.Pos(), "cannot type range expression")
+		return []ast.Stmt{x}
+	}
+	if _, isChan := tv.Type.Underlying().(*types.Chan); !isChan {
+		return []ast.Stmt{&ast.RangeStmt{
+			Key: x.Key, Value: x.Value, Tok: x.Tok,
+			X: r.rx(x.X), Body: r.rsBlock(x.Body),
+		}}
+	}
+	if x.Tok == token.ASSIGN {
+		r.errf(x.Pos(), "range over a channel with = is unsupported (use :=)")
+		return []ast.Stmt{x}
+	}
+	keyName := "_"
+	if ident, ok := x.Key.(*ast.Ident); ok {
+		keyName = ident.Name
+	}
+	r.needRecv = true
+	recv := call(generic("_recv", r.chanElem(x.X)), tArg(), r.chanExpr(x.X))
+	loopBody := []ast.Stmt{
+		&ast.AssignStmt{
+			Lhs: []ast.Expr{id(keyName), id("_ok")},
+			Tok: token.DEFINE,
+			Rhs: []ast.Expr{recv},
+		},
+		&ast.IfStmt{
+			Cond: &ast.UnaryExpr{Op: token.NOT, X: id("_ok")},
+			Body: &ast.BlockStmt{List: []ast.Stmt{&ast.BranchStmt{Tok: token.BREAK}}},
+		},
+	}
+	loopBody = append(loopBody, r.rsBlock(x.Body).List...)
+	return []ast.Stmt{&ast.ForStmt{Body: &ast.BlockStmt{List: loopBody}}}
+}
+
+// rsSelect desugars a select statement into _t.Select plus a switch
+// over the chosen case.
+func (r *rewriter) rsSelect(x *ast.SelectStmt) []ast.Stmt {
+	var cases []ast.Expr // core.SelectCase composite literals
+	var clauses []ast.Stmt
+	for i, raw := range x.Body.List {
+		cc := raw.(*ast.CommClause)
+		if cc.Comm == nil {
+			r.errf(cc.Pos(), "select with default is unsupported")
+			return []ast.Stmt{x}
+		}
+		var elts []ast.Expr
+		var binds []ast.Stmt
+		switch comm := cc.Comm.(type) {
+		case *ast.SendStmt:
+			elts = []ast.Expr{
+				&ast.KeyValueExpr{Key: id("Ch"), Value: r.chanExpr(comm.Chan)},
+				&ast.KeyValueExpr{Key: id("Send"), Value: id("true")},
+				&ast.KeyValueExpr{Key: id("Val"), Value: r.rx(comm.Value)},
+			}
+		case *ast.ExprStmt:
+			un, ok := comm.X.(*ast.UnaryExpr)
+			if !ok || un.Op != token.ARROW {
+				r.errf(cc.Pos(), "unsupported select case")
+				return []ast.Stmt{x}
+			}
+			elts = []ast.Expr{&ast.KeyValueExpr{Key: id("Ch"), Value: r.chanExpr(un.X)}}
+		case *ast.AssignStmt:
+			un, ok := comm.Rhs[0].(*ast.UnaryExpr)
+			if !ok || un.Op != token.ARROW {
+				r.errf(cc.Pos(), "unsupported select case")
+				return []ast.Stmt{x}
+			}
+			elts = []ast.Expr{&ast.KeyValueExpr{Key: id("Ch"), Value: r.chanExpr(un.X)}}
+			elem := r.chanElem(un.X)
+			r.needCast = true
+			castCall := call(generic("_cast", elem), id("_v"), id("_ok"))
+			lhs := []ast.Expr{r.plainLHS(comm.Lhs[0]), id("_")}
+			if len(comm.Lhs) == 2 {
+				lhs[1] = r.plainLHS(comm.Lhs[1])
+			}
+			binds = []ast.Stmt{&ast.AssignStmt{Lhs: lhs, Tok: comm.Tok, Rhs: []ast.Expr{castCall}}}
+		default:
+			r.errf(cc.Pos(), "unsupported select case")
+			return []ast.Stmt{x}
+		}
+		cases = append(cases, &ast.CompositeLit{Elts: elts})
+		clauses = append(clauses, &ast.CaseClause{
+			List: []ast.Expr{intLit(i)},
+			Body: append(binds, r.rsList(cc.Body)...),
+		})
+	}
+	caseList := &ast.CompositeLit{
+		Type: &ast.ArrayType{Elt: sel(id("core"), "SelectCase")},
+		Elts: cases,
+	}
+	pick := &ast.AssignStmt{
+		Lhs: []ast.Expr{id("_i"), id("_v"), id("_ok")},
+		Tok: token.DEFINE,
+		Rhs: []ast.Expr{call(sel(tArg(), "Select"), caseList)},
+	}
+	discard := &ast.AssignStmt{
+		Lhs: []ast.Expr{id("_"), id("_")},
+		Tok: token.ASSIGN,
+		Rhs: []ast.Expr{id("_v"), id("_ok")},
+	}
+	sw := &ast.SwitchStmt{Tag: id("_i"), Body: &ast.BlockStmt{List: clauses}}
+	return []ast.Stmt{&ast.BlockStmt{List: []ast.Stmt{pick, discard, sw}}}
+}
+
+func (r *rewriter) rsSwitch(x *ast.SwitchStmt) []ast.Stmt {
+	init, hoisted := r.rsOne(x.Init)
+	var clauses []ast.Stmt
+	for _, raw := range x.Body.List {
+		cc := raw.(*ast.CaseClause)
+		clauses = append(clauses, &ast.CaseClause{List: r.rxList(cc.List), Body: r.rsList(cc.Body)})
+	}
+	out := &ast.SwitchStmt{Init: init, Tag: r.rx(x.Tag), Body: &ast.BlockStmt{List: clauses}}
+	if hoisted != nil {
+		return []ast.Stmt{&ast.BlockStmt{List: append(hoisted, out)}}
+	}
+	return []ast.Stmt{out}
+}
+
+// ---------------------------------------------------------------------------
+// Function declarations.
+
+// methodDecl turns a top-level function into a progState method with a
+// leading core.T parameter.
+func (r *rewriter) methodDecl(fd *ast.FuncDecl) *ast.FuncDecl {
+	params := []*ast.Field{{Names: []*ast.Ident{id("_t")}, Type: sel(id("core"), "T")}}
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			params = append(params, &ast.Field{Names: field.Names, Type: r.paramType(field)})
+		}
+	}
+	if fd.Type.Results != nil {
+		for _, field := range fd.Type.Results.List {
+			if r.coreParamType(field.Type) != nil {
+				r.errf(field.Pos(), "sync/channel-typed results are unsupported")
+			}
+		}
+	}
+	return &ast.FuncDecl{
+		Recv: &ast.FieldList{List: []*ast.Field{{
+			Names: []*ast.Ident{id("_s")},
+			Type:  &ast.StarExpr{X: id("progState")},
+		}}},
+		Name: id(fd.Name.Name),
+		Type: &ast.FuncType{
+			Params:  &ast.FieldList{List: params},
+			Results: fd.Type.Results,
+		},
+		Body: r.rsBlock(fd.Body),
+	}
+}
+
+// paramType maps a parameter's type to its instrumented form.
+func (r *rewriter) paramType(field *ast.Field) ast.Expr {
+	if t := r.coreParamType(field.Type); t != nil {
+		return t
+	}
+	return field.Type
+}
+
+// coreParamType returns the core replacement for sync/chan types, or
+// nil when the type passes through untouched.
+func (r *rewriter) coreParamType(t ast.Expr) ast.Expr {
+	switch x := t.(type) {
+	case *ast.ChanType:
+		return sel(id("core"), "Chan")
+	case *ast.StarExpr:
+		return r.coreParamType(x.X)
+	case *ast.SelectorExpr:
+		if base, ok := x.X.(*ast.Ident); ok && base.Name == "sync" {
+			switch x.Sel.Name {
+			case "Mutex":
+				return sel(id("core"), "Mutex")
+			case "RWMutex":
+				return sel(id("core"), "RWMutex")
+			case "WaitGroup":
+				return sel(id("core"), "WaitGroup")
+			case "Cond":
+				return sel(id("core"), "Cond")
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,333 @@
+package sched
+
+import (
+	"mtbench/internal/core"
+)
+
+// waitgroup is the controlled runtime's sync.WaitGroup: a plain
+// counter, because only one virtual thread runs at a time. Waiters
+// block until the counter reaches zero; a negative counter is a
+// failing oracle, as in the standard library.
+type waitgroup struct {
+	id     core.ObjectID
+	name   string
+	nameID uint32
+	sc     *scheduler
+	count  int
+}
+
+func (w *waitgroup) OID() core.ObjectID { return w.id }
+
+// blockReady implements blockSrc: a waiter can run once the counter is
+// zero.
+func (w *waitgroup) blockReady(*blockReason) bool { return w.count == 0 }
+
+// blockHolder implements blockSrc; a waitgroup has no single holder,
+// so no wait-for edge is reported.
+func (w *waitgroup) blockHolder(*blockReason) core.ThreadID { return core.NoThread }
+
+func (w *waitgroup) Add(t core.T, delta int) {
+	th := w.sc.curThread(t)
+	loc, locID := w.sc.progLoc()
+	th.prePoint(core.OpWGAdd, w.name, w.nameID, loc)
+	w.add(th, delta, loc, locID)
+}
+
+func (w *waitgroup) Done(t core.T) {
+	th := w.sc.curThread(t)
+	loc, locID := w.sc.progLoc()
+	th.prePoint(core.OpWGAdd, w.name, w.nameID, loc)
+	w.add(th, -1, loc, locID)
+}
+
+func (w *waitgroup) add(th *thread, delta int, loc core.Location, locID uint32) {
+	w.count += delta
+	if w.count < 0 {
+		if loc.File == "" {
+			loc, locID = core.CallerLocationID(2)
+		}
+		msg := "negative counter on waitgroup " + w.name
+		w.sc.emit(th, core.OpFail, w.id, msg, 0, 0, 0, loc, locID)
+		core.FailNow(core.Failure{Msg: msg, Thread: th.id, Loc: loc})
+	}
+	w.sc.emit(th, core.OpWGAdd, w.id, w.name, w.nameID, int64(w.count), 0, loc, locID)
+}
+
+func (w *waitgroup) Wait(t core.T) {
+	th := w.sc.curThread(t)
+	loc, locID := w.sc.progLoc()
+	th.prePoint(core.OpWGWait, w.name, w.nameID, loc)
+	if w.count > 0 {
+		w.sc.emit(th, core.OpBlock, w.id, w.name, w.nameID, 0, 0, loc, locID)
+		for w.count > 0 {
+			th.blockOn(blockReason{kind: blockWG, obj: w.id, name: w.name, src: w})
+		}
+	}
+	w.sc.emit(th, core.OpWGWait, w.id, w.name, w.nameID, 0, 0, loc, locID)
+}
+
+// sendWaiter is one blocked sender's parked value. The receiver that
+// consumes it marks it taken and emits the send event on the sender's
+// behalf (so the trace shows send before receive, and release/acquire
+// edges point the right way); the sender removes its own entry when it
+// resumes.
+type sendWaiter struct {
+	tid   core.ThreadID
+	val   any
+	taken bool
+}
+
+// channel is the controlled runtime's Go channel: a bounded buffer
+// plus a queue of parked senders. A rendezvous channel (cap 0) is the
+// degenerate case where every send parks until a receiver takes the
+// value directly.
+type channel struct {
+	id     core.ObjectID
+	name   string
+	nameID uint32
+	sc     *scheduler
+	capn   int
+	buf    []any
+	closed bool
+	sendq  []sendWaiter
+}
+
+func (c *channel) OID() core.ObjectID { return c.id }
+func (c *channel) Cap() int           { return c.capn }
+
+// findSend returns the parked entry for tid, or nil.
+func (c *channel) findSend(tid core.ThreadID) *sendWaiter {
+	for i := range c.sendq {
+		if c.sendq[i].tid == tid {
+			return &c.sendq[i]
+		}
+	}
+	return nil
+}
+
+// anyUntaken reports whether a parked sender still holds an unconsumed
+// value.
+func (c *channel) anyUntaken() bool {
+	for i := range c.sendq {
+		if !c.sendq[i].taken {
+			return true
+		}
+	}
+	return false
+}
+
+// blockReady implements blockSrc for both directions: a parked sender
+// can run once its value was taken (or the channel closed under it — it
+// resumes to fail); a parked receiver once a value or a close is
+// available.
+func (c *channel) blockReady(r *blockReason) bool {
+	if r.kind == blockChanSend {
+		e := c.findSend(r.tid)
+		return e == nil || e.taken || c.closed
+	}
+	return len(c.buf) > 0 || c.anyUntaken() || c.closed
+}
+
+// blockHolder implements blockSrc; channels have no holder, so no
+// wait-for edge is reported.
+func (c *channel) blockHolder(*blockReason) core.ThreadID { return core.NoThread }
+
+func (c *channel) Send(t core.T, v any) {
+	th := c.sc.curThread(t)
+	loc, locID := c.sc.progLoc()
+	th.prePoint(core.OpChanSend, c.name, c.nameID, loc)
+	if c.closed {
+		c.failClosedSend(th, loc, locID)
+	}
+	if c.capn > 0 && len(c.buf) < c.capn {
+		c.buf = append(c.buf, v)
+		c.sc.emit(th, core.OpChanSend, c.id, c.name, c.nameID, int64(len(c.buf)), 0, loc, locID)
+		return
+	}
+	// Rendezvous, or the buffer is full: park the value and block until
+	// a receiver takes it (the receiver emits this send's event).
+	c.sendq = append(c.sendq, sendWaiter{tid: th.id, val: v})
+	c.sc.emit(th, core.OpBlock, c.id, c.name, c.nameID, 0, 0, loc, locID)
+	for {
+		e := c.findSend(th.id)
+		if e == nil || e.taken {
+			break
+		}
+		if c.closed {
+			c.removeSend(th.id)
+			c.failClosedSend(th, loc, locID)
+		}
+		th.blockOn(blockReason{kind: blockChanSend, obj: c.id, name: c.name, src: c, tid: th.id})
+	}
+	c.removeSend(th.id)
+}
+
+func (c *channel) failClosedSend(th *thread, loc core.Location, locID uint32) {
+	if loc.File == "" {
+		loc, locID = core.CallerLocationID(2)
+	}
+	msg := "send on closed channel " + c.name
+	c.sc.emit(th, core.OpFail, c.id, msg, 0, 0, 0, loc, locID)
+	core.FailNow(core.Failure{Msg: msg, Thread: th.id, Loc: loc})
+}
+
+func (c *channel) removeSend(tid core.ThreadID) {
+	for i := range c.sendq {
+		if c.sendq[i].tid == tid {
+			c.sendq = append(c.sendq[:i], c.sendq[i+1:]...)
+			return
+		}
+	}
+}
+
+func (c *channel) Recv(t core.T) (any, bool) {
+	th := c.sc.curThread(t)
+	loc, locID := c.sc.progLoc()
+	th.prePoint(core.OpChanRecv, c.name, c.nameID, loc)
+	for {
+		if v, ok, ready := c.tryRecv(th, loc, locID); ready {
+			return v, ok
+		}
+		c.sc.emit(th, core.OpBlock, c.id, c.name, c.nameID, 0, 0, loc, locID)
+		for !(len(c.buf) > 0 || c.anyUntaken() || c.closed) {
+			th.blockOn(blockReason{kind: blockChanRecv, obj: c.id, name: c.name, src: c, tid: th.id})
+		}
+	}
+}
+
+// tryRecv completes a receive if one is possible now, emitting the
+// receive event (and any parked sender's deferred send event). ready
+// is false when the receiver must block. Select's receive arms share
+// it.
+func (c *channel) tryRecv(th *thread, loc core.Location, locID uint32) (v any, ok, ready bool) {
+	if len(c.buf) > 0 {
+		v = c.buf[0]
+		copy(c.buf, c.buf[1:])
+		c.buf = c.buf[:len(c.buf)-1]
+		c.promoteSenders(loc, locID)
+		c.sc.emit(th, core.OpChanRecv, c.id, c.name, c.nameID, 1, 0, loc, locID)
+		return v, true, true
+	}
+	for i := range c.sendq {
+		if c.sendq[i].taken {
+			continue
+		}
+		e := &c.sendq[i]
+		e.taken = true
+		v = e.val
+		e.val = nil
+		if sender := c.sc.threadByID(e.tid); sender != nil {
+			c.sc.emit(sender, core.OpChanSend, c.id, c.name, c.nameID, 0, 0, loc, locID)
+		}
+		c.sc.emit(th, core.OpChanRecv, c.id, c.name, c.nameID, 1, 0, loc, locID)
+		return v, true, true
+	}
+	if c.closed {
+		c.sc.emit(th, core.OpChanRecv, c.id, c.name, c.nameID, 0, 0, loc, locID)
+		return nil, false, true
+	}
+	return nil, false, false
+}
+
+// promoteSenders refills freed buffer space from parked senders in
+// arrival order, emitting their deferred send events.
+func (c *channel) promoteSenders(loc core.Location, locID uint32) {
+	for i := range c.sendq {
+		if len(c.buf) >= c.capn {
+			return
+		}
+		if c.sendq[i].taken {
+			continue
+		}
+		e := &c.sendq[i]
+		e.taken = true
+		c.buf = append(c.buf, e.val)
+		e.val = nil
+		if sender := c.sc.threadByID(e.tid); sender != nil {
+			c.sc.emit(sender, core.OpChanSend, c.id, c.name, c.nameID, int64(len(c.buf)), 0, loc, locID)
+		}
+	}
+}
+
+func (c *channel) Close(t core.T) {
+	th := c.sc.curThread(t)
+	loc, locID := c.sc.progLoc()
+	th.prePoint(core.OpChanClose, c.name, c.nameID, loc)
+	if c.closed {
+		if loc.File == "" {
+			loc, locID = core.CallerLocationID(1)
+		}
+		msg := "close of closed channel " + c.name
+		c.sc.emit(th, core.OpFail, c.id, msg, 0, 0, 0, loc, locID)
+		core.FailNow(core.Failure{Msg: msg, Thread: th.id, Loc: loc})
+	}
+	c.closed = true
+	c.sc.emit(th, core.OpChanClose, c.id, c.name, c.nameID, int64(len(c.buf)), 0, loc, locID)
+}
+
+// selectWait is the blockSrc for a thread parked in Select: ready as
+// soon as any arm could proceed.
+type selectWait struct {
+	cases []core.SelectCase
+}
+
+func (sw *selectWait) blockReady(*blockReason) bool {
+	for _, sc := range sw.cases {
+		ch := sc.Ch.(*channel)
+		if sc.Send {
+			if ch.closed || (ch.capn > 0 && len(ch.buf) < ch.capn) {
+				return true
+			}
+		} else if len(ch.buf) > 0 || ch.anyUntaken() || ch.closed {
+			return true
+		}
+	}
+	return false
+}
+
+func (sw *selectWait) blockHolder(*blockReason) core.ThreadID { return core.NoThread }
+
+// Select blocks until one arm can proceed and executes the
+// lowest-index ready arm, so the schedule fully determines the choice.
+// Send arms on rendezvous channels and default arms are not supported
+// (see DESIGN.md, "The rewrite layer").
+func (c *tc) Select(cases []core.SelectCase) (int, any, bool) {
+	th, s := c.th, c.th.sc
+	loc, locID := s.progLoc()
+	if len(cases) == 0 {
+		c.Failf("select with no cases")
+	}
+	name := ""
+	for _, sc := range cases {
+		ch, ok := sc.Ch.(*channel)
+		if !ok || ch.sc != s {
+			panic("sched: Select case channel from a different runtime/run")
+		}
+		if name == "" {
+			name = ch.name
+		}
+		if sc.Send && ch.capn == 0 {
+			c.Failf("select send on rendezvous channel %s is not supported", ch.name)
+		}
+	}
+	th.prePoint(core.OpSelect, name, 0, loc)
+	sw := selectWait{cases: cases}
+	for {
+		for i, sc := range cases {
+			ch := sc.Ch.(*channel)
+			if sc.Send {
+				if ch.closed {
+					ch.failClosedSend(th, loc, locID)
+				}
+				if len(ch.buf) < ch.capn {
+					ch.buf = append(ch.buf, sc.Val)
+					s.emit(th, core.OpChanSend, ch.id, ch.name, ch.nameID, int64(len(ch.buf)), 0, loc, locID)
+					return i, nil, true
+				}
+			} else if v, ok, ready := ch.tryRecv(th, loc, locID); ready {
+				return i, v, ok
+			}
+		}
+		th.blockOn(blockReason{kind: blockSelect, name: name, src: &sw, tid: th.id})
+	}
+}

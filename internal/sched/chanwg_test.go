@@ -1,0 +1,284 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"mtbench/internal/core"
+)
+
+// TestWaitGroupBasics: Add/Done/Wait order a producer before the
+// waiter, and the counter value rides on the OpWGAdd events.
+func TestWaitGroupBasics(t *testing.T) {
+	res := Run(Config{}, func(ct core.T) {
+		wg := ct.NewWaitGroup("wg")
+		sum := ct.NewInt("sum", 0)
+		wg.Add(ct, 2)
+		for i := 0; i < 2; i++ {
+			ct.Go("worker", func(wt core.T) {
+				sum.Add(wt, 1)
+				wg.Done(wt)
+			})
+		}
+		wg.Wait(ct)
+		ct.Assert(sum.Load(ct) == 2, "sum = %d", sum.Load(ct))
+	})
+	if res.Verdict != core.VerdictPass {
+		t.Fatalf("verdict = %v (%v)", res.Verdict, res)
+	}
+}
+
+// TestWaitGroupNegative: driving the counter below zero fails the run.
+func TestWaitGroupNegative(t *testing.T) {
+	res := Run(Config{}, func(ct core.T) {
+		wg := ct.NewWaitGroup("wg")
+		wg.Done(ct)
+	})
+	if res.Verdict != core.VerdictFail {
+		t.Fatalf("verdict = %v, want fail (%v)", res.Verdict, res)
+	}
+	if !strings.Contains(res.Failure.Msg, "negative counter") {
+		t.Fatalf("failure = %q", res.Failure.Msg)
+	}
+}
+
+// TestWaitGroupDeadlock: waiting on a counter nobody decrements is a
+// deadlock with the waitgroup named in the report.
+func TestWaitGroupDeadlock(t *testing.T) {
+	res := Run(Config{}, func(ct core.T) {
+		wg := ct.NewWaitGroup("wg")
+		wg.Add(ct, 1)
+		wg.Wait(ct)
+	})
+	if res.Verdict != core.VerdictDeadlock {
+		t.Fatalf("verdict = %v (%v)", res.Verdict, res)
+	}
+	if !strings.Contains(res.DeadlockInfo, "waitgroup") {
+		t.Fatalf("deadlock info = %q", res.DeadlockInfo)
+	}
+}
+
+// TestChanRendezvous: an unbuffered channel hands values across
+// threads in order, and the trace shows the deferred send before its
+// receive.
+func TestChanRendezvous(t *testing.T) {
+	var ops []string
+	lis := &funcListener{fn: func(ev *core.Event) {
+		if ev.Op == core.OpChanSend || ev.Op == core.OpChanRecv {
+			ops = append(ops, ev.Op.String())
+		}
+	}}
+	res := Run(Config{Listeners: []core.Listener{lis}}, func(ct core.T) {
+		ch := ct.NewChan("ch", 0)
+		ct.Go("producer", func(wt core.T) {
+			for i := 0; i < 3; i++ {
+				ch.Send(wt, i)
+			}
+		})
+		for i := 0; i < 3; i++ {
+			v, ok := ch.Recv(ct)
+			ct.Assert(ok && v.(int) == i, "recv %d = %v,%v", i, v, ok)
+		}
+	})
+	if res.Verdict != core.VerdictPass {
+		t.Fatalf("verdict = %v (%v)", res.Verdict, res)
+	}
+	want := []string{"send", "recv", "send", "recv", "send", "recv"}
+	if strings.Join(ops, " ") != strings.Join(want, " ") {
+		t.Fatalf("op order = %v, want %v", ops, want)
+	}
+}
+
+// TestChanBuffered: sends up to the capacity complete without a
+// receiver; the next one blocks until space frees up.
+func TestChanBuffered(t *testing.T) {
+	res := Run(Config{}, func(ct core.T) {
+		ch := ct.NewChan("ch", 2)
+		ch.Send(ct, 1)
+		ch.Send(ct, 2)
+		h := ct.Go("third", func(wt core.T) {
+			ch.Send(wt, 3) // blocks: buffer full
+		})
+		v, ok := ch.Recv(ct)
+		ct.Assert(ok && v.(int) == 1, "first recv = %v", v)
+		h.Join(ct)
+		v, _ = ch.Recv(ct)
+		ct.Assert(v.(int) == 2, "second recv = %v", v)
+		v, _ = ch.Recv(ct)
+		ct.Assert(v.(int) == 3, "third recv = %v", v)
+	})
+	if res.Verdict != core.VerdictPass {
+		t.Fatalf("verdict = %v (%v)", res.Verdict, res)
+	}
+}
+
+// TestChanCloseSemantics: receives drain the buffer after a close,
+// then report !ok; double close and send-on-closed are failing
+// oracles.
+func TestChanCloseSemantics(t *testing.T) {
+	res := Run(Config{}, func(ct core.T) {
+		ch := ct.NewChan("ch", 2)
+		ch.Send(ct, 7)
+		ch.Close(ct)
+		v, ok := ch.Recv(ct)
+		ct.Assert(ok && v.(int) == 7, "drain = %v,%v", v, ok)
+		v, ok = ch.Recv(ct)
+		ct.Assert(!ok && v == nil, "after close = %v,%v", v, ok)
+	})
+	if res.Verdict != core.VerdictPass {
+		t.Fatalf("drain: verdict = %v (%v)", res.Verdict, res)
+	}
+
+	res = Run(Config{}, func(ct core.T) {
+		ch := ct.NewChan("ch", 0)
+		ch.Close(ct)
+		ch.Send(ct, 1)
+	})
+	if res.Verdict != core.VerdictFail || !strings.Contains(res.Failure.Msg, "send on closed") {
+		t.Fatalf("send on closed: %v", res)
+	}
+
+	res = Run(Config{}, func(ct core.T) {
+		ch := ct.NewChan("ch", 0)
+		ch.Close(ct)
+		ch.Close(ct)
+	})
+	if res.Verdict != core.VerdictFail || !strings.Contains(res.Failure.Msg, "close of closed") {
+		t.Fatalf("double close: %v", res)
+	}
+}
+
+// TestChanDeadlock: a receive nobody will satisfy deadlocks with the
+// channel direction in the report.
+func TestChanDeadlock(t *testing.T) {
+	res := Run(Config{}, func(ct core.T) {
+		ch := ct.NewChan("ch", 0)
+		ch.Recv(ct)
+	})
+	if res.Verdict != core.VerdictDeadlock {
+		t.Fatalf("verdict = %v (%v)", res.Verdict, res)
+	}
+	if !strings.Contains(res.DeadlockInfo, "chan-recv") {
+		t.Fatalf("deadlock info = %q", res.DeadlockInfo)
+	}
+
+	res = Run(Config{}, func(ct core.T) {
+		ch := ct.NewChan("ch", 0)
+		ch.Send(ct, 1)
+	})
+	if res.Verdict != core.VerdictDeadlock || !strings.Contains(res.DeadlockInfo, "chan-send") {
+		t.Fatalf("send side: %v", res)
+	}
+}
+
+// TestSelectDeterministic: the lowest-index ready arm wins, so under
+// the nonpreemptive default the choice is fixed.
+func TestSelectDeterministic(t *testing.T) {
+	res := Run(Config{}, func(ct core.T) {
+		a := ct.NewChan("a", 1)
+		b := ct.NewChan("b", 1)
+		a.Send(ct, "from-a")
+		b.Send(ct, "from-b")
+		i, v, ok := ct.Select([]core.SelectCase{{Ch: a}, {Ch: b}})
+		ct.Assert(i == 0 && ok && v.(string) == "from-a", "select = %d,%v,%v", i, v, ok)
+		// Drain a; now only b is ready.
+		i, v, ok = ct.Select([]core.SelectCase{{Ch: a}, {Ch: b}})
+		ct.Assert(i == 1 && ok && v.(string) == "from-b", "select 2 = %d,%v,%v", i, v, ok)
+	})
+	if res.Verdict != core.VerdictPass {
+		t.Fatalf("verdict = %v (%v)", res.Verdict, res)
+	}
+}
+
+// TestSelectBlocksAndWakes: a select with no ready arm parks the
+// thread and wakes when a sender arrives; all-blocked is a deadlock
+// reported as a select wait.
+func TestSelectBlocksAndWakes(t *testing.T) {
+	res := Run(Config{}, func(ct core.T) {
+		work := ct.NewChan("work", 0)
+		quit := ct.NewChan("quit", 0)
+		h := ct.Go("consumer", func(wt core.T) {
+			for {
+				i, v, _ := wt.Select([]core.SelectCase{{Ch: work}, {Ch: quit}})
+				if i == 1 {
+					return
+				}
+				wt.Outcome("got %d", v.(int))
+			}
+		})
+		work.Send(ct, 42)
+		quit.Send(ct, nil)
+		h.Join(ct)
+	})
+	if res.Verdict != core.VerdictPass || res.Outcome != "got 42" {
+		t.Fatalf("res = %v outcome=%q", res, res.Outcome)
+	}
+
+	res = Run(Config{}, func(ct core.T) {
+		ch := ct.NewChan("ch", 0)
+		ct.Select([]core.SelectCase{{Ch: ch}})
+	})
+	if res.Verdict != core.VerdictDeadlock || !strings.Contains(res.DeadlockInfo, "select") {
+		t.Fatalf("blocked select: %v", res)
+	}
+}
+
+// TestSelectSendArm: send arms on buffered channels participate; a
+// send arm on a rendezvous channel is rejected as a failing oracle.
+func TestSelectSendArm(t *testing.T) {
+	res := Run(Config{}, func(ct core.T) {
+		full := ct.NewChan("full", 1)
+		out := ct.NewChan("out", 1)
+		full.Send(ct, 0)
+		i, _, ok := ct.Select([]core.SelectCase{
+			{Ch: full, Send: true, Val: 1},
+			{Ch: out, Send: true, Val: 2},
+		})
+		ct.Assert(i == 1 && ok, "select = %d,%v", i, ok)
+		v, _ := out.Recv(ct)
+		ct.Assert(v.(int) == 2, "sent = %v", v)
+	})
+	if res.Verdict != core.VerdictPass {
+		t.Fatalf("verdict = %v (%v)", res.Verdict, res)
+	}
+
+	res = Run(Config{}, func(ct core.T) {
+		ch := ct.NewChan("ch", 0)
+		ct.Select([]core.SelectCase{{Ch: ch, Send: true, Val: 1}})
+	})
+	if res.Verdict != core.VerdictFail || !strings.Contains(res.Failure.Msg, "rendezvous") {
+		t.Fatalf("rendezvous send arm: %v", res)
+	}
+}
+
+// TestChanWGReplayDeterministic: a recorded schedule over the new
+// primitives replays to the identical result.
+func TestChanWGReplayDeterministic(t *testing.T) {
+	body := func(ct core.T) {
+		wg := ct.NewWaitGroup("wg")
+		ch := ct.NewChan("ch", 1)
+		wg.Add(ct, 1)
+		ct.Go("producer", func(wt core.T) {
+			ch.Send(wt, 9)
+			wg.Done(wt)
+		})
+		v, _ := ch.Recv(ct)
+		wg.Wait(ct)
+		ct.Outcome("v=%d", v.(int))
+	}
+	first := Run(Config{Strategy: Random(42), Seed: 42, RecordSchedule: true}, body)
+	if first.Verdict != core.VerdictPass {
+		t.Fatalf("first run: %v", first)
+	}
+	second := Run(Config{Strategy: &FixedSchedule{Decisions: first.Schedule}}, body)
+	if second.Verdict != first.Verdict || second.Outcome != first.Outcome {
+		t.Fatalf("replay diverged: %v vs %v", second, first)
+	}
+}
+
+// funcListener adapts a func to core.Listener for tests.
+type funcListener struct {
+	fn func(*core.Event)
+}
+
+func (l *funcListener) OnEvent(ev *core.Event) { l.fn(ev) }

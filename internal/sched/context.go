@@ -190,6 +190,31 @@ func (c *tc) NewRef(name string) core.RefVar {
 	return v
 }
 
+func (c *tc) NewWaitGroup(name string) core.WaitGroup {
+	s := c.th.sc
+	s.objSeq++
+	if s.nWGs == len(s.wgs) {
+		s.wgs = append(s.wgs, &waitgroup{})
+	}
+	w := s.wgs[s.nWGs]
+	s.nWGs++
+	*w = waitgroup{id: s.objSeq, name: name, nameID: reuseNameID(w.name, w.nameID, name), sc: s}
+	return w
+}
+
+func (c *tc) NewChan(name string, capn int) core.Chan {
+	s := c.th.sc
+	s.objSeq++
+	if s.nChans == len(s.chans) {
+		s.chans = append(s.chans, &channel{})
+	}
+	ch := s.chans[s.nChans]
+	s.nChans++
+	*ch = channel{id: s.objSeq, name: name, nameID: reuseNameID(ch.name, ch.nameID, name), sc: s,
+		capn: capn, buf: ch.buf[:0], sendq: ch.sendq[:0]}
+	return ch
+}
+
 // handle implements core.Handle for controlled threads. Each thread
 // embeds the handle for its own joiners, so Go allocates nothing for
 // it.

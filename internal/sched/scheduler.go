@@ -262,6 +262,10 @@ const (
 	blockRWRead // read-acquire of a reader/writer lock
 	blockCond
 	blockJoin
+	blockWG       // WaitGroup.Wait on a nonzero counter
+	blockChanSend // parked sender waiting for a receiver or buffer space
+	blockChanRecv // receiver waiting for a value or a close
+	blockSelect   // Select with no ready arm
 )
 
 // blockSrc evaluates a blocked thread's guard. Synchronization objects
@@ -501,11 +505,15 @@ type scheduler struct {
 	conds  []*cond
 	ints   []*intvar
 	refs   []*refvar
+	wgs    []*waitgroup
+	chans  []*channel
 	nMus   int
 	nRWs   int
 	nConds int
 	nInts  int
 	nRefs  int
+	nWGs   int
+	nChans int
 
 	running bool
 	closed  bool
@@ -563,6 +571,7 @@ func (s *scheduler) reset(cfg Config) {
 	s.coasting = false
 	s.sleepers = 0
 	s.nMus, s.nRWs, s.nConds, s.nInts, s.nRefs = 0, 0, 0, 0, 0
+	s.nWGs, s.nChans = 0, 0
 	// The accessor closures are cached on first use: binding a method
 	// value allocates, and reset runs once per pooled run.
 	if s.pendingOfFn == nil {
@@ -968,6 +977,14 @@ func (s *scheduler) describeDeadlock() string {
 				arena = append(arena, "cond"...)
 			case blockJoin:
 				arena = append(arena, "join"...)
+			case blockWG:
+				arena = append(arena, "waitgroup"...)
+			case blockChanSend:
+				arena = append(arena, "chan-send"...)
+			case blockChanRecv:
+				arena = append(arena, "chan-recv"...)
+			case blockSelect:
+				arena = append(arena, "select"...)
 			}
 			arena = append(arena, ' ')
 			arena = strconv.AppendQuote(arena, th.block.name)

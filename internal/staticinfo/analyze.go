@@ -133,6 +133,11 @@ type analysis struct {
 	// inlining guards against recursive helper closures during
 	// call-site inlining.
 	inlining map[string]bool
+	// opaqueFns are identifiers bound to call results (factory-returned
+	// closures and the like). Their bodies are invisible to the
+	// analysis, so invoking one must count as unresolved — it may touch
+	// any captured variable.
+	opaqueFns map[string]bool
 
 	nextCtx int
 	// multiCtx marks contexts spawned inside loops (many instances).
@@ -152,6 +157,7 @@ func analyzeFunc(fset *token.FileSet, fd *ast.FuncDecl) *Info {
 		vars:      map[string]string{},
 		funcLits:  map[string]*ast.FuncLit{},
 		inlining:  map[string]bool{},
+		opaqueFns: map[string]bool{},
 		createdIn: map[string]int{},
 		multiCtx:  map[int]bool{},
 		joinSeen:  map[int]bool{},
@@ -249,6 +255,13 @@ func (a *analysis) assign(st *ast.AssignStmt, ctx, loopDepth int, open *[]string
 					a.vars[lhsIdent] = name
 				}
 				continue
+			}
+			if lhsIdent != "" {
+				// The identifier now holds a call result. If it is later
+				// invoked, that is a closure from a factory — a body the
+				// analysis never sees (inlineCall counts the invocation
+				// as unresolved).
+				a.opaqueFns[lhsIdent] = true
 			}
 			a.call(r, ctx, loopDepth, open)
 		default:
@@ -379,7 +392,18 @@ func (a *analysis) inlineCall(call *ast.CallExpr, ctx, loopDepth int, open *[]st
 		return
 	}
 	lit := a.funcLits[id.Name]
-	if lit == nil || a.inlining[id.Name] {
+	if lit == nil {
+		// Only calls through identifiers known to hold a call result
+		// count: plain unknown identifiers here are builtins and
+		// conversions (len, int, panic, ...), which touch nothing. A
+		// factory-returned closure, by contrast, can read or write every
+		// variable it captured, so the whole body must stay unpruned.
+		if a.opaqueFns[id.Name] {
+			a.info.Unresolved++
+		}
+		return
+	}
+	if a.inlining[id.Name] {
 		return
 	}
 	a.inlining[id.Name] = true

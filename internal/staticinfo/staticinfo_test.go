@@ -315,3 +315,52 @@ func contains(s []string, x string) bool {
 	}
 	return false
 }
+
+// TestFactoryClosureUnresolved guards the escape analysis against the
+// invisible-helper hole: a closure produced by a factory captures a
+// variable and is the only thing that ever touches it from the spawned
+// threads. The analysis cannot see the factory's body, so the call
+// through the returned closure must count as unresolved and force
+// every variable — including the captured one — to stay shared;
+// pruning "hidden" here would drop the probes on a real cross-thread
+// access.
+func TestFactoryClosureUnresolved(t *testing.T) {
+	src := `package p
+
+func factoryBody(t core.T, p Params) {
+	hidden := t.NewInt("hidden", 0)
+	makeBump := func() func(core.T) {
+		return func(wt core.T) {
+			hidden.Add(wt, 1)
+		}
+	}
+	bump := makeBump()
+	t.Go("w", func(wt core.T) {
+		bump(wt)
+	})
+	bump(t)
+}
+`
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	infos, err := AnalyzeDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := infos["factoryBody"]
+	if info == nil {
+		t.Fatal("factoryBody not analyzed")
+	}
+	if info.Unresolved == 0 {
+		t.Fatal("factory-closure call not counted as unresolved")
+	}
+	if !contains(info.SharedVars, "hidden") {
+		t.Fatalf("hidden pruned despite invisible accesses: shared=%v local=%v",
+			info.SharedVars, info.LocalVars)
+	}
+	if len(info.LocalVars) != 0 {
+		t.Fatalf("unsound pruning with an unresolved call: local=%v", info.LocalVars)
+	}
+}
