@@ -1,7 +1,7 @@
 package mtbench_test
 
 // The benchmark harness: one testing.B benchmark per experiment in
-// DESIGN.md's index (F1, E1..E12), each invoking the prepared
+// DESIGN.md's index (F1, E1..E13), each invoking the prepared
 // experiment with a bench-sized configuration, plus microbenchmarks
 // for the substrate costs the paper's overhead comparisons rest on
 // (scheduling points, native probes, detector events, trace codecs).
@@ -120,6 +120,15 @@ func BenchmarkE12Campaign(b *testing.B) {
 	runExperiment(b, func() ([]*experiment.Table, error) {
 		return experiment.Campaign(experiment.CampaignConfig{
 			Campaign: campaign.Config{Budget: 200, Workers: 4},
+		})
+	})
+}
+
+func BenchmarkE13Bounding(b *testing.B) {
+	runExperiment(b, func() ([]*experiment.Table, error) {
+		return experiment.Bounding(experiment.BoundingConfig{
+			Programs: []string{"account", "philosophers"},
+			Budget:   500,
 		})
 	})
 }

@@ -12,7 +12,7 @@
 //
 // Usage:
 //
-//	bench -out BENCH_5.json          # full matrix
+//	bench -out auto                  # next BENCH_<n>.json after the highest checked in
 //	bench -quick -out bench.json     # one iteration per workload (CI smoke)
 //	bench -list                      # print workload names
 package main
@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 
@@ -225,7 +226,7 @@ func workloads() ([]workload, error) {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_5.json", "output JSON path (- for stdout)")
+	out := flag.String("out", "auto", "output JSON path (- for stdout, auto = next BENCH_<n>.json)")
 	quick := flag.Bool("quick", false, "single iteration per workload (CI smoke)")
 	list := flag.Bool("list", false, "list workload names and exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -245,7 +246,32 @@ func main() {
 	}
 }
 
+// resolveOut expands "auto" to the BENCH_<n>.json following the
+// highest-numbered one already present (BENCH_1.json when none exist),
+// so a perf PR never clobbers the checked-in trajectory it extends.
+func resolveOut(out string) (string, error) {
+	if out != "auto" {
+		return out, nil
+	}
+	names, err := filepath.Glob("BENCH_*.json")
+	if err != nil {
+		return "", err
+	}
+	max := 0
+	for _, name := range names {
+		var n int
+		if _, err := fmt.Sscanf(name, "BENCH_%d.json", &n); err == nil && n > max {
+			max = n
+		}
+	}
+	return fmt.Sprintf("BENCH_%d.json", max+1), nil
+}
+
 func run(out string, quick, list bool) error {
+	out, err := resolveOut(out)
+	if err != nil {
+		return err
+	}
 	ws, err := workloads()
 	if err != nil {
 		return err

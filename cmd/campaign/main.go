@@ -135,15 +135,21 @@ func configFlags(fs *flag.FlagSet) func() (campaign.Config, error) {
 	budget := fs.Int("budget", 0, "per-cell run/schedule budget (0 = default)")
 	maxSteps := fs.Int64("maxsteps", 0, "per-run step bound (0 = default)")
 	checkpoints := fs.Int("checkpoints", 0, "parked-runner checkpoint budget for the explore-por finder (0 = off; results are identical either way)")
+	vbound := fs.Int("vbound", 0, "variable bound for the explore-vb finder (0 = finder default)")
+	tbound := fs.Int("tbound", 0, "thread bound for the explore-tb finder (0 = finder default)")
+	pctDepth := fs.Int("pctdepth", 0, "targeted bug depth d for the pct finder (0 = finder default)")
 	workers := fs.Int("workers", 1, "parallel cell workers (cells are independent; parallelism never changes results)")
 	timing := fs.Bool("timing", false, "record real wall_ms per cell (breaks byte-identical stores)")
 	return func() (campaign.Config, error) {
 		cfg := campaign.Config{
-			Budget:      *budget,
-			MaxSteps:    *maxSteps,
-			Checkpoints: *checkpoints,
-			Workers:     *workers,
-			Timing:      *timing,
+			Budget:        *budget,
+			MaxSteps:      *maxSteps,
+			Checkpoints:   *checkpoints,
+			VariableBound: *vbound,
+			ThreadBound:   *tbound,
+			PCTDepth:      *pctDepth,
+			Workers:       *workers,
+			Timing:        *timing,
 		}
 		if *finders != "" {
 			cfg.Finders = splitList(*finders)

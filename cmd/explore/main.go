@@ -11,6 +11,7 @@
 //	explore -prog philosophers -por -statecache -stats -first=false
 //	explore -prog account -params depositors=2,deposits=1 -json
 //	explore -prog inversion -bound 2 -save scenario.json
+//	explore -prog account -tbound 2 -vbound 2 -first=false
 //	explore -prog inversion -replay scenario.json
 package main
 
@@ -39,6 +40,8 @@ func main() {
 	params := flag.String("params", "", "program parameter overrides, k=v comma-separated (e.g. depositors=2,deposits=1)")
 	max := flag.Int("max", 50000, "maximum schedules")
 	bound := flag.Int("bound", -1, "preemption bound (-1 = unbounded)")
+	vbound := flag.Int("vbound", -1, "variable bound: distinct objects involved in context switches (-1 = unbounded)")
+	tbound := flag.Int("tbound", -1, "thread bound: distinct threads eligible for preemption (-1 = unbounded)")
 	sleepSets := flag.Bool("sleepsets", false, "enable sleep-set pruning")
 	por := flag.Bool("por", false, "enable dynamic partial-order reduction (implies -sleepsets)")
 	stateCache := flag.Bool("statecache", false, "enable canonical-state caching")
@@ -66,7 +69,7 @@ func main() {
 		os.Exit(1)
 	}
 	err = run(cliConfig{
-		prog: *prog, params: *params, max: *max, bound: *bound, workers: *workers,
+		prog: *prog, params: *params, max: *max, bound: *bound, vbound: *vbound, tbound: *tbound, workers: *workers,
 		sleepSets: *sleepSets, por: *por, stateCache: *stateCache, cacheSize: *cacheSize,
 		checkpoints: *checkpoints,
 		timeouts:    *timeouts, stopFirst: *stopFirst, stats: *stats, jsonOut: *jsonOut,
@@ -91,6 +94,7 @@ func listPrograms() {
 type cliConfig struct {
 	prog, params        string
 	max, bound, workers int
+	vbound, tbound      int
 	sleepSets, por      bool
 	stateCache          bool
 	cacheSize           int
@@ -180,6 +184,12 @@ func run(cfg cliConfig) error {
 	if cfg.bound >= 0 {
 		opts.PreemptionBound = explore.Bound(cfg.bound)
 	}
+	if cfg.vbound >= 0 {
+		opts.VariableBound = explore.Bound(cfg.vbound)
+	}
+	if cfg.tbound >= 0 {
+		opts.ThreadBound = explore.Bound(cfg.tbound)
+	}
 	res := explore.Explore(opts, body)
 	if res.Err != nil {
 		return res.Err
@@ -214,6 +224,8 @@ func run(cfg cliConfig) error {
 	if cfg.stats && !cfg.jsonOut {
 		fmt.Printf("reduction: sleep-pruned=%d por-pruned=%d backtracks=%d cache-hits=%d\n",
 			res.Stats.SleepPruned, res.Stats.PORPruned, res.Stats.Backtracks, res.Stats.StateHits)
+		fmt.Printf("bounding: vb-pruned=%d tb-pruned=%d\n",
+			res.Stats.VBPruned, res.Stats.TBPruned)
 		fmt.Printf("replay tax: replayed-steps=%d novel-steps=%d\n",
 			res.Stats.ReplayedSteps, res.Stats.NovelSteps)
 	}

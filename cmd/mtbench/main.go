@@ -1,6 +1,6 @@
 // Command mtbench is the benchmark's push-button entry point: list the
 // program repository, run a single program under a chosen tool, or run
-// the prepared experiments (F1, E1..E12) and print their evaluation
+// the prepared experiments (F1, E1..E13) and print their evaluation
 // report.
 //
 // Usage:
@@ -66,7 +66,7 @@ commands:
   list                            list the program repository
   show -prog NAME                 print a program's bug documentation
   run  -prog NAME [flags]         run a program repeatedly under a tool
-  experiment -id ID [-csv|-json]  run one prepared experiment (F1, E1..E12)
+  experiment -id ID [-csv|-json]  run one prepared experiment (F1, E1..E13)
   experiments [-csv|-json]        run every prepared experiment
 `)
 }
@@ -169,7 +169,7 @@ func renderTables(tables []*experiment.Table, csv, json bool) error {
 
 func runExperiment(args []string) error {
 	fs := flag.NewFlagSet("experiment", flag.ExitOnError)
-	id := fs.String("id", "", "experiment id (F1, E1..E12)")
+	id := fs.String("id", "", "experiment id (F1, E1..E13)")
 	csv := fs.Bool("csv", false, "CSV output")
 	json := fs.Bool("json", false, "JSON output (one array of tables)")
 	if err := fs.Parse(args); err != nil {

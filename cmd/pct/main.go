@@ -1,0 +1,212 @@
+// Command pct runs probabilistic concurrency testing over a repository
+// program: random thread priorities, d−1 random priority-change points
+// per run, and a per-run lower bound on the probability of hitting any
+// bug of depth d (see internal/pct). Failing schedules are saved as
+// replayable scenario files, the same record-everything discipline as
+// cmd/explore and cmd/fuzz.
+//
+// Usage:
+//
+//	pct -prog account -runs 500 -seed 1
+//	pct -prog account -runs 200 -seed 1 -json      # machine-readable (CI smoke)
+//	pct -prog philosophers -depth 2 -first=false
+//	pct -prog philosophers -save scenario.json
+//	pct -prog philosophers -replay scenario.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"mtbench/internal/core"
+	"mtbench/internal/pct"
+	"mtbench/internal/profiling"
+	"mtbench/internal/replay"
+	"mtbench/internal/repository"
+	"mtbench/internal/sched"
+
+	// Generated instrumented packages register themselves on import.
+	_ "mtbench/internal/genprog"
+)
+
+func main() {
+	prog := flag.String("prog", "account", "program to test")
+	params := flag.String("params", "", "program parameter overrides, k=v comma-separated (e.g. depositors=2,deposits=1)")
+	runs := flag.Int("runs", 500, "run budget")
+	seed := flag.Int64("seed", 0, "master seed (a fixed seed reproduces the campaign)")
+	depth := flag.Int("depth", 0, "targeted bug depth d: d-1 priority-change points per run (0 = default)")
+	stopFirst := flag.Bool("first", true, "stop at first bug")
+	jsonOut := flag.Bool("json", false, "emit one JSON object instead of text (first_bug is null when no bug was found)")
+	save := flag.String("save", "", "save the first failing scenario to this file")
+	replayPath := flag.String("replay", "", "replay a saved scenario instead of testing")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
+	list := flag.Bool("list", false, "list the registered programs and exit")
+	flag.Parse()
+
+	if *list {
+		for _, p := range repository.All() {
+			fmt.Printf("%-18s %-20s %s\n", p.Name, p.Kind, p.Synopsis)
+		}
+		return
+	}
+	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pct:", err)
+		os.Exit(1)
+	}
+	err = run(*prog, *params, *runs, *depth, *seed, *stopFirst, *jsonOut, *save, *replayPath)
+	stopProf()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pct:", err)
+		os.Exit(1)
+	}
+}
+
+// jsonReport fixes the machine-readable serialization CI's
+// bounded-smoke step asserts on; field names are pinned independently
+// of the pct package's Go structs.
+type jsonReport struct {
+	Program        string    `json:"program"`
+	Seed           int64     `json:"seed"`
+	Depth          int       `json:"depth"`
+	Runs           int       `json:"runs"`
+	FirstBug       *int      `json:"first_bug"` // null = no bug found
+	Bugs           []jsonBug `json:"bugs"`
+	EstimatedSteps int64     `json:"estimated_steps"`
+	MaxThreads     int       `json:"max_threads"`
+}
+
+type jsonBug struct {
+	Index     int    `json:"index"`
+	Signature string `json:"signature"`
+	Verdict   string `json:"verdict"`
+	Decisions int    `json:"decisions"`
+}
+
+// parseParams parses "k=v,k=v" overrides (same syntax as cmd/explore).
+func parseParams(s string) (repository.Params, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := repository.Params{}
+	for _, kv := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -params entry %q (want k=v)", kv)
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return nil, fmt.Errorf("bad -params value %q: %v", kv, err)
+		}
+		out[k] = n
+	}
+	return out, nil
+}
+
+func run(progName, params string, runs, depth int, seed int64, stopFirst, jsonOut bool, save, replayPath string) error {
+	prog, err := repository.Get(progName)
+	if err != nil {
+		return err
+	}
+	over, err := parseParams(params)
+	if err != nil {
+		return err
+	}
+	body := prog.BodyWith(over)
+
+	if replayPath != "" {
+		s, err := replay.LoadFile(replayPath)
+		if err != nil {
+			return err
+		}
+		res := replay.ReplayControlled(s, sched.Config{Name: progName}, body)
+		if jsonOut {
+			return json.NewEncoder(os.Stdout).Encode(map[string]any{
+				"program":   progName,
+				"decisions": len(s.Decisions),
+				"verdict":   res.Verdict.String(),
+				"diverged":  res.Diverged,
+			})
+		}
+		fmt.Printf("replayed scenario (%d decisions): %v\n", len(s.Decisions), res)
+		return nil
+	}
+
+	res := pct.Run(pct.Options{
+		MaxRuns:        runs,
+		Seed:           seed,
+		Depth:          depth,
+		StopAtFirstBug: stopFirst,
+		Name:           progName,
+		Plan:           prog.Plan,
+	}, body)
+
+	if jsonOut {
+		rep := jsonReport{
+			Program:        progName,
+			Seed:           seed,
+			Depth:          depth,
+			Runs:           res.Runs,
+			Bugs:           []jsonBug{},
+			EstimatedSteps: res.EstimatedSteps,
+			MaxThreads:     res.MaxThreads,
+		}
+		if first := res.FirstBugIndex(); first >= 1 {
+			rep.FirstBug = &first
+		}
+		for _, b := range res.Bugs {
+			rep.Bugs = append(rep.Bugs, jsonBug{
+				Index:     b.Index,
+				Signature: core.BugSignature(b.Result),
+				Verdict:   b.Result.Verdict.String(),
+				Decisions: len(b.Schedule),
+			})
+		}
+		if err := json.NewEncoder(os.Stdout).Encode(rep); err != nil {
+			return err
+		}
+		if stopFirst && len(res.Bugs) == 0 {
+			return fmt.Errorf("no bug found within %d runs", res.Runs)
+		}
+		return saveScenario(save, progName, seed, res)
+	}
+
+	fmt.Printf("runs executed: %d (estimated steps k=%d, max threads n=%d)\n",
+		res.Runs, res.EstimatedSteps, res.MaxThreads)
+	fmt.Printf("bugs found: %d\n", len(res.Bugs))
+	for _, b := range res.Bugs {
+		fmt.Printf("  run #%d: %v\n", b.Index, b.Result)
+	}
+	// A first-bug hunt that found nothing exits non-zero, so campaign
+	// scripts (and CI's bounded smoke) detect a dead search, not just a
+	// crashed one.
+	if stopFirst && len(res.Bugs) == 0 {
+		return fmt.Errorf("no bug found within %d runs", res.Runs)
+	}
+	return saveScenario(save, progName, seed, res)
+}
+
+// saveScenario writes the first failing schedule as a replayable
+// scenario file when asked and a bug exists.
+func saveScenario(save, progName string, seed int64, res *pct.Result) error {
+	if save == "" || len(res.Bugs) == 0 {
+		return nil
+	}
+	s := &replay.Schedule{
+		Program:   progName,
+		Mode:      "controlled",
+		Seed:      seed,
+		Strategy:  "pct",
+		Decisions: append([]core.ThreadID(nil), res.Bugs[0].Schedule...),
+	}
+	if err := s.SaveFile(save); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "saved failing scenario to %s (%d decisions)\n", save, len(s.Decisions))
+	return nil
+}

@@ -158,8 +158,8 @@ func TestRepositoryMetadataThroughFacade(t *testing.T) {
 // TestExperimentRegistryThroughFacade runs the fastest experiment end
 // to end via the facade.
 func TestExperimentRegistryThroughFacade(t *testing.T) {
-	if len(mtbench.Experiments()) != 13 {
-		t.Fatalf("experiments = %d, want 13", len(mtbench.Experiments()))
+	if len(mtbench.Experiments()) != 14 {
+		t.Fatalf("experiments = %d, want 14", len(mtbench.Experiments()))
 	}
 	r, err := mtbench.GetExperiment("E9")
 	if err != nil {

@@ -1,8 +1,8 @@
 // Package campaign turns the repository's ad-hoc experiments into the
 // paper's actual deliverable: a benchmark others can run, extend and
 // regress against. A campaign is a declarative matrix of finders
-// (noise / explore / fuzz / race) × repository programs × seeds ×
-// budgets. A parallel worker pool executes the matrix cell by cell
+// (noise / explore and its bounded or reduced variants / fuzz / pct /
+// race) × repository programs × seeds × budgets. A parallel worker pool executes the matrix cell by cell
 // (each cell runs its finder serially, so a fixed-seed campaign is
 // fully deterministic) and streams every completed cell as a JSONL
 // record into a persistent Store.
@@ -62,6 +62,16 @@ type Config struct {
 	// changes how the reduced DFS revisits branch points, never which
 	// schedules, bugs, or first-bug indices a cell reports.
 	Checkpoints int `json:"checkpoints,omitempty"`
+	// VariableBound and ThreadBound override the bounds the explore-vb
+	// and explore-tb finders search under (0 = the finder defaults,
+	// DefaultVariableBound / DefaultThreadBound). Zero values are
+	// omitted from the fingerprint, so pre-bounding stores resume
+	// unchanged.
+	VariableBound int `json:"variable_bound,omitempty"`
+	ThreadBound   int `json:"thread_bound,omitempty"`
+	// PCTDepth overrides the pct finder's targeted bug depth d
+	// (0 = pct.DefaultDepth); zero is likewise fingerprint-invisible.
+	PCTDepth int `json:"pct_depth,omitempty"`
 	// Params overrides program parameters by program name, so large
 	// programs face the same shrunk instances for every finder.
 	// nil = DefaultParams; an explicitly empty map means "no

@@ -15,6 +15,7 @@ import (
 	"mtbench/internal/explore"
 	"mtbench/internal/fuzz"
 	"mtbench/internal/noise"
+	"mtbench/internal/pct"
 	"mtbench/internal/race"
 	"mtbench/internal/repository"
 	"mtbench/internal/sched"
@@ -38,6 +39,9 @@ type cellSpec struct {
 	budget      int
 	maxSteps    int64
 	checkpoints int
+	vbound      int
+	tbound      int
+	pctDepth    int
 }
 
 // cellOutcome is a finder's raw per-cell result before it becomes a
@@ -64,6 +68,21 @@ var finderTable = map[string]*Finder{
 		Name: "explore-por",
 		Doc:  "reduced serial DFS: dynamic partial-order reduction + state caching (seed-invariant)",
 		run:  runExplorePORFinder,
+	},
+	"explore-vb": {
+		Name: "explore-vb",
+		Doc:  "variable-bounded serial DFS: context switches limited to few distinct shared objects (seed-invariant)",
+		run:  runExploreVBFinder,
+	},
+	"explore-tb": {
+		Name: "explore-tb",
+		Doc:  "thread-bounded serial DFS: preemptions limited to few distinct threads (seed-invariant)",
+		run:  runExploreTBFinder,
+	},
+	"pct": {
+		Name: "pct",
+		Doc:  "probabilistic concurrency testing: random priorities + d-1 change points per run (internal/pct)",
+		run:  runPCTFinder,
 	},
 	"fuzz": {
 		Name: "fuzz",
@@ -200,6 +219,90 @@ func runExplorePORFinder(spec cellSpec) (cellOutcome, error) {
 		bugs.add(core.BugSignature(b.Result))
 	}
 	return cellOutcome{runs: er.Schedules, bugs: bugs.sigs, firstBug: er.FirstBugIndex()}, nil
+}
+
+// Gate bounds for the bounded finders when the config leaves them
+// zero: both gate programs (and every repository program measured so
+// far) expose their full documented bug set at bound 2, pinned by
+// TestBoundedEquivalence.
+const (
+	DefaultVariableBound = 2
+	DefaultThreadBound   = 2
+)
+
+// runExploreVBFinder is the variable-bounded systematic regime
+// (Bindal et al.): the same serial DFS under the same budget, with
+// context switches restricted to schedules that involve at most
+// vbound distinct shared objects. The bounded tree is exponentially
+// smaller, so within the shared budget the bounded search exhausts
+// programs the full DFS cannot — the portfolio bet the E13 experiment
+// measures.
+func runExploreVBFinder(spec cellSpec) (cellOutcome, error) {
+	bound := spec.vbound
+	if bound <= 0 {
+		bound = DefaultVariableBound
+	}
+	er := explore.Explore(explore.Options{
+		MaxSchedules:  spec.budget,
+		MaxSteps:      spec.maxSteps,
+		Workers:       1,
+		VariableBound: explore.Bound(bound),
+		Name:          spec.prog.Name,
+		Plan:          spec.prog.Plan,
+	}, spec.body)
+	if er.Err != nil {
+		return cellOutcome{}, fmt.Errorf("explore-vb %s: %w", spec.prog.Name, er.Err)
+	}
+	var bugs bugSet
+	for _, b := range er.Bugs {
+		bugs.add(core.BugSignature(b.Result))
+	}
+	return cellOutcome{runs: er.Schedules, bugs: bugs.sigs, firstBug: er.FirstBugIndex()}, nil
+}
+
+// runExploreTBFinder is the thread-bounded systematic regime (Bindal
+// et al.): preemptions restricted to at most tbound distinct threads
+// per schedule, arbitrarily many preemptions against that set.
+func runExploreTBFinder(spec cellSpec) (cellOutcome, error) {
+	bound := spec.tbound
+	if bound <= 0 {
+		bound = DefaultThreadBound
+	}
+	er := explore.Explore(explore.Options{
+		MaxSchedules: spec.budget,
+		MaxSteps:     spec.maxSteps,
+		Workers:      1,
+		ThreadBound:  explore.Bound(bound),
+		Name:         spec.prog.Name,
+		Plan:         spec.prog.Plan,
+	}, spec.body)
+	if er.Err != nil {
+		return cellOutcome{}, fmt.Errorf("explore-tb %s: %w", spec.prog.Name, er.Err)
+	}
+	var bugs bugSet
+	for _, b := range er.Bugs {
+		bugs.add(core.BugSignature(b.Result))
+	}
+	return cellOutcome{runs: er.Schedules, bugs: bugs.sigs, firstBug: er.FirstBugIndex()}, nil
+}
+
+// runPCTFinder is the randomized-with-guarantees regime: one serial
+// PCT campaign under the cell's run budget (see internal/pct for the
+// depth-d probability bound).
+func runPCTFinder(spec cellSpec) (cellOutcome, error) {
+	pr := pct.Run(pct.Options{
+		MaxRuns:  spec.budget,
+		MaxSteps: spec.maxSteps,
+		Seed:     spec.seed,
+		Depth:    spec.pctDepth,
+		Name:     spec.prog.Name,
+		Plan:     spec.prog.Plan,
+	}, spec.body)
+	var bugs bugSet
+	for _, b := range pr.Bugs {
+		bugs.add(core.BugSignature(b.Result))
+	}
+	return cellOutcome{runs: pr.Runs, bugs: bugs.sigs, firstBug: pr.FirstBugIndex()}, nil
 }
 
 // runFuzzFinder is the greybox middle ground: one deterministic fuzz

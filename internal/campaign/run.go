@@ -89,6 +89,9 @@ func Run(ctx context.Context, cfg Config, store *Store, progress Progress) (*Sum
 				budget:      cell.Budget,
 				maxSteps:    cfg.MaxSteps,
 				checkpoints: cfg.Checkpoints,
+				vbound:      cfg.VariableBound,
+				tbound:      cfg.ThreadBound,
+				pctDepth:    cfg.PCTDepth,
 			},
 		})
 	}

@@ -386,14 +386,52 @@ func TestPipelineShape(t *testing.T) {
 
 // TestRegistryDispatch checks Runners/Get plumbing.
 func TestRegistryDispatch(t *testing.T) {
-	if len(Runners()) != 13 {
-		t.Fatalf("runners = %d, want 13", len(Runners()))
+	if len(Runners()) != 14 {
+		t.Fatalf("runners = %d, want 14", len(Runners()))
 	}
 	if _, err := Get("E1"); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := Get("E99"); err == nil {
 		t.Fatal("unknown id accepted")
+	}
+}
+
+// TestBoundingShape pins E13 on one program: one row per regime, the
+// bounded regimes exhaust the account tree within the budget with the
+// same bug count as full DFS and report a nonzero pruned-option
+// count, and the randomized regimes land the bug too.
+func TestBoundingShape(t *testing.T) {
+	tables, err := Bounding(BoundingConfig{Programs: []string{"account"}, Budget: 3000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || tables[0].ID != "E13" {
+		t.Fatalf("E13 table shape wrong: %+v", tables)
+	}
+	tbl := tables[0]
+	regimes := []string{"dfs", "dfs-pbound2", "dfs-vb", "dfs-tb", "dfs-por-cache", "fuzz", "pct"}
+	if len(tbl.Rows) != len(regimes) {
+		t.Fatalf("E13 has %d rows, want one per regime (%d)", len(tbl.Rows), len(regimes))
+	}
+	get := func(regime, col string) string {
+		return cell(t, tbl, func(r []string) bool { return r[1] == regime }, col)
+	}
+	for _, regime := range regimes {
+		if got := get(regime, "first_bug"); got == "-" {
+			t.Errorf("%s: no bug found on account", regime)
+		}
+		if got := atoiCell(t, get(regime, "bugs")); got != 1 {
+			t.Errorf("%s: bugs = %d, want 1", regime, got)
+		}
+	}
+	for _, regime := range []string{"dfs-vb", "dfs-tb"} {
+		if got := get(regime, "exhausted"); got != "yes" {
+			t.Errorf("%s: bounded tree not exhausted", regime)
+		}
+		if got := atoiCell(t, get(regime, "bound_pruned")); got <= 0 {
+			t.Errorf("%s: bound_pruned = %d, want > 0", regime, got)
+		}
 	}
 }
 

@@ -29,6 +29,7 @@ func Runners() []Runner {
 		{"E10", "offline trace evaluation (JPaX)", func() ([]*Table, error) { return TraceEval(TraceEvalConfig{}) }},
 		{"E11", "schedule fuzzing vs noise vs exploration", func() ([]*Table, error) { return Fuzz(FuzzConfig{}) }},
 		{"E12", "campaign: tool×program benchmark matrix", func() ([]*Table, error) { return Campaign(CampaignConfig{}) }},
+		{"E13", "bounding portfolio: bounded vs reduced vs fuzzed regimes", func() ([]*Table, error) { return Bounding(BoundingConfig{}) }},
 	}
 	sort.Slice(rs, func(i, j int) bool { return rs[i].ID < rs[j].ID })
 	return rs

@@ -41,8 +41,12 @@ type checkpoint struct {
 	// — not consumed, so a resumed run may pick any runnable thread
 	// there.
 	decisions []core.ThreadID
-	// prefixPre restores the strategy's prefix preemption accounting.
+	// prefixPre restores the strategy's prefix preemption accounting;
+	// prefixTB and prefixVB restore the thread- and variable-bounding
+	// analogues.
 	prefixPre int
+	prefixTB  uint64
+	prefixVB  []uint32
 	// snap freezes the state hasher at the park point (nil when the
 	// state cache is off).
 	snap *hasherSnap
@@ -182,7 +186,8 @@ func (k *workerKit) freshRunner() *sched.Runner {
 // runner. Beyond the budget the oldest checkpoint is abandoned; its
 // runner (threads back in its pool) becomes a spare.
 func (k *workerKit) park(e *explorer, st *dfsStrategy, red *reduction, budget int) {
-	ck := &checkpoint{runner: k.runner, prefixPre: st.prefixPre}
+	ck := &checkpoint{runner: k.runner, prefixPre: st.prefixPre, prefixTB: st.prefixTB}
+	ck.prefixVB = append(ck.prefixVB, st.prefixVB...)
 	ck.decisions = make([]core.ThreadID, 0, len(e.prefix)+len(e.path))
 	ck.decisions = append(ck.decisions, e.prefix...)
 	for _, n := range e.path {

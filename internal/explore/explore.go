@@ -11,13 +11,23 @@
 // Whenever an error is detected the offending schedule is saved as a
 // replayable scenario, exactly as the paper prescribes.
 //
-// Two optional prunings keep the search tractable:
+// Several optional prunings keep the search tractable:
 //
 //   - Preemption bounding (iterative context bounding): deviations
 //     that switch away from a runnable thread are limited to a budget.
 //     Most real concurrency bugs need very few preemptions, so small
 //     bounds find them in exponentially smaller trees. Unsound as a
 //     verification method; measured as a search strategy in E5.
+//   - Variable bounding and thread bounding (Bindal, Bansal and Lal):
+//     instead of bounding how many preemptions a schedule may take,
+//     bound which state may be involved in them — the number of
+//     distinct shared objects whose delayed accesses context switches
+//     may interrupt (VariableBound), or the number of distinct threads
+//     that may be preempted (ThreadBound). Like the preemption bound,
+//     each is unsound as verification and measured as a search regime;
+//     unlike it, the bounded tree still admits arbitrarily many
+//     preemptions against the bounded set, which is the bug class the
+//     per-bound guarantees in Bindal et al. cover.
 //   - Sleep sets: after exploring thread t at a node, siblings need
 //     not re-explore threads whose pending operations are independent
 //     of t's. Sound for terminating programs.
@@ -32,6 +42,7 @@ package explore
 
 import (
 	"fmt"
+	"math/bits"
 	"slices"
 
 	"mtbench/internal/core"
@@ -50,6 +61,26 @@ type Options struct {
 	// schedule (iterative context bounding). Bound(0) explores only
 	// non-preemptive schedules; nil explores without a bound.
 	PreemptionBound *int
+	// VariableBound, when non-nil, limits the number of distinct shared
+	// objects whose pending accesses may be interrupted by a preemption
+	// along one schedule (Bindal et al.'s variable bounding), keyed on
+	// the interned core.Footprint object handles. A preemption "charges"
+	// the object the preempted thread was about to access; once the
+	// bound's worth of distinct objects has been charged, only
+	// preemptions against those same objects remain enabled. Object
+	// handle 0 (operations with no named shared object, conservatively
+	// dependent with everything) counts as one aliased variable.
+	// Bound(0) explores only non-preemptive schedules; nil is unbounded.
+	VariableBound *int
+	// ThreadBound, when non-nil, limits the number of distinct threads
+	// that may be preempted along one schedule (Bindal et al.'s thread
+	// bounding). Once the bound's worth of distinct threads has been
+	// preempted, only further preemptions of those same threads remain
+	// enabled — schedules may still take arbitrarily many preemptions,
+	// against a bounded thread set. Threads with ids ≥ 64 are never cut
+	// (conservative, matching the sleep-set bitmask limit). Bound(0)
+	// explores only non-preemptive schedules; nil is unbounded.
+	ThreadBound *int
 	// SleepSets enables sleep-set pruning.
 	SleepSets bool
 	// DPOR enables dynamic partial-order reduction: each node commits
@@ -147,7 +178,8 @@ type Result struct {
 	Err error
 }
 
-// Bound is a convenience for Options.PreemptionBound.
+// Bound is a convenience for the bound fields of Options
+// (PreemptionBound, VariableBound, ThreadBound).
 func Bound(n int) *int { return &n }
 
 // FirstBugIndex returns the schedule number of the first bug, or -1
@@ -167,6 +199,14 @@ type node struct {
 	current core.ThreadID   // thread that was running at this point
 	// preBefore is the number of preemptions used before this node.
 	preBefore int
+	// tbMask is the set of threads preempted before this node, as a
+	// bitmask (thread-bounding state; ids ≥ 64 are never tracked, so
+	// they are never cut). Maintained only while ThreadBound is set.
+	tbMask uint64
+	// vbObjs is the sorted set of distinct object handles charged by
+	// preemptions before this node (variable-bounding state).
+	// Maintained only while VariableBound is set.
+	vbObjs []uint32
 	// fps snapshots each option's pending-operation footprint at this
 	// node, index-aligned with options (for sleep-set and DPOR
 	// independence). Empty when nothing consumes independence.
@@ -239,6 +279,8 @@ func (p *nodePool) get(current core.ThreadID) *node {
 		nd.curIdx = 0
 		nd.current = current
 		nd.preBefore = 0
+		nd.tbMask = 0
+		nd.vbObjs = nd.vbObjs[:0]
 		clear(nd.sleep)
 		nd.fps = nd.fps[:0]
 		clear(nd.todo)
@@ -254,6 +296,41 @@ func (p *nodePool) get(current core.ThreadID) *node {
 
 func (p *nodePool) put(n *node) {
 	p.free = append(p.free, n)
+}
+
+// tbAllows reports whether preempting thread t at this node respects
+// the thread bound: t was already preempted on this path, or the
+// preempted set still has room. Threads outside the bitmask range are
+// never cut (conservative).
+func (n *node) tbAllows(t core.ThreadID, bound int) bool {
+	if t < 0 || t >= 64 {
+		return true
+	}
+	if n.tbMask&(1<<uint(t)) != 0 {
+		return true
+	}
+	return bits.OnesCount64(n.tbMask) < bound
+}
+
+// vbAllows reports whether charging object obj at this node respects
+// the variable bound: obj was already charged on this path, or the
+// charged set still has room.
+func (n *node) vbAllows(obj uint32, bound int) bool {
+	if _, ok := slices.BinarySearch(n.vbObjs, obj); ok {
+		return true
+	}
+	return len(n.vbObjs) < bound
+}
+
+// addVBObj inserts an object handle into a sorted charged-object set,
+// keeping it deduplicated (sorted order makes the set's contribution
+// to the state hash deterministic).
+func addVBObj(objs []uint32, obj uint32) []uint32 {
+	i, ok := slices.BinarySearch(objs, obj)
+	if ok {
+		return objs
+	}
+	return slices.Insert(objs, i, obj)
 }
 
 // isPreemption reports whether this node's current choice switches
@@ -305,6 +382,11 @@ type dfsStrategy struct {
 	// the subtree's context-bound accounting matches a serial descent
 	// through the same decisions.
 	prefixPre int
+	// prefixTB and prefixVB are the thread- and variable-bounding
+	// analogues of prefixPre: the preempted-thread bitmask and the
+	// charged-object set accumulated along the replayed prefix.
+	prefixTB uint64
+	prefixVB []uint32
 }
 
 // Name implements sched.Strategy.
@@ -335,6 +417,12 @@ func (st *dfsStrategy) Pick(c *sched.Choice) core.ThreadID {
 		}
 		if c.Current != core.NoThread && want != c.Current && slices.Contains(c.Runnable, c.Current) {
 			st.prefixPre++
+			if t := c.Current; t >= 0 && t < 64 {
+				st.prefixTB |= 1 << uint(t)
+			}
+			if e.opts.VariableBound != nil && c.FootprintOf != nil {
+				st.prefixVB = addVBObj(st.prefixVB, c.FootprintOf(c.Current).Obj)
+			}
 		}
 		e.notePick(c, want)
 		return want
@@ -378,28 +466,38 @@ func (st *dfsStrategy) Pick(c *sched.Choice) core.ThreadID {
 
 	st.depth++
 	e.stats.NovelSteps++
-	n := e.newNode(c, pd, st.prefixPre)
+	n := e.newNode(c, pd, st)
 	e.path = append(e.path, n)
 	e.notePick(c, n.chosen())
 	return n.chosen()
 }
 
 // newNode builds the frontier node for choice point c at path index pd,
-// applying preemption bounding, sleep sets and the exploration order
-// (current thread first, so the first descent is the cheap
-// nonpreemptive schedule). prefixPre is the preemption count
+// applying preemption/variable/thread bounding, sleep sets and the
+// exploration order (current thread first, so the first descent is the
+// cheap nonpreemptive schedule). st carries the bound accounting
 // accumulated along the replayed prefix, charged to the subtree's
 // first fresh node.
-func (e *explorer) newNode(c *sched.Choice, pd int, prefixPre int) *node {
+func (e *explorer) newNode(c *sched.Choice, pd int, st *dfsStrategy) *node {
 	n := e.pool.get(c.Current)
 
-	// Inherit preemption count and sleep set from the parent node, or
+	// Inherit bound accounting and sleep set from the parent node, or
 	// from the donated work item at the subtree root.
 	if pd > 0 {
 		parent := e.path[pd-1]
 		n.preBefore = parent.preBefore
+		n.tbMask = parent.tbMask
+		if e.opts.VariableBound != nil {
+			n.vbObjs = append(n.vbObjs, parent.vbObjs...)
+		}
 		if parent.isPreemption() {
 			n.preBefore++
+			if t := parent.current; t >= 0 && t < 64 {
+				n.tbMask |= 1 << uint(t)
+			}
+			if e.opts.VariableBound != nil {
+				n.vbObjs = addVBObj(n.vbObjs, parent.fpOf(parent.current).Obj)
+			}
 		}
 		if e.opts.SleepSets {
 			chosenFP := parent.chosenFP()
@@ -410,7 +508,11 @@ func (e *explorer) newNode(c *sched.Choice, pd int, prefixPre int) *node {
 			}
 		}
 	} else {
-		n.preBefore = prefixPre
+		n.preBefore = st.prefixPre
+		n.tbMask = st.prefixTB
+		if e.opts.VariableBound != nil {
+			n.vbObjs = append(n.vbObjs, st.prefixVB...)
+		}
 		if e.opts.SleepSets {
 			for u := range e.rootSleep {
 				n.sleep[u] = true
@@ -429,10 +531,28 @@ func (e *explorer) newNode(c *sched.Choice, pd int, prefixPre int) *node {
 		}
 	}
 
-	// Preemption bound: out of budget means the only choices are
-	// non-preemptive ones (the current thread, or anything if the
-	// current thread cannot run).
-	if e.opts.PreemptionBound != nil && curRunnable && n.preBefore >= *e.opts.PreemptionBound {
+	// Bound cuts: when a bound forbids preempting the current thread
+	// here, the only choices are non-preemptive ones (the current
+	// thread, or anything if the current thread cannot run). The
+	// preemption bound cuts when the budget is spent; the thread bound
+	// cuts when the current thread is outside an already-full preempted
+	// set; the variable bound cuts when the current thread's pending
+	// object is outside an already-full charged set.
+	cut := false
+	if curRunnable {
+		switch {
+		case e.opts.PreemptionBound != nil && n.preBefore >= *e.opts.PreemptionBound:
+			cut = true
+		case e.opts.ThreadBound != nil && !n.tbAllows(c.Current, *e.opts.ThreadBound):
+			e.stats.TBPruned += len(n.options) - 1
+			cut = true
+		case e.opts.VariableBound != nil && c.FootprintOf != nil &&
+			!n.vbAllows(c.FootprintOf(c.Current).Obj, *e.opts.VariableBound):
+			e.stats.VBPruned += len(n.options) - 1
+			cut = true
+		}
+	}
+	if cut {
 		n.options = n.options[:1]
 	} else if e.opts.ExploreTimeouts && c.CanIdle {
 		// Timing branch: let the pending timer(s) expire before anyone
@@ -441,11 +561,11 @@ func (e *explorer) newNode(c *sched.Choice, pd int, prefixPre int) *node {
 		n.options = append(n.options, sched.IdleID)
 	}
 
-	// Snapshot pending-operation footprints for sleep-set, DPOR and
-	// state-hash computation (index-aligned with options; FootprintOf
-	// returns zero for the idle pseudo-thread, which is conservatively
-	// dependent with everything).
-	if (e.opts.SleepSets || e.red != nil) && c.FootprintOf != nil {
+	// Snapshot pending-operation footprints for sleep-set, DPOR,
+	// state-hash and variable-bound computation (index-aligned with
+	// options; FootprintOf returns zero for the idle pseudo-thread,
+	// which is conservatively dependent with everything).
+	if (e.opts.SleepSets || e.red != nil || e.opts.VariableBound != nil) && c.FootprintOf != nil {
 		for _, id := range n.options {
 			n.fps = append(n.fps, c.FootprintOf(id))
 		}

@@ -166,6 +166,7 @@ func (c *coordinator) exploreItem(kit *workerKit, red *reduction, item *workItem
 			return
 		}
 		st.depth, st.prefixPre = 0, 0
+		st.prefixTB, st.prefixVB = 0, st.prefixVB[:0]
 		var runRes *core.Result
 		if ck := kit.takeCheckpoint(e); ck != nil {
 			// A parked run already executed this schedule's replay
@@ -175,6 +176,8 @@ func (c *coordinator) exploreItem(kit *workerKit, red *reduction, item *workItem
 			// resumes from the chains frozen at the park.
 			st.depth = len(ck.decisions)
 			st.prefixPre = ck.prefixPre
+			st.prefixTB = ck.prefixTB
+			st.prefixVB = append(st.prefixVB[:0], ck.prefixVB...)
 			if red != nil && ck.snap != nil {
 				red.hasher.restore(ck.snap)
 			}

@@ -75,6 +75,14 @@ type Stats struct {
 	Backtracks int `json:"backtracks"`
 	// StateHits counts subtrees cut by the canonical-state cache.
 	StateHits int `json:"state_hits"`
+	// VBPruned counts node options cut by the variable bound
+	// (Options.VariableBound): preemptive siblings dropped because the
+	// current thread's pending object was outside a full charged set.
+	VBPruned int `json:"vb_pruned"`
+	// TBPruned counts node options cut by the thread bound
+	// (Options.ThreadBound): preemptive siblings dropped because the
+	// current thread was outside a full preempted set.
+	TBPruned int `json:"tb_pruned"`
 	// ReplayedSteps counts scheduler steps spent re-establishing
 	// already-known state: schedule-prefix and path-replay decisions,
 	// plus the coasted tail steps below state-cache cuts. This is the
@@ -91,6 +99,8 @@ func (s *Stats) add(o Stats) {
 	s.PORPruned += o.PORPruned
 	s.Backtracks += o.Backtracks
 	s.StateHits += o.StateHits
+	s.VBPruned += o.VBPruned
+	s.TBPruned += o.TBPruned
 	s.ReplayedSteps += o.ReplayedSteps
 	s.NovelSteps += o.NovelSteps
 }
@@ -385,7 +395,9 @@ func sleepMask(sleep map[core.ThreadID]bool) (uint64, bool) {
 // last-executed threads but identical program states, and merging them
 // is the point. Under a preemption bound the remaining budget (and the
 // current thread it depends on) becomes part of the identity, since a
-// subtree explored with less budget proves nothing about more.
+// subtree explored with less budget proves nothing about more; under a
+// thread or variable bound the preempted-thread and charged-object
+// sets join the identity for the same reason.
 func (e *explorer) hashState(c *sched.Choice, n *node) uint64 {
 	sh := e.red.hasher
 	h := mix(mix(fnvOffset, uint64(c.Step)), sh.timeH)
@@ -400,6 +412,15 @@ func (e *explorer) hashState(c *sched.Choice, n *node) uint64 {
 	}
 	if e.opts.PreemptionBound != nil {
 		h = mix(mix(h, uint64(uint32(c.Current))), uint64(n.preBefore))
+	}
+	if e.opts.ThreadBound != nil {
+		h = mix(mix(h, uint64(uint32(c.Current))), n.tbMask)
+	}
+	if e.opts.VariableBound != nil {
+		h = mix(mix(h, uint64(uint32(c.Current))), uint64(len(n.vbObjs)))
+		for _, o := range n.vbObjs {
+			h = mix(h, uint64(o)+1)
+		}
 	}
 	return h
 }

@@ -43,6 +43,7 @@ import (
 	"mtbench/internal/multiout"
 	"mtbench/internal/native"
 	"mtbench/internal/noise"
+	"mtbench/internal/pct"
 	"mtbench/internal/race"
 	"mtbench/internal/replay"
 	"mtbench/internal/repository"
@@ -273,7 +274,30 @@ var (
 	Explore = explore.Explore
 	// PreemptionBound builds the Options.PreemptionBound value.
 	PreemptionBound = explore.Bound
+	// ExploreBound builds any of the Options bound values
+	// (PreemptionBound, VariableBound, ThreadBound).
+	ExploreBound = explore.Bound
 )
+
+// Probabilistic concurrency testing.
+type (
+	// PCTOptions configures a PCT campaign: random thread priorities
+	// plus Depth−1 random priority-change points per run, with a
+	// documented per-run lower bound on the probability of finding any
+	// bug of depth Depth. A fixed Seed reproduces a campaign exactly.
+	PCTOptions = pct.Options
+	// PCTResult summarizes a campaign (runs, dedup'd bugs, and the
+	// adaptive step/thread estimates that instantiate the guarantee).
+	PCTResult = pct.Result
+	// PCTBug is one erroneous schedule found by PCT, replayable through
+	// FixedSchedule or the replay package.
+	PCTBug = pct.Bug
+)
+
+// RunPCT runs a probabilistic-concurrency-testing campaign — the
+// randomized member of the bounding portfolio, between blind noise and
+// systematic search.
+var RunPCT = pct.Run
 
 // Coverage-guided schedule fuzzing.
 type (
@@ -456,7 +480,7 @@ type (
 )
 
 var (
-	// Experiments lists the prepared experiments (F1, E1..E12).
+	// Experiments lists the prepared experiments (F1, E1..E13).
 	Experiments = experiment.Runners
 	// GetExperiment looks an experiment up by id.
 	GetExperiment = experiment.Get
