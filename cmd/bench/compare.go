@@ -1,0 +1,167 @@
+// Benchmark regression comparison: `bench -compare OLD.json NEW.json`
+// diffs two reports written by this command and emits a
+// machine-readable table of per-workload deltas. CI runs it between
+// the newest checked-in BENCH_<n>.json and the smoke run's fresh
+// report, failing the build when any shared workload slowed down
+// beyond the -threshold ratio.
+//
+// The verdict is keyed on ns/op only: schedules/sec is derived from
+// it, and allocs/op is reported for diagnosis but does not gate (an
+// alloc count change shows up as a deliberate diff in the checked-in
+// trajectory, not a flaky timing signal). Workloads present on only
+// one side are listed as missing/added and never gate either — worker
+// matrices legitimately differ across machines (see workloads).
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// compareRow is one shared workload's delta. Field names are pinned:
+// CI tooling parses them.
+type compareRow struct {
+	Name string `json:"name"`
+
+	OldNsPerOp int64   `json:"old_ns_per_op"`
+	NewNsPerOp int64   `json:"new_ns_per_op"`
+	NsDeltaPct float64 `json:"ns_delta_pct"`
+
+	OldSchedulesPerSec float64 `json:"old_schedules_per_sec"`
+	NewSchedulesPerSec float64 `json:"new_schedules_per_sec"`
+	SchedulesDeltaPct  float64 `json:"schedules_delta_pct"`
+
+	OldAllocsPerOp int64   `json:"old_allocs_per_op"`
+	NewAllocsPerOp int64   `json:"new_allocs_per_op"`
+	AllocsDeltaPct float64 `json:"allocs_delta_pct"`
+
+	// Regressed is true when new ns/op exceeds old ns/op by more than
+	// the threshold ratio.
+	Regressed bool `json:"regressed"`
+}
+
+// compareReport is the top-level -compare JSON document, written to
+// stdout (the human-readable table goes to stderr).
+type compareReport struct {
+	Old       string       `json:"old"`
+	New       string       `json:"new"`
+	Threshold float64      `json:"threshold"`
+	Rows      []compareRow `json:"rows"`
+	// Missing lists workloads in the old report only; Added lists
+	// workloads in the new report only. Neither gates.
+	Missing []string `json:"missing,omitempty"`
+	Added   []string `json:"added,omitempty"`
+	// Regressions counts rows with Regressed set; the process exits
+	// non-zero when it is positive.
+	Regressions int `json:"regressions"`
+}
+
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+func deltaPct(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (new - old) / old * 100
+}
+
+// runCompare diffs oldPath against newPath and reports whether any
+// shared workload regressed beyond threshold (a ratio: 1.5 fails a
+// workload that got more than 50% slower).
+func runCompare(oldPath, newPath string, threshold float64) (regressed bool, err error) {
+	if threshold <= 0 {
+		return false, fmt.Errorf("-threshold must be positive, got %v", threshold)
+	}
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		return false, err
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		return false, err
+	}
+
+	oldBy := make(map[string]Entry, len(oldRep.Benchmarks))
+	for _, e := range oldRep.Benchmarks {
+		oldBy[e.Name] = e
+	}
+	newBy := make(map[string]Entry, len(newRep.Benchmarks))
+	for _, e := range newRep.Benchmarks {
+		newBy[e.Name] = e
+	}
+
+	out := compareReport{Old: oldPath, New: newPath, Threshold: threshold}
+	for _, o := range oldRep.Benchmarks {
+		n, ok := newBy[o.Name]
+		if !ok {
+			out.Missing = append(out.Missing, o.Name)
+			continue
+		}
+		row := compareRow{
+			Name:               o.Name,
+			OldNsPerOp:         o.NsPerOp,
+			NewNsPerOp:         n.NsPerOp,
+			NsDeltaPct:         deltaPct(float64(o.NsPerOp), float64(n.NsPerOp)),
+			OldSchedulesPerSec: o.SchedulesPerSec,
+			NewSchedulesPerSec: n.SchedulesPerSec,
+			SchedulesDeltaPct:  deltaPct(o.SchedulesPerSec, n.SchedulesPerSec),
+			OldAllocsPerOp:     o.AllocsPerOp,
+			NewAllocsPerOp:     n.AllocsPerOp,
+			AllocsDeltaPct:     deltaPct(float64(o.AllocsPerOp), float64(n.AllocsPerOp)),
+			Regressed:          float64(n.NsPerOp) > float64(o.NsPerOp)*threshold,
+		}
+		if row.Regressed {
+			out.Regressions++
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	for _, n := range newRep.Benchmarks {
+		if _, ok := oldBy[n.Name]; !ok {
+			out.Added = append(out.Added, n.Name)
+		}
+	}
+	sort.Slice(out.Rows, func(i, j int) bool { return out.Rows[i].Name < out.Rows[j].Name })
+	sort.Strings(out.Missing)
+	sort.Strings(out.Added)
+
+	for _, r := range out.Rows {
+		mark := " "
+		if r.Regressed {
+			mark = "!"
+		}
+		fmt.Fprintf(os.Stderr, "%s %-40s %12d -> %12d ns/op %+7.1f%%  %10.0f -> %10.0f sched/s  %6d -> %6d allocs %+7.1f%%\n",
+			mark, r.Name, r.OldNsPerOp, r.NewNsPerOp, r.NsDeltaPct,
+			r.OldSchedulesPerSec, r.NewSchedulesPerSec,
+			r.OldAllocsPerOp, r.NewAllocsPerOp, r.AllocsDeltaPct)
+	}
+	for _, name := range out.Missing {
+		fmt.Fprintf(os.Stderr, "- %-40s only in %s\n", name, oldPath)
+	}
+	for _, name := range out.Added {
+		fmt.Fprintf(os.Stderr, "+ %-40s only in %s\n", name, newPath)
+	}
+	fmt.Fprintf(os.Stderr, "%d workloads compared, %d regressed (threshold %.2fx)\n",
+		len(out.Rows), out.Regressions, threshold)
+
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return false, err
+	}
+	data = append(data, '\n')
+	if _, err := os.Stdout.Write(data); err != nil {
+		return false, err
+	}
+	return out.Regressions > 0, nil
+}

@@ -15,6 +15,7 @@
 //	bench -out auto                  # next BENCH_<n>.json after the highest checked in
 //	bench -quick -out bench.json     # one iteration per workload (CI smoke)
 //	bench -list                      # print workload names
+//	bench -compare OLD.json NEW.json # regression table; exit 1 beyond -threshold
 package main
 
 import (
@@ -85,7 +86,10 @@ func body(name string) (func(core.T), error) {
 	return prog.BodyWith(smallParams[name]), nil
 }
 
-func workloads() ([]workload, error) {
+// workloads builds the benchmark list; profiled turns on the driver's
+// pprof phase labels (see DESIGN.md) in the exploration workloads so a
+// -cpuprofile run attributes samples per phase.
+func workloads(profiled bool) ([]workload, error) {
 	var out []workload
 
 	// Raw controlled-runtime throughput: one pooled runner executing
@@ -135,7 +139,7 @@ func workloads() ([]workload, error) {
 				name:           fmt.Sprintf("explore/%s/workers=%d", prog, w),
 				schedulesPerOp: budget,
 				run: func(int) error {
-					res := explore.Explore(explore.Options{MaxSchedules: budget, Workers: w}, pb)
+					res := explore.Explore(explore.Options{MaxSchedules: budget, Workers: w, ProfileLabels: profiled}, pb)
 					return res.Err
 				},
 			})
@@ -151,7 +155,7 @@ func workloads() ([]workload, error) {
 		if err != nil {
 			return nil, err
 		}
-		porOpts := explore.Options{MaxSchedules: 200000, Workers: 1, DPOR: true, StateCache: true}
+		porOpts := explore.Options{MaxSchedules: 200000, Workers: 1, DPOR: true, StateCache: true, ProfileLabels: profiled}
 		warm := explore.Explore(porOpts, pb)
 		if warm.Err != nil {
 			return nil, warm.Err
@@ -189,6 +193,7 @@ func workloads() ([]workload, error) {
 			opts := explore.Options{
 				MaxSchedules: 200000, Workers: 1,
 				DPOR: mode.dpor, StateCache: true, Checkpoints: 4,
+				ProfileLabels: profiled,
 			}
 			warm := explore.Explore(opts, pb)
 			if warm.Err != nil {
@@ -231,14 +236,32 @@ func main() {
 	list := flag.Bool("list", false, "list workload names and exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
+	compare := flag.String("compare", "", "compare this old report against the NEW.json positional argument instead of benchmarking")
+	threshold := flag.Float64("threshold", 1.5, "ns/op regression ratio that fails -compare (1.5 = 50% slower)")
 	flag.Parse()
+
+	if *compare != "" {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "bench: -compare takes exactly one positional argument (usage: bench -compare OLD.json NEW.json)")
+			os.Exit(2)
+		}
+		regressed, err := runCompare(*compare, flag.Arg(0), *threshold)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(2)
+		}
+		if regressed {
+			os.Exit(1)
+		}
+		return
+	}
 
 	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
-	err = run(*out, *quick, *list)
+	err = run(*out, *quick, *list, *cpuProfile != "")
 	stopProf()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
@@ -267,12 +290,12 @@ func resolveOut(out string) (string, error) {
 	return fmt.Sprintf("BENCH_%d.json", max+1), nil
 }
 
-func run(out string, quick, list bool) error {
+func run(out string, quick, list, profiled bool) error {
 	out, err := resolveOut(out)
 	if err != nil {
 		return err
 	}
-	ws, err := workloads()
+	ws, err := workloads(profiled)
 	if err != nil {
 		return err
 	}

@@ -74,6 +74,7 @@ func main() {
 		checkpoints: *checkpoints,
 		timeouts:    *timeouts, stopFirst: *stopFirst, stats: *stats, jsonOut: *jsonOut,
 		save: *save, replayPath: *replayPath,
+		profiled: *cpuProfile != "",
 	})
 	stopProf()
 	if err != nil {
@@ -102,6 +103,10 @@ type cliConfig struct {
 	timeouts, stopFirst bool
 	stats, jsonOut      bool
 	save, replayPath    string
+	// profiled turns on pprof phase labels: when a CPU profile is being
+	// collected the driver tags its samples with the phase vocabulary
+	// documented in DESIGN.md (position/drive/park/abandon/record).
+	profiled bool
 }
 
 // jsonResult is the machine-readable output of -json. Field names are
@@ -178,6 +183,7 @@ func run(cfg cliConfig) error {
 		ExploreTimeouts: cfg.timeouts,
 		StopAtFirstBug:  cfg.stopFirst,
 		Workers:         cfg.workers,
+		ProfileLabels:   cfg.profiled,
 		Name:            cfg.prog,
 		Plan:            prog.Plan,
 	}
@@ -228,6 +234,9 @@ func run(cfg cliConfig) error {
 			res.Stats.VBPruned, res.Stats.TBPruned)
 		fmt.Printf("replay tax: replayed-steps=%d novel-steps=%d\n",
 			res.Stats.ReplayedSteps, res.Stats.NovelSteps)
+		fmt.Printf("checkpoints: hits=%d misses=%d snapshot-restores=%d restored-steps=%d total-steps=%d\n",
+			res.Stats.CheckpointHits, res.Stats.CheckpointMisses,
+			res.Stats.SnapshotRestores, res.Stats.RestoredSteps, res.Stats.TotalSteps)
 	}
 	if cfg.save != "" && len(res.Bugs) > 0 {
 		s := &replay.Schedule{

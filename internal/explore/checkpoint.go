@@ -52,6 +52,20 @@ type checkpoint struct {
 	snap *hasherSnap
 }
 
+// branchSnap is a forkable branch snapshot, owned by a live DFS path
+// node (node.snap): the state hasher and the scheduler's position
+// digest frozen at a multi-option decision point, before the node's
+// own decision. A later run positions itself at the branch by
+// restoring the hasher and fast-forwarding the decisions above the
+// node (sched.Config.FastForward), with the digest verified on arrival
+// (Config.FFCheck). The snapshot is valid for every sibling the node
+// still has — it predates the choice — and is recycled through the
+// worker's nodePool when the node pops.
+type branchSnap struct {
+	hasher hasherSnap
+	sched  sched.Snapshot
+}
+
 // workerKit is the per-worker reusable execution state.
 type workerKit struct {
 	runner *sched.Runner
@@ -71,8 +85,8 @@ type workerKit struct {
 	// making the inner map lookups cheap and stable.
 	outKeys [8]map[string]string
 
-	// planned is the scratch buffer matchCheckpoint builds the next
-	// run's replay sequence into.
+	// planned is the scratch buffer plan builds the next run's replay
+	// sequence into.
 	planned []core.ThreadID
 }
 
@@ -207,28 +221,39 @@ func (k *workerKit) park(e *explorer, st *dfsStrategy, red *reduction, budget in
 	k.runner = k.freshRunner()
 }
 
-// takeCheckpoint finds, removes and returns the deepest checkpoint
-// whose parked decision sequence is a prefix of the next run's replay
-// sequence (the shard prefix plus the path's current choices) — the
-// run can continue from there instead of replaying from the root. It
-// returns nil when no checkpoint matches, which is the common case:
-// depth-first backtracking deviates above the cut a checkpoint was
-// parked at, so checkpoints mostly age out. The lookup stays because
-// it is what makes resume-instead-of-replay correct whenever a match
-// does exist (and cheap: one prefix comparison per retained
-// checkpoint).
-func (k *workerKit) takeCheckpoint(e *explorer) *checkpoint {
-	if len(k.ckpts) == 0 {
-		return nil
-	}
+// plan rebuilds the kit's scratch copy of the next run's replay
+// sequence — the shard prefix plus the path's current choices — and
+// returns it. The returned slice aliases the kit's buffer and is valid
+// until the next plan call.
+func (k *workerKit) plan(e *explorer) []core.ThreadID {
 	k.planned = k.planned[:0]
 	k.planned = append(k.planned, e.prefix...)
 	for _, n := range e.path {
 		k.planned = append(k.planned, n.chosen())
 	}
+	return k.planned
+}
+
+// takeCheckpoint finds, removes and returns the deepest checkpoint
+// whose parked decision sequence is a prefix of planned (the next
+// run's replay sequence, see plan) and at least minDepth decisions
+// long — the run can continue from there instead of replaying from the
+// root. minDepth is the depth of the deepest live branch snapshot on
+// the path: a checkpoint strictly shallower than the snapshot loses to
+// fast-forwarding, while one of equal depth wins (a resume skips even
+// the fast-forward). It returns nil when no checkpoint qualifies,
+// which is the common case: depth-first backtracking deviates above
+// the cut a checkpoint was parked at, so checkpoints mostly age out.
+// The lookup stays because it is what makes resume-instead-of-replay
+// correct whenever a match does exist (and cheap: one prefix
+// comparison per retained checkpoint).
+func (k *workerKit) takeCheckpoint(planned []core.ThreadID, minDepth int) *checkpoint {
+	if len(k.ckpts) == 0 {
+		return nil
+	}
 	best := -1
 	for i, ck := range k.ckpts {
-		if len(ck.decisions) > len(k.planned) {
+		if len(ck.decisions) > len(planned) || len(ck.decisions) < minDepth {
 			continue
 		}
 		if best >= 0 && len(ck.decisions) <= len(k.ckpts[best].decisions) {
@@ -236,7 +261,7 @@ func (k *workerKit) takeCheckpoint(e *explorer) *checkpoint {
 		}
 		match := true
 		for j, d := range ck.decisions {
-			if k.planned[j] != d {
+			if planned[j] != d {
 				match = false
 				break
 			}

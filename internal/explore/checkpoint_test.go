@@ -10,17 +10,19 @@ import (
 	"mtbench/internal/repository"
 )
 
-// TestCheckpointedEquivalence pins the checkpointing contract over the
-// whole program repository. Serially the contract is exact:
-// parked-runner exploration (DPOR + state cache + a checkpoint budget)
-// must visit exactly the tree the coast-mode reduced search visits —
-// same schedule count, same exhaustion, same deduplicated bug set,
-// same novel-step total — because checkpointing only changes how a run
-// reaches its decision point, never which decisions the DFS
-// enumerates. The one intended serial difference is the replay tax:
-// the checkpointed search must never replay more steps than coast
-// mode, and on the benchmark gate program it must replay strictly
-// fewer while reporting parked runs in the outcome histogram.
+// TestCheckpointedEquivalence pins the frontier-positioning contract
+// over the whole program repository. Serially the contract is exact:
+// checkpointed exploration (DPOR + state cache + branch snapshots +
+// parked runners) must visit exactly the tree the coast-mode reduced
+// search visits — same schedule count, same exhaustion, same
+// deduplicated bug set, same novel-step total — because positioning
+// only changes how a run reaches its decision point, never which
+// decisions the DFS enumerates. The one intended serial difference is
+// the replay tax: the checkpointed search must never replay more steps
+// than coast mode, and on the benchmark gate program it must replay
+// strictly fewer while reporting snapshot fast-forwards in the stats
+// (and, with the always-park threshold, parked runs in the outcome
+// histogram).
 //
 // With Workers: 8 the per-worker state caches see different state
 // sequences depending on shard-donation timing — which parking shifts,
@@ -30,6 +32,11 @@ import (
 // checkpointed contract is the soundness half: when the search
 // exhausts, it finds exactly the serial bug set, and its outcome
 // histogram accounts for every schedule.
+//
+// At every worker count the two conservation laws must hold: every
+// schedule is positioned exactly once (hits + misses == schedules) and
+// every scheduler step is attributed exactly once (replayed + novel +
+// restored == total).
 func TestCheckpointedEquivalence(t *testing.T) {
 	if testing.Short() {
 		t.Skip("whole-repository exploration sweep in -short mode")
@@ -64,6 +71,7 @@ func TestCheckpointedEquivalence(t *testing.T) {
 			if total != ck.Schedules {
 				t.Errorf("%s: outcome histogram counts %d runs over %d schedules", label, total, ck.Schedules)
 			}
+			assertConservation(t, label, ck)
 			if workers > 1 {
 				if base.Exhausted && ck.Exhausted {
 					if got := bugKeys(ck); !reflect.DeepEqual(got, baseBugs) {
@@ -92,8 +100,86 @@ func TestCheckpointedEquivalence(t *testing.T) {
 					t.Errorf("%s: expected strictly fewer replayed steps than coast mode: %d vs %d",
 						label, ck.Stats.ReplayedSteps, base.Stats.ReplayedSteps)
 				}
-				if ck.Outcomes["parked:"] == 0 {
-					t.Errorf("%s: no parked runs recorded; outcomes: %v", label, ck.Outcomes)
+				if ck.Stats.SnapshotRestores == 0 {
+					t.Errorf("%s: no snapshot fast-forwards recorded; stats: %+v", label, ck.Stats)
+				}
+			}
+		}
+
+		// Always-park variant: ParkTailThreshold < 0 restores the
+		// park-every-cut disposal, which must still leave the tree shape,
+		// bug set and novel-step total untouched while putting parked
+		// runs back in the histogram.
+		ap := Explore(Options{
+			MaxSchedules: budget, MaxSteps: maxSteps, Workers: 1,
+			DPOR: true, StateCache: true, Checkpoints: 4, ParkTailThreshold: -1,
+		}, body)
+		label := prog.Name + "/checkpoints=4/always-park"
+		if ap.Err != nil {
+			t.Fatalf("%s: %v", label, ap.Err)
+		}
+		assertConservation(t, label, ap)
+		if ap.Schedules != base.Schedules || ap.Exhausted != base.Exhausted {
+			t.Errorf("%s: tree shape changed: %d schedules (exhausted=%v) vs coast %d (%v)",
+				label, ap.Schedules, ap.Exhausted, base.Schedules, base.Exhausted)
+		}
+		if got := bugKeys(ap); !reflect.DeepEqual(got, baseBugs) {
+			t.Errorf("%s: bug sets differ\n  coast:        %v\n  checkpointed: %v", label, baseBugs, got)
+		}
+		if ap.Stats.NovelSteps != base.Stats.NovelSteps {
+			t.Errorf("%s: novel steps differ: %d vs coast %d", label, ap.Stats.NovelSteps, base.Stats.NovelSteps)
+		}
+		if prog.Name == "philosophers" && ap.Outcomes["parked:"] == 0 {
+			t.Errorf("%s: no parked runs recorded; outcomes: %v", label, ap.Outcomes)
+		}
+	}
+}
+
+// assertConservation checks the two positioning conservation laws on
+// one exploration result: every schedule positioned exactly once, and
+// every scheduler step attributed exactly once.
+func assertConservation(t *testing.T, label string, res *Result) {
+	t.Helper()
+	if got := res.Stats.CheckpointHits + res.Stats.CheckpointMisses; got != res.Schedules {
+		t.Errorf("%s: positioning law broken: hits %d + misses %d = %d over %d schedules",
+			label, res.Stats.CheckpointHits, res.Stats.CheckpointMisses, got, res.Schedules)
+	}
+	if got := res.Stats.ReplayedSteps + res.Stats.NovelSteps + res.Stats.RestoredSteps; got != res.Stats.TotalSteps {
+		t.Errorf("%s: step law broken: replayed %d + novel %d + restored %d = %d, total %d",
+			label, res.Stats.ReplayedSteps, res.Stats.NovelSteps, res.Stats.RestoredSteps, got, res.Stats.TotalSteps)
+	}
+}
+
+// TestCheckpointConservation pins the two conservation laws repo-wide
+// across every exploration mode, checkpointed or not: every schedule
+// is positioned exactly once (checkpoint_hits + checkpoint_misses ==
+// schedules — all misses when positioning is off), and every scheduler
+// step is attributed exactly once (replayed + novel + restored ==
+// total). The laws are what make the counters trustworthy: a counter
+// that can drift from the ground truth silently is worse than no
+// counter.
+func TestCheckpointConservation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-repository exploration sweep in -short mode")
+	}
+	budget := 2000
+	if raceEnabled {
+		budget = 300
+	}
+	for _, prog := range repository.All() {
+		body := prog.BodyWith(smallParams[prog.Name])
+		for _, mode := range leakModes {
+			for _, workers := range []int{1, 8} {
+				opts := Options{MaxSchedules: budget, MaxSteps: 5000, Workers: workers}
+				mode.set(&opts)
+				res := Explore(opts, body)
+				label := fmt.Sprintf("%s/%s/workers=%d", prog.Name, mode.name, workers)
+				if res.Err != nil {
+					t.Fatalf("%s: %v", label, res.Err)
+				}
+				assertConservation(t, label, res)
+				if !opts.StateCache && res.Stats.CheckpointHits != 0 {
+					t.Errorf("%s: %d checkpoint hits without a state cache", label, res.Stats.CheckpointHits)
 				}
 			}
 		}

@@ -103,19 +103,45 @@ type Options struct {
 	// cache prunes less but is never unsound.
 	StateCacheSize int
 	// Checkpoints bounds the parked-runner checkpoints each worker may
-	// retain (0 = checkpointing off). With checkpointing on, a run that
-	// reaches a state-cache cut is parked at the cut instead of coasting
-	// to completion: its virtual threads stay suspended on their resume
-	// channels, the runner joins the worker's checkpoint pool (oldest
-	// abandoned beyond the budget, all abandoned at shard end), and a
-	// later run whose replay sequence extends the parked prefix resumes
-	// it instead of replaying from the root — with fallback to the
-	// ordinary replay path when no checkpoint matches. Cut tails are
-	// then never executed, so the run has no verdict: it is counted
-	// under the synthetic "parked:" outcome key. Checkpointing therefore
-	// changes the outcome histogram (never the bug set) and only applies
-	// when StateCache is on; leave it 0 for histogram-exact results.
+	// retain (0 = checkpointing off), and turns on frontier positioning
+	// as a whole. With checkpointing on, every schedule is positioned
+	// from the nearest retained state instead of replayed from the root
+	// under full strategy control: each multi-option path node carries a
+	// forkable branch snapshot (hasher state + sched position digest),
+	// and a fresh pooled runner fast-forwards the branch's decision
+	// prefix at coast speed (sched.Config.FastForward), verifying the
+	// digest on arrival. A run that reaches a state-cache cut with a
+	// long enough expected tail (see ParkTailThreshold) is additionally
+	// parked at the cut: its virtual threads stay suspended on their
+	// resume channels, the runner joins the worker's checkpoint pool
+	// (oldest abandoned beyond the budget, all abandoned at shard end),
+	// and a later run whose replay sequence extends the parked prefix
+	// resumes it — a parked resume beats a snapshot of equal depth
+	// because it skips even the fast-forward. Parked runs never execute
+	// their cut tails, so they have no verdict and are counted under the
+	// synthetic "parked:" outcome key. Checkpointing therefore changes
+	// the outcome histogram (never the bug set, schedule count or
+	// novel-step total) and only applies when StateCache is on; leave it
+	// 0 for histogram-exact results.
 	Checkpoints int
+	// ParkTailThreshold tunes the park-versus-coast disposal of runs
+	// that reach a state-cache cut (only meaningful with Checkpoints >
+	// 0). Parking costs a park+abandon round trip (~2.6µs) where
+	// coasting the tail costs ~87ns per step, so parking only pays when
+	// the skipped tail is long enough: a run parks when its expected
+	// tail (previous completed run's step count minus the cut depth) is
+	// at least the threshold. 0 = DefaultParkTailThreshold; negative =
+	// always park (PR-6 behaviour, used by tests that pin the "parked:"
+	// outcome key). The disposal choice never affects the bug set,
+	// schedule count or novel-step total.
+	ParkTailThreshold int
+	// ProfileLabels attaches runtime/pprof goroutine labels to the
+	// driver phases of every worker (position, drive, park, abandon,
+	// record — see DESIGN.md for the vocabulary), so CPU profiles split
+	// driver overhead from program execution (labelled "vthread" by the
+	// scheduler). Off by default: relabeling goroutines several times
+	// per schedule is measurable on the exploration hot path.
+	ProfileLabels bool
 	// ExploreTimeouts includes "let virtual time pass" (sched.IdleID)
 	// among the choices at points where a thread sleeps on a timer,
 	// extending the search to timing bugs (sleep-as-synchronization,
@@ -232,6 +258,14 @@ type node struct {
 	cut         bool
 	sub         []uint64
 	subOverflow bool
+
+	// snap is the node's forkable branch snapshot (nil unless
+	// Options.Checkpoints and the node has siblings worth returning
+	// for): the hasher state and scheduler position digest frozen at
+	// this decision point, before any option was chosen. Later runs
+	// fast-forward here instead of replaying from the root. Freed when
+	// the node pops — the live snapshot set is exactly the DFS path.
+	snap *branchSnap
 }
 
 func (n *node) chosen() core.ThreadID { return n.options[n.curIdx] }
@@ -265,6 +299,9 @@ func (n *node) chosenFP() core.Footprint {
 // allocation-free in the engine itself.
 type nodePool struct {
 	free []*node
+	// snaps recycles branch snapshots (their slices keep their backing
+	// arrays, so steady-state snapshot-taking is allocation-free).
+	snaps []*branchSnap
 }
 
 func newNodePool() *nodePool { return &nodePool{} }
@@ -289,6 +326,7 @@ func (p *nodePool) get(current core.ThreadID) *node {
 		nd.cut = false
 		nd.sub = nd.sub[:0]
 		nd.subOverflow = false
+		nd.snap = nil
 		return nd
 	}
 	return &node{current: current, sleep: map[core.ThreadID]bool{}}
@@ -296,6 +334,19 @@ func (p *nodePool) get(current core.ThreadID) *node {
 
 func (p *nodePool) put(n *node) {
 	p.free = append(p.free, n)
+}
+
+func (p *nodePool) getSnap() *branchSnap {
+	if n := len(p.snaps); n > 0 {
+		s := p.snaps[n-1]
+		p.snaps = p.snaps[:n-1]
+		return s
+	}
+	return &branchSnap{}
+}
+
+func (p *nodePool) putSnap(s *branchSnap) {
+	p.snaps = append(p.snaps, s)
 }
 
 // tbAllows reports whether preempting thread t at this node respects
@@ -371,6 +422,41 @@ type explorer struct {
 	// cutDepth is the path index of the active cache cut (-1 when
 	// none): nodes created deeper only finish the in-flight run.
 	cutDepth int
+	// lastRunSteps is the step count of the shard's previous completed
+	// run — the deterministic (timing-free) estimator behind the
+	// park-versus-coast disposal heuristic (see shouldPark). Zero until
+	// a run completes, so a shard's first cut disposal coasts.
+	lastRunSteps int64
+	// Bound accounting accumulated along the replayed prefix is a pure
+	// function of the prefix, so it is captured once from the shard's
+	// first fully-replayed run and reinstated on fast-forwarded runs
+	// (which skip the prefix Picks that would recompute it).
+	prefixAccounted bool
+	basePre         int
+	baseTB          uint64
+	baseVB          []uint32
+}
+
+// DefaultParkTailThreshold is the default ParkTailThreshold: parking
+// costs ~2.6µs of park+abandon round trips against ~87ns per coasted
+// step, so the break-even tail is about 30 steps.
+const DefaultParkTailThreshold = 32
+
+// shouldPark decides the disposal of a run that reached a state-cache
+// cut at the given decision depth: park it as a resumable checkpoint,
+// or coast the tail. Deterministic — the expected tail length is the
+// previous completed run's step count minus the cut depth, never a
+// wall-clock measurement — so disposal (and therefore the outcome
+// histogram) is reproducible run-to-run.
+func (e *explorer) shouldPark(depth int) bool {
+	t := e.opts.ParkTailThreshold
+	if t < 0 {
+		return true
+	}
+	if t == 0 {
+		t = DefaultParkTailThreshold
+	}
+	return e.lastRunSteps-int64(depth) >= int64(t)
 }
 
 // dfsStrategy drives one run: replay the prefix and the path's
@@ -452,13 +538,14 @@ func (st *dfsStrategy) Pick(c *sched.Choice) core.ThreadID {
 
 	// Below an active state-cache cut the subtree is already proven
 	// explored: the run need only be disposed of, not decided. With
-	// checkpointing the runner parks right here (the tail never
-	// executes; the decision is not consumed, so st.depth stays put);
-	// otherwise the scheduler coasts the tail under its built-in
-	// nonpreemptive rule — the exact decisions the old per-decision
-	// bypass nodes produced, with no strategy round trips.
+	// checkpointing on and a long enough expected tail the runner parks
+	// right here (the tail never executes; the decision is not
+	// consumed, so st.depth stays put); otherwise the scheduler coasts
+	// the tail under its built-in nonpreemptive rule — the exact
+	// decisions the old per-decision bypass nodes produced, with no
+	// strategy round trips.
 	if e.cutDepth >= 0 && pd > e.cutDepth {
-		if e.opts.Checkpoints > 0 {
+		if e.opts.Checkpoints > 0 && e.shouldPark(d) {
 			return sched.ParkID
 		}
 		return sched.CoastID
@@ -619,6 +706,20 @@ func (e *explorer) newNode(c *sched.Choice, pd int, st *dfsStrategy) *node {
 			}
 		}
 	}
+
+	// Branch snapshot: a live multi-option node is a position later
+	// schedules return to, one per remaining sibling. Freeze the hasher
+	// and the scheduler's position digest here — before the node's own
+	// decision is taken or folded — so a later run can fast-forward the
+	// decisions above this node and re-enter the DFS at the branch.
+	// Single-option nodes are popped straight through on backtrack and
+	// never returned to, so they carry no snapshot.
+	if e.opts.Checkpoints > 0 && e.red != nil && !n.cut && len(n.options) > 1 && c.SnapshotTo != nil {
+		bs := e.pool.getSnap()
+		e.red.hasher.snapshotInto(&bs.hasher)
+		c.SnapshotTo(&bs.sched)
+		n.snap = bs
+	}
 	return n
 }
 
@@ -676,6 +777,10 @@ func (n *node) nextTodo() (int, bool) {
 func (e *explorer) popNode(n *node) {
 	last := len(e.path) - 1
 	e.path = e.path[:last]
+	if n.snap != nil {
+		e.pool.putSnap(n.snap)
+		n.snap = nil
+	}
 	if e.opts.DPOR && !n.cut {
 		for _, o := range n.options {
 			switch {

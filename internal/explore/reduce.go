@@ -92,6 +92,29 @@ type Stats struct {
 	// NovelSteps counts decisions taken at fresh frontier nodes — the
 	// steps that visit new state.
 	NovelSteps int `json:"novel_steps"`
+	// CheckpointHits counts schedules positioned from retained state —
+	// a parked runner resumed, or a branch snapshot fast-forwarded
+	// (see Options.Checkpoints) — instead of replayed from the root
+	// under full strategy control; CheckpointMisses counts the rest.
+	// Every schedule is exactly one or the other, so hits + misses ==
+	// schedules executed.
+	CheckpointHits   int `json:"checkpoint_hits"`
+	CheckpointMisses int `json:"checkpoint_misses"`
+	// SnapshotRestores counts the checkpoint hits served by a branch
+	// snapshot (sched fast-forward + digest verify) rather than a
+	// parked-runner resume.
+	SnapshotRestores int `json:"snapshot_restores"`
+	// RestoredSteps counts scheduler steps positioning skipped paying
+	// full price for: the decisions a resumed parked run had already
+	// consumed, plus the decisions a fast-forward replayed without
+	// strategy round trips or listener fan-out.
+	RestoredSteps int `json:"restored_steps"`
+	// TotalSteps counts every scheduler step of every schedule
+	// (including steps of runs parked at cuts). The step conservation
+	// law — ReplayedSteps + NovelSteps + RestoredSteps == TotalSteps —
+	// holds for every healthy exploration and is pinned repo-wide by
+	// TestCheckpointConservation.
+	TotalSteps int `json:"total_steps"`
 }
 
 func (s *Stats) add(o Stats) {
@@ -103,6 +126,11 @@ func (s *Stats) add(o Stats) {
 	s.TBPruned += o.TBPruned
 	s.ReplayedSteps += o.ReplayedSteps
 	s.NovelSteps += o.NovelSteps
+	s.CheckpointHits += o.CheckpointHits
+	s.CheckpointMisses += o.CheckpointMisses
+	s.SnapshotRestores += o.SnapshotRestores
+	s.RestoredSteps += o.RestoredSteps
+	s.TotalSteps += o.TotalSteps
 }
 
 // subCap bounds a node's subtree footprint summary. Benchmark
@@ -210,12 +238,17 @@ type hasherSnap struct {
 	timeH  uint64
 }
 
-func (sh *stateHasher) snapshot() *hasherSnap {
-	s := &hasherSnap{
-		chains: append([]uint64(nil), sh.chains...),
-		whFork: sh.whFork,
-		timeH:  sh.timeH,
-	}
+// snapshotInto freezes the hasher into s, reusing s's backing arrays:
+// branch snapshots are taken at every multi-option path node on the
+// exploration hot path, so the copy must not allocate once the pooled
+// snapshot has grown to the program's working size.
+func (sh *stateHasher) snapshotInto(s *hasherSnap) {
+	s.chains = append(s.chains[:0], sh.chains...)
+	s.objK = s.objK[:0]
+	s.objW = s.objW[:0]
+	s.objR = s.objR[:0]
+	s.whFork = sh.whFork
+	s.timeH = sh.timeH
 	for i := range sh.objs {
 		sl := &sh.objs[i]
 		if sl.gen == sh.gen && (sl.wh != 0 || sl.rh != 0) {
@@ -224,6 +257,11 @@ func (sh *stateHasher) snapshot() *hasherSnap {
 			s.objR = append(s.objR, sl.rh)
 		}
 	}
+}
+
+func (sh *stateHasher) snapshot() *hasherSnap {
+	s := &hasherSnap{}
+	sh.snapshotInto(s)
 	return s
 }
 

@@ -30,6 +30,7 @@ package sched
 import (
 	"bytes"
 	"fmt"
+	"runtime/pprof"
 	"slices"
 	"strconv"
 	"time"
@@ -79,6 +80,21 @@ type Config struct {
 	// runs and never read Elapsed set it to keep time.Now off the
 	// per-run path.
 	SkipTiming bool
+	// FastForward replays this recorded decision prefix before the
+	// strategy sees its first decision: each entry is consumed without a
+	// strategy round trip, listener fan-out or runnable-set scan, at
+	// the nonpreemptive coast-mode cost — the delta replay that
+	// positions a pooled runner at a previously visited branch. Step
+	// counting, schedule recording and the virtual clock advance
+	// exactly as if the strategy had made these picks. The scheduler
+	// copies the slice at Start; the caller may reuse it immediately.
+	FastForward []core.ThreadID
+	// FFCheck, when non-nil, is the position digest the run must match
+	// at the first decision after the fast-forward; a mismatch (a
+	// nondeterministic program drifting off the recorded prefix) makes
+	// the run VerdictDiverged instead of silently continuing from the
+	// wrong state. The value is copied at Start.
+	FFCheck *Snapshot
 }
 
 // Run executes body as thread 0 under the configured strategy and
@@ -458,10 +474,12 @@ type scheduler struct {
 	// fresh per step it escapes through the interface call and puts a
 	// heap allocation on every scheduling decision.
 	choice Choice
-	// pendingOfFn/footprintOfFn cache the method-value closures handed
-	// out through Choice (binding one allocates; see reset).
+	// pendingOfFn/footprintOfFn/snapshotToFn cache the method-value
+	// closures handed out through Choice (binding one allocates; see
+	// reset).
 	pendingOfFn   func(core.ThreadID) PendingOp
 	footprintOfFn func(core.ThreadID) core.Footprint
+	snapshotToFn  func(*Snapshot)
 
 	// start is the run's wall-clock start (zero under SkipTiming); res
 	// is the pooled Result returned by Start/Resume.
@@ -472,6 +490,17 @@ type scheduler struct {
 	// the run follows the built-in nonpreemptive rule without strategy
 	// round trips or schedule recording.
 	coasting bool
+	// Fast-forward state (Config.FastForward): ffDec is the scheduler-
+	// owned copy of the prefix (the caller's slice may be reused while
+	// a run is parked), ffPos the replay cursor, ffQuiet suppresses
+	// listener fan-out until the first post-fast-forward decision
+	// (those events are covered by the restored listener state), and
+	// ffCheck/hasFFCheck carry the position digest verified there.
+	ffDec      []core.ThreadID
+	ffPos      int
+	ffQuiet    bool
+	ffCheck    Snapshot
+	hasFFCheck bool
 	// parkedRun is set while a run is suspended between Start/Resume
 	// and Resume/Abandon.
 	parkedRun bool
@@ -569,6 +598,19 @@ func (s *scheduler) reset(cfg Config) {
 	s.evScratch = core.Event{}
 	s.hasEvent = false
 	s.coasting = false
+	s.ffDec = append(s.ffDec[:0], cfg.FastForward...)
+	s.ffPos = 0
+	s.hasFFCheck = cfg.FFCheck != nil
+	// An FFCheck with an empty prefix (a snapshot taken at decision 0)
+	// still verifies at the first decision.
+	s.ffQuiet = len(s.ffDec) > 0 || s.hasFFCheck
+	if s.hasFFCheck {
+		s.ffCheck = *cfg.FFCheck
+	}
+	// Drop the config's aliases: the scheduler owns its copies, and a
+	// parked run must not pin the caller's (reused) buffers.
+	s.cfg.FastForward = nil
+	s.cfg.FFCheck = nil
 	s.sleepers = 0
 	s.nMus, s.nRWs, s.nConds, s.nInts, s.nRefs = 0, 0, 0, 0, 0
 	s.nWGs, s.nChans = 0, 0
@@ -577,8 +619,9 @@ func (s *scheduler) reset(cfg Config) {
 	if s.pendingOfFn == nil {
 		s.pendingOfFn = s.pendingOf
 		s.footprintOfFn = s.footprintOf
+		s.snapshotToFn = s.captureSnapshot
 	}
-	s.choice = Choice{PendingOf: s.pendingOfFn, FootprintOf: s.footprintOfFn}
+	s.choice = Choice{PendingOf: s.pendingOfFn, FootprintOf: s.footprintOfFn, SnapshotTo: s.snapshotToFn}
 }
 
 // progLoc resolves the benchmark program's call site (2 frames above
@@ -708,6 +751,9 @@ func (s *scheduler) internOutcome() string {
 // strategy divergence), or stepParked when the strategy parked the run
 // without consuming the decision.
 func (s *scheduler) step() (next *thread, st stepStatus) {
+	if s.ffPos < len(s.ffDec) {
+		return s.ffStep()
+	}
 	if s.coasting {
 		return s.coastStep()
 	}
@@ -729,6 +775,18 @@ func (s *scheduler) step() (next *thread, st stepStatus) {
 		if s.steps >= s.cfg.MaxSteps {
 			s.stepLimitHit = true
 			return nil, stepOver
+		}
+		if s.ffQuiet {
+			// First decision after a fast-forward: resume listener
+			// fan-out and verify the restored position. The check runs
+			// here — after the silent time warps above — because the
+			// digest was captured at the matching point of the recorded
+			// run, with any pre-decision warps already applied.
+			s.ffQuiet = false
+			if s.hasFFCheck && !s.matchSnapshot(&s.ffCheck) {
+				s.diverged = true
+				return nil, stepOver
+			}
 		}
 
 		choice := &s.choice
@@ -1117,7 +1175,14 @@ func (s *scheduler) spawn(name string, body func(core.T)) *thread {
 		th = &thread{ready: make(chan resumeMsg), sc: s}
 		th.tcv.th = th
 		th.hv.child = th
-		go th.loop()
+		go func() {
+			// Labels are inherited from the spawner at go-statement
+			// time; set the vthread label inside the goroutine so a
+			// pooled thread never carries whatever driver-phase label
+			// happened to be active when it was first created.
+			pprof.SetGoroutineLabels(vthreadLabels)
+			th.loop()
+		}()
 	}
 	th.id = core.ThreadID(len(s.threads))
 	// Pooled threads usually get the same name run after run (the
@@ -1301,6 +1366,17 @@ func (s *scheduler) emit(th *thread, op core.Op, obj core.ObjectID, name string,
 		return false
 	}
 	s.seq++
+	if s.ffPos < len(s.ffDec) {
+		// Mid-fast-forward: the listeners already saw these events (the
+		// restored state covers them) and no decision point runs before
+		// the next event overwrites the scratch, so only the sequence
+		// counter must match a full replay. The final replayed
+		// operation's events fall through and materialize normally —
+		// the first post-fast-forward decision observes them through
+		// Choice.LastEvent exactly as a full replay would.
+		s.hasEvent = true
+		return true
+	}
 	// Field-at-a-time into the scratch event: a composite literal here
 	// builds a temporary and block-copies it on every probe.
 	ev := &s.evScratch
@@ -1315,7 +1391,10 @@ func (s *scheduler) emit(th *thread, op core.Op, obj core.ObjectID, name string,
 	ev.NameID = nameID
 	ev.LocID = locID
 	s.hasEvent = true
-	if s.evMask.Has(op) {
+	// ffQuiet covers the tail of a fast-forward — the final replayed
+	// operation's events, emitted after the last recorded decision was
+	// consumed but before the verification point.
+	if s.evMask.Has(op) && !s.ffQuiet {
 		s.listeners.OnEvent(&s.evScratch)
 	}
 	return true

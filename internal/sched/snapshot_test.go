@@ -1,0 +1,185 @@
+package sched_test
+
+import (
+	"slices"
+	"testing"
+
+	"mtbench/internal/core"
+	"mtbench/internal/repository"
+	"mtbench/internal/sched"
+)
+
+// countListener counts delivered events — the ledger for the
+// fast-forward suppression contract (a fast-forwarded run's listeners
+// see exactly the events after the restored position).
+type countListener struct{ n int }
+
+func (c *countListener) OnEvent(*core.Event) { c.n++ }
+
+// TestFastForwardByteIdentical is the fast-forward contract: replaying
+// a recorded decision prefix through Config.FastForward (with the
+// position digest captured at the park verified via FFCheck) and
+// handing the rest of the run to a replay strategy produces a Result
+// byte-identical to the original run — verdict, outcome, steps,
+// events, finish order and the full recorded schedule — while the
+// listeners see exactly the events the original run emitted after the
+// snapshot point.
+func TestFastForwardByteIdentical(t *testing.T) {
+	capture := sched.NewRunner()
+	defer capture.Close()
+	replay := sched.NewRunner()
+	defer replay.Close()
+
+	for _, p := range repository.All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			body := p.BodyWith(nil)
+			for seed := int64(0); seed < 2; seed++ {
+				fullCount := &countListener{}
+				full := sched.Run(sched.Config{
+					Strategy:       sched.Random(seed),
+					Listeners:      []core.Listener{fullCount},
+					Name:           p.Name,
+					MaxSteps:       300_000,
+					RecordSchedule: true,
+				}, body)
+
+				for _, k := range []int{0, 1, 5, 20, len(full.Schedule) / 2} {
+					if k > len(full.Schedule) {
+						continue
+					}
+					// Position a run at decision k by replaying the
+					// recorded schedule and parking there, and capture
+					// the digest of that position.
+					parkCount := &countListener{}
+					res := capture.Start(sched.Config{
+						Strategy: &parker{
+							inner:  &sched.FixedSchedule{Decisions: full.Schedule},
+							parkAt: map[int64]bool{int64(k): true},
+							done:   map[int64]bool{},
+						},
+						Listeners:      []core.Listener{parkCount},
+						Name:           p.Name,
+						MaxSteps:       300_000,
+						RecordSchedule: true,
+					}, body)
+					if res != nil {
+						// The run ended before decision k (k == full
+						// schedule length); nothing to snapshot.
+						continue
+					}
+					var snap sched.Snapshot
+					if !capture.Snapshot(&snap) {
+						t.Fatalf("seed %d k %d: Snapshot on parked runner returned false", seed, k)
+					}
+					if snap.Steps != int64(k) {
+						t.Fatalf("seed %d k %d: snapshot cursor %d", seed, k, snap.Steps)
+					}
+					capture.Abandon()
+
+					// Fast-forward a fresh run to the same position and
+					// replay the rest of the schedule.
+					ffCount := &countListener{}
+					ff := replay.Run(sched.Config{
+						Strategy:       &sched.FixedSchedule{Decisions: append([]core.ThreadID(nil), full.Schedule[k:]...)},
+						Listeners:      []core.Listener{ffCount},
+						Name:           p.Name,
+						MaxSteps:       300_000,
+						RecordSchedule: true,
+						FastForward:    full.Schedule[:k],
+						FFCheck:        &snap,
+					}, body)
+					if ff.Verdict != full.Verdict || ff.Outcome != full.Outcome ||
+						ff.Steps != full.Steps || ff.Events != full.Events ||
+						ff.Threads != full.Threads || ff.DeadlockInfo != full.DeadlockInfo {
+						t.Fatalf("seed %d k %d: ff %+v != full %+v", seed, k, ff, full)
+					}
+					if !slices.Equal(ff.FinishOrder, full.FinishOrder) {
+						t.Fatalf("seed %d k %d: finish order %v != %v", seed, k, ff.FinishOrder, full.FinishOrder)
+					}
+					if !slices.Equal(ff.Schedule, full.Schedule) {
+						t.Fatalf("seed %d k %d: ff schedule %d decisions, want %d",
+							seed, k, len(ff.Schedule), len(full.Schedule))
+					}
+					// Event conservation: the park-capture run saw the
+					// first k decisions' events, the fast-forwarded run
+					// saw the rest.
+					if parkCount.n+ffCount.n != fullCount.n {
+						t.Fatalf("seed %d k %d: event split %d+%d != full %d",
+							seed, k, parkCount.n, ffCount.n, fullCount.n)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFastForwardDivergence pins the two failure modes of restoring a
+// position: a tampered digest (the model state does not match the
+// snapshot) and a prefix the program cannot follow both yield
+// VerdictDiverged rather than a panic or a silent wrong-state run.
+func TestFastForwardDivergence(t *testing.T) {
+	prog, err := repository.Get("account")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := prog.BodyWith(nil)
+	full := sched.Run(sched.Config{Strategy: sched.Random(1), MaxSteps: 300_000, RecordSchedule: true}, body)
+	if len(full.Schedule) < 8 {
+		t.Fatalf("schedule too short: %d", len(full.Schedule))
+	}
+	k := 6
+
+	capture := sched.NewRunner()
+	defer capture.Close()
+	if res := capture.Start(sched.Config{
+		Strategy: &parker{
+			inner:  &sched.FixedSchedule{Decisions: full.Schedule},
+			parkAt: map[int64]bool{int64(k): true},
+			done:   map[int64]bool{},
+		},
+		MaxSteps:       300_000,
+		RecordSchedule: true,
+	}, body); res != nil {
+		t.Fatal("capture run completed before park depth")
+	}
+	var snap sched.Snapshot
+	if !capture.Snapshot(&snap) {
+		t.Fatal("Snapshot on parked runner returned false")
+	}
+	capture.Abandon()
+
+	runner := sched.NewRunner()
+	defer runner.Close()
+
+	tampered := snap
+	tampered.Sum ^= 1
+	res := runner.Run(sched.Config{
+		Strategy:    &sched.FixedSchedule{Decisions: append([]core.ThreadID(nil), full.Schedule[k:]...)},
+		MaxSteps:    300_000,
+		FastForward: full.Schedule[:k],
+		FFCheck:     &tampered,
+	}, body)
+	if res.Verdict != core.VerdictDiverged {
+		t.Fatalf("tampered digest: verdict %v, want diverged", res.Verdict)
+	}
+
+	bad := append([]core.ThreadID(nil), full.Schedule[:k]...)
+	bad[k-1] = 99 // no such thread
+	res = runner.Run(sched.Config{
+		Strategy:    sched.Nonpreemptive(),
+		MaxSteps:    300_000,
+		FastForward: bad,
+	}, body)
+	if res.Verdict != core.VerdictDiverged {
+		t.Fatalf("bad prefix: verdict %v, want diverged", res.Verdict)
+	}
+
+	// A healthy runner after diverged runs: same pooled runner completes
+	// a normal run byte-identically to a fresh one.
+	fresh := sched.Run(sched.Config{Strategy: sched.Random(3), MaxSteps: 300_000}, body)
+	after := runner.Run(sched.Config{Strategy: sched.Random(3), MaxSteps: 300_000}, body)
+	if after.Verdict != fresh.Verdict || after.Outcome != fresh.Outcome || after.Steps != fresh.Steps {
+		t.Fatalf("post-divergence run %+v != fresh %+v", after, fresh)
+	}
+}

@@ -74,6 +74,12 @@ type Choice struct {
 	// CanIdle reports that at least one thread sleeps on a future
 	// virtual deadline, so Pick may return IdleID to warp time there.
 	CanIdle bool
+	// SnapshotTo fills a position digest for this decision point (see
+	// Snapshot): the strategy-side handle the exploration engine uses
+	// to snapshot a branch so later runs can fast-forward to it
+	// (Config.FastForward/FFCheck) instead of replaying from the root
+	// under full strategy control.
+	SnapshotTo func(*Snapshot)
 }
 
 // CurrentRunnable reports whether the previously running thread can
