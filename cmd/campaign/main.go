@@ -62,6 +62,12 @@ func main() {
 		err = cmdCompare(args)
 	case "gate":
 		err = cmdGate(args)
+	case "serve":
+		err = cmdServe(args)
+	case "work":
+		err = cmdWork(args)
+	case "status":
+		err = cmdStatus(args)
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -118,6 +124,14 @@ commands:
   gate    -baseline FILE [-store FILE] [-slack F]
                                   re-run the baseline's config and exit non-zero
                                   on any effectiveness regression (CI gate)
+  serve   -store FILE [-listen ADDR] [flags | -config-from FILE]
+                                  run the fault-tolerant campaign coordinator:
+                                  cells are leased to workers, expired leases
+                                  re-queue, poison cells quarantine
+  work    -coordinator URL [-name NAME]
+                                  join a coordinator's worker fleet
+  status  -coordinator URL [-csv|-json]
+                                  render a running campaign's service status
 
 registered finders:
 `)
@@ -138,6 +152,7 @@ func configFlags(fs *flag.FlagSet) func() (campaign.Config, error) {
 	vbound := fs.Int("vbound", 0, "variable bound for the explore-vb finder (0 = finder default)")
 	tbound := fs.Int("tbound", 0, "thread bound for the explore-tb finder (0 = finder default)")
 	pctDepth := fs.Int("pctdepth", 0, "targeted bug depth d for the pct finder (0 = finder default)")
+	cellTimeout := fs.Duration("celltimeout", 0, "per-cell wall-clock bound; a cell exceeding it records a timeout outcome (0 = none)")
 	workers := fs.Int("workers", 1, "parallel cell workers (cells are independent; parallelism never changes results)")
 	timing := fs.Bool("timing", false, "record real wall_ms per cell (breaks byte-identical stores)")
 	return func() (campaign.Config, error) {
@@ -148,6 +163,7 @@ func configFlags(fs *flag.FlagSet) func() (campaign.Config, error) {
 			VariableBound: *vbound,
 			ThreadBound:   *tbound,
 			PCTDepth:      *pctDepth,
+			CellTimeout:   *cellTimeout,
 			Workers:       *workers,
 			Timing:        *timing,
 		}
@@ -203,6 +219,7 @@ func cmdRun(args []string, resume bool) error {
 	var workers *int
 	var timing *bool
 	var force *bool
+	var configFrom *string
 	if resume {
 		// Execution details are not pinned in the store's meta line, so
 		// re-pass them on resume (notably -timing when the original run
@@ -212,6 +229,7 @@ func cmdRun(args []string, resume bool) error {
 	} else {
 		buildCfg = configFlags(fs)
 		force = fs.Bool("force", false, "overwrite an existing store (run refuses otherwise; use resume to continue one)")
+		configFrom = fs.String("config-from", "", "copy the campaign config from another store's meta line (matrix flags are ignored)")
 	}
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -234,6 +252,7 @@ func cmdRun(args []string, resume bool) error {
 		if err != nil {
 			return err
 		}
+		warnTorn(store)
 		cfg = store.Config()
 		cfg.Workers = *workers
 		cfg.Timing = *timing
@@ -242,6 +261,11 @@ func cmdRun(args []string, resume bool) error {
 		cfg, err = buildCfg()
 		if err != nil {
 			return err
+		}
+		if *configFrom != "" {
+			if cfg, err = loadConfigFrom(*configFrom, cfg); err != nil {
+				return err
+			}
 		}
 		store, err = campaign.Create(*storePath, cfg)
 		if err != nil {

@@ -6,6 +6,8 @@ package mtbench_test
 import (
 	"bytes"
 	"context"
+	"net/http/httptest"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -264,5 +266,63 @@ func TestCampaignThroughFacade(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "CAM") {
 		t.Fatalf("campaign tables render:\n%s", buf.String())
+	}
+}
+
+// TestDistributedCampaignThroughFacade runs the same matrix twice —
+// once through the campaign service over real HTTP, once in-process —
+// and requires byte-identical stores: distribution changes who
+// executes a cell, never what it produces.
+func TestDistributedCampaignThroughFacade(t *testing.T) {
+	cfg := mtbench.CampaignConfig{
+		Programs: []string{"account"},
+		Finders:  []string{"fuzz", "noise"},
+		Budget:   60,
+	}
+	dir := t.TempDir()
+
+	distPath := filepath.Join(dir, "dist.jsonl")
+	distStore, err := mtbench.CreateCampaignStore(distPath, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer distStore.Close()
+	coord, err := mtbench.NewCampaignCoordinator(cfg, distStore, mtbench.CampaignCoordinatorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(mtbench.CampaignHandler(coord))
+	defer srv.Close()
+	stats, err := mtbench.CampaignWork(context.Background(), mtbench.CampaignWorkerOptions{
+		Name:      "facade-worker",
+		Transport: &mtbench.CampaignClient{Base: srv.URL},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Completed != 2 {
+		t.Fatalf("worker completed %d cells, want 2 (stats %+v)", stats.Completed, stats)
+	}
+
+	localPath := filepath.Join(dir, "local.jsonl")
+	localStore, err := mtbench.CreateCampaignStore(localPath, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mtbench.RunCampaign(context.Background(), cfg, localStore, nil); err != nil {
+		t.Fatal(err)
+	}
+	localStore.Close()
+
+	dist, err := os.ReadFile(distPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := os.ReadFile(localPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dist, local) {
+		t.Fatalf("distributed store differs from in-process run:\n--- distributed ---\n%s--- local ---\n%s", dist, local)
 	}
 }

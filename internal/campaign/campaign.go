@@ -34,6 +34,7 @@ import (
 	"slices"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // Config declares a campaign matrix. The identity fields (everything
@@ -72,6 +73,16 @@ type Config struct {
 	// PCTDepth overrides the pct finder's targeted bug depth d
 	// (0 = pct.DefaultDepth); zero is likewise fingerprint-invisible.
 	PCTDepth int `json:"pct_depth,omitempty"`
+	// CellTimeout bounds one cell's wall-clock execution (0 = none).
+	// A cell that exceeds it is recorded with a "timeout:" Outcome
+	// instead of blocking its pool worker forever, so a hung finder
+	// costs one record, not the campaign. It is an identity field (a
+	// timed-out cell reports different results than an unbounded one)
+	// but zero is omitted, so pre-timeout stores resume unchanged.
+	// Wall-clock bounds are inherently nondeterministic: fixed-seed
+	// byte-identity only holds for campaigns no cell of which times
+	// out.
+	CellTimeout time.Duration `json:"cell_timeout_ns,omitempty"`
 	// Params overrides program parameters by program name, so large
 	// programs face the same shrunk instances for every finder.
 	// nil = DefaultParams; an explicitly empty map means "no
@@ -169,12 +180,13 @@ func (c Config) Fingerprint() string {
 	return string(b)
 }
 
-// Cell identifies one matrix entry.
+// Cell identifies one matrix entry. The JSON tags are the campaign
+// service's wire form (internal/campsvc leases serialize cells).
 type Cell struct {
-	Program string
-	Finder  string
-	Seed    int64
-	Budget  int
+	Program string `json:"program"`
+	Finder  string `json:"finder"`
+	Seed    int64  `json:"seed"`
+	Budget  int    `json:"budget"`
 }
 
 // Key is the cell's unique identity within a store.
@@ -219,7 +231,27 @@ type Record struct {
 	// WallMS is the cell's wall time in milliseconds; 0 unless the
 	// campaign ran with Config.Timing (see there for why).
 	WallMS int64 `json:"wall_ms"`
+	// Outcome classifies abnormal cell completions; empty for a
+	// normally-executed cell, and omitted from the serialized record,
+	// so pre-existing stores and fixed-seed byte-identity are
+	// untouched. The classified forms:
+	//
+	//   "timeout: ..."     the cell exceeded Config.CellTimeout;
+	//   "panic: ..."       the finder panicked mid-cell (the message
+	//                      carries the recovered value and stack);
+	//   "quarantined: ..." the distributed coordinator (internal/
+	//                      campsvc) gave up on a poison cell after
+	//                      MaxAttempts failed leases.
+	//
+	// Abnormal records carry Runs 0 (timeout/quarantine) and FirstBug
+	// -1; Compare classifies an Outcome change as cell-failed /
+	// cell-recovered.
+	Outcome string `json:"outcome,omitempty"`
 }
+
+// Failed reports whether the record carries an abnormal outcome
+// (timeout, panic or quarantine) instead of real finder results.
+func (r Record) Failed() bool { return r.Outcome != "" }
 
 // Cell returns the record's matrix identity.
 func (r Record) Cell() Cell {

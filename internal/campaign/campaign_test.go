@@ -342,3 +342,52 @@ func TestCampaignTablesRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// failedRec is rec with an abnormal Outcome (timeout/panic/quarantine).
+func failedRec(prog, finder string, outcome string) Record {
+	r := rec(prog, finder, 0, 100, nil, -1)
+	r.Runs = 0
+	r.Outcome = outcome
+	return r
+}
+
+func TestCompareOutcomeClassification(t *testing.T) {
+	baseline := []Record{
+		rec("account", "fuzz", 0, 100, []string{"fail:x"}, 10),
+		failedRec("semleak", "noise", "timeout: cell exceeded 1s wall clock"),
+		failedRec("statmax", "fuzz", "panic: boom"),
+	}
+	current := []Record{
+		failedRec("account", "fuzz", "quarantined: 3 failed lease attempts"), // was healthy
+		rec("semleak", "noise", 0, 100, []string{"deadlock:d"}, 4),           // recovered
+		failedRec("statmax", "fuzz", "panic: boom"),                          // same failure
+	}
+
+	diff := Compare(baseline, current, 1.0)
+	got := map[DeltaKind]int{}
+	for _, k := range kinds(diff.Deltas) {
+		got[k]++
+	}
+	// The failed cell contributes cell-failed only (no bug-lost spam on
+	// top); the recovered cell contributes cell-recovered plus its
+	// gained bug; the identically-failed cell contributes nothing.
+	want := map[DeltaKind]int{
+		DeltaCellFailed:    1,
+		DeltaCellRecovered: 1,
+		DeltaBugGained:     1,
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("delta kinds = %v, want %v", got, want)
+	}
+	if err := diff.Gate(); err == nil {
+		t.Fatal("gate passed a diff with a newly failed cell")
+	}
+
+	// Recovery alone gates clean.
+	diff = Compare(
+		[]Record{failedRec("account", "fuzz", "timeout: cell exceeded 1s wall clock")},
+		[]Record{rec("account", "fuzz", 0, 100, nil, -1)}, 1.0)
+	if err := diff.Gate(); err != nil {
+		t.Fatalf("gate failed a recovery-only diff: %v", err)
+	}
+}

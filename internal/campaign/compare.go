@@ -11,6 +11,7 @@ import (
 	"math"
 	"sort"
 	"strconv"
+	"strings"
 
 	"mtbench/internal/report"
 )
@@ -37,12 +38,20 @@ const (
 	// DeltaCellAdded: the current store has a cell the baseline
 	// lacks (grown matrix); never a regression.
 	DeltaCellAdded DeltaKind = "cell-added"
+	// DeltaCellFailed: the current cell carries an abnormal Outcome
+	// (timeout, panic, quarantine) the baseline does not — its finder
+	// results are missing, so the gate fails.
+	DeltaCellFailed DeltaKind = "cell-failed"
+	// DeltaCellRecovered: the baseline cell was abnormal and the
+	// current one executed normally (or failed differently);
+	// informational.
+	DeltaCellRecovered DeltaKind = "cell-recovered"
 )
 
 // Regression reports whether the kind fails the gate.
 func (k DeltaKind) Regression() bool {
 	switch k {
-	case DeltaBugLost, DeltaBudgetRegression, DeltaCellMissing:
+	case DeltaBugLost, DeltaBudgetRegression, DeltaCellMissing, DeltaCellFailed:
 		return true
 	}
 	return false
@@ -119,6 +128,24 @@ func Compare(baseline, current []Record, slack float64) *Diff {
 
 // compareCell classifies one shared cell.
 func (d *Diff) compareCell(b, c Record) {
+	// Abnormal outcomes dominate the finer classifications: a cell
+	// that timed out, panicked or was quarantined has no finder
+	// results worth diffing bug-by-bug.
+	if b.Outcome != c.Outcome {
+		switch {
+		case c.Failed():
+			d.Deltas = append(d.Deltas, Delta{Cell: b.Cell(), Kind: DeltaCellFailed, Detail: c.Outcome})
+		default:
+			d.Deltas = append(d.Deltas, Delta{Cell: b.Cell(), Kind: DeltaCellRecovered,
+				Detail: fmt.Sprintf("baseline outcome was %q", b.Outcome)})
+		}
+		if c.Failed() {
+			return
+		}
+	} else if b.Failed() {
+		// Both failed identically: nothing to diff.
+		return
+	}
 	curBugs := make(map[string]bool, len(c.Bugs))
 	for _, sig := range c.Bugs {
 		curBugs[sig] = true
@@ -271,15 +298,20 @@ func SummaryTables(cfg Config, recs []Record) []*report.Table {
 	detail := &report.Table{
 		ID:      "CAMD",
 		Title:   "campaign cells",
-		Columns: []string{"program", "finder", "seed", "budget", "runs", "bugs", "first_bug", "wall_ms"},
+		Columns: []string{"program", "finder", "seed", "budget", "runs", "bugs", "first_bug", "wall_ms", "outcome"},
 	}
 	for _, r := range recs {
 		first := "-"
 		if r.FirstBug >= 1 {
 			first = strconv.Itoa(r.FirstBug)
 		}
+		outcome := "ok"
+		if r.Failed() {
+			// Keep the row scannable: the class alone, not the stack.
+			outcome, _, _ = strings.Cut(r.Outcome, ":")
+		}
 		detail.AddRow(r.Program, r.Finder, strconv.FormatInt(r.Seed, 10), strconv.Itoa(r.Budget),
-			strconv.Itoa(r.Runs), strconv.Itoa(len(r.Bugs)), first, strconv.FormatInt(r.WallMS, 10))
+			strconv.Itoa(r.Runs), strconv.Itoa(len(r.Bugs)), first, strconv.FormatInt(r.WallMS, 10), outcome)
 	}
 	return []*report.Table{summary, detail}
 }

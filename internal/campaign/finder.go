@@ -8,8 +8,10 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"strings"
 
 	"mtbench/internal/core"
 	"mtbench/internal/explore"
@@ -27,8 +29,12 @@ type Finder struct {
 	Name string
 	// Doc is the one-line description the CLI lists.
 	Doc string
-	// run executes one cell.
-	run func(spec cellSpec) (cellOutcome, error)
+	// run executes one cell. The context carries the cell's wall-clock
+	// deadline (Config.CellTimeout) and kill signal: per-run loop
+	// finders check it between runs and return ctx.Err() early; the
+	// engine finders (explore, fuzz, pct) run uninterruptible library
+	// calls and rely on the exec watchdog to abandon them.
+	run func(ctx context.Context, spec cellSpec) (cellOutcome, error)
 }
 
 // cellSpec is everything a finder needs to execute one cell.
@@ -122,6 +128,71 @@ func getFinder(name string) (*Finder, error) {
 	return f, nil
 }
 
+// CellInput is what an externally registered finder receives for one
+// cell: the resolved program, its parameter-applied body, and the
+// cell's identity and budgets.
+type CellInput struct {
+	Program  *repository.Program
+	Body     func(core.T)
+	Seed     int64
+	Budget   int
+	MaxSteps int64
+}
+
+// CellResult is an externally registered finder's raw per-cell result.
+type CellResult struct {
+	// Runs is the number of executions actually spent (≤ Budget).
+	Runs int
+	// Bugs are distinct bug signatures; they are deduplicated and
+	// sorted before storing.
+	Bugs []string
+	// FirstBug is the 1-based index of the first bug-exposing run, or
+	// -1 when the cell found nothing.
+	FirstBug int
+}
+
+// RegisterFinder adds a finder to the campaign registry under name —
+// the campaign mirror of repository.Register, so external tools (and
+// the fault-injection test suites) extend the matrix without editing
+// this package. Register at init time, before any campaign resolves
+// its matrix; the registry is not synchronized.
+//
+// The function must be a pure function of its inputs for fixed-seed
+// campaigns to stay reproducible, and should honour ctx between runs:
+// cancellation means the cell is being killed (return ctx.Err(), the
+// partial result is discarded), a deadline means Config.CellTimeout
+// fired. Panics need no handling — the executor recovers them into
+// "panic:" records (in-process) or fail reports (distributed).
+func RegisterFinder(name, doc string, fn func(ctx context.Context, in CellInput) (CellResult, error)) error {
+	if name == "" || strings.ContainsAny(name, "|\n ") {
+		return fmt.Errorf("campaign: invalid finder name %q", name)
+	}
+	if fn == nil {
+		return fmt.Errorf("campaign: finder %q registered with nil function", name)
+	}
+	if _, dup := finderTable[name]; dup {
+		return fmt.Errorf("campaign: finder %q already registered", name)
+	}
+	finderTable[name] = &Finder{
+		Name: name,
+		Doc:  doc,
+		run: func(ctx context.Context, spec cellSpec) (cellOutcome, error) {
+			res, err := fn(ctx, CellInput{
+				Program:  spec.prog,
+				Body:     spec.body,
+				Seed:     spec.seed,
+				Budget:   spec.budget,
+				MaxSteps: spec.maxSteps,
+			})
+			if err != nil {
+				return cellOutcome{}, err
+			}
+			return cellOutcome{runs: res.Runs, bugs: res.Bugs, firstBug: res.FirstBug}, nil
+		},
+	}
+	return nil
+}
+
 // mix derives a per-run seed from the cell seed and a run index via
 // the shared core.MixSeed derivation (the same one the fuzzer uses),
 // so the runs of one cell are decorrelated but reproducible.
@@ -146,12 +217,15 @@ func (b *bugSet) add(sig string) {
 // runNoiseFinder is the ConTest-style baseline: every budget unit is
 // one fresh-seeded noise run (Bernoulli yield noise over random
 // dispatch, the E11 configuration) through one pooled runner.
-func runNoiseFinder(spec cellSpec) (cellOutcome, error) {
+func runNoiseFinder(ctx context.Context, spec cellSpec) (cellOutcome, error) {
 	runner := sched.NewRunner()
 	defer runner.Close()
 	var bugs bugSet
 	first := -1
 	for i := 0; i < spec.budget; i++ {
+		if err := ctx.Err(); err != nil {
+			return cellOutcome{}, err
+		}
 		runSeed := mix(spec.seed, int64(i))
 		st := noise.NewStrategy(nil, noise.NewBernoulli(0.4, noise.KindYield), runSeed)
 		res := runner.Run(sched.Config{
@@ -175,7 +249,7 @@ func runNoiseFinder(spec cellSpec) (cellOutcome, error) {
 // cell's schedule budget. The DFS is deterministic and ignores the
 // seed; seeds still enumerate cells so the matrix stays rectangular,
 // and multi-seed configs simply pin that exploration reproduces.
-func runExploreFinder(spec cellSpec) (cellOutcome, error) {
+func runExploreFinder(ctx context.Context, spec cellSpec) (cellOutcome, error) {
 	er := explore.Explore(explore.Options{
 		MaxSchedules: spec.budget,
 		MaxSteps:     spec.maxSteps,
@@ -200,7 +274,7 @@ func runExploreFinder(spec cellSpec) (cellOutcome, error) {
 // budgets: within the shared budget the reduced search reaches (and
 // usually exhausts) trees the full DFS cannot, so a reduction
 // regression shows up as a lost bug or a worse first-bug envelope.
-func runExplorePORFinder(spec cellSpec) (cellOutcome, error) {
+func runExplorePORFinder(ctx context.Context, spec cellSpec) (cellOutcome, error) {
 	er := explore.Explore(explore.Options{
 		MaxSchedules: spec.budget,
 		MaxSteps:     spec.maxSteps,
@@ -237,7 +311,7 @@ const (
 // smaller, so within the shared budget the bounded search exhausts
 // programs the full DFS cannot — the portfolio bet the E13 experiment
 // measures.
-func runExploreVBFinder(spec cellSpec) (cellOutcome, error) {
+func runExploreVBFinder(ctx context.Context, spec cellSpec) (cellOutcome, error) {
 	bound := spec.vbound
 	if bound <= 0 {
 		bound = DefaultVariableBound
@@ -263,7 +337,7 @@ func runExploreVBFinder(spec cellSpec) (cellOutcome, error) {
 // runExploreTBFinder is the thread-bounded systematic regime (Bindal
 // et al.): preemptions restricted to at most tbound distinct threads
 // per schedule, arbitrarily many preemptions against that set.
-func runExploreTBFinder(spec cellSpec) (cellOutcome, error) {
+func runExploreTBFinder(ctx context.Context, spec cellSpec) (cellOutcome, error) {
 	bound := spec.tbound
 	if bound <= 0 {
 		bound = DefaultThreadBound
@@ -289,7 +363,7 @@ func runExploreTBFinder(spec cellSpec) (cellOutcome, error) {
 // runPCTFinder is the randomized-with-guarantees regime: one serial
 // PCT campaign under the cell's run budget (see internal/pct for the
 // depth-d probability bound).
-func runPCTFinder(spec cellSpec) (cellOutcome, error) {
+func runPCTFinder(ctx context.Context, spec cellSpec) (cellOutcome, error) {
 	pr := pct.Run(pct.Options{
 		MaxRuns:  spec.budget,
 		MaxSteps: spec.maxSteps,
@@ -307,7 +381,7 @@ func runPCTFinder(spec cellSpec) (cellOutcome, error) {
 
 // runFuzzFinder is the greybox middle ground: one deterministic fuzz
 // worker under the cell's run budget.
-func runFuzzFinder(spec cellSpec) (cellOutcome, error) {
+func runFuzzFinder(ctx context.Context, spec cellSpec) (cellOutcome, error) {
 	fr := fuzz.Fuzz(fuzz.Options{
 		MaxRuns:  spec.budget,
 		MaxSteps: spec.maxSteps,
@@ -331,13 +405,16 @@ func runFuzzFinder(spec cellSpec) (cellOutcome, error) {
 // signatures — including false alarms, deliberately: the gate guards
 // the tool's output, and a detector that stops warning where it used
 // to warn has changed behaviour either way.
-func runRaceFinder(spec cellSpec) (cellOutcome, error) {
+func runRaceFinder(ctx context.Context, spec cellSpec) (cellOutcome, error) {
 	runner := sched.NewRunner()
 	defer runner.Close()
 	det := race.NewHybrid(true)
 	var bugs bugSet
 	first := -1
 	for i := 0; i < spec.budget; i++ {
+		if err := ctx.Err(); err != nil {
+			return cellOutcome{}, err
+		}
 		var st sched.Strategy
 		if i == 0 {
 			st = sched.RoundRobin()

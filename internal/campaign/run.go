@@ -10,9 +10,6 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
-	"time"
-
-	"mtbench/internal/repository"
 )
 
 // Progress observes each completed cell: done of total counts cells
@@ -55,19 +52,10 @@ func Run(ctx context.Context, cfg Config, store *Store, progress Progress) (*Sum
 	// Resolve the matrix up front: unknown programs or finders fail
 	// before any cell burns budget.
 	cells := Cells(cfg)
-	type boundCell struct {
-		cell   Cell
-		finder *Finder
-		spec   cellSpec
-	}
 	var pending []boundCell
 	skipped := 0
 	for _, cell := range cells {
-		prog, err := repository.Get(cell.Program)
-		if err != nil {
-			return nil, err
-		}
-		finder, err := getFinder(cell.Finder)
+		bc, err := bindCell(cfg, cell)
 		if err != nil {
 			return nil, err
 		}
@@ -75,25 +63,7 @@ func Run(ctx context.Context, cfg Config, store *Store, progress Progress) (*Sum
 			skipped++
 			continue
 		}
-		var params repository.Params
-		if over, ok := cfg.Params[cell.Program]; ok {
-			params = repository.Params(over)
-		}
-		pending = append(pending, boundCell{
-			cell:   cell,
-			finder: finder,
-			spec: cellSpec{
-				prog:        prog,
-				body:        prog.BodyWith(params),
-				seed:        cell.Seed,
-				budget:      cell.Budget,
-				maxSteps:    cfg.MaxSteps,
-				checkpoints: cfg.Checkpoints,
-				vbound:      cfg.VariableBound,
-				tbound:      cfg.ThreadBound,
-				pctDepth:    cfg.PCTDepth,
-			},
-		})
+		pending = append(pending, bc)
 	}
 
 	var (
@@ -124,8 +94,12 @@ func Run(ctx context.Context, cfg Config, store *Store, progress Progress) (*Sum
 				}
 				bc := pending[i]
 
-				start := time.Now()
-				out, err := bc.finder.run(bc.spec)
+				// Cells execute under Background, not runCtx: a campaign
+				// interrupt winds the pool down but lets in-flight cells
+				// finish and be recorded (nothing half-done is stored,
+				// nothing finished is thrown away). CellTimeout and the
+				// panic sandbox guard each cell inside exec.
+				rec, err := bc.exec(context.Background(), cfg)
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil {
@@ -134,18 +108,6 @@ func Run(ctx context.Context, cfg Config, store *Store, progress Progress) (*Sum
 					mu.Unlock()
 					cancel()
 					return
-				}
-				rec := Record{
-					Program:  bc.cell.Program,
-					Finder:   bc.cell.Finder,
-					Seed:     bc.cell.Seed,
-					Budget:   bc.cell.Budget,
-					Runs:     out.runs,
-					Bugs:     sortedUnique(out.bugs),
-					FirstBug: out.firstBug,
-				}
-				if cfg.Timing {
-					rec.WallMS = int64(time.Since(start) / time.Millisecond)
 				}
 				if err := store.Append(rec); err != nil {
 					mu.Lock()

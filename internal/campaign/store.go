@@ -39,6 +39,8 @@ type Store struct {
 	f    *os.File // append handle, nil when in-memory
 	cfg  Config
 	recs map[string]Record
+	sync bool  // fsync after every append (see SetSync)
+	torn int64 // bytes Open truncated as a torn tail (see TornBytes)
 }
 
 // Create makes a fresh store at path (truncating any existing file)
@@ -71,13 +73,15 @@ func Open(path string) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("campaign: open store: %w", err)
 	}
+	var torn int64
 	if info, err := f.Stat(); err == nil && info.Size() > validLen {
+		torn = info.Size() - validLen
 		if err := f.Truncate(validLen); err != nil {
 			f.Close()
 			return nil, fmt.Errorf("campaign: truncate torn store tail: %w", err)
 		}
 	}
-	s := &Store{path: path, f: f, cfg: cfg, recs: map[string]Record{}}
+	s := &Store{path: path, f: f, cfg: cfg, recs: map[string]Record{}, torn: torn}
 	for _, r := range recs {
 		s.recs[r.Key()] = r
 	}
@@ -161,6 +165,27 @@ func loadFile(path string) (Config, []Record, int64, error) {
 
 // Config returns the campaign config pinned in the store.
 func (s *Store) Config() Config { return s.cfg }
+
+// SetSync toggles fsync-on-append: with it on, every journal line is
+// forced to stable storage before Append returns. Off by default — a
+// local campaign prefers speed and recovers a torn tail on Open by
+// re-running one cell — but the distributed coordinator turns it on,
+// because its merged store is the single copy of an entire fleet's
+// work and "short of losing the store" is the fault model's boundary.
+func (s *Store) SetSync(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sync = on
+}
+
+// TornBytes reports how many trailing bytes Open discarded as the
+// torn tail of a crashed append — 0 for a cleanly closed store. The
+// CLI surfaces it as a warning; the truncated cell simply re-runs.
+func (s *Store) TornBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.torn
+}
 
 // Path returns the backing file path ("" for in-memory stores).
 func (s *Store) Path() string { return s.path }
@@ -295,6 +320,11 @@ func (s *Store) writeLineLocked(v any) error {
 	b = append(b, '\n')
 	if _, err := s.f.Write(b); err != nil {
 		return fmt.Errorf("campaign: write store line: %w", err)
+	}
+	if s.sync {
+		if err := s.f.Sync(); err != nil {
+			return fmt.Errorf("campaign: sync store: %w", err)
+		}
 	}
 	return nil
 }

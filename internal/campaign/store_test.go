@@ -215,3 +215,72 @@ func TestMemStore(t *testing.T) {
 		t.Fatal("mem store has a path")
 	}
 }
+
+// TestStoreTornBytes pins that Open reports how much torn tail it
+// discarded (0 for clean stores) — the CLI's warn-and-continue signal.
+func TestStoreTornBytes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.jsonl")
+	store, err := Create(path, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.Append(rec("account", "fuzz", 0, 60, nil, -1))
+	store.Close()
+
+	store, err = Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := store.TornBytes(); n != 0 {
+		t.Fatalf("clean store reports %d torn bytes", n)
+	}
+	store.Close()
+
+	torn := []byte(`{"program":"semleak","finder":"noi`)
+	f, _ := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	f.Write(torn)
+	f.Close()
+
+	store, err = Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	if n := store.TornBytes(); n != int64(len(torn)) {
+		t.Fatalf("TornBytes = %d, want %d", n, len(torn))
+	}
+}
+
+// TestStoreSync pins that fsync-on-append keeps working appends (the
+// coordinator's crash-safety mode; correctness of the data path, the
+// durability side being the kernel's job).
+func TestStoreSync(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.jsonl")
+	store, err := Create(path, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.SetSync(true)
+	if err := store.Append(rec("account", "fuzz", 0, 60, []string{"fail:x"}, 3)); err != nil {
+		t.Fatalf("synced append: %v", err)
+	}
+	if err := store.Append(rec("semleak", "noise", 0, 60, nil, -1)); err != nil {
+		t.Fatalf("synced append: %v", err)
+	}
+	store.Close()
+
+	_, recs, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("synced store has %d records, want 2", len(recs))
+	}
+
+	// In-memory stores tolerate the toggle (no file to sync).
+	mem := NewMemStore(testConfig())
+	mem.SetSync(true)
+	if err := mem.Append(rec("account", "fuzz", 0, 60, nil, -1)); err != nil {
+		t.Fatalf("mem synced append: %v", err)
+	}
+}

@@ -1,0 +1,480 @@
+// The chaos suite: the campaign service under induced failure —
+// workers killed mid-cell, a transport that drops and delays
+// requests and responses, leases expiring under live workers, and a
+// poison cell that panics every worker that touches it. The
+// invariants under all of it: no cell is lost (the coordinator
+// finishes), no duplicate records land in the store, and whenever no
+// cell was quarantined, the compacted store is byte-identical to an
+// in-process campaign.Run of the same fixed-seed config.
+package campsvc_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mtbench/internal/campaign"
+	"mtbench/internal/campsvc"
+)
+
+func init() {
+	// chaos-slow: a deterministic finder slow enough to be killed or
+	// expired mid-cell, honouring ctx like a well-behaved finder.
+	err := campaign.RegisterFinder("chaos-slow", "test: slow deterministic finder",
+		func(ctx context.Context, in campaign.CellInput) (campaign.CellResult, error) {
+			for i := 0; i < 20; i++ {
+				select {
+				case <-ctx.Done():
+					return campaign.CellResult{}, ctx.Err()
+				case <-time.After(10 * time.Millisecond):
+				}
+			}
+			return campaign.CellResult{Runs: in.Budget, Bugs: []string{"fail:chaos"}, FirstBug: 1}, nil
+		})
+	if err != nil {
+		panic(err)
+	}
+	// chaos-panic: the poison pill — kills every worker that runs it.
+	err = campaign.RegisterFinder("chaos-panic", "test: always panics",
+		func(ctx context.Context, in campaign.CellInput) (campaign.CellResult, error) {
+			panic("chaos: poison cell")
+		})
+	if err != nil {
+		panic(err)
+	}
+}
+
+// chaosOpts is the fast-recovery tuning the chaos tests run under:
+// short leases, quick retries, and enough attempts that induced
+// failures never quarantine a healthy cell.
+func chaosOpts() campsvc.CoordinatorOptions {
+	return campsvc.CoordinatorOptions{
+		LeaseTTL:    500 * time.Millisecond,
+		MaxAttempts: 50,
+		RetryBase:   20 * time.Millisecond,
+		RetryMax:    100 * time.Millisecond,
+	}
+}
+
+// localParity runs an in-process campaign.Run of cfg into a file and
+// returns its bytes — the ground truth distributed stores must match.
+func localParity(t *testing.T, cfg campaign.Config) []byte {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "local.jsonl")
+	store, err := campaign.Create(path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := campaign.Run(context.Background(), cfg, store, nil); err != nil {
+		t.Fatal(err)
+	}
+	store.Close()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// assertStoreParity compares a finished distributed store file
+// byte-for-byte against the in-process ground truth, which also
+// proves no duplicate or lost records (any would change the bytes).
+func assertStoreParity(t *testing.T, cfg campaign.Config, distPath string) {
+	t.Helper()
+	dist, err := os.ReadFile(distPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if local := localParity(t, cfg); !bytes.Equal(dist, local) {
+		t.Fatalf("distributed store diverged from in-process run:\n--- distributed ---\n%s--- local ---\n%s", dist, local)
+	}
+}
+
+// flakyTransport injects deterministic faults: every dropNth call is
+// lost before reaching the coordinator, every eatNth call reaches it
+// but loses the response, and every delayNth call is delayed. Workers
+// must retry through all of it without double-settling any cell.
+type flakyTransport struct {
+	inner campsvc.Transport
+	mu    sync.Mutex
+	n     int
+
+	dropNth, eatNth, delayNth int
+}
+
+var errInjected = errors.New("chaos: injected transport fault")
+
+// fault decides this call's fate: 0 = clean, 1 = drop request,
+// 2 = eat response, 3 = delay.
+func (f *flakyTransport) fault() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.n++
+	switch {
+	case f.dropNth > 0 && f.n%f.dropNth == 0:
+		return 1
+	case f.eatNth > 0 && f.n%f.eatNth == 0:
+		return 2
+	case f.delayNth > 0 && f.n%f.delayNth == 0:
+		return 3
+	}
+	return 0
+}
+
+func chaosCall[Req, Resp any](f *flakyTransport, req Req, call func(Req) (Resp, error)) (Resp, error) {
+	var zero Resp
+	switch f.fault() {
+	case 1:
+		return zero, fmt.Errorf("request lost: %w", errInjected)
+	case 2:
+		call(req) // the coordinator processed it; the worker never hears
+		return zero, fmt.Errorf("response lost: %w", errInjected)
+	case 3:
+		time.Sleep(5 * time.Millisecond)
+	}
+	return call(req)
+}
+
+func (f *flakyTransport) Lease(ctx context.Context, req campsvc.LeaseRequest) (campsvc.LeaseResponse, error) {
+	return chaosCall(f, req, func(r campsvc.LeaseRequest) (campsvc.LeaseResponse, error) {
+		return f.inner.Lease(ctx, r)
+	})
+}
+
+func (f *flakyTransport) Heartbeat(ctx context.Context, req campsvc.HeartbeatRequest) (campsvc.HeartbeatResponse, error) {
+	return chaosCall(f, req, func(r campsvc.HeartbeatRequest) (campsvc.HeartbeatResponse, error) {
+		return f.inner.Heartbeat(ctx, r)
+	})
+}
+
+func (f *flakyTransport) Complete(ctx context.Context, req campsvc.CompleteRequest) (campsvc.CompleteResponse, error) {
+	return chaosCall(f, req, func(r campsvc.CompleteRequest) (campsvc.CompleteResponse, error) {
+		return f.inner.Complete(ctx, r)
+	})
+}
+
+func (f *flakyTransport) Fail(ctx context.Context, req campsvc.FailRequest) (campsvc.FailResponse, error) {
+	return chaosCall(f, req, func(r campsvc.FailRequest) (campsvc.FailResponse, error) {
+		return f.inner.Fail(ctx, r)
+	})
+}
+
+func (f *flakyTransport) Config(ctx context.Context) (campaign.Config, error) {
+	return chaosCall(f, struct{}{}, func(struct{}) (campaign.Config, error) {
+		return f.inner.Config(ctx)
+	})
+}
+
+func (f *flakyTransport) Status(ctx context.Context) (campsvc.Status, error) {
+	return f.inner.Status(ctx)
+}
+
+func TestChaosFlakyTransport(t *testing.T) {
+	cfg := fleetConfig()
+	distPath := filepath.Join(t.TempDir(), "dist.jsonl")
+	store, err := campaign.Create(distPath, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	c, err := campsvc.NewCoordinator(cfg, store, chaosOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	var statsMu sync.Mutex
+	total := campsvc.WorkerStats{}
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st, err := campsvc.Work(ctx, campsvc.WorkerOptions{
+				Name:      fmt.Sprintf("flaky-%d", i),
+				Transport: &flakyTransport{inner: campsvc.Local{C: c}, dropNth: 5, eatNth: 7, delayNth: 3},
+				Backoff:   10 * time.Millisecond,
+			})
+			errs[i] = err
+			statsMu.Lock()
+			total.Completed += st.Completed
+			total.Duplicates += st.Duplicates
+			total.Abandoned += st.Abandoned
+			statsMu.Unlock()
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d died under transport chaos: %v", i, err)
+		}
+	}
+	if err := c.Wait(ctx); err != nil {
+		t.Fatalf("coordinator Wait: %v", err)
+	}
+	// Every cell settled exactly once; eaten Complete responses and
+	// expiry races surface as duplicates, never as extra records.
+	if got := total.Completed + total.Duplicates; got < len(campaign.Cells(cfg)) {
+		t.Fatalf("fleet acknowledged %d completions for %d cells (stats %+v)", got, len(campaign.Cells(cfg)), total)
+	}
+	assertStoreParity(t, cfg, distPath)
+}
+
+// signalTransport closes leased once the first lease lands — the
+// chaos tests' hook for "the worker is now mid-cell, kill it".
+type signalTransport struct {
+	campsvc.Transport
+	once   sync.Once
+	leased chan struct{}
+}
+
+func (s *signalTransport) Lease(ctx context.Context, req campsvc.LeaseRequest) (campsvc.LeaseResponse, error) {
+	resp, err := s.Transport.Lease(ctx, req)
+	if err == nil && resp.Lease != nil {
+		s.once.Do(func() { close(s.leased) })
+	}
+	return resp, err
+}
+
+func TestChaosWorkerKilledMidCell(t *testing.T) {
+	cfg := campaign.Config{
+		Finders:  []string{"chaos-slow", "noise"},
+		Programs: []string{"lockedcounter", "semleak"},
+		Seeds:    []int64{0},
+		Budget:   20,
+	}
+	distPath := filepath.Join(t.TempDir(), "dist.jsonl")
+	store, err := campaign.Create(distPath, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	c, err := campsvc.NewCoordinator(cfg, store, chaosOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Victim: gets the first (slow) cell, dies mid-execution. SIGKILL
+	// is modeled as context cancellation — no goodbye to the
+	// coordinator, the lease just stops being heartbeated.
+	victimCtx, kill := context.WithCancel(context.Background())
+	defer kill()
+	sig := &signalTransport{Transport: campsvc.Local{C: c}, leased: make(chan struct{})}
+	victimDone := make(chan error, 1)
+	go func() {
+		_, err := campsvc.Work(victimCtx, campsvc.WorkerOptions{
+			Name: "victim", Transport: sig, Backoff: 10 * time.Millisecond,
+		})
+		victimDone <- err
+	}()
+	select {
+	case <-sig.leased:
+	case <-time.After(10 * time.Second):
+		t.Fatal("victim never got a lease")
+	}
+	time.Sleep(30 * time.Millisecond) // well inside the 200ms slow cell
+	kill()
+	if err := <-victimDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("killed victim returned %v, want context.Canceled", err)
+	}
+
+	// Survivor: picks up the victim's expired lease and finishes the
+	// campaign alone.
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	stats, err := campsvc.Work(ctx, campsvc.WorkerOptions{
+		Name: "survivor", Transport: campsvc.Local{C: c}, Backoff: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("survivor: %v", err)
+	}
+	if err := c.Wait(ctx); err != nil {
+		t.Fatalf("coordinator Wait: %v", err)
+	}
+	if stats.Completed == 0 {
+		t.Fatalf("survivor completed nothing: %+v", stats)
+	}
+	// Zero lost cells, zero duplicates, and — since nothing was
+	// quarantined — exact parity with the single-process run.
+	if st := c.Status(); st.Quarantined != 0 || st.Done != len(campaign.Cells(cfg)) {
+		t.Fatalf("final status %+v", st)
+	}
+	assertStoreParity(t, cfg, distPath)
+}
+
+func TestChaosPoisonCellQuarantine(t *testing.T) {
+	cfg := campaign.Config{
+		Finders:  []string{"chaos-panic", "noise"},
+		Programs: []string{"lockedcounter"},
+		Seeds:    []int64{0},
+		Budget:   20,
+	}
+	opts := chaosOpts()
+	opts.MaxAttempts = 3
+	store := campaign.NewMemStore(cfg)
+	c, err := campsvc.NewCoordinator(cfg, store, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	var statsMu sync.Mutex
+	failures := 0
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st, err := campsvc.Work(ctx, campsvc.WorkerOptions{
+				Name:      fmt.Sprintf("w%d", i),
+				Transport: campsvc.Local{C: c},
+				Backoff:   10 * time.Millisecond,
+			})
+			if err != nil {
+				t.Errorf("worker %d: %v", i, err)
+			}
+			statsMu.Lock()
+			failures += st.Failures
+			statsMu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if err := c.Wait(ctx); err != nil {
+		t.Fatalf("coordinator Wait: %v", err)
+	}
+	if failures != opts.MaxAttempts {
+		t.Fatalf("fleet reported %d failures, want exactly MaxAttempts=%d", failures, opts.MaxAttempts)
+	}
+
+	var quarantined, normal int
+	for _, rec := range store.Records() {
+		switch {
+		case strings.HasPrefix(rec.Outcome, "quarantined: "):
+			quarantined++
+			if rec.Finder != "chaos-panic" {
+				t.Errorf("wrong cell quarantined: %+v", rec)
+			}
+			if !strings.Contains(rec.Outcome, "panic") {
+				t.Errorf("quarantine outcome lost the cause: %q", rec.Outcome)
+			}
+		case rec.Failed():
+			t.Errorf("unexpected abnormal record: %+v", rec)
+		default:
+			normal++
+		}
+	}
+	if quarantined != 1 || normal != 1 {
+		t.Fatalf("got %d quarantined / %d normal records, want 1 / 1", quarantined, normal)
+	}
+
+	// The poison cell shows up as a gate-failing cell-failed delta
+	// against a clean baseline — CI sees quarantine, not silence.
+	baseline := []campaign.Record{
+		{Program: "lockedcounter", Finder: "chaos-panic", Seed: 0, Budget: 20, Runs: 20, Bugs: []string{}, FirstBug: -1},
+		store.Records()[1],
+	}
+	diff := campaign.Compare(baseline, store.Records(), 1.0)
+	if err := diff.Gate(); err == nil {
+		t.Fatal("gate passed a store with a quarantined cell")
+	}
+}
+
+func TestChaosLeaseExpiryUnderLiveWorker(t *testing.T) {
+	// A worker whose heartbeats all vanish keeps executing; its lease
+	// expires and the cell re-runs elsewhere. Idempotent ingestion
+	// means one of the two finishers wins and the other's record is
+	// dropped — the store stays exact.
+	cfg := campaign.Config{
+		Finders:  []string{"chaos-slow"},
+		Programs: []string{"lockedcounter"},
+		Seeds:    []int64{0},
+		Budget:   20,
+	}
+	opts := chaosOpts()
+	opts.LeaseTTL = 120 * time.Millisecond // expires mid-slow-cell
+	distPath := filepath.Join(t.TempDir(), "dist.jsonl")
+	store, err := campaign.Create(distPath, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	c, err := campsvc.NewCoordinator(cfg, store, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// deaf: heartbeats never arrive (dropNth=1 would drop everything;
+	// drop only heartbeats via a dedicated wrapper).
+	deaf := &deafTransport{inner: campsvc.Local{C: c}}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	var st1, st2 campsvc.WorkerStats
+	var err1, err2 error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		st1, err1 = campsvc.Work(ctx, campsvc.WorkerOptions{
+			Name: "deaf", Transport: deaf, Backoff: 10 * time.Millisecond,
+		})
+	}()
+	go func() {
+		defer wg.Done()
+		st2, err2 = campsvc.Work(ctx, campsvc.WorkerOptions{
+			Name: "healthy", Transport: campsvc.Local{C: c}, Backoff: 10 * time.Millisecond,
+		})
+	}()
+	wg.Wait()
+	if err1 != nil || err2 != nil {
+		t.Fatalf("workers: %v / %v", err1, err2)
+	}
+	if err := c.Wait(ctx); err != nil {
+		t.Fatalf("coordinator Wait: %v", err)
+	}
+	// Exactly one record for the one cell, whoever won; the loser saw
+	// a duplicate ack (or abandoned after a Lost heartbeat... which
+	// deaf never hears, so deaf always finishes and reports).
+	if got := st1.Completed + st1.Duplicates + st2.Completed + st2.Duplicates; got < 1 {
+		t.Fatalf("no completion acks at all: %+v / %+v", st1, st2)
+	}
+	assertStoreParity(t, cfg, distPath)
+}
+
+// deafTransport delivers everything except heartbeats.
+type deafTransport struct {
+	inner campsvc.Transport
+}
+
+func (d *deafTransport) Lease(ctx context.Context, req campsvc.LeaseRequest) (campsvc.LeaseResponse, error) {
+	return d.inner.Lease(ctx, req)
+}
+
+func (d *deafTransport) Heartbeat(ctx context.Context, req campsvc.HeartbeatRequest) (campsvc.HeartbeatResponse, error) {
+	return campsvc.HeartbeatResponse{}, errInjected
+}
+
+func (d *deafTransport) Complete(ctx context.Context, req campsvc.CompleteRequest) (campsvc.CompleteResponse, error) {
+	return d.inner.Complete(ctx, req)
+}
+
+func (d *deafTransport) Fail(ctx context.Context, req campsvc.FailRequest) (campsvc.FailResponse, error) {
+	return d.inner.Fail(ctx, req)
+}
+
+func (d *deafTransport) Config(ctx context.Context) (campaign.Config, error) {
+	return d.inner.Config(ctx)
+}
+
+func (d *deafTransport) Status(ctx context.Context) (campsvc.Status, error) {
+	return d.inner.Status(ctx)
+}

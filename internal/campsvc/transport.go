@@ -1,0 +1,74 @@
+// The protocol seam: workers speak to the coordinator only through
+// Transport, so the same worker loop runs in-process (Local, the unit
+// and chaos tests), over HTTP (Client, real fleets), or under fault
+// injection (the chaos suite wraps a Transport to drop and delay).
+package campsvc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"mtbench/internal/campaign"
+)
+
+// Transport carries the worker-coordinator protocol.
+type Transport interface {
+	Lease(ctx context.Context, req LeaseRequest) (LeaseResponse, error)
+	Heartbeat(ctx context.Context, req HeartbeatRequest) (HeartbeatResponse, error)
+	Complete(ctx context.Context, req CompleteRequest) (CompleteResponse, error)
+	Fail(ctx context.Context, req FailRequest) (FailResponse, error)
+	Config(ctx context.Context) (campaign.Config, error)
+	Status(ctx context.Context) (Status, error)
+}
+
+// Local is the in-process Transport: direct coordinator calls, no
+// serialization. The form tests and single-machine fleets use.
+type Local struct {
+	C *Coordinator
+}
+
+var _ Transport = Local{}
+
+func (l Local) Lease(_ context.Context, req LeaseRequest) (LeaseResponse, error) {
+	return l.C.Lease(req)
+}
+
+func (l Local) Heartbeat(_ context.Context, req HeartbeatRequest) (HeartbeatResponse, error) {
+	return l.C.Heartbeat(req)
+}
+
+func (l Local) Complete(_ context.Context, req CompleteRequest) (CompleteResponse, error) {
+	return l.C.Complete(req)
+}
+
+func (l Local) Fail(_ context.Context, req FailRequest) (FailResponse, error) {
+	return l.C.Fail(req)
+}
+
+func (l Local) Config(context.Context) (campaign.Config, error) {
+	return l.C.Config(), nil
+}
+
+func (l Local) Status(context.Context) (Status, error) {
+	return l.C.Status(), nil
+}
+
+// PermanentError is a transport error retrying cannot fix — a
+// protocol-level rejection (HTTP 4xx), not an outage. Workers give up
+// on these immediately instead of backing off forever against a
+// coordinator that keeps saying no.
+type PermanentError struct {
+	Status int
+	Msg    string
+}
+
+func (e *PermanentError) Error() string {
+	return fmt.Sprintf("campsvc: permanent transport error (status %d): %s", e.Status, e.Msg)
+}
+
+// IsPermanent reports whether err is a PermanentError.
+func IsPermanent(err error) bool {
+	var pe *PermanentError
+	return errors.As(err, &pe)
+}

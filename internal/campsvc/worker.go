@@ -1,0 +1,294 @@
+// The worker: a lease-execute-report loop over campaign.ExecCell.
+// Its fault posture is the mirror image of the coordinator's — it
+// assumes the coordinator can vanish at any moment (backoff and
+// retry, resume the lease loop when the coordinator returns) and that
+// its own lease can be taken away mid-cell (the heartbeat goroutine
+// cancels the cell's context with errLeaseLost, the cell is abandoned
+// without a report — the coordinator has already re-queued it).
+package campsvc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"mtbench/internal/campaign"
+)
+
+// errLeaseLost cancels a cell whose lease the coordinator no longer
+// honours — distinguishable (via context.Cause) from the worker
+// itself being shut down.
+var errLeaseLost = errors.New("campsvc: lease lost")
+
+// WorkerOptions configure one worker.
+type WorkerOptions struct {
+	// Name identifies the worker to the coordinator. Required.
+	Name string
+	// Transport reaches the coordinator. Required.
+	Transport Transport
+	// Backoff and BackoffMax bound the retry backoff against an
+	// unreachable coordinator (0 = 500ms / 15s).
+	Backoff    time.Duration
+	BackoffMax time.Duration
+	// GiveUpAfter bounds how long the worker tolerates a continuously
+	// unreachable coordinator before giving up with an error (0 =
+	// forever — the production posture: the worker outlives
+	// coordinator restarts).
+	GiveUpAfter time.Duration
+	// Throttle, when positive, pauses this long between leases — a
+	// pacing valve for workers sharing a machine with latency-sensitive
+	// work (and for tests that need a campaign to stay interruptible).
+	Throttle time.Duration
+	// Logf, when set, receives one line per lease-level event.
+	Logf func(format string, args ...any)
+}
+
+func (o WorkerOptions) withDefaults() WorkerOptions {
+	if o.Backoff <= 0 {
+		o.Backoff = 500 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 15 * time.Second
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// WorkerStats summarizes one Work invocation.
+type WorkerStats struct {
+	// Completed counts cells this worker settled; Duplicates counts
+	// completions the coordinator had already received from elsewhere
+	// (a benign race after a lease expiry).
+	Completed  int
+	Duplicates int
+	// Failures counts Fail reports (panicking finders); Abandoned
+	// counts cells dropped mid-run because the lease was lost.
+	Failures  int
+	Abandoned int
+}
+
+// Work runs the worker loop until the campaign completes (nil error),
+// ctx is cancelled, the coordinator rejects the worker permanently,
+// or — with GiveUpAfter set — the coordinator stays unreachable too
+// long.
+func Work(ctx context.Context, opts WorkerOptions) (WorkerStats, error) {
+	opts = opts.withDefaults()
+	var stats WorkerStats
+	if opts.Name == "" {
+		return stats, fmt.Errorf("campsvc: worker needs a name")
+	}
+	if opts.Transport == nil {
+		return stats, fmt.Errorf("campsvc: worker needs a transport")
+	}
+	w := &worker{opts: opts, stats: &stats}
+
+	cfg, err := w.fetchConfig(ctx)
+	if err != nil {
+		return stats, err
+	}
+	w.cfg = cfg
+	w.fingerprint = cfg.Fingerprint()
+
+	for {
+		resp, err := call(ctx, w, "lease", func() (LeaseResponse, error) {
+			return opts.Transport.Lease(ctx, LeaseRequest{Worker: opts.Name})
+		})
+		if err != nil {
+			return stats, err
+		}
+		switch {
+		case resp.Done:
+			opts.Logf("campsvc: worker %s: campaign done (%d completed, %d dup, %d failed, %d abandoned)",
+				opts.Name, stats.Completed, stats.Duplicates, stats.Failures, stats.Abandoned)
+			return stats, nil
+		case resp.Lease == nil:
+			retry := time.Duration(resp.RetryMS) * time.Millisecond
+			if retry <= 0 {
+				retry = opts.Backoff
+			}
+			if err := sleepCtx(ctx, retry); err != nil {
+				return stats, err
+			}
+		default:
+			if err := w.runLease(ctx, *resp.Lease); err != nil {
+				return stats, err
+			}
+			if opts.Throttle > 0 {
+				if err := sleepCtx(ctx, opts.Throttle); err != nil {
+					return stats, err
+				}
+			}
+		}
+	}
+}
+
+// worker is Work's loop state.
+type worker struct {
+	opts        WorkerOptions
+	cfg         campaign.Config
+	fingerprint string
+	stats       *WorkerStats
+}
+
+// fetchConfig pulls the campaign config, retrying through outages.
+func (w *worker) fetchConfig(ctx context.Context) (campaign.Config, error) {
+	return call(ctx, w, "config", func() (campaign.Config, error) {
+		return w.opts.Transport.Config(ctx)
+	})
+}
+
+// runLease executes one granted cell under a heartbeat, then reports.
+func (w *worker) runLease(ctx context.Context, l Lease) error {
+	// A coordinator serving a different campaign than the one we
+	// fetched (restarted with a new config) invalidates our copy.
+	if l.ConfigFingerprint != "" && l.ConfigFingerprint != w.fingerprint {
+		w.opts.Logf("campsvc: worker %s: config changed, re-fetching", w.opts.Name)
+		cfg, err := w.fetchConfig(ctx)
+		if err != nil {
+			return err
+		}
+		w.cfg = cfg
+		w.fingerprint = cfg.Fingerprint()
+	}
+
+	cellCtx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	hbDone := make(chan struct{})
+	go w.heartbeat(cellCtx, cancel, l, hbDone)
+
+	rec, execErr := campaign.ExecCell(cellCtx, w.cfg, l.Cell)
+	cancel(nil)
+	<-hbDone
+
+	if execErr != nil {
+		if errors.Is(execErr, errLeaseLost) {
+			// The coordinator moved on; our partial work is void.
+			w.stats.Abandoned++
+			w.opts.Logf("campsvc: worker %s: lease %s lost mid-cell, abandoning %s",
+				w.opts.Name, l.ID, l.Cell.Key())
+			return nil
+		}
+		if ctx.Err() != nil {
+			return context.Cause(ctx)
+		}
+		// An unrunnable cell (e.g. a program this worker's binary does
+		// not register): report and move on, the coordinator decides
+		// between retry and quarantine.
+		return w.reportFail(ctx, l, execErr.Error())
+	}
+	if strings.HasPrefix(rec.Outcome, "panic: ") {
+		// A panicking finder is worth retrying elsewhere before it
+		// becomes a record: the coordinator's attempt counter turns a
+		// deterministic panic into quarantine after MaxAttempts.
+		return w.reportFail(ctx, l, rec.Outcome)
+	}
+
+	resp, err := call(ctx, w, "complete", func() (CompleteResponse, error) {
+		return w.opts.Transport.Complete(ctx, CompleteRequest{
+			Worker: w.opts.Name, LeaseID: l.ID, Record: rec,
+		})
+	})
+	if err != nil {
+		return err
+	}
+	if resp.Duplicate {
+		w.stats.Duplicates++
+	} else {
+		w.stats.Completed++
+	}
+	return nil
+}
+
+// heartbeat extends the lease until the cell context ends, cancelling
+// the cell if the coordinator reports the lease lost.
+func (w *worker) heartbeat(ctx context.Context, cancel context.CancelCauseFunc, l Lease, done chan<- struct{}) {
+	defer close(done)
+	every := time.Duration(l.HeartbeatMS) * time.Millisecond
+	if every <= 0 {
+		every = time.Second
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			hb, err := w.opts.Transport.Heartbeat(ctx, HeartbeatRequest{Worker: w.opts.Name, LeaseID: l.ID})
+			if err != nil {
+				// An unreachable coordinator is NOT a lost lease: keep
+				// executing and keep beating. If the outage outlives
+				// the lease TTL the coordinator will tell us Lost on
+				// reconnect (or our completion lands as the winner
+				// anyway — ingestion is idempotent).
+				continue
+			}
+			if hb.Lost {
+				cancel(errLeaseLost)
+				return
+			}
+		}
+	}
+}
+
+// reportFail sends a Fail report, retrying through outages.
+func (w *worker) reportFail(ctx context.Context, l Lease, reason string) error {
+	w.stats.Failures++
+	_, err := call(ctx, w, "fail", func() (FailResponse, error) {
+		return w.opts.Transport.Fail(ctx, FailRequest{
+			Worker: w.opts.Name, LeaseID: l.ID, Reason: reason,
+		})
+	})
+	return err
+}
+
+// call runs one transport call with exponential backoff across
+// retryable failures (a free function because Go methods cannot be
+// generic). Permanent (protocol) errors and context ends surface
+// immediately; with GiveUpAfter set, so does an outage that outlives
+// it.
+func call[T any](ctx context.Context, w *worker, what string, fn func() (T, error)) (T, error) {
+	var zero T
+	backoff := w.opts.Backoff
+	var outage time.Duration
+	for {
+		v, err := fn()
+		if err == nil {
+			return v, nil
+		}
+		if ctx.Err() != nil {
+			return zero, context.Cause(ctx)
+		}
+		if IsPermanent(err) {
+			return zero, fmt.Errorf("campsvc: worker %s: %s rejected: %w", w.opts.Name, what, err)
+		}
+		if w.opts.GiveUpAfter > 0 && outage >= w.opts.GiveUpAfter {
+			return zero, fmt.Errorf("campsvc: worker %s: coordinator unreachable for %s: %w", w.opts.Name, outage, err)
+		}
+		w.opts.Logf("campsvc: worker %s: %s failed (%v), retrying in %s", w.opts.Name, what, err, backoff)
+		if err := sleepCtx(ctx, backoff); err != nil {
+			return zero, err
+		}
+		outage += backoff
+		backoff *= 2
+		if backoff > w.opts.BackoffMax {
+			backoff = w.opts.BackoffMax
+		}
+	}
+}
+
+// sleepCtx sleeps or returns early with the context's cause.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return context.Cause(ctx)
+	case <-t.C:
+		return nil
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"io"
 
 	"mtbench/internal/campaign"
+	"mtbench/internal/campsvc"
 	"mtbench/internal/cloning"
 	"mtbench/internal/core"
 	"mtbench/internal/coverage"
@@ -469,6 +470,42 @@ var (
 	CompareCampaigns = campaign.Compare
 	// CampaignTables renders a stored campaign as report tables.
 	CampaignTables = campaign.SummaryTables
+	// ExecCampaignCell runs one cell under the shared sandbox (panic ->
+	// record, CellTimeout -> record, parent cancellation -> kill).
+	ExecCampaignCell = campaign.ExecCell
+	// RegisterCampaignFinder adds a finder to the campaign registry.
+	RegisterCampaignFinder = campaign.RegisterFinder
+)
+
+// The distributed campaign service: a lease-granting coordinator and
+// a fault-tolerant worker fleet that produce — for clean fixed-seed
+// campaigns — a store byte-identical to an in-process RunCampaign.
+type (
+	// CampaignCoordinator owns a campaign store and grants cell leases.
+	CampaignCoordinator = campsvc.Coordinator
+	// CampaignCoordinatorOptions tune leases, retries and quarantine.
+	CampaignCoordinatorOptions = campsvc.CoordinatorOptions
+	// CampaignWorkerOptions configure one fleet worker.
+	CampaignWorkerOptions = campsvc.WorkerOptions
+	// CampaignWorkerStats summarizes one worker's run.
+	CampaignWorkerStats = campsvc.WorkerStats
+	// CampaignServiceStatus is a point-in-time fleet snapshot.
+	CampaignServiceStatus = campsvc.Status
+	// CampaignTransport is how a worker reaches a coordinator (HTTP
+	// Client, or Local for in-process fleets).
+	CampaignTransport = campsvc.Transport
+	// CampaignClient is the HTTP transport to a remote coordinator.
+	CampaignClient = campsvc.Client
+)
+
+var (
+	// NewCampaignCoordinator starts coordinating a campaign store.
+	NewCampaignCoordinator = campsvc.NewCoordinator
+	// CampaignWork runs one worker's lease-execute-report loop until
+	// the campaign completes.
+	CampaignWork = campsvc.Work
+	// CampaignHandler serves a coordinator's HTTP API.
+	CampaignHandler = campsvc.Handler
 )
 
 // Prepared experiments.
